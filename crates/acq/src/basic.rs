@@ -1,0 +1,99 @@
+//! The index-free `Basic` baseline.
+//!
+//! Straight from Section 3.2's strawman: "first consider all the possible
+//! keyword combinations of S, and then return the subgraphs which satisfy
+//! the minimum degree constraint and have the most shared keywords". No
+//! CL-tree, no single-keyword pruning — every subset of `S` (largest
+//! first) is materialised from a whole-graph inverted index and peeled.
+//! Complexity is exponential in `|S|`; it exists to be benchmarked against.
+
+use cx_graph::{AttributedGraph, InvertedIndex, VertexId};
+use cx_kcore::{connected_k_core_containing, k_core_of_subset};
+
+use crate::dec::next_combination;
+use crate::{AcqOptions, AcqResult};
+
+/// Runs `Basic`.
+pub fn run(g: &AttributedGraph, q: VertexId, opts: &AcqOptions) -> AcqResult {
+    let s = crate::effective_keywords(g, q, opts);
+    let idx = InvertedIndex::build(g);
+    let n = s.len();
+    let budget = opts.max_candidates;
+    let mut verified = 0usize;
+    let mut truncated = false;
+
+    for size in (1..=n).rev() {
+        let mut hits: Vec<Vec<VertexId>> = Vec::new();
+        let mut idxs: Vec<usize> = (0..size).collect();
+        loop {
+            if budget > 0 && verified >= budget {
+                truncated = true;
+                break;
+            }
+            let subset: Vec<_> = idxs.iter().map(|&i| s[i]).collect();
+            let members = idx.vertices_with_all(g, &subset);
+            verified += 1;
+            if let Some(core) = connected_k_core_containing(g, &members, q, opts.k) {
+                hits.push(core);
+            }
+            if !next_combination(&mut idxs, n) {
+                break;
+            }
+        }
+        if !hits.is_empty() {
+            return AcqResult {
+                communities: crate::finalize(g, &s, hits),
+                shared_keyword_count: size,
+                candidates_verified: verified,
+                truncated,
+            };
+        }
+        if truncated {
+            break;
+        }
+    }
+
+    // Fallback: the plain connected k-core containing q, computed without
+    // any index (this is the baseline, after all).
+    let all: Vec<VertexId> = g.vertices().collect();
+    let core = k_core_of_subset(g, &all, opts.k);
+    match connected_k_core_containing(g, &core, q, opts.k) {
+        Some(plain) => AcqResult {
+            communities: crate::finalize(g, &[], vec![plain]),
+            shared_keyword_count: 0,
+            candidates_verified: verified,
+            truncated,
+        },
+        None => AcqResult {
+            communities: Vec::new(),
+            shared_keyword_count: 0,
+            candidates_verified: verified,
+            truncated,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_datagen::figure5_graph;
+
+    #[test]
+    fn basic_verifies_exponentially_many_candidates() {
+        let g = figure5_graph();
+        let q = g.vertex_by_label("A").unwrap();
+        // |S| = |W(A)| = 3 and the answer is at size 2, so Basic checks
+        // C(3,3) + C(3,2) = 4 candidates.
+        let res = run(&g, q, &AcqOptions::with_k(2));
+        assert_eq!(res.candidates_verified, 4);
+        assert_eq!(res.shared_keyword_count, 2);
+    }
+
+    #[test]
+    fn budget_stops_basic() {
+        let g = figure5_graph();
+        let q = g.vertex_by_label("A").unwrap();
+        let res = run(&g, q, &AcqOptions::with_k(2).max_candidates(1));
+        assert!(res.truncated);
+    }
+}

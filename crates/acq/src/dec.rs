@@ -1,0 +1,125 @@
+//! The decremental query algorithm `Dec` — C-Explorer's engine default.
+//!
+//! After single-keyword pruning, candidate keyword sets are examined from
+//! size `|S|` *downward*. The first size with a verified candidate is the
+//! maximal keyword cohesiveness, so the search stops there; on realistic
+//! queries (community members share most of the query author's keywords)
+//! this touches only the top of the subset lattice, which is why the paper
+//! picks Dec for the system.
+
+use cx_cltree::ClTree;
+use cx_graph::{AttributedGraph, VertexId};
+
+use crate::verify::Verifier;
+use crate::{AcqOptions, AcqResult};
+
+/// Runs `Dec`.
+pub fn run(g: &AttributedGraph, tree: &ClTree, q: VertexId, opts: &AcqOptions) -> AcqResult {
+    let s = crate::effective_keywords(g, q, opts);
+    let Some(mut verifier) = Verifier::new(g, tree, q, opts.k, &s) else {
+        return AcqResult::empty();
+    };
+    let n = verifier.alive.len();
+    let budget = opts.max_candidates;
+    let mut truncated = false;
+
+    for size in (1..=n).rev() {
+        let mut hits: Vec<Vec<VertexId>> = Vec::new();
+        let mut idxs: Vec<usize> = (0..size).collect();
+        loop {
+            if budget > 0 && verifier.verified >= budget {
+                truncated = true;
+                break;
+            }
+            if let Some(members) = verifier.verify(&idxs) {
+                hits.push(members);
+            }
+            if !next_combination(&mut idxs, n) {
+                break;
+            }
+        }
+        if !hits.is_empty() {
+            let shared = size;
+            let communities = crate::finalize(g, &s, hits);
+            return AcqResult {
+                communities,
+                shared_keyword_count: shared,
+                candidates_verified: verifier.verified,
+                truncated,
+            };
+        }
+        if truncated {
+            break;
+        }
+    }
+
+    // No keyword subset verified: fall back to the plain connected k-core.
+    let plain = verifier.plain_core();
+    AcqResult {
+        communities: crate::finalize(g, &[], vec![plain]),
+        shared_keyword_count: 0,
+        candidates_verified: verifier.verified,
+        truncated,
+    }
+}
+
+/// Advances `idxs` to the next size-|idxs| combination of `0..n` in
+/// lexicographic order; returns false after the last one.
+pub(crate) fn next_combination(idxs: &mut [usize], n: usize) -> bool {
+    let k = idxs.len();
+    if k == 0 {
+        return false;
+    }
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if idxs[i] != i + n - k {
+            idxs[i] += 1;
+            for j in i + 1..k {
+                idxs[j] = idxs[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinations_enumerate_lexicographically() {
+        let mut idxs = vec![0, 1];
+        let mut all = vec![idxs.clone()];
+        while next_combination(&mut idxs, 4) {
+            all.push(idxs.clone());
+        }
+        assert_eq!(all, vec![
+            vec![0, 1], vec![0, 2], vec![0, 3],
+            vec![1, 2], vec![1, 3], vec![2, 3],
+        ]);
+    }
+
+    #[test]
+    fn single_element_combinations() {
+        let mut idxs = vec![0];
+        let mut count = 1;
+        while next_combination(&mut idxs, 5) {
+            count += 1;
+        }
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn full_size_combination_is_unique() {
+        let mut idxs = vec![0, 1, 2];
+        assert!(!next_combination(&mut idxs, 3));
+    }
+
+    #[test]
+    fn empty_combination_terminates() {
+        let mut idxs: Vec<usize> = vec![];
+        assert!(!next_combination(&mut idxs, 3));
+    }
+}

@@ -1,0 +1,227 @@
+//! The incremental query algorithms `Inc-S` and `Inc-T`.
+//!
+//! Both examine candidate keyword sets from *small to large*. `Inc-S`
+//! proceeds level by level with apriori candidate generation; `Inc-T`
+//! walks a set-enumeration tree depth-first, sharing the intersected and
+//! peeled vertex set of each verified prefix with all of its extensions
+//! (and pruning a failing prefix's entire subtree, which is sound because
+//! keyword-cores shrink as keywords are added).
+
+use std::collections::HashSet;
+
+use cx_cltree::ClTree;
+use cx_graph::{AttributedGraph, VertexId};
+
+use crate::verify::{intersect_sorted_vertices, Verifier};
+use crate::{AcqOptions, AcqResult};
+
+/// Runs `Inc-S` (level-wise apriori).
+pub fn run_inc_s(g: &AttributedGraph, tree: &ClTree, q: VertexId, opts: &AcqOptions) -> AcqResult {
+    let s = crate::effective_keywords(g, q, opts);
+    let Some(mut verifier) = Verifier::new(g, tree, q, opts.k, &s) else {
+        return AcqResult::empty();
+    };
+    let n = verifier.alive.len();
+    let budget = opts.max_candidates;
+    let mut truncated = false;
+
+    // Level 1: every surviving singleton, re-verified to capture its core.
+    let mut level_sets: Vec<Vec<usize>> = Vec::new();
+    let mut best_hits: Vec<Vec<VertexId>> = Vec::new();
+    for i in 0..n {
+        if budget > 0 && verifier.verified >= budget {
+            truncated = true;
+            break;
+        }
+        if let Some(core) = verifier.verify(&[i]) {
+            level_sets.push(vec![i]);
+            best_hits.push(core);
+        }
+    }
+
+    if level_sets.is_empty() {
+        let plain = verifier.plain_core();
+        return AcqResult {
+            communities: crate::finalize(g, &[], vec![plain]),
+            shared_keyword_count: 0,
+            candidates_verified: verifier.verified,
+            truncated,
+        };
+    }
+
+    let mut size = 1usize;
+    while !truncated {
+        // Apriori join: combine sets sharing their first (size-1) elements.
+        let prev: HashSet<Vec<usize>> = level_sets.iter().cloned().collect();
+        let mut next_sets: Vec<Vec<usize>> = Vec::new();
+        let mut next_hits: Vec<Vec<VertexId>> = Vec::new();
+        'outer: for a in 0..level_sets.len() {
+            for b in (a + 1)..level_sets.len() {
+                if budget > 0 && verifier.verified >= budget {
+                    truncated = true;
+                    break 'outer;
+                }
+                let (sa, sb) = (&level_sets[a], &level_sets[b]);
+                if sa[..size - 1] != sb[..size - 1] {
+                    continue;
+                }
+                let mut cand = sa.clone();
+                cand.push(sb[size - 1]);
+                cand.sort_unstable();
+                // All size-subsets must be verified successes.
+                let mut sub = cand.clone();
+                let all_present = (0..cand.len()).all(|drop| {
+                    sub.clone_from(&cand);
+                    sub.remove(drop);
+                    prev.contains(&sub)
+                });
+                if !all_present {
+                    continue;
+                }
+                if let Some(core) = verifier.verify(&cand) {
+                    next_sets.push(cand);
+                    next_hits.push(core);
+                }
+            }
+        }
+        if next_sets.is_empty() {
+            break;
+        }
+        size += 1;
+        level_sets = next_sets;
+        best_hits = next_hits;
+    }
+
+    AcqResult {
+        communities: crate::finalize(g, &s, best_hits),
+        shared_keyword_count: size,
+        candidates_verified: verifier.verified,
+        truncated,
+    }
+}
+
+/// Runs `Inc-T` (set-enumeration tree, shared prefix verification).
+pub fn run_inc_t(g: &AttributedGraph, tree: &ClTree, q: VertexId, opts: &AcqOptions) -> AcqResult {
+    let s = crate::effective_keywords(g, q, opts);
+    let Some(mut verifier) = Verifier::new(g, tree, q, opts.k, &s) else {
+        return AcqResult::empty();
+    };
+    let n = verifier.alive.len();
+    let budget = opts.max_candidates;
+
+    struct Dfs {
+        best_size: usize,
+        best_hits: Vec<Vec<VertexId>>,
+        truncated: bool,
+        budget: usize,
+    }
+    let mut state =
+        Dfs { best_size: 0, best_hits: Vec::new(), truncated: false, budget };
+
+    fn dfs(
+        verifier: &mut Verifier<'_>,
+        prefix_core: &[VertexId],
+        start: usize,
+        depth: usize,
+        n: usize,
+        state: &mut Dfs,
+    ) {
+        for i in start..n {
+            if state.budget > 0 && verifier.verified >= state.budget {
+                state.truncated = true;
+                return;
+            }
+            // Extend the prefix with keyword i: its keyword-core is inside
+            // the prefix's peeled core intersected with i's carriers.
+            let members = intersect_sorted_vertices(prefix_core, verifier.list(i));
+            if let Some(core) = verifier.peel(&members) {
+                let size = depth + 1;
+                if size > state.best_size {
+                    state.best_size = size;
+                    state.best_hits.clear();
+                }
+                if size == state.best_size {
+                    state.best_hits.push(core.clone());
+                }
+                dfs(verifier, &core, i + 1, size, n, state);
+                if state.truncated {
+                    return;
+                }
+            }
+            // A failing extension prunes its subtree (anti-monotone).
+        }
+    }
+
+    let root_core = verifier.plain_core();
+    dfs(&mut verifier, &root_core, 0, 0, n, &mut state);
+
+    if state.best_size == 0 {
+        return AcqResult {
+            communities: crate::finalize(g, &[], vec![root_core]),
+            shared_keyword_count: 0,
+            candidates_verified: verifier.verified,
+            truncated: state.truncated,
+        };
+    }
+    AcqResult {
+        communities: crate::finalize(g, &s, state.best_hits),
+        shared_keyword_count: state.best_size,
+        candidates_verified: verifier.verified,
+        truncated: state.truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_datagen::small_collab_graph;
+
+    /// Inc-S and Inc-T agree with each other on the collab fixture for a
+    /// sweep of queries (full cross-strategy agreement is covered by the
+    /// crate-level and property tests).
+    #[test]
+    fn inc_variants_agree_on_collab_graph() {
+        let g = small_collab_graph();
+        let tree = ClTree::build(&g);
+        for q in g.vertices() {
+            for k in 1..=4 {
+                let opts = AcqOptions::with_k(k);
+                let a = run_inc_s(&g, &tree, q, &opts);
+                let b = run_inc_t(&g, &tree, q, &opts);
+                assert_eq!(a.shared_keyword_count, b.shared_keyword_count, "q={q} k={k}");
+                assert_eq!(a.communities, b.communities, "q={q} k={k}");
+            }
+        }
+    }
+
+    /// Inc-T explores at most as many candidates as Inc-S (shared prefixes
+    /// + subtree pruning can only help).
+    #[test]
+    fn inc_t_verifies_no_more_than_inc_s() {
+        let g = small_collab_graph();
+        let tree = ClTree::build(&g);
+        let q = g.vertex_by_label("db-author-0").unwrap();
+        let opts = AcqOptions::with_k(3);
+        let a = run_inc_s(&g, &tree, q, &opts);
+        let b = run_inc_t(&g, &tree, q, &opts);
+        assert!(
+            b.candidates_verified <= a.candidates_verified,
+            "Inc-T {} > Inc-S {}",
+            b.candidates_verified,
+            a.candidates_verified
+        );
+    }
+
+    #[test]
+    fn budget_truncates_cleanly() {
+        let g = small_collab_graph();
+        let tree = ClTree::build(&g);
+        let q = g.vertex_by_label("db-author-0").unwrap();
+        let opts = AcqOptions::with_k(2).max_candidates(3);
+        for run in [run_inc_s, run_inc_t] {
+            let res = run(&g, &tree, q, &opts);
+            assert!(res.truncated);
+            assert!(res.candidates_verified <= 4); // 3 + the in-flight one
+        }
+    }
+}

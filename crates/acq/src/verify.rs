@@ -1,0 +1,176 @@
+//! Keyword-core verification — the inner loop shared by every strategy.
+//!
+//! A candidate keyword set `S'` verifies iff the subgraph induced on
+//! vertices carrying all of `S'` contains a connected k-core with q. The
+//! verifier caches the single-keyword vertex lists (restricted to q's
+//! connected k-core via the CL-tree) and intersects them per candidate, so
+//! each verification is a sorted-merge plus one subset peel.
+
+use cx_cltree::{ClTree, NodeId};
+use cx_graph::{AttributedGraph, KeywordId, VertexId};
+use cx_kcore::connected_k_core_containing;
+
+/// Per-query verification context: q's k-core subtree and cached
+/// single-keyword vertex lists within it.
+pub struct Verifier<'a> {
+    g: &'a AttributedGraph,
+    q: VertexId,
+    k: u32,
+    /// Vertices of the connected k-core containing q (sorted).
+    pub core: Vec<VertexId>,
+    /// Surviving keywords of S (those whose singleton keyword-core exists),
+    /// sorted by id.
+    pub alive: Vec<KeywordId>,
+    /// `lists[i]`: sorted vertices of `core` carrying `alive[i]`.
+    lists: Vec<Vec<VertexId>>,
+    /// Verification counter (peeling runs), reported in [`crate::AcqResult`].
+    pub verified: usize,
+}
+
+impl<'a> Verifier<'a> {
+    /// Builds the context, or `None` when q has no connected k-core.
+    ///
+    /// `s` is the effective query keyword set; keywords whose singleton
+    /// keyword-core fails are pruned immediately (anti-monotonicity: any
+    /// superset would fail too).
+    pub fn new(
+        g: &'a AttributedGraph,
+        tree: &ClTree,
+        q: VertexId,
+        k: u32,
+        s: &[KeywordId],
+    ) -> Option<Self> {
+        let subtree: NodeId = tree.subtree_root_for(q, k)?;
+        let core = tree.subtree_vertices(subtree);
+        let mut v = Self { g, q, k, core, alive: Vec::new(), lists: Vec::new(), verified: 0 };
+        for &w in s {
+            let members = tree.keyword_vertices_in_subtree(subtree, w);
+            v.verified += 1;
+            if connected_k_core_containing(g, &members, q, k).is_some() {
+                v.alive.push(w);
+                v.lists.push(members);
+            }
+        }
+        Some(v)
+    }
+
+    /// The candidate vertex list for one surviving keyword (by index into
+    /// [`Self::alive`]).
+    pub fn list(&self, idx: usize) -> &[VertexId] {
+        &self.lists[idx]
+    }
+
+    /// Intersects the vertex lists of the keywords at `idxs` (indices into
+    /// [`Self::alive`]). Empty `idxs` yields the whole k-core.
+    pub fn intersect(&self, idxs: &[usize]) -> Vec<VertexId> {
+        if idxs.is_empty() {
+            return self.core.clone();
+        }
+        let mut acc: Vec<VertexId> = self.lists[idxs[0]].clone();
+        for &i in &idxs[1..] {
+            acc = intersect_sorted_vertices(&acc, &self.lists[i]);
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Verifies a candidate vertex list: peel to the connected k-core
+    /// containing q. Increments the work counter.
+    pub fn peel(&mut self, members: &[VertexId]) -> Option<Vec<VertexId>> {
+        self.verified += 1;
+        // Fast rejections: q must be present and at least k+1 vertices must
+        // remain for a k-core to exist at all.
+        if members.len() < self.k as usize + 1 && self.k > 0 {
+            return None;
+        }
+        if members.binary_search(&self.q).is_err() {
+            return None;
+        }
+        connected_k_core_containing(self.g, members, self.q, self.k)
+    }
+
+    /// Convenience: intersect then peel.
+    pub fn verify(&mut self, idxs: &[usize]) -> Option<Vec<VertexId>> {
+        let members = self.intersect(idxs);
+        self.peel(&members)
+    }
+
+    /// Fallback answer when no keyword subset verifies: the plain
+    /// connected k-core containing q.
+    pub fn plain_core(&self) -> Vec<VertexId> {
+        self.core.clone()
+    }
+}
+
+/// Sorted-merge intersection of two vertex lists.
+pub fn intersect_sorted_vertices(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_datagen::figure5_graph;
+
+    #[test]
+    fn verifier_prunes_dead_singletons() {
+        let g = figure5_graph();
+        let tree = ClTree::build(&g);
+        let a = g.vertex_by_label("A").unwrap();
+        let s: Vec<KeywordId> =
+            ["w", "x", "y"].iter().map(|n| g.interner().get(n).unwrap()).collect();
+        let v = Verifier::new(&g, &tree, a, 2, &s).unwrap();
+        // w is only on A → its singleton core dies; x and y survive.
+        let names: Vec<&str> =
+            v.alive.iter().map(|&w| g.interner().name(w).unwrap()).collect();
+        assert_eq!(names, vec!["x", "y"]);
+        assert_eq!(v.core.len(), 5); // {A,B,C,D,E}
+    }
+
+    #[test]
+    fn verify_peels_to_answer() {
+        let g = figure5_graph();
+        let tree = ClTree::build(&g);
+        let a = g.vertex_by_label("A").unwrap();
+        let s: Vec<KeywordId> =
+            ["w", "x", "y"].iter().map(|n| g.interner().get(n).unwrap()).collect();
+        let mut v = Verifier::new(&g, &tree, a, 2, &s).unwrap();
+        // {x, y} (both surviving keywords): A, C, D carry both.
+        let got = v.verify(&[0, 1]).unwrap();
+        let labels: Vec<&str> = got.iter().map(|&u| g.label(u)).collect();
+        assert_eq!(labels, vec!["A", "C", "D"]);
+    }
+
+    #[test]
+    fn none_when_no_core() {
+        let g = figure5_graph();
+        let tree = ClTree::build(&g);
+        let a = g.vertex_by_label("A").unwrap();
+        assert!(Verifier::new(&g, &tree, a, 4, &[]).is_none());
+    }
+
+    #[test]
+    fn empty_candidate_fails_fast() {
+        let g = figure5_graph();
+        let tree = ClTree::build(&g);
+        let a = g.vertex_by_label("A").unwrap();
+        let mut v = Verifier::new(&g, &tree, a, 2, &[]).unwrap();
+        assert!(v.peel(&[]).is_none());
+        assert!(v.verified >= 1);
+    }
+}

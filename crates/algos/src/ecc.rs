@@ -1,0 +1,374 @@
+//! k-edge-connected community search.
+//!
+//! The paper's reference \[6\] (Hu et al., CIKM'16) searches communities
+//! under *edge connectivity* — a strictly stronger cohesiveness notion
+//! than minimum degree: a k-edge-connected subgraph survives the failure
+//! of any k−1 relationships, whereas a k-core can fall apart at a single
+//! cut vertex. This module implements the classic cut-based construction:
+//!
+//! 1. restrict to the connected k-core containing q (every k-edge-connected
+//!    subgraph has minimum degree ≥ k, so nothing is lost and the working
+//!    graph shrinks massively);
+//! 2. recursively split by global minimum cuts (Stoer–Wagner) until every
+//!    part's min cut is ≥ k — the parts are the k-edge-connected
+//!    components;
+//! 3. return the part containing q.
+
+use cx_graph::{AttributedGraph, Community, Subgraph, VertexId};
+use cx_kcore::connected_k_core_containing;
+
+/// The k-edge-connected community of `q`: the maximal subgraph containing
+/// q in which every pair of vertices is joined by k edge-disjoint paths.
+/// `None` when q ends up in a singleton part (no such community).
+pub fn kecc_community(g: &AttributedGraph, q: VertexId, k: u32) -> Option<Community> {
+    if !g.contains(q) || k == 0 {
+        return None;
+    }
+    let all: Vec<VertexId> = g.vertices().collect();
+    let core = connected_k_core_containing(g, &all, q, k)?;
+    let sub = Subgraph::induced(g, &core);
+    let lq = sub.local(q).expect("q is in its own core");
+
+    // Weighted local adjacency (weights accumulate under contraction).
+    let n = sub.vertex_count();
+    let adj: Vec<Vec<(u32, u64)>> = (0..n as u32)
+        .map(|u| sub.neighbors(u).iter().map(|&v| (v, 1u64)).collect())
+        .collect();
+
+    let members_local = kecc_part_containing(adj, (0..n as u32).collect(), lq, k as u64)?;
+    if members_local.len() < 2 {
+        return None;
+    }
+    Some(Community::structural(sub.to_global(&members_local)))
+}
+
+/// Recursively splits `vertices` (a subset of the local graph) by global
+/// min cuts until the part containing `target` has min cut ≥ k; returns
+/// that part (or `None` for a singleton).
+fn kecc_part_containing(
+    adj: Vec<Vec<(u32, u64)>>,
+    vertices: Vec<u32>,
+    target: u32,
+    k: u64,
+) -> Option<Vec<u32>> {
+    let mut part = vertices;
+    let mut adj = adj;
+    loop {
+        if part.len() == 1 {
+            // A singleton (even the target itself) is not a community.
+            return None;
+        }
+        let (cut, side) = stoer_wagner(&adj, &part);
+        if cut >= k {
+            return Some(part);
+        }
+        // Keep only target's side; drop crossing edges.
+        let keep: std::collections::HashSet<u32> = part
+            .iter()
+            .copied()
+            .filter(|v| side.contains(v) == side.contains(&target))
+            .collect();
+        for &v in &part {
+            if keep.contains(&v) {
+                adj[v as usize].retain(|(u, _)| keep.contains(u));
+            } else {
+                adj[v as usize].clear();
+            }
+        }
+        part.retain(|v| keep.contains(v));
+        // The remaining part may now be disconnected; keep target's
+        // connected component before the next cut round.
+        let comp = component_of(&adj, target);
+        if comp.len() < part.len() {
+            let comp_set: std::collections::HashSet<u32> = comp.iter().copied().collect();
+            for &v in &part {
+                if !comp_set.contains(&v) {
+                    adj[v as usize].clear();
+                }
+            }
+            part = comp;
+        }
+        if part.len() == 1 {
+            return None;
+        }
+    }
+}
+
+fn component_of(adj: &[Vec<(u32, u64)>], start: u32) -> Vec<u32> {
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![start];
+    seen.insert(start);
+    while let Some(u) = stack.pop() {
+        for &(v, _) in &adj[u as usize] {
+            if seen.insert(v) {
+                stack.push(v);
+            }
+        }
+    }
+    let mut out: Vec<u32> = seen.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Stoer–Wagner global minimum cut over the subgraph induced by `part`
+/// (weighted, undirected). Returns `(cut weight, one side of the cut)`.
+/// `part` must have ≥ 2 vertices; a disconnected input returns a 0-cut
+/// with one component as the side.
+///
+/// Each maximum-adjacency phase runs with a lazy binary heap, giving
+/// O(n (n + m) log n) overall — fast enough to decompose the connected
+/// k-core of a community-sized region.
+pub fn stoer_wagner(adj: &[Vec<(u32, u64)>], part: &[u32]) -> (u64, Vec<u32>) {
+    use std::collections::{BinaryHeap, HashMap, HashSet};
+
+    let in_part: HashSet<u32> = part.iter().copied().collect();
+    // Mutable weighted adjacency over active super-vertices.
+    let mut w: HashMap<u32, HashMap<u32, u64>> =
+        part.iter().map(|&v| (v, HashMap::new())).collect();
+    for &u in part {
+        for &(v, weight) in &adj[u as usize] {
+            if u < v && in_part.contains(&v) {
+                *w.get_mut(&u).unwrap().entry(v).or_insert(0) += weight;
+                *w.get_mut(&v).unwrap().entry(u).or_insert(0) += weight;
+            }
+        }
+    }
+    let mut merged: HashMap<u32, Vec<u32>> = part.iter().map(|&v| (v, vec![v])).collect();
+    let mut active: Vec<u32> = part.to_vec();
+
+    let mut best_cut = u64::MAX;
+    let mut best_side: Vec<u32> = Vec::new();
+
+    while active.len() > 1 {
+        // Maximum adjacency search with a lazy max-heap.
+        let start = active[0];
+        let mut in_a: HashSet<u32> = HashSet::new();
+        let mut key: HashMap<u32, u64> = active.iter().map(|&v| (v, 0)).collect();
+        let mut heap: BinaryHeap<(u64, u32)> = BinaryHeap::new();
+        heap.push((0, start));
+        let mut order: Vec<u32> = Vec::with_capacity(active.len());
+        while order.len() < active.len() {
+            let Some((k, v)) = heap.pop() else {
+                // Disconnected: pull any remaining vertex with key 0.
+                let &v = active.iter().find(|v| !in_a.contains(v)).expect("remaining vertex");
+                in_a.insert(v);
+                order.push(v);
+                for (&u, &weight) in &w[&v] {
+                    if !in_a.contains(&u) {
+                        let nk = key[&u] + weight;
+                        key.insert(u, nk);
+                        heap.push((nk, u));
+                    }
+                }
+                continue;
+            };
+            if in_a.contains(&v) || key[&v] != k {
+                continue; // stale heap entry
+            }
+            in_a.insert(v);
+            order.push(v);
+            for (&u, &weight) in &w[&v] {
+                if !in_a.contains(&u) {
+                    let nk = key[&u] + weight;
+                    key.insert(u, nk);
+                    heap.push((nk, u));
+                }
+            }
+        }
+        let t = *order.last().unwrap();
+        let s_prev = order[order.len() - 2];
+        let cut_of_phase = key[&t];
+        if cut_of_phase < best_cut {
+            best_cut = cut_of_phase;
+            best_side = merged[&t].clone();
+        }
+        // Contract t into s_prev.
+        let t_merged = merged.remove(&t).unwrap();
+        merged.get_mut(&s_prev).unwrap().extend(t_merged);
+        let t_edges: Vec<(u32, u64)> =
+            w.remove(&t).unwrap().into_iter().filter(|&(v, _)| v != s_prev).collect();
+        for (v, weight) in t_edges {
+            w.get_mut(&v).unwrap().remove(&t);
+            *w.get_mut(&s_prev).unwrap().entry(v).or_insert(0) += weight;
+            *w.get_mut(&v).unwrap().entry(s_prev).or_insert(0) += weight;
+        }
+        w.get_mut(&s_prev).unwrap().remove(&t);
+        active.retain(|&v| v != t);
+    }
+    best_side.sort_unstable();
+    (if best_cut == u64::MAX { 0 } else { best_cut }, best_side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_graph::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn graph(n: u32, edges: &[(u32, u32)]) -> AttributedGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_vertex(&format!("v{i}"), &[]);
+        }
+        for &(a, c) in edges {
+            b.add_edge(v(a), v(c));
+        }
+        b.build()
+    }
+
+    fn local_adj(g: &AttributedGraph) -> Vec<Vec<(u32, u64)>> {
+        g.vertices()
+            .map(|u| g.neighbors(u).iter().map(|x| (x.0, 1u64)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn stoer_wagner_finds_the_bridge() {
+        // Two triangles joined by one edge: global min cut = 1.
+        let g = graph(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        let part: Vec<u32> = (0..6).collect();
+        let (cut, side) = stoer_wagner(&local_adj(&g), &part);
+        assert_eq!(cut, 1);
+        assert!(side.len() == 3, "side {side:?}");
+    }
+
+    #[test]
+    fn stoer_wagner_on_k4_is_three() {
+        let g = graph(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let part: Vec<u32> = (0..4).collect();
+        let (cut, _) = stoer_wagner(&local_adj(&g), &part);
+        assert_eq!(cut, 3);
+    }
+
+    #[test]
+    fn stoer_wagner_on_cycle_is_two() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let part: Vec<u32> = (0..5).collect();
+        let (cut, _) = stoer_wagner(&local_adj(&g), &part);
+        assert_eq!(cut, 2);
+    }
+
+    #[test]
+    fn kecc_splits_triangles_k2() {
+        // Two triangles joined by one edge: the bridge breaks 2-edge
+        // connectivity, so the 2-ECC of vertex 0 is its own triangle.
+        let g = graph(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        let c = kecc_community(&g, v(0), 2).unwrap();
+        assert_eq!(c.vertices(), &[v(0), v(1), v(2)]);
+        let c5 = kecc_community(&g, v(5), 2).unwrap();
+        assert_eq!(c5.vertices(), &[v(3), v(4), v(5)]);
+    }
+
+    #[test]
+    fn kecc_on_k4() {
+        let g = graph(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let c = kecc_community(&g, v(0), 3).unwrap();
+        assert_eq!(c.len(), 4);
+        assert!(kecc_community(&g, v(0), 4).is_none());
+    }
+
+    #[test]
+    fn shared_vertex_bowtie_is_still_3_edge_connected() {
+        // Two K4s sharing a single vertex: vertex connectivity is 1 (cut
+        // vertex) but *edge* connectivity is 3 (the three edges from one
+        // clique into the shared vertex), so at k=3 the whole bowtie is
+        // one k-ECC — a good reminder that the two notions differ.
+        let mut edges = Vec::new();
+        for quad in [[0u32, 1, 2, 3], [3, 4, 5, 6]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((quad[i], quad[j]));
+                }
+            }
+        }
+        let g = graph(7, &edges);
+        let c = kecc_community(&g, v(0), 3).unwrap();
+        assert_eq!(c.len(), 7);
+    }
+
+    #[test]
+    fn kecc_vs_kcore_distinguishes_bridged_cliques() {
+        // Two K4s joined by a single bridge edge: every vertex has degree
+        // ≥ 3, so the connected 3-core spans all 8 — but the bridge caps
+        // edge connectivity at 1, so the 3-ECC of vertex 0 is its own K4.
+        let mut edges = Vec::new();
+        for quad in [[0u32, 1, 2, 3], [4, 5, 6, 7]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((quad[i], quad[j]));
+                }
+            }
+        }
+        edges.push((3, 4)); // the bridge
+        let g = graph(8, &edges);
+        let c = kecc_community(&g, v(0), 3).unwrap();
+        assert_eq!(c.vertices(), &[v(0), v(1), v(2), v(3)]);
+        // Global's 3-core answer is all 8 — strictly weaker cohesion.
+        let core = crate::Global.fixed_k(&g, v(0), 3).unwrap();
+        assert_eq!(core.len(), 8);
+    }
+
+    #[test]
+    fn kecc_invalid_inputs() {
+        let g = graph(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(kecc_community(&g, VertexId(9), 2).is_none());
+        assert!(kecc_community(&g, v(0), 0).is_none());
+        assert!(kecc_community(&g, v(0), 5).is_none());
+    }
+
+    /// Brute-force check on small graphs: the returned community stays
+    /// connected after removing any k-1 of its internal edges.
+    #[test]
+    fn kecc_survives_any_k_minus_1_edge_failures() {
+        let g = graph(
+            8,
+            &[
+                (0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3), // K4-ish
+                (3, 4), (4, 5), (5, 6), (6, 4), (6, 7), (7, 5), // looser tail
+            ],
+        );
+        for k in 2..=3u32 {
+            let Some(c) = kecc_community(&g, v(0), k) else { continue };
+            let members: Vec<VertexId> = c.vertices().to_vec();
+            let internal: Vec<(VertexId, VertexId)> = g
+                .edges()
+                .filter(|&(a, b)| c.contains(a) && c.contains(b))
+                .collect();
+            // Remove every (k-1)-subset of internal edges; must stay connected.
+            let removals: Vec<Vec<usize>> = if k == 2 {
+                (0..internal.len()).map(|i| vec![i]).collect()
+            } else {
+                let mut out = Vec::new();
+                for i in 0..internal.len() {
+                    for j in (i + 1)..internal.len() {
+                        out.push(vec![i, j]);
+                    }
+                }
+                out
+            };
+            for removal in removals {
+                let mut b = GraphBuilder::new();
+                for i in 0..g.vertex_count() {
+                    b.add_vertex(&format!("w{i}"), &[]);
+                }
+                for (idx, &(a, c2)) in internal.iter().enumerate() {
+                    if !removal.contains(&idx) {
+                        b.add_edge(a, c2);
+                    }
+                }
+                let h = b.build();
+                let reach = cx_graph::traversal::bfs_filtered(&h, members[0], |x| {
+                    c.contains(x)
+                });
+                assert_eq!(
+                    reach.len(),
+                    members.len(),
+                    "k={k}: community disconnected after removing {removal:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Girvan–Newman divisive community detection — the paper's reference \[9\]
+//! (Newman & Girvan, "Finding and evaluating community structure in
+//! networks", Phys. Rev. E 2004).
+//!
+//! Repeatedly remove the edge with the highest *betweenness centrality*
+//! (computed exactly with Brandes' algorithm from every source) and keep
+//! the connected-component partition with the best modularity seen. The
+//! O(removals · n · m) cost is exactly why the paper's §2 dismisses CD
+//! algorithms for *online* retrieval — reproduced here both as a baseline
+//! and to make that latency contrast measurable.
+
+use std::collections::{HashMap, VecDeque};
+
+use cx_graph::{AttributedGraph, Community, VertexId};
+
+use crate::codicil::Clustering;
+
+/// Parameters for [`GirvanNewman`].
+#[derive(Debug, Clone, Default)]
+pub struct GirvanNewmanParams {
+    /// Stop after removing this many edges (0 = remove until none remain).
+    /// The best-modularity partition seen is returned either way.
+    pub max_removals: usize,
+}
+
+/// The Girvan–Newman detector.
+#[derive(Debug, Clone, Default)]
+pub struct GirvanNewman {
+    /// Tuning parameters.
+    pub params: GirvanNewmanParams,
+}
+
+impl GirvanNewman {
+    /// Creates a detector with the given parameters.
+    pub fn new(params: GirvanNewmanParams) -> Self {
+        Self { params }
+    }
+
+    /// Runs divisive clustering, returning the best-modularity partition.
+    pub fn detect(&self, g: &AttributedGraph) -> Clustering {
+        let n = g.vertex_count();
+        if n == 0 {
+            return Clustering { labels: Vec::new(), communities: Vec::new() };
+        }
+        let mut adj: Vec<Vec<u32>> =
+            g.vertices().map(|u| g.neighbors(u).iter().map(|v| v.0).collect()).collect();
+        let m_total = g.edge_count() as f64;
+
+        let mut best_labels = components(&adj);
+        let mut best_q = modularity_of(g, m_total, &best_labels);
+
+        let budget = if self.params.max_removals == 0 {
+            g.edge_count()
+        } else {
+            self.params.max_removals.min(g.edge_count())
+        };
+        for _ in 0..budget {
+            let Some(((u, v), _)) = max_betweenness_edge(&adj) else { break };
+            adj[u as usize].retain(|&x| x != v);
+            adj[v as usize].retain(|&x| x != u);
+            let labels = components(&adj);
+            let q = modularity_of(g, m_total, &labels);
+            if q > best_q {
+                best_q = q;
+                best_labels = labels;
+            }
+        }
+
+        let labels = best_labels;
+        let mut groups: HashMap<usize, Vec<VertexId>> = HashMap::new();
+        for (i, &l) in labels.iter().enumerate() {
+            groups.entry(l).or_default().push(VertexId(i as u32));
+        }
+        let mut communities: Vec<Community> =
+            groups.into_values().map(Community::structural).collect();
+        communities.sort_by_key(|c| (std::cmp::Reverse(c.len()), c.vertices()[0]));
+        Clustering { labels, communities }
+    }
+}
+
+/// Modularity of a labeling using the *original* graph's edges/degrees
+/// (standard GN practice: the partition is scored on the intact graph).
+fn modularity_of(g: &AttributedGraph, m: f64, labels: &[usize]) -> f64 {
+    if m == 0.0 {
+        return 0.0;
+    }
+    let k = labels.iter().copied().max().map_or(0, |x| x + 1);
+    let mut internal = vec![0.0f64; k];
+    let mut degree = vec![0.0f64; k];
+    for (u, v) in g.edges() {
+        if labels[u.index()] == labels[v.index()] {
+            internal[labels[u.index()]] += 1.0;
+        }
+    }
+    for v in g.vertices() {
+        degree[labels[v.index()]] += g.degree(v) as f64;
+    }
+    (0..k).map(|c| internal[c] / m - (degree[c] / (2.0 * m)).powi(2)).sum()
+}
+
+/// Connected components of a working adjacency, as dense labels.
+fn components(adj: &[Vec<u32>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for s in 0..n {
+        if label[s] != usize::MAX {
+            continue;
+        }
+        let mut q = VecDeque::from([s as u32]);
+        label[s] = next;
+        while let Some(u) = q.pop_front() {
+            for &v in &adj[u as usize] {
+                if label[v as usize] == usize::MAX {
+                    label[v as usize] = next;
+                    q.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+/// The edge with the highest betweenness, via Brandes' accumulation from
+/// every source (exact, unweighted). `None` when the graph has no edges.
+fn max_betweenness_edge(adj: &[Vec<u32>]) -> Option<((u32, u32), f64)> {
+    let n = adj.len();
+    let mut score: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![usize::MAX; n];
+    let mut delta = vec![0.0f64; n];
+
+    for s in 0..n as u32 {
+        // BFS with shortest-path counting.
+        sigma.iter_mut().for_each(|x| *x = 0.0);
+        dist.iter_mut().for_each(|x| *x = usize::MAX);
+        delta.iter_mut().for_each(|x| *x = 0.0);
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        let mut order: Vec<u32> = Vec::new();
+        let mut q = VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            order.push(u);
+            for &v in &adj[u as usize] {
+                if dist[v as usize] == usize::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    q.push_back(v);
+                }
+                if dist[v as usize] == dist[u as usize] + 1 {
+                    sigma[v as usize] += sigma[u as usize];
+                }
+            }
+        }
+        // Dependency accumulation in reverse BFS order, attributed to edges.
+        for &w in order.iter().rev() {
+            for &u in &adj[w as usize] {
+                if dist[u as usize] + 1 == dist[w as usize] {
+                    let c = sigma[u as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+                    let key = if u < w { (u, w) } else { (w, u) };
+                    *score.entry(key).or_insert(0.0) += c;
+                    delta[u as usize] += c;
+                }
+            }
+        }
+    }
+    score
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+        .map(|(e, s)| (e, s / 2.0)) // each undirected pair counted from both endpoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_datagen::small_collab_graph;
+    use cx_graph::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Barbell: two triangles joined by one bridge edge — the textbook GN
+    /// case. The bridge has the highest betweenness and is cut first.
+    #[test]
+    fn barbell_splits_at_the_bridge() {
+        let mut b = GraphBuilder::new();
+        for i in 0..6 {
+            b.add_vertex(&format!("v{i}"), &[]);
+        }
+        for (x, y) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(v(x), v(y));
+        }
+        let g = b.build();
+        // The bridge (2,3) dominates betweenness: 9 cross pairs route
+        // through it.
+        let adj: Vec<Vec<u32>> =
+            g.vertices().map(|u| g.neighbors(u).iter().map(|x| x.0).collect()).collect();
+        let ((a, c), score) = max_betweenness_edge(&adj).unwrap();
+        assert_eq!((a, c), (2, 3));
+        assert!(score > 8.0, "bridge betweenness {score}");
+
+        let clustering = GirvanNewman::default().detect(&g);
+        assert_eq!(clustering.cluster_count(), 2);
+        assert_eq!(clustering.labels[0], clustering.labels[2]);
+        assert_eq!(clustering.labels[3], clustering.labels[5]);
+        assert_ne!(clustering.labels[0], clustering.labels[3]);
+    }
+
+    #[test]
+    fn splits_collab_graph_like_the_other_detectors() {
+        let g = small_collab_graph();
+        let clustering = GirvanNewman::default().detect(&g);
+        let db0 = g.vertex_by_label("db-author-0").unwrap();
+        let db4 = g.vertex_by_label("db-author-4").unwrap();
+        let ml0 = g.vertex_by_label("ml-author-0").unwrap();
+        assert_eq!(clustering.labels[db0.index()], clustering.labels[db4.index()]);
+        assert_ne!(clustering.labels[db0.index()], clustering.labels[ml0.index()]);
+    }
+
+    #[test]
+    fn removal_budget_limits_work() {
+        let g = small_collab_graph();
+        let limited = GirvanNewman::new(GirvanNewmanParams { max_removals: 1 }).detect(&g);
+        // One removal cannot split a 2-edge-connected graph.
+        assert_eq!(limited.labels.len(), g.vertex_count());
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let empty = GraphBuilder::new().build();
+        assert!(GirvanNewman::default().detect(&empty).labels.is_empty());
+        let mut b = GraphBuilder::new();
+        b.add_vertex("a", &[]);
+        b.add_vertex("b", &[]);
+        let g = b.build();
+        let c = GirvanNewman::default().detect(&g);
+        assert_eq!(c.cluster_count(), 2); // two singletons
+    }
+}

@@ -1,0 +1,229 @@
+//! `Global` — the community-search algorithm of Sozio & Gionis
+//! ("The community-search problem and how to plan a successful cocktail
+//! party", SIGKDD 2010).
+//!
+//! Two forms are exposed:
+//!
+//! * [`Global::fixed_k`] — the form C-Explorer's UI drives ("Structure:
+//!   degree ≥ k"): peel the whole graph to its maximal k-core and return
+//!   the connected component containing q. This is why Global's community
+//!   in Figure 6(a) is an order of magnitude larger than everyone else's —
+//!   it is the *entire* connected k-core.
+//! * [`Global::max_min_degree`] — the original optimisation form: greedily
+//!   delete a minimum-degree vertex at a time (stopping before q would be
+//!   deleted) and return q's component in the prefix subgraph whose
+//!   minimum degree was maximal.
+
+use cx_graph::{AttributedGraph, Community, VertexId, VertexSet};
+use cx_kcore::{connected_k_core_containing, k_core_of_subset};
+
+/// The Sozio–Gionis global peeling algorithm. Stateless; methods take the
+/// graph explicitly so one instance can serve many graphs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Global;
+
+impl Global {
+    /// The connected k-core containing `q` (`None` if q is peeled away).
+    ///
+    /// Runs a whole-graph peel — O(n + m) regardless of the answer size,
+    /// which is exactly the inefficiency `Local` was invented to avoid.
+    pub fn fixed_k(&self, g: &AttributedGraph, q: VertexId, k: u32) -> Option<Community> {
+        if !g.contains(q) {
+            return None;
+        }
+        let all: Vec<VertexId> = g.vertices().collect();
+        let core = k_core_of_subset(g, &all, k);
+        connected_k_core_containing(g, &core, q, k).map(Community::structural)
+    }
+
+    /// Maximises the minimum internal degree of a connected subgraph
+    /// containing `q`: peel minimum-degree vertices one by one (never `q`);
+    /// the answer is q's component at the prefix with the best minimum
+    /// degree. Returns the community and that optimal minimum degree.
+    pub fn max_min_degree(&self, g: &AttributedGraph, q: VertexId) -> Option<(Community, u32)> {
+        if !g.contains(q) {
+            return None;
+        }
+        let n = g.vertex_count();
+        let mut deg: Vec<usize> = g.degrees();
+        let mut alive = VertexSet::from_iter(n, g.vertices());
+
+        // Buckets of vertices by current degree, processed lazily.
+        let max_deg = g.max_degree();
+        let mut bucket: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+        for v in g.vertices() {
+            bucket[deg[v.index()]].push(v);
+        }
+        let mut cursor = 0usize; // lowest possibly-non-empty bucket
+
+        // Deletion order and the minimum degree observed *before* each
+        // deletion step.
+        let mut deleted: Vec<VertexId> = Vec::with_capacity(n);
+        let mut min_deg_before: Vec<usize> = Vec::with_capacity(n);
+        let mut best_min = 0usize;
+        let mut best_step = 0usize; // number of deletions performed at the best prefix
+
+        loop {
+            // Find the current minimum-degree vertex.
+            let mut picked: Option<VertexId> = None;
+            'scan: while cursor <= max_deg {
+                while let Some(&v) = bucket[cursor].last() {
+                    if !alive.contains(v) || deg[v.index()] != cursor {
+                        bucket[cursor].pop(); // stale entry
+                        continue;
+                    }
+                    picked = Some(v);
+                    break 'scan;
+                }
+                cursor += 1;
+            }
+            let Some(mut v) = picked else { break };
+            let cur_min = deg[v.index()];
+            if cur_min > best_min {
+                best_min = cur_min;
+                best_step = deleted.len();
+            }
+            if v == q {
+                // Never delete q: take another vertex from the same bucket
+                // if one exists, otherwise stop (q is the unique minimum).
+                let alt = bucket[cursor]
+                    .iter()
+                    .rev()
+                    .copied()
+                    .find(|&u| u != q && alive.contains(u) && deg[u.index()] == cursor);
+                match alt {
+                    Some(u) => v = u,
+                    None => break,
+                }
+            }
+            // Delete v.
+            alive.remove(v);
+            min_deg_before.push(cur_min);
+            deleted.push(v);
+            for &u in g.neighbors(v) {
+                if alive.contains(u) {
+                    let d = deg[u.index()] - 1;
+                    deg[u.index()] = d;
+                    bucket[d].push(u);
+                    if d < cursor {
+                        cursor = d;
+                    }
+                }
+            }
+        }
+        // The loop ends with q's degree as the final minimum candidate.
+        if alive.contains(q) {
+            let final_min = g
+                .neighbors(q)
+                .iter()
+                .filter(|&&u| alive.contains(u))
+                .count()
+                .min(alive.iter().map(|u| deg[u.index()]).min().unwrap_or(0));
+            if final_min > best_min {
+                best_min = final_min;
+                best_step = deleted.len();
+            }
+        }
+
+        // Rebuild the best prefix: everything not deleted in the first
+        // `best_step` deletions.
+        let mut prefix = VertexSet::from_iter(n, g.vertices());
+        for &v in deleted.iter().take(best_step) {
+            prefix.remove(v);
+        }
+        if !prefix.contains(q) {
+            return None;
+        }
+        let mut members = cx_graph::traversal::bfs_filtered(g, q, |v| prefix.contains(v));
+        members.sort_unstable();
+        Some((Community::structural(members), best_min as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_datagen::{figure5_graph, small_collab_graph};
+    use cx_graph::GraphBuilder;
+
+    #[test]
+    fn fixed_k_is_whole_connected_core() {
+        let g = figure5_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let c = Global.fixed_k(&g, a, 2).unwrap();
+        assert_eq!(c.len(), 5); // {A,B,C,D,E}
+        assert!(c.min_internal_degree(&g) >= 2);
+        let c3 = Global.fixed_k(&g, a, 3).unwrap();
+        assert_eq!(c3.len(), 4); // the K4
+        assert!(Global.fixed_k(&g, a, 4).is_none());
+    }
+
+    #[test]
+    fn fixed_k_invalid_vertex() {
+        let g = figure5_graph();
+        assert!(Global.fixed_k(&g, VertexId(99), 1).is_none());
+    }
+
+    #[test]
+    fn max_min_degree_finds_the_densest_region_around_q() {
+        let g = figure5_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let (c, k) = Global.max_min_degree(&g, a).unwrap();
+        // A sits in a K4: the best minimum degree is 3.
+        assert_eq!(k, 3);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.min_internal_degree(&g), 3);
+    }
+
+    #[test]
+    fn max_min_degree_for_peripheral_vertex() {
+        let g = figure5_graph();
+        let f = g.vertex_by_label("F").unwrap();
+        let (c, k) = Global.max_min_degree(&g, f).unwrap();
+        // F's best achievable minimum degree is 1 (it has degree 2 but its
+        // neighbours E and G can't all be kept at degree ≥ 2 with F).
+        assert!(c.contains(f));
+        assert!(k >= 1);
+        assert_eq!(c.min_internal_degree(&g) as u32, k);
+    }
+
+    #[test]
+    fn max_min_degree_on_clique_returns_clique() {
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            b.add_vertex(&format!("v{i}"), &[]);
+        }
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                b.add_edge(VertexId(i), VertexId(j));
+            }
+        }
+        let g = b.build();
+        let (c, k) = Global.max_min_degree(&g, VertexId(2)).unwrap();
+        assert_eq!(k, 4);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn isolated_query_vertex() {
+        let g = figure5_graph();
+        let j = g.vertex_by_label("J").unwrap();
+        let (c, k) = Global.max_min_degree(&g, j).unwrap();
+        assert_eq!(k, 0);
+        assert_eq!(c.len(), 1);
+        assert!(Global.fixed_k(&g, j, 1).is_none());
+    }
+
+    #[test]
+    fn collab_bridge_gets_its_denser_side() {
+        let g = small_collab_graph();
+        let bridge = g.vertex_by_label("bridge").unwrap();
+        let c = Global.fixed_k(&g, bridge, 3).unwrap();
+        // At k=3 the bridge (degree 6, three into each clique) survives
+        // only if its side groups do; the connected 3-core spans both
+        // near-cliques plus the bridge.
+        assert!(c.contains(bridge));
+        assert!(c.min_internal_degree(&g) >= 3);
+        assert!(c.len() >= 14);
+    }
+}

@@ -1,0 +1,63 @@
+//! `K-Truss` community search (Huang et al., SIGMOD 2014) — a thin,
+//! engine-pluggable wrapper over [`cx_kcore::truss`].
+//!
+//! The paper cites k-truss as an alternative structure-cohesiveness
+//! measure for community search; C-Explorer's plug-in API is exactly the
+//! place such an algorithm would be installed, so we ship it.
+
+use cx_graph::{AttributedGraph, Community, VertexId};
+use cx_kcore::truss::{truss_communities, TrussDecomposition};
+
+/// k-truss community search with an optional precomputed decomposition.
+#[derive(Debug, Default)]
+pub struct KTruss {
+    cached: Option<TrussDecomposition>,
+}
+
+impl KTruss {
+    /// A searcher that decomposes lazily per query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Precomputes the truss decomposition once for many queries.
+    pub fn with_index(g: &AttributedGraph) -> Self {
+        Self { cached: Some(TrussDecomposition::compute(g)) }
+    }
+
+    /// All k-truss communities of `q` (triangle-connected components of
+    /// truss-≥k edges touching q), largest first.
+    pub fn search(&self, g: &AttributedGraph, q: VertexId, k: u32) -> Vec<Community> {
+        match &self.cached {
+            Some(td) => truss_communities(g, td, q, k),
+            None => {
+                let td = TrussDecomposition::compute(g);
+                truss_communities(g, &td, q, k)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_datagen::small_collab_graph;
+
+    #[test]
+    fn cached_and_lazy_agree() {
+        let g = small_collab_graph();
+        let q = g.vertex_by_label("db-author-0").unwrap();
+        let lazy = KTruss::new().search(&g, q, 4);
+        let cached = KTruss::with_index(&g).search(&g, q, 4);
+        assert_eq!(lazy, cached);
+        assert!(!lazy.is_empty());
+        assert!(lazy[0].contains(q));
+    }
+
+    #[test]
+    fn high_k_returns_nothing() {
+        let g = small_collab_graph();
+        let q = g.vertex_by_label("loner").unwrap();
+        assert!(KTruss::new().search(&g, q, 3).is_empty());
+    }
+}

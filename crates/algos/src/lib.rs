@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # cx-algos — the other community-retrieval algorithms C-Explorer ships
+//!
+//! Besides ACQ, the paper's system implements two community-*search*
+//! algorithms and one community-*detection* algorithm, all reproduced here
+//! from their original papers:
+//!
+//! * [`global::Global`] — Sozio & Gionis (SIGKDD'10): whole-graph greedy
+//!   peeling. The fixed-k form returns the connected k-core containing q
+//!   (the `k-ĉore`); the free form maximises the minimum degree.
+//! * [`local::Local`] — Cui et al. (SIGMOD'14): local expansion from q;
+//!   grows a candidate set by connection count and stops at the first
+//!   connected k-core containing q, never touching the rest of the graph.
+//! * [`codicil::Codicil`] — Ruan et al. (WWW'13): content-plus-links
+//!   community detection. Builds content k-NN edges from TF-IDF cosine,
+//!   unions them with topology edges, re-weights by combined similarity,
+//!   sparsifies locally, and clusters with weighted label propagation.
+//! * [`ktruss`] — the k-truss community search of Huang et al.
+//!   (SIGMOD'14), wrapping [`cx_kcore::truss`], as the paper's cited
+//!   alternative structure-cohesiveness measure.
+
+pub mod codicil;
+pub mod ecc;
+pub mod girvan_newman;
+pub mod global;
+pub mod ktruss;
+pub mod local;
+pub mod louvain;
+pub mod spatial;
+
+pub use codicil::{Codicil, CodicilParams, Clustering};
+pub use ecc::kecc_community;
+pub use girvan_newman::{GirvanNewman, GirvanNewmanParams};
+pub use global::Global;
+pub use ktruss::KTruss;
+pub use spatial::{sac_appinc, SpatialCommunity};
+pub use local::Local;
+pub use louvain::{Louvain, LouvainParams};

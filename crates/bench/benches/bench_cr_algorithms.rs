@@ -1,0 +1,35 @@
+//! Criterion bench for E8: end-to-end latency of each CR method on the
+//! standard workload — the "returned instantly" claim, measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cx_bench::{hub_vertex, workload};
+use cx_explorer::{Engine, QuerySpec};
+
+fn bench_methods(c: &mut Criterion) {
+    let (g, _) = workload(8_000, 42);
+    let hub = hub_vertex(&g);
+    let label = g.label(hub).to_owned();
+    let engine = Engine::with_graph("dblp", g);
+    let spec = QuerySpec::by_label(label).k(4);
+
+    let mut group = c.benchmark_group("cr_methods");
+    group.sample_size(10);
+    for algo in ["acq", "local", "global", "ktruss"] {
+        group.bench_function(algo, |b| {
+            b.iter(|| engine.search(algo, &spec).expect("search failed"))
+        });
+    }
+    group.finish();
+
+    // CODICIL separately: it clusters the whole graph per call.
+    let mut slow = c.benchmark_group("cr_methods_detection");
+    slow.sample_size(10);
+    slow.bench_function("codicil", |b| {
+        b.iter(|| engine.search("codicil", &spec).expect("search failed"))
+    });
+    slow.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

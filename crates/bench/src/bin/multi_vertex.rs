@@ -1,0 +1,53 @@
+//! Experiment E9 — the multi-query-vertex ACQ variant (Section 3.2, the
+//! "+" button): latency and answer size as the number of query vertices
+//! |Q| grows. Query vertices are drawn from one hub's community so a
+//! joint answer exists. Expected shape: latency stays flat-ish (the
+//! shared k-core shrinks as |Q| grows) and the answer tightens.
+
+use cx_acq::multi::acq_multi;
+use cx_acq::AcqOptions;
+use cx_bench::{fmt_duration, hub_vertex, timed, workload};
+use cx_cltree::ClTree;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8000);
+    let k: u32 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let (g, _) = workload(n, 42);
+    let tree = ClTree::build(&g);
+    let hub = hub_vertex(&g);
+    // Companion query vertices: hub's highest-degree neighbours.
+    let mut companions: Vec<_> = g.neighbors(hub).to_vec();
+    companions.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    println!(
+        "Multi-vertex ACQ — {} vertices, {} edges; k = {k}; seed hub {}\n",
+        g.vertex_count(),
+        g.edge_count(),
+        g.label(hub)
+    );
+    println!(
+        "{:>4} {:>12} {:>12} {:>14} {:>14}",
+        "|Q|", "latency", "communities", "avg size", "shared kws"
+    );
+    for q_count in 1..=4usize {
+        let mut qs = vec![hub];
+        qs.extend(companions.iter().take(q_count - 1));
+        let opts = AcqOptions::with_k(k);
+        let (res, took) = timed(|| acq_multi(&g, &tree, &qs, &opts));
+        let avg_size = if res.communities.is_empty() {
+            0.0
+        } else {
+            res.communities.iter().map(|c| c.len()).sum::<usize>() as f64
+                / res.communities.len() as f64
+        };
+        println!(
+            "{:>4} {:>12} {:>12} {:>14.1} {:>14}",
+            q_count,
+            fmt_duration(took),
+            res.communities.len(),
+            avg_size,
+            res.shared_keyword_count
+        );
+    }
+    println!("\nExpected shape: more query vertices ⇒ same or fewer shared");
+    println!("keywords and a tighter (or empty) joint community, at similar cost.");
+}

@@ -1,0 +1,52 @@
+//! Experiment E8 — the "communities returned instantly" claim (Sections 1
+//! and 4): end-to-end query latency of the four CR methods as the graph
+//! grows. Expected shape: indexed ACQ and Local stay in the
+//! microsecond-to-millisecond range regardless of graph size; Global
+//! scales linearly with the graph (whole-graph peel); CODICIL (detection,
+//! not search) is slowest by orders of magnitude.
+
+use cx_bench::{fmt_duration, hub_vertex, timed, workload};
+use cx_explorer::{Engine, QuerySpec};
+
+fn main() {
+    let max_n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(64_000);
+    let k: u32 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(4);
+    println!("Query latency vs graph size (hub query, k = {k})\n");
+    println!(
+        "{:>9} {:>9}  {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "vertices", "edges", "acq", "local", "global", "codicil", "index build"
+    );
+    let mut n = 4_000usize;
+    while n <= max_n {
+        let (g, _) = workload(n, 7);
+        let hub = hub_vertex(&g);
+        let label = g.label(hub).to_owned();
+        let (v, m) = (g.vertex_count(), g.edge_count());
+        let (engine, build) = timed(|| Engine::with_graph("dblp", g));
+        let spec = QuerySpec::by_label(label).k(k);
+        let t = |algo: &str| {
+            let (res, took) = timed(|| engine.search(algo, &spec).expect("search failed"));
+            let _ = res;
+            took
+        };
+        // CODICIL only on the smaller sizes — it clusters the whole graph.
+        let codicil = if n <= 16_000 {
+            fmt_duration(t("codicil"))
+        } else {
+            "(skipped)".to_owned()
+        };
+        println!(
+            "{:>9} {:>9}  {:>10} {:>10} {:>10} {:>12} {:>12}",
+            v,
+            m,
+            fmt_duration(t("acq")),
+            fmt_duration(t("local")),
+            fmt_duration(t("global")),
+            codicil,
+            fmt_duration(build)
+        );
+        n *= 2;
+    }
+    println!("\nExpected shape: acq/local flat (index + local work only);");
+    println!("global grows with the graph; codicil is orders slower.");
+}

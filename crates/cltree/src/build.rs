@@ -1,0 +1,508 @@
+//! CL-tree construction (bottom-up, anchored union-find) and queries.
+
+use std::collections::HashMap;
+
+use cx_graph::{AttributedGraph, KeywordId, VertexId};
+use cx_kcore::CoreDecomposition;
+
+use crate::node::{ClTreeNode, NodeId};
+use crate::unionfind::UnionFind;
+
+/// The CL-tree index over one attributed graph. See the crate docs for the
+/// structure; build with [`ClTree::build`], query with
+/// [`ClTree::connected_k_core`] and the keyword accessors.
+#[derive(Debug, Clone)]
+pub struct ClTree {
+    nodes: Vec<ClTreeNode>,
+    root: NodeId,
+    /// Vertex → the node whose level equals the vertex's core number.
+    node_of: Vec<NodeId>,
+    /// Core number per vertex (kept so queries need no separate decomposition).
+    core: Vec<u32>,
+    max_core: u32,
+}
+
+impl ClTree {
+    /// Builds the index for `g`: core decomposition, then one bottom-up
+    /// sweep over levels `k_max … 1` with an anchored union-find, then a
+    /// root assembly step for level 0 (isolated vertices). Near-linear in
+    /// `n + m`.
+    pub fn build(g: &AttributedGraph) -> Self {
+        let cd = CoreDecomposition::compute(g);
+        Self::build_with(g, &cd)
+    }
+
+    /// Like [`ClTree::build`] but reuses an existing core decomposition.
+    pub fn build_with(g: &AttributedGraph, cd: &CoreDecomposition) -> Self {
+        let n = g.vertex_count();
+        let core: Vec<u32> = cd.core_numbers().to_vec();
+        let max_core = cd.max_core();
+
+        // Vertices grouped by core number.
+        let mut levels: Vec<Vec<VertexId>> = vec![Vec::new(); max_core as usize + 1];
+        for v in g.vertices() {
+            levels[core[v.index()] as usize].push(v);
+        }
+
+        let mut nodes: Vec<ClTreeNode> = Vec::new();
+        let mut node_of = vec![NodeId(u32::MAX); n];
+        let mut uf = UnionFind::new(n);
+        // Current component anchors: union-find representative → node id.
+        let mut anchors: HashMap<u32, NodeId> = HashMap::new();
+
+        for k in (1..=max_core).rev() {
+            // Snapshot anchors before this level's unions change representatives.
+            let snapshot: Vec<(u32, NodeId)> =
+                anchors.iter().map(|(&rep, &nid)| (rep, nid)).collect();
+
+            // Union every edge from a level-k vertex to a vertex of core ≥ k.
+            for &v in &levels[k as usize] {
+                for &u in g.neighbors(v) {
+                    if core[u.index()] >= k {
+                        uf.union(v.0, u.0);
+                    }
+                }
+            }
+
+            // Regroup old anchors and the new level-k vertices by new root.
+            let mut child_anchors: HashMap<u32, Vec<NodeId>> = HashMap::new();
+            for (rep, nid) in snapshot {
+                child_anchors.entry(uf.find(rep)).or_default().push(nid);
+            }
+            let mut new_vertices: HashMap<u32, Vec<VertexId>> = HashMap::new();
+            for &v in &levels[k as usize] {
+                new_vertices.entry(uf.find(v.0)).or_default().push(v);
+            }
+
+            let mut next_anchors: HashMap<u32, NodeId> = HashMap::new();
+            let mut roots: Vec<u32> = child_anchors.keys().copied().collect();
+            for &r in new_vertices.keys() {
+                if !child_anchors.contains_key(&r) {
+                    roots.push(r);
+                }
+            }
+            // Deterministic node numbering regardless of hash order.
+            roots.sort_unstable();
+            for root in roots {
+                let mut verts = new_vertices.remove(&root).unwrap_or_default();
+                let mut kids = child_anchors.remove(&root).unwrap_or_default();
+                if verts.is_empty() && kids.len() == 1 {
+                    // Component unchanged at this level: no node, carry forward.
+                    next_anchors.insert(root, kids[0]);
+                    continue;
+                }
+                verts.sort_unstable();
+                kids.sort_unstable();
+                let nid = NodeId(nodes.len() as u32);
+                for &v in &verts {
+                    node_of[v.index()] = nid;
+                }
+                for &kid in &kids {
+                    nodes[kid.index()].parent = Some(nid);
+                }
+                nodes.push(ClTreeNode {
+                    level: k,
+                    parent: None,
+                    children: kids,
+                    vertices: verts,
+                    inverted: HashMap::new(),
+                });
+                next_anchors.insert(root, nid);
+            }
+            anchors = next_anchors;
+        }
+
+        // Level 0: core-0 vertices are exactly the isolated ones; assemble a
+        // single root holding them, with every remaining component anchor as
+        // a child (matching Figure 5(b), where the root contains J).
+        let isolated: Vec<VertexId> = levels.first().cloned().unwrap_or_default();
+        let mut tops: Vec<NodeId> = anchors.values().copied().collect();
+        tops.sort_unstable();
+        let root = if isolated.is_empty() && tops.len() == 1 {
+            tops[0]
+        } else {
+            let nid = NodeId(nodes.len() as u32);
+            for &v in &isolated {
+                node_of[v.index()] = nid;
+            }
+            for &kid in &tops {
+                nodes[kid.index()].parent = Some(nid);
+            }
+            let mut verts = isolated;
+            verts.sort_unstable();
+            nodes.push(ClTreeNode {
+                level: 0,
+                parent: None,
+                children: tops,
+                vertices: verts,
+                inverted: HashMap::new(),
+            });
+            nid
+        };
+
+        // Inverted keyword lists, one pass per node.
+        for node in &mut nodes {
+            node.index_keywords(|v| g.keywords(v));
+        }
+
+        Self { nodes, root, node_of, core, max_core }
+    }
+
+    /// Crate-internal constructor used by snapshot loading.
+    pub(crate) fn from_parts(
+        nodes: Vec<ClTreeNode>,
+        root: NodeId,
+        node_of: Vec<NodeId>,
+        core: Vec<u32>,
+        max_core: u32,
+    ) -> Self {
+        Self { nodes, root, node_of, core, max_core }
+    }
+
+    /// The core number of `v`.
+    #[inline]
+    pub fn core(&self, v: VertexId) -> u32 {
+        self.core[v.index()]
+    }
+
+    /// Core numbers of every vertex, indexed by vertex id.
+    #[inline]
+    pub fn core_numbers(&self) -> &[u32] {
+        &self.core
+    }
+
+    /// The graph's degeneracy (largest non-empty core level).
+    #[inline]
+    pub fn max_core(&self) -> u32 {
+        self.max_core
+    }
+
+    /// Number of tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> &ClTreeNode {
+        &self.nodes[id.index()]
+    }
+
+    /// The node holding `v` (level == core(v)).
+    pub fn node_of(&self, v: VertexId) -> NodeId {
+        self.node_of[v.index()]
+    }
+
+    /// The root of the subtree representing the connected k-core containing
+    /// `q`: walk up from q's node while the parent still has level ≥ k.
+    /// `None` when `core(q) < k` (q is not in any k-core).
+    pub fn subtree_root_for(&self, q: VertexId, k: u32) -> Option<NodeId> {
+        if q.index() >= self.core.len() || self.core[q.index()] < k {
+            return None;
+        }
+        let mut cur = self.node_of(q);
+        while let Some(p) = self.nodes[cur.index()].parent {
+            if self.nodes[p.index()].level >= k {
+                cur = p;
+            } else {
+                break;
+            }
+        }
+        Some(cur)
+    }
+
+    /// All vertices in the subtree rooted at `id`, sorted.
+    pub fn subtree_vertices(&self, id: NodeId) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(nid) = stack.pop() {
+            let node = &self.nodes[nid.index()];
+            out.extend_from_slice(&node.vertices);
+            stack.extend_from_slice(&node.children);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The connected k-core containing `q` (sorted vertices), via the index.
+    pub fn connected_k_core(&self, q: VertexId, k: u32) -> Option<Vec<VertexId>> {
+        self.subtree_root_for(q, k).map(|r| self.subtree_vertices(r))
+    }
+
+    /// Vertices in the subtree of `id` whose keyword set contains `w`,
+    /// sorted — collected from per-node inverted lists without touching
+    /// the graph.
+    pub fn keyword_vertices_in_subtree(&self, id: NodeId, w: KeywordId) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(nid) = stack.pop() {
+            let node = &self.nodes[nid.index()];
+            out.extend_from_slice(node.vertices_with(w));
+            stack.extend_from_slice(&node.children);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Convenience: vertices carrying `w` within the connected k-core of `q`.
+    pub fn keyword_vertices_in_k_core(
+        &self,
+        q: VertexId,
+        k: u32,
+        w: KeywordId,
+    ) -> Option<Vec<VertexId>> {
+        self.subtree_root_for(q, k).map(|r| self.keyword_vertices_in_subtree(r, w))
+    }
+
+    /// Occurrence counts of every keyword within the subtree of `id`.
+    pub fn keyword_counts_in_subtree(&self, id: NodeId) -> HashMap<KeywordId, usize> {
+        let mut counts = HashMap::new();
+        let mut stack = vec![id];
+        while let Some(nid) = stack.pop() {
+            let node = &self.nodes[nid.index()];
+            for (&w, vs) in &node.inverted {
+                *counts.entry(w).or_insert(0) += vs.len();
+            }
+            stack.extend_from_slice(&node.children);
+        }
+        counts
+    }
+
+    /// Height of the tree (root counts as 1; 1 for a single-node tree).
+    pub fn height(&self) -> usize {
+        fn depth(nodes: &[ClTreeNode], id: NodeId) -> usize {
+            1 + nodes[id.index()]
+                .children
+                .iter()
+                .map(|&c| depth(nodes, c))
+                .max()
+                .unwrap_or(0)
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth(&self.nodes, self.root)
+        }
+    }
+
+    /// Approximate heap footprint of the index in bytes — used by the
+    /// linear-space experiment (E6).
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = self.nodes.capacity() * std::mem::size_of::<ClTreeNode>()
+            + self.node_of.len() * std::mem::size_of::<NodeId>()
+            + self.core.len() * std::mem::size_of::<u32>();
+        for n in &self.nodes {
+            total += n.vertices.len() * std::mem::size_of::<VertexId>()
+                + n.children.len() * std::mem::size_of::<NodeId>();
+            for vs in n.inverted.values() {
+                total += vs.len() * std::mem::size_of::<VertexId>()
+                    + std::mem::size_of::<KeywordId>()
+                    + std::mem::size_of::<usize>();
+            }
+        }
+        total
+    }
+
+    /// Iterates all nodes with their ids.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &ClTreeNode)> + '_ {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_datagen::figure5_graph;
+    use cx_graph::GraphBuilder;
+
+    #[test]
+    fn figure5_tree_matches_paper() {
+        let g = figure5_graph();
+        let t = ClTree::build(&g);
+        assert_eq!(t.max_core(), 3);
+
+        let label = |l: &str| g.vertex_by_label(l).unwrap();
+        let names = |vs: &[VertexId]| -> Vec<&str> { vs.iter().map(|&v| g.label(v)).collect() };
+
+        // Root is the level-0 node holding exactly J.
+        let root = t.node(t.root());
+        assert_eq!(root.level, 0);
+        assert_eq!(names(&root.vertices), vec!["J"]);
+        // Root has two children: the ABCDEFG component (level 1, holding F,G)
+        // and the H–I pair (level 1).
+        assert_eq!(root.children.len(), 2);
+        let kids: Vec<&ClTreeNode> = root.children.iter().map(|&c| t.node(c)).collect();
+        assert!(kids.iter().all(|n| n.level == 1));
+        let mut kid_vertices: Vec<Vec<&str>> = kids.iter().map(|n| names(&n.vertices)).collect();
+        kid_vertices.sort();
+        assert_eq!(kid_vertices, vec![vec!["F", "G"], vec!["H", "I"]]);
+
+        // Under {F,G}: level-2 node {E}; under it, level-3 node {A,B,C,D}.
+        let fg = kids.iter().find(|n| names(&n.vertices).contains(&"F")).unwrap();
+        assert_eq!(fg.children.len(), 1);
+        let e_node = t.node(fg.children[0]);
+        assert_eq!(e_node.level, 2);
+        assert_eq!(names(&e_node.vertices), vec!["E"]);
+        assert_eq!(e_node.children.len(), 1);
+        let abcd = t.node(e_node.children[0]);
+        assert_eq!(abcd.level, 3);
+        assert_eq!(names(&abcd.vertices), vec!["A", "B", "C", "D"]);
+        assert!(abcd.children.is_empty());
+
+        // Five nodes total, height 4, exactly as in Figure 5(b).
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.height(), 4);
+
+        // Core numbers per the figure's table.
+        for (l, k) in [("A", 3), ("B", 3), ("C", 3), ("D", 3), ("E", 2), ("F", 1), ("G", 1), ("H", 1), ("I", 1), ("J", 0)] {
+            assert_eq!(t.core(label(l)), k, "core of {l}");
+        }
+    }
+
+    #[test]
+    fn figure5_connected_k_cores() {
+        let g = figure5_graph();
+        let t = ClTree::build(&g);
+        let label = |l: &str| g.vertex_by_label(l).unwrap();
+        let names = |vs: Vec<VertexId>| -> Vec<String> {
+            vs.into_iter().map(|v| g.label(v).to_owned()).collect()
+        };
+
+        assert_eq!(names(t.connected_k_core(label("A"), 3).unwrap()), ["A", "B", "C", "D"]);
+        assert_eq!(
+            names(t.connected_k_core(label("A"), 2).unwrap()),
+            ["A", "B", "C", "D", "E"]
+        );
+        assert_eq!(
+            names(t.connected_k_core(label("A"), 1).unwrap()),
+            ["A", "B", "C", "D", "E", "F", "G"]
+        );
+        assert_eq!(names(t.connected_k_core(label("H"), 1).unwrap()), ["H", "I"]);
+        assert!(t.connected_k_core(label("E"), 3).is_none());
+        assert!(t.connected_k_core(label("J"), 1).is_none());
+        // k = 0 from any vertex reaches the whole graph through the root.
+        assert_eq!(t.connected_k_core(label("J"), 0).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn figure5_inverted_lists() {
+        let g = figure5_graph();
+        let t = ClTree::build(&g);
+        let a = g.vertex_by_label("A").unwrap();
+        let x = g.interner().get("x").unwrap();
+        let y = g.interner().get("y").unwrap();
+        let w = g.interner().get("w").unwrap();
+
+        // In the 2-core of A ({A,B,C,D,E}): x carried by A,B,C,D; w only by A.
+        let xs = t.keyword_vertices_in_k_core(a, 2, x).unwrap();
+        assert_eq!(xs.len(), 4);
+        let ws = t.keyword_vertices_in_k_core(a, 2, w).unwrap();
+        assert_eq!(ws, vec![a]);
+        // Keyword counts over the 3-core subtree.
+        let root3 = t.subtree_root_for(a, 3).unwrap();
+        let counts = t.keyword_counts_in_subtree(root3);
+        assert_eq!(counts.get(&x), Some(&4));
+        assert_eq!(counts.get(&y), Some(&3)); // A, C, D
+    }
+
+    #[test]
+    fn two_disjoint_triangles_get_empty_root() {
+        let mut b = GraphBuilder::new();
+        for i in 0..6 {
+            b.add_vertex(&format!("v{i}"), &[]);
+        }
+        for (x, y) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(VertexId(x), VertexId(y));
+        }
+        let t = ClTree::build(&b.build());
+        let root = t.node(t.root());
+        assert_eq!(root.level, 0);
+        assert!(root.vertices.is_empty());
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(t.node_count(), 3);
+    }
+
+    #[test]
+    fn single_component_root_is_top_anchor() {
+        // A triangle alone: one node at level 2, which IS the root.
+        let mut b = GraphBuilder::new();
+        for i in 0..3 {
+            b.add_vertex(&format!("v{i}"), &[]);
+        }
+        for (x, y) in [(0, 1), (1, 2), (0, 2)] {
+            b.add_edge(VertexId(x), VertexId(y));
+        }
+        let t = ClTree::build(&b.build());
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.node(t.root()).level, 2);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.connected_k_core(VertexId(0), 2).unwrap().len(), 3);
+        assert_eq!(t.connected_k_core(VertexId(0), 1).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn empty_graph_builds_a_root() {
+        let t = ClTree::build(&GraphBuilder::new().build());
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.max_core(), 0);
+        assert_eq!(t.height(), 1);
+        assert!(t.node(t.root()).vertices.is_empty());
+    }
+
+    #[test]
+    fn level_skipping_chain_is_compressed() {
+        // K5 (4-core) plus a path attached: levels 4 and 1 exist, 2-3 are
+        // skipped — the walk-up still answers k=2 and k=3 correctly.
+        let mut b = GraphBuilder::new();
+        for i in 0..8 {
+            b.add_vertex(&format!("v{i}"), &[]);
+        }
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                b.add_edge(VertexId(i), VertexId(j));
+            }
+        }
+        b.add_edge(VertexId(4), VertexId(5));
+        b.add_edge(VertexId(5), VertexId(6));
+        b.add_edge(VertexId(6), VertexId(7));
+        let g = b.build();
+        let t = ClTree::build(&g);
+        let k5: Vec<VertexId> = (0..5).map(VertexId).collect();
+        assert_eq!(t.connected_k_core(VertexId(0), 4).unwrap(), k5);
+        assert_eq!(t.connected_k_core(VertexId(0), 3).unwrap(), k5);
+        assert_eq!(t.connected_k_core(VertexId(0), 2).unwrap(), k5);
+        assert_eq!(t.connected_k_core(VertexId(0), 1).unwrap().len(), 8);
+        // No nodes exist at level 2 or 3.
+        assert!(t.iter_nodes().all(|(_, n)| n.level != 2 && n.level != 3));
+    }
+
+    #[test]
+    fn every_vertex_lives_in_exactly_one_node() {
+        let g = figure5_graph();
+        let t = ClTree::build(&g);
+        let mut seen = vec![0usize; g.vertex_count()];
+        for (_, n) in t.iter_nodes() {
+            for &v in &n.vertices {
+                seen[v.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "vertex node multiplicity {seen:?}");
+        // node_of agrees with the node listing.
+        for v in g.vertices() {
+            let nid = t.node_of(v);
+            assert!(t.node(nid).vertices.contains(&v));
+            assert_eq!(t.node(nid).level, t.core(v));
+        }
+    }
+
+    #[test]
+    fn memory_is_reported() {
+        let g = figure5_graph();
+        let t = ClTree::build(&g);
+        assert!(t.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! CL-tree node structure.
+
+use std::collections::HashMap;
+
+use cx_graph::{KeywordId, VertexId};
+
+/// Index of a node within its [`crate::ClTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usize for indexing the tree's node table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One CL-tree node: a connected component of the `level`-core, storing the
+/// vertices whose core number equals `level` plus an inverted keyword list
+/// over exactly those vertices.
+#[derive(Debug, Clone)]
+pub struct ClTreeNode {
+    /// The k this node's component belongs to.
+    pub level: u32,
+    /// Parent node (a component of some lower-level core), `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Child nodes (higher-level core components nested in this one).
+    pub children: Vec<NodeId>,
+    /// Vertices with core number == `level` in this component, sorted.
+    pub vertices: Vec<VertexId>,
+    /// Keyword → sorted vertices *of this node* carrying it.
+    pub inverted: HashMap<KeywordId, Vec<VertexId>>,
+}
+
+impl ClTreeNode {
+    /// Builds the node's inverted list from a keyword accessor.
+    pub(crate) fn index_keywords<'a>(
+        &mut self,
+        keywords_of: impl Fn(VertexId) -> &'a [KeywordId],
+    ) {
+        for &v in &self.vertices {
+            for &w in keywords_of(v) {
+                self.inverted.entry(w).or_default().push(v);
+            }
+        }
+        // Vertices were iterated in sorted order, so each list is sorted.
+    }
+
+    /// Vertices of this node carrying keyword `w`.
+    pub fn vertices_with(&self, w: KeywordId) -> &[VertexId] {
+        self.inverted.get(&w).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keywords appearing in this node.
+    pub fn keyword_count(&self) -> usize {
+        self.inverted.len()
+    }
+}

@@ -1,0 +1,271 @@
+//! CL-tree index persistence.
+//!
+//! Building the CL-tree is linear, but on very large graphs (the paper's
+//! DBLP sample is ~1M vertices) a production deployment builds the index
+//! offline once and memory-maps/loads it at server start — the paper's
+//! "Indexing (offline)" box in Figure 3. The snapshot stores the tree
+//! structure and core numbers; per-node inverted keyword lists are rebuilt
+//! from the graph on load (they are derived data and dominate the size).
+//!
+//! Format (little-endian): magic `CXT1`, vertex count, node count, root
+//! id, core numbers, then per node: level, parent(+1, 0 = none), vertex
+//! list, child list. Every structural invariant is re-validated on load.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use cx_graph::{AttributedGraph, GraphError, VertexId};
+
+use crate::build::ClTree;
+use crate::node::{ClTreeNode, NodeId};
+
+const MAGIC: &[u8; 4] = b"CXT1";
+
+fn put_u32<W: Write>(w: &mut W, x: u32) -> std::io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn get_u32<R: Read>(r: &mut R) -> Result<u32, GraphError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+impl ClTree {
+    /// Writes the index snapshot to `w`.
+    pub fn write_snapshot<W: Write>(&self, w: &mut W) -> Result<(), GraphError> {
+        let mut w = BufWriter::new(w);
+        w.write_all(MAGIC)?;
+        put_u32(&mut w, self.core_numbers().len() as u32)?;
+        put_u32(&mut w, self.node_count() as u32)?;
+        put_u32(&mut w, self.root().0)?;
+        for &c in self.core_numbers() {
+            put_u32(&mut w, c)?;
+        }
+        for (_, node) in self.iter_nodes() {
+            put_u32(&mut w, node.level)?;
+            put_u32(&mut w, node.parent.map_or(0, |p| p.0 + 1))?;
+            put_u32(&mut w, node.vertices.len() as u32)?;
+            for &v in &node.vertices {
+                put_u32(&mut w, v.0)?;
+            }
+            put_u32(&mut w, node.children.len() as u32)?;
+            for &c in &node.children {
+                put_u32(&mut w, c.0)?;
+            }
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads a snapshot written by [`ClTree::write_snapshot`], rebuilding
+    /// the inverted keyword lists from `g`. Fails if the snapshot does not
+    /// match the graph (vertex count, structural invariants).
+    pub fn read_snapshot<R: Read>(g: &AttributedGraph, r: &mut R) -> Result<Self, GraphError> {
+        let mut r = BufReader::new(r);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(GraphError::Snapshot("bad CL-tree magic".into()));
+        }
+        let n = get_u32(&mut r)? as usize;
+        if n != g.vertex_count() {
+            return Err(GraphError::Snapshot(format!(
+                "snapshot is for a {n}-vertex graph, got {}",
+                g.vertex_count()
+            )));
+        }
+        let node_count = get_u32(&mut r)? as usize;
+        if node_count > n + 1 {
+            return Err(GraphError::Snapshot("node count exceeds linear bound".into()));
+        }
+        let root = NodeId(get_u32(&mut r)?);
+        if node_count == 0 || root.index() >= node_count {
+            return Err(GraphError::Snapshot("root out of range".into()));
+        }
+        let mut core = Vec::with_capacity(n);
+        for _ in 0..n {
+            core.push(get_u32(&mut r)?);
+        }
+        let mut nodes = Vec::with_capacity(node_count);
+        let mut node_of = vec![NodeId(u32::MAX); n];
+        for i in 0..node_count {
+            let level = get_u32(&mut r)?;
+            let parent_raw = get_u32(&mut r)?;
+            let parent = if parent_raw == 0 {
+                None
+            } else {
+                let p = NodeId(parent_raw - 1);
+                if p.index() >= node_count {
+                    return Err(GraphError::Snapshot("parent out of range".into()));
+                }
+                Some(p)
+            };
+            let v_len = get_u32(&mut r)? as usize;
+            if v_len > n {
+                return Err(GraphError::Snapshot("vertex list too long".into()));
+            }
+            let mut vertices = Vec::with_capacity(v_len);
+            for _ in 0..v_len {
+                let v = get_u32(&mut r)?;
+                if v as usize >= n {
+                    return Err(GraphError::Snapshot("vertex id out of range".into()));
+                }
+                if node_of[v as usize] != NodeId(u32::MAX) {
+                    return Err(GraphError::Snapshot("vertex appears in two nodes".into()));
+                }
+                node_of[v as usize] = NodeId(i as u32);
+                // Core number must match the node level.
+                if core[v as usize] != level {
+                    return Err(GraphError::Snapshot("vertex core != node level".into()));
+                }
+                vertices.push(VertexId(v));
+            }
+            let c_len = get_u32(&mut r)? as usize;
+            if c_len > node_count {
+                return Err(GraphError::Snapshot("child list too long".into()));
+            }
+            let mut children = Vec::with_capacity(c_len);
+            for _ in 0..c_len {
+                let c = get_u32(&mut r)?;
+                if c as usize >= node_count {
+                    return Err(GraphError::Snapshot("child out of range".into()));
+                }
+                children.push(NodeId(c));
+            }
+            let mut node = ClTreeNode {
+                level,
+                parent,
+                children,
+                vertices,
+                inverted: std::collections::HashMap::new(),
+            };
+            node.index_keywords(|v| g.keywords(v));
+            nodes.push(node);
+        }
+        if node_of.contains(&NodeId(u32::MAX)) {
+            return Err(GraphError::Snapshot("some vertex belongs to no node".into()));
+        }
+        // Parent/child links must agree.
+        for (i, node) in nodes.iter().enumerate() {
+            for &c in &node.children {
+                if nodes[c.index()].parent != Some(NodeId(i as u32)) {
+                    return Err(GraphError::Snapshot("parent/child mismatch".into()));
+                }
+            }
+        }
+        let max_core = core.iter().copied().max().unwrap_or(0);
+        Ok(ClTree::from_parts(nodes, root, node_of, core, max_core))
+    }
+
+    /// Saves the index snapshot to a file.
+    pub fn save_snapshot_file<P: AsRef<Path>>(&self, path: P) -> Result<(), GraphError> {
+        let mut f = std::fs::File::create(path)?;
+        self.write_snapshot(&mut f)
+    }
+
+    /// Loads an index snapshot from a file (see [`ClTree::read_snapshot`]).
+    pub fn load_snapshot_file<P: AsRef<Path>>(
+        g: &AttributedGraph,
+        path: P,
+    ) -> Result<Self, GraphError> {
+        let mut f = std::fs::File::open(path)?;
+        Self::read_snapshot(g, &mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_datagen::{dblp_like, figure5_graph, DblpParams};
+
+    fn roundtrip(g: &AttributedGraph) {
+        let tree = ClTree::build(g);
+        let mut buf = Vec::new();
+        tree.write_snapshot(&mut buf).unwrap();
+        let loaded = ClTree::read_snapshot(g, &mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.node_count(), tree.node_count());
+        assert_eq!(loaded.root(), tree.root());
+        assert_eq!(loaded.core_numbers(), tree.core_numbers());
+        for q in g.vertices() {
+            for k in 0..=tree.max_core() {
+                assert_eq!(
+                    loaded.connected_k_core(q, k),
+                    tree.connected_k_core(q, k),
+                    "q={q} k={k}"
+                );
+            }
+        }
+        // Inverted lists rebuilt identically.
+        for (id, node) in tree.iter_nodes() {
+            for (w, _) in g.interner().iter() {
+                assert_eq!(
+                    loaded.node(id).vertices_with(w),
+                    node.vertices_with(w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_roundtrip() {
+        roundtrip(&figure5_graph());
+    }
+
+    #[test]
+    fn dblp_roundtrip() {
+        let (g, _) = dblp_like(&DblpParams { authors: 500, ..DblpParams::default() });
+        roundtrip(&g);
+    }
+
+    #[test]
+    fn rejects_wrong_graph() {
+        let g = figure5_graph();
+        let tree = ClTree::build(&g);
+        let mut buf = Vec::new();
+        tree.write_snapshot(&mut buf).unwrap();
+        let (other, _) = dblp_like(&DblpParams { authors: 50, ..DblpParams::default() });
+        assert!(ClTree::read_snapshot(&other, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let g = figure5_graph();
+        let tree = ClTree::build(&g);
+        let mut buf = Vec::new();
+        tree.write_snapshot(&mut buf).unwrap();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(ClTree::read_snapshot(&g, &mut bad.as_slice()).is_err());
+        // Truncation at every eighth byte boundary must never panic.
+        for cut in (4..buf.len()).step_by(8) {
+            let mut t = buf.clone();
+            t.truncate(cut);
+            assert!(ClTree::read_snapshot(&g, &mut t.as_slice()).is_err(), "cut at {cut}");
+        }
+        // Flip a vertex id deep in the payload: must be caught by one of
+        // the structural validations, never accepted silently as valid &
+        // different.
+        let mut flip = buf.clone();
+        let last = flip.len() - 6;
+        flip[last] ^= 0x01;
+        if let Ok(loaded) = ClTree::read_snapshot(&g, &mut flip.as_slice()) {
+            // If it somehow still parses, it must be structurally identical.
+            assert_eq!(loaded.core_numbers(), tree.core_numbers());
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("cx_cltree_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = figure5_graph();
+        let tree = ClTree::build(&g);
+        let path = dir.join("fig5.cxt");
+        tree.save_snapshot_file(&path).unwrap();
+        let loaded = ClTree::load_snapshot_file(&g, &path).unwrap();
+        assert_eq!(loaded.node_count(), tree.node_count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

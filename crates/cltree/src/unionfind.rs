@@ -1,0 +1,102 @@
+//! Union-find with path compression and union by size.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        ra
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+
+    /// Number of elements (not sets).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure tracks zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert!(!uf.connected(0, 1));
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert!(uf.connected(0, 1));
+        assert!(uf.connected(4, 3));
+        assert!(!uf.connected(1, 3));
+        assert_eq!(uf.set_size(0), 2);
+        uf.union(1, 4);
+        assert!(uf.connected(0, 3));
+        assert_eq!(uf.set_size(3), 4);
+        assert_eq!(uf.set_size(2), 1);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(3);
+        let r1 = uf.union(0, 1);
+        let r2 = uf.union(0, 1);
+        assert_eq!(r1, r2);
+        assert_eq!(uf.set_size(0), 2);
+    }
+
+    #[test]
+    fn transitive_chain() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.connected(0, 99));
+        assert_eq!(uf.set_size(50), 100);
+        assert_eq!(uf.len(), 100);
+    }
+}

@@ -1,0 +1,140 @@
+//! Exact small graphs used throughout the tests, examples and docs.
+
+use cx_graph::{AttributedGraph, GraphBuilder, VertexId};
+
+/// The paper's Figure 5(a) example graph, reproduced edge-for-edge.
+///
+/// Ten vertices A–J (ids 0–9) with keyword sets
+/// `A:{w,x,y} B:{x} C:{x,y} D:{x,y,z} E:{y,z} F:{y} G:{x,y} H:{y,z} I:{x}
+/// J:{x}` and eleven edges chosen so the core structure matches the
+/// CL-tree of Figure 5(b):
+///
+/// * core 3: A, B, C, D (a 4-clique);
+/// * core 2: E (tied to C and D, and to the F–G tail);
+/// * core 1: F, G (tail off E) and H, I (separate pair);
+/// * core 0: J (isolated).
+///
+/// With `q = A`, `k = 2`, `S = {w, x, y}` the ACQ answer is the subgraph
+/// on {A, C, D} whose vertices all share keywords {x, y} — the worked
+/// example in Section 3.2 of the paper.
+pub fn figure5_graph() -> AttributedGraph {
+    let mut b = GraphBuilder::new();
+    let spec: [(&str, &[&str]); 10] = [
+        ("A", &["w", "x", "y"]),
+        ("B", &["x"]),
+        ("C", &["x", "y"]),
+        ("D", &["x", "y", "z"]),
+        ("E", &["y", "z"]),
+        ("F", &["y"]),
+        ("G", &["x", "y"]),
+        ("H", &["y", "z"]),
+        ("I", &["x"]),
+        ("J", &["x"]),
+    ];
+    for (name, kws) in spec {
+        b.add_vertex(name, kws);
+    }
+    let v = VertexId;
+    // 4-clique on A,B,C,D (6), E–C, E–D (2), E–F, F–G (2), H–I (1): 11 edges.
+    for (a, c) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 2), (4, 3), (4, 5), (5, 6), (7, 8)]
+    {
+        b.add_edge(v(a), v(c));
+    }
+    b.build()
+}
+
+/// A 16-vertex collaboration graph with two dense groups ("db" and "ml")
+/// bridged by one interdisciplinary author — handy for exercising the
+/// comparison-analysis path on something bigger than Figure 5 but small
+/// enough to verify by hand.
+///
+/// Group A (ids 0–6) is a near-clique of database people; group B
+/// (ids 8–14) is a near-clique of ML people; vertex 7 ("bridge") sits in
+/// both; vertex 15 is a loner with one edge.
+pub fn small_collab_graph() -> AttributedGraph {
+    let mut b = GraphBuilder::new();
+    for i in 0..7 {
+        b.add_vertex(
+            &format!("db-author-{i}"),
+            &["data", "system", "transaction", "query"],
+        );
+    }
+    b.add_vertex("bridge", &["data", "learning", "system", "model"]);
+    for i in 0..7 {
+        b.add_vertex(&format!("ml-author-{i}"), &["learning", "model", "neural", "data"]);
+    }
+    b.add_vertex("loner", &["misc"]);
+    let v = VertexId;
+    // Group A: clique on 0..7 minus a few edges.
+    for i in 0..7u32 {
+        for j in (i + 1)..7 {
+            if (i, j) != (0, 6) && (i, j) != (1, 5) {
+                b.add_edge(v(i), v(j));
+            }
+        }
+    }
+    // Bridge connects to three members of each group.
+    for t in [0u32, 1, 2, 8, 9, 10] {
+        b.add_edge(v(7), v(t));
+    }
+    // Group B: clique on 8..15 minus a few edges.
+    for i in 8u32..15 {
+        for j in (i + 1)..15 {
+            if (i, j) != (8, 14) && (i, j) != (9, 13) {
+                b.add_edge(v(i), v(j));
+            }
+        }
+    }
+    b.add_edge(v(14), v(15));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_has_paper_counts() {
+        let g = figure5_graph();
+        assert_eq!(g.vertex_count(), 10);
+        assert_eq!(g.edge_count(), 11);
+        assert_eq!(g.keyword_count(), 4); // w, x, y, z
+    }
+
+    #[test]
+    fn figure5_keywords_match_paper() {
+        let g = figure5_graph();
+        let kw = |label: &str| {
+            let v = g.vertex_by_label(label).unwrap();
+            let mut names = g.keyword_names(g.keywords(v));
+            names.sort();
+            names
+        };
+        assert_eq!(kw("A"), vec!["w", "x", "y"]);
+        assert_eq!(kw("B"), vec!["x"]);
+        assert_eq!(kw("C"), vec!["x", "y"]);
+        assert_eq!(kw("D"), vec!["x", "y", "z"]);
+        assert_eq!(kw("E"), vec!["y", "z"]);
+        assert_eq!(kw("F"), vec!["y"]);
+        assert_eq!(kw("G"), vec!["x", "y"]);
+        assert_eq!(kw("H"), vec!["y", "z"]);
+        assert_eq!(kw("I"), vec!["x"]);
+        assert_eq!(kw("J"), vec!["x"]);
+    }
+
+    #[test]
+    fn figure5_j_is_isolated() {
+        let g = figure5_graph();
+        let j = g.vertex_by_label("J").unwrap();
+        assert_eq!(g.degree(j), 0);
+    }
+
+    #[test]
+    fn small_collab_is_connected_except_nothing() {
+        let g = small_collab_graph();
+        assert_eq!(g.vertex_count(), 16);
+        assert!(cx_graph::traversal::is_connected(&g));
+        let bridge = g.vertex_by_label("bridge").unwrap();
+        assert_eq!(g.degree(bridge), 6);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # cx-datagen — synthetic attributed graphs and canned fixtures
+//!
+//! The C-Explorer demo ran on a private sample of the DBLP co-authorship
+//! network (977,288 vertices / 3,432,273 edges, 20 title keywords per
+//! author) plus Wikipedia profiles of renowned researchers. Neither is
+//! shippable, so this crate generates seeded synthetic substitutes that
+//! preserve the properties the paper's experiments depend on:
+//!
+//! * [`dblp_like`] — a scalable co-authorship-style graph: power-law
+//!   community ("research area") sizes, preferential-attachment hubs inside
+//!   each area (producing the nested dense cores community search exploits),
+//!   a mixing fraction of cross-area edges, and per-area Zipf keyword
+//!   vocabularies so area members share themed keywords.
+//! * [`planted_partition`] — a ground-truth clustering benchmark used to
+//!   validate the CODICIL community-detection path (NMI against the
+//!   planted labels).
+//! * [`fixtures`] — exact small graphs from the paper, most importantly the
+//!   Figure 5(a) example (10 vertices, 11 edges, keywords w/x/y/z) whose
+//!   ACQ answer and CL-tree shape are spelled out in the paper.
+//! * [`profiles`] — synthetic researcher profiles backing the Figure 2
+//!   profile-popup flow.
+//!
+//! All generators take an explicit seed and are deterministic, so every
+//! benchmark table in EXPERIMENTS.md is exactly reproducible.
+
+pub mod dblp;
+pub mod fixtures;
+pub mod planted;
+pub mod profiles;
+pub mod spatial;
+pub mod titles;
+pub mod zipf;
+
+pub use dblp::{dblp_like, DblpParams};
+pub use fixtures::{figure5_graph, small_collab_graph};
+pub use planted::{planted_partition, PlantedParams};
+pub use profiles::{generate_profiles, Profile};
+pub use spatial::area_clustered_coords;
+pub use titles::{generate_titles, keywords_from_titles};
+pub use zipf::Zipf;

@@ -1,0 +1,106 @@
+//! Synthetic researcher profiles.
+//!
+//! The demo extracted "profiles of several hundreds of renowned researchers
+//! in the database area from Wikipedia" and showed them in a popup
+//! (Figure 2: name, areas, institutes, research interests). We synthesise
+//! equivalent records for the highest-degree author of each area — the
+//! record store and the click-through flow are what matters, not the prose.
+
+use cx_graph::{AttributedGraph, VertexId};
+
+/// A researcher profile, mirroring the fields of the paper's Figure 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// The vertex this profile describes.
+    pub vertex: VertexId,
+    /// Display name (the vertex label).
+    pub name: String,
+    /// Broad areas, e.g. "Computer science".
+    pub areas: Vec<String>,
+    /// Institutions.
+    pub institutes: Vec<String>,
+    /// Research interests — derived from the author's top keywords.
+    pub interests: Vec<String>,
+}
+
+const INSTITUTES: &[&str] = &[
+    "University of Hong Kong",
+    "University of California, Berkeley",
+    "Massachusetts Institute of Technology",
+    "Stanford University",
+    "ETH Zurich",
+    "Tsinghua University",
+    "Max Planck Institute for Informatics",
+    "University of Michigan",
+];
+
+/// Generates profiles for the `per_area_top` highest-degree vertices of
+/// each planted area (`area_of[v]` as returned by the generators).
+/// Deterministic: institute choice is keyed on the vertex id.
+pub fn generate_profiles(
+    g: &AttributedGraph,
+    area_of: &[usize],
+    per_area_top: usize,
+) -> Vec<Profile> {
+    let n_areas = area_of.iter().copied().max().map_or(0, |m| m + 1);
+    let mut by_area: Vec<Vec<VertexId>> = vec![Vec::new(); n_areas];
+    for v in g.vertices() {
+        if let Some(&a) = area_of.get(v.index()) {
+            by_area[a].push(v);
+        }
+    }
+    let mut out = Vec::new();
+    for (a, mut members) in by_area.into_iter().enumerate() {
+        members.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v.0));
+        for &v in members.iter().take(per_area_top) {
+            let interests: Vec<String> =
+                g.keyword_names(g.keywords(v)).into_iter().take(5).collect();
+            out.push(Profile {
+                vertex: v,
+                name: g.label(v).to_owned(),
+                areas: vec!["Computer science".to_owned(), format!("Research area {a}")],
+                institutes: vec![
+                    INSTITUTES[v.index() % INSTITUTES.len()].to_owned(),
+                    INSTITUTES[(v.index() + 3) % INSTITUTES.len()].to_owned(),
+                ],
+                interests,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dblp::{dblp_like, DblpParams};
+
+    #[test]
+    fn profiles_cover_top_authors_of_each_area() {
+        let (g, areas) = dblp_like(&DblpParams { authors: 400, areas: 4, ..DblpParams::default() });
+        let profiles = generate_profiles(&g, &areas, 3);
+        assert_eq!(profiles.len(), 12);
+        for p in &profiles {
+            assert_eq!(p.name, g.label(p.vertex));
+            assert!(!p.interests.is_empty());
+            assert_eq!(p.institutes.len(), 2);
+        }
+        // Each profiled vertex should be a genuine hub: above-average degree.
+        let mean = 2.0 * g.edge_count() as f64 / g.vertex_count() as f64;
+        for p in &profiles {
+            assert!(g.degree(p.vertex) as f64 >= mean, "profiled a non-hub");
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let (g, areas) = dblp_like(&DblpParams { authors: 200, ..DblpParams::default() });
+        assert_eq!(generate_profiles(&g, &areas, 2), generate_profiles(&g, &areas, 2));
+    }
+
+    #[test]
+    fn empty_area_map_gives_no_profiles() {
+        let (g, _) = dblp_like(&DblpParams { authors: 100, ..DblpParams::default() });
+        assert!(generate_profiles(&g, &[], 3).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Coordinate generation for spatial community search.
+//!
+//! The SAC extension (Fang et al., PVLDB'17 — the paper's reference \[3\])
+//! needs vertex locations. Real check-in/geo-tagged datasets aren't
+//! shippable, so we synthesise the property SAC exploits: members of the
+//! same planted area cluster spatially, with a fraction of "travellers"
+//! placed far from their area's centre.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates one `(x, y)` per vertex: area centres sit on a ring of
+/// radius 100, members scatter uniformly in a disk of radius
+/// `spread` around their centre, and each vertex is a far-flung
+/// "traveller" (uniform over the whole map) with probability
+/// `traveller_fraction`.
+pub fn area_clustered_coords(
+    area_of: &[usize],
+    spread: f64,
+    traveller_fraction: f64,
+    seed: u64,
+) -> Vec<(f64, f64)> {
+    let n_areas = area_of.iter().copied().max().map_or(1, |m| m + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<(f64, f64)> = (0..n_areas)
+        .map(|a| {
+            let theta = 2.0 * std::f64::consts::PI * a as f64 / n_areas as f64;
+            (100.0 * theta.cos(), 100.0 * theta.sin())
+        })
+        .collect();
+    area_of
+        .iter()
+        .map(|&a| {
+            if rng.gen_bool(traveller_fraction) {
+                // Anywhere on the map.
+                (rng.gen_range(-120.0..120.0), rng.gen_range(-120.0..120.0))
+            } else {
+                let (cx, cy) = centers[a];
+                // Uniform in a disk of radius `spread`.
+                let r = spread * rng.gen::<f64>().sqrt();
+                let t = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+                (cx + r * t.cos(), cy + r * t.sin())
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_coordinate_per_vertex_deterministic() {
+        let areas = vec![0, 0, 1, 1, 2];
+        let a = area_clustered_coords(&areas, 10.0, 0.0, 5);
+        let b = area_clustered_coords(&areas, 10.0, 0.0, 5);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_area_members_cluster() {
+        let areas: Vec<usize> = (0..400).map(|i| i % 4).collect();
+        let coords = area_clustered_coords(&areas, 10.0, 0.0, 1);
+        // Mean intra-area distance far below mean cross-area distance.
+        let dist = |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        let (mut intra, mut ni) = (0.0, 0);
+        let (mut cross, mut nc) = (0.0, 0);
+        for i in 0..coords.len() {
+            for j in (i + 1)..coords.len().min(i + 40) {
+                let d = dist(coords[i], coords[j]);
+                if areas[i] == areas[j] {
+                    intra += d;
+                    ni += 1;
+                } else {
+                    cross += d;
+                    nc += 1;
+                }
+            }
+        }
+        assert!(intra / ni as f64 * 3.0 < cross / nc as f64);
+    }
+
+    #[test]
+    fn travellers_leave_their_cluster() {
+        let areas: Vec<usize> = vec![0; 200];
+        let stay = area_clustered_coords(&areas, 5.0, 0.0, 9);
+        let roam = area_clustered_coords(&areas, 5.0, 0.9, 9);
+        let spread = |cs: &[(f64, f64)]| {
+            let mx = cs.iter().map(|c| c.0).sum::<f64>() / cs.len() as f64;
+            let my = cs.iter().map(|c| c.1).sum::<f64>() / cs.len() as f64;
+            cs.iter().map(|c| ((c.0 - mx).powi(2) + (c.1 - my).powi(2)).sqrt()).sum::<f64>()
+                / cs.len() as f64
+        };
+        assert!(spread(&roam) > 3.0 * spread(&stay));
+    }
+}

@@ -1,0 +1,178 @@
+//! Publication titles and keyword extraction.
+//!
+//! The paper attaches to each DBLP author "the 20 most frequent keywords
+//! in the titles of her publications". This module reproduces that
+//! pipeline end to end on synthetic data: generate plausible titles per
+//! author from their area's vocabulary, then extract per-author keywords
+//! by tokenising, dropping stop words, counting frequencies and keeping
+//! the top N — so the attributed graphs used elsewhere can be built the
+//! same way the original system built its input.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// English stop words dropped during extraction (the usual suspects plus
+/// title connectives).
+pub const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "as", "at", "by", "for", "from", "in", "into", "is", "of", "on", "or",
+    "over", "the", "to", "towards", "under", "using", "via", "with", "without",
+];
+
+/// Generates `count` publication titles for an author working in `area`
+/// (0-based), deterministically per seed. Titles mix the area's technical
+/// terms with stop words and generic scaffolding, e.g.
+/// `"efficient query processing for streaming data"`.
+pub fn generate_titles(area: usize, count: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (area as u64) << 32);
+    let vocab = area_vocabulary(area);
+    let zipf = Zipf::new(vocab.len(), 1.0);
+    let scaffolds: [&[&str]; 4] = [
+        &["efficient", "{}", "{}", "for", "{}", "{}"],
+        &["on", "the", "{}", "of", "{}", "{}"],
+        &["{}", "{}", "in", "large", "{}", "{}"],
+        &["towards", "{}", "{}", "with", "{}", "{}"],
+    ];
+    (0..count)
+        .map(|_| {
+            let scaffold = scaffolds[rng.gen_range(0..scaffolds.len())];
+            scaffold
+                .iter()
+                .map(|tok| {
+                    if *tok == "{}" {
+                        vocab[zipf.sample(&mut rng)].to_string()
+                    } else {
+                        tok.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+/// A small technical vocabulary per research area; areas beyond the named
+/// ones get numbered synthetic terms.
+pub fn area_vocabulary(area: usize) -> Vec<String> {
+    let named: [&[&str]; 4] = [
+        &[
+            "query", "transaction", "data", "database", "index", "storage", "system",
+            "processing", "optimization", "concurrency", "recovery", "stream",
+        ],
+        &[
+            "learning", "model", "neural", "network", "training", "inference", "gradient",
+            "representation", "classification", "embedding", "attention", "optimization",
+        ],
+        &[
+            "graph", "community", "vertex", "subgraph", "clustering", "traversal", "core",
+            "connectivity", "partitioning", "motif", "centrality", "search",
+        ],
+        &[
+            "protocol", "latency", "routing", "packet", "bandwidth", "congestion", "wireless",
+            "topology", "switch", "measurement", "overlay", "failure",
+        ],
+    ];
+    match named.get(area) {
+        Some(v) => v.iter().map(|s| s.to_string()).collect(),
+        None => (0..12).map(|i| format!("term{area}x{i}")).collect(),
+    }
+}
+
+/// The paper's extraction rule: tokenise all titles, drop stop words and
+/// single-character tokens, count frequencies, return the `top_n` most
+/// frequent keywords (ties broken alphabetically for determinism).
+pub fn keywords_from_titles(titles: &[String], top_n: usize) -> Vec<String> {
+    let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for title in titles {
+        for token in title.split(|c: char| !c.is_alphanumeric()) {
+            let token = token.to_lowercase();
+            if token.len() < 2 || STOP_WORDS.contains(&token.as_str()) {
+                continue;
+            }
+            *counts.entry(token).or_insert(0) += 1;
+        }
+    }
+    let mut ranked: Vec<(String, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.into_iter().take(top_n).map(|(w, _)| w).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titles_are_deterministic_and_area_flavoured() {
+        let a = generate_titles(0, 5, 7);
+        let b = generate_titles(0, 5, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        // Database-area titles mention database-area terms.
+        let vocab = area_vocabulary(0);
+        let hits = a
+            .iter()
+            .filter(|t| vocab.iter().any(|w| t.contains(w.as_str())))
+            .count();
+        assert!(hits >= 4, "titles lack area terms: {a:?}");
+        // Different seeds differ.
+        assert_ne!(a, generate_titles(0, 5, 8));
+    }
+
+    #[test]
+    fn extraction_drops_stop_words_and_ranks_by_frequency() {
+        let titles = vec![
+            "efficient query processing for streaming data".to_string(),
+            "query optimization in the data stream".to_string(),
+            "a data query index".to_string(),
+        ];
+        let kws = keywords_from_titles(&titles, 3);
+        assert_eq!(kws[0], "data"); // 3 occurrences... query also 3; tie → alphabetical
+        assert!(kws.contains(&"query".to_string()));
+        assert!(!kws.contains(&"for".to_string()));
+        assert!(!kws.contains(&"the".to_string()));
+        assert!(!kws.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn extraction_is_case_insensitive_and_punctuation_safe() {
+        let titles = vec!["Graph-Based Community SEARCH: graph communities!".to_string()];
+        let kws = keywords_from_titles(&titles, 10);
+        assert!(kws.contains(&"graph".to_string()));
+        assert_eq!(kws.iter().filter(|k| k.as_str() == "graph").count(), 1);
+    }
+
+    #[test]
+    fn top_n_caps_output() {
+        let titles = generate_titles(2, 30, 3);
+        let kws = keywords_from_titles(&titles, 20);
+        assert!(kws.len() <= 20);
+        assert!(!kws.is_empty());
+        // Extracted keywords are dominated by the area vocabulary.
+        let vocab = area_vocabulary(2);
+        let in_vocab = kws.iter().filter(|k| vocab.contains(k)).count();
+        assert!(
+            in_vocab * 2 > kws.len(),
+            "extracted {kws:?} not dominated by area vocabulary"
+        );
+    }
+
+    #[test]
+    fn empty_titles_give_no_keywords() {
+        assert!(keywords_from_titles(&[], 20).is_empty());
+        assert!(keywords_from_titles(&["of the and".to_string()], 20).is_empty());
+    }
+
+    /// End-to-end: building an attributed vertex from extracted keywords
+    /// works exactly like the paper's pipeline.
+    #[test]
+    fn pipeline_feeds_graph_builder() {
+        let titles = generate_titles(0, 20, 9);
+        let kws = keywords_from_titles(&titles, 20);
+        let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
+        let mut b = cx_graph::GraphBuilder::new();
+        let v = b.add_vertex("author", &refs);
+        let g = b.build();
+        assert_eq!(g.keywords(v).len(), kws.len());
+    }
+}

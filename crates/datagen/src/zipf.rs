@@ -1,0 +1,132 @@
+//! A small Zipf-distributed sampler.
+//!
+//! Keyword frequencies in publication titles are famously Zipfian: a few
+//! terms ("data", "system") dominate while the tail is long. The generator
+//! uses this sampler to pick keywords per author so that members of an area
+//! share its head terms — the property that gives ACQ non-trivial keyword
+//! cohesiveness to find.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1/(rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative distribution over ranks, ending at 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s` (typically 0.8–1.2).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard the last entry against rounding so sampling never overflows.
+        *cdf.last_mut().unwrap() = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: the constructor rejects `n == 0`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index whose cdf ≥ u.
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of a given rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(50, 1.0);
+        let total: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..50 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12, "pmf not monotone at {r}");
+        }
+        assert_eq!(z.pmf(99), 0.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed_and_head_heavy() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should appear far more often than rank 50.
+        assert!(counts[0] > 5 * counts[50].max(1));
+        // Determinism.
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let first: Vec<usize> = (0..10).map(|_| z.sample(&mut rng2)).collect();
+        let mut rng3 = StdRng::seed_from_u64(7);
+        let second: Vec<usize> = (0..10).map(|_| z.sample(&mut rng3)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn exponent_zero_is_uniformish() {
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! The plug-in algorithm traits — the Rust rendering of the paper's Java
+//! `CSAlgorithm` / `CDAlgorithm` interfaces.
+
+use cx_cltree::ClTree;
+use cx_graph::{AttributedGraph, Community, VertexId};
+
+use crate::query::QuerySpec;
+
+/// Everything an algorithm may consult about the target graph: the graph
+/// itself and the engine's CL-tree index over it (built at upload time by
+/// the Indexing module; algorithms that don't need it just ignore it).
+pub struct GraphContext<'a> {
+    /// The attributed graph.
+    pub graph: &'a AttributedGraph,
+    /// The CL-tree index over `graph`.
+    pub tree: &'a ClTree,
+    /// Vertex coordinates, when installed via
+    /// [`crate::Engine::set_coordinates`] (consumed by spatial-aware
+    /// algorithms such as `sac`; `None` for purely topological graphs).
+    pub coords: Option<&'a [(f64, f64)]>,
+}
+
+/// A community-*search* algorithm: query-based, online.
+///
+/// Implement this and register with [`crate::Engine::register_cs`] to make
+/// a new CS method available to `search` and comparison analysis.
+pub trait CsAlgorithm: Send + Sync {
+    /// Registry name (lower-case, stable; used in queries and reports).
+    fn name(&self) -> &str;
+
+    /// Retrieves the communities of the (already resolved) query vertices.
+    /// Single-vertex algorithms may ignore everything past `qs[0]`.
+    fn search(&self, ctx: &GraphContext<'_>, qs: &[VertexId], spec: &QuerySpec) -> Vec<Community>;
+}
+
+/// A community-*detection* algorithm: clusters the whole graph.
+pub trait CdAlgorithm: Send + Sync {
+    /// Registry name.
+    fn name(&self) -> &str;
+
+    /// Detects all communities of the graph.
+    fn detect(&self, ctx: &GraphContext<'_>) -> Vec<Community>;
+
+    /// The community of one vertex — default: detect and select. CD
+    /// algorithms are exposed through the CS-style UI this way (the paper
+    /// compares CODICIL alongside the CS methods in Figure 6(a)).
+    fn community_of(&self, ctx: &GraphContext<'_>, q: VertexId) -> Option<Community> {
+        self.detect(ctx).into_iter().find(|c| c.contains(q))
+    }
+}
+
+// ---- Built-in algorithm adapters -------------------------------------
+
+/// ACQ behind the [`CsAlgorithm`] trait, parameterised by strategy.
+pub struct AcqAlgorithm {
+    strategy: cx_acq::AcqStrategy,
+    name: &'static str,
+}
+
+impl AcqAlgorithm {
+    /// The engine default (`Dec`), named plain `acq`.
+    pub fn dec() -> Self {
+        Self { strategy: cx_acq::AcqStrategy::Dec, name: "acq" }
+    }
+
+    /// A specific strategy, named `acq-<strategy>`.
+    pub fn with_strategy(strategy: cx_acq::AcqStrategy) -> Self {
+        let name = match strategy {
+            cx_acq::AcqStrategy::Basic => "acq-basic",
+            cx_acq::AcqStrategy::IncS => "acq-inc-s",
+            cx_acq::AcqStrategy::IncT => "acq-inc-t",
+            cx_acq::AcqStrategy::Dec => "acq",
+        };
+        Self { strategy, name }
+    }
+}
+
+impl CsAlgorithm for AcqAlgorithm {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn search(&self, ctx: &GraphContext<'_>, qs: &[VertexId], spec: &QuerySpec) -> Vec<Community> {
+        let keywords = spec.resolve_keywords(ctx.graph);
+        let opts = cx_acq::AcqOptions::with_k(spec.k).keywords(keywords);
+        if qs.len() > 1 {
+            return cx_acq::multi::acq_multi(ctx.graph, ctx.tree, qs, &opts).communities;
+        }
+        let Some(&q) = qs.first() else { return Vec::new() };
+        cx_acq::acq(ctx.graph, ctx.tree, q, &opts, self.strategy).communities
+    }
+}
+
+/// Global (fixed-k connected k-core) behind the trait.
+pub struct GlobalAlgorithm;
+
+impl CsAlgorithm for GlobalAlgorithm {
+    fn name(&self) -> &str {
+        "global"
+    }
+
+    fn search(&self, ctx: &GraphContext<'_>, qs: &[VertexId], spec: &QuerySpec) -> Vec<Community> {
+        let Some(&q) = qs.first() else { return Vec::new() };
+        cx_algos::Global.fixed_k(ctx.graph, q, spec.k).into_iter().collect()
+    }
+}
+
+/// Global in its original maximise-min-degree form.
+pub struct GlobalMaxMinAlgorithm;
+
+impl CsAlgorithm for GlobalMaxMinAlgorithm {
+    fn name(&self) -> &str {
+        "global-maxmin"
+    }
+
+    fn search(&self, ctx: &GraphContext<'_>, qs: &[VertexId], _spec: &QuerySpec) -> Vec<Community> {
+        let Some(&q) = qs.first() else { return Vec::new() };
+        cx_algos::Global.max_min_degree(ctx.graph, q).map(|(c, _)| c).into_iter().collect()
+    }
+}
+
+/// Local expansion behind the trait.
+pub struct LocalAlgorithm;
+
+impl CsAlgorithm for LocalAlgorithm {
+    fn name(&self) -> &str {
+        "local"
+    }
+
+    fn search(&self, ctx: &GraphContext<'_>, qs: &[VertexId], spec: &QuerySpec) -> Vec<Community> {
+        let Some(&q) = qs.first() else { return Vec::new() };
+        cx_algos::Local::new().fixed_k(ctx.graph, q, spec.k).into_iter().collect()
+    }
+}
+
+/// k-truss community search behind the trait (`k` is the truss parameter).
+pub struct KTrussAlgorithm;
+
+impl CsAlgorithm for KTrussAlgorithm {
+    fn name(&self) -> &str {
+        "ktruss"
+    }
+
+    fn search(&self, ctx: &GraphContext<'_>, qs: &[VertexId], spec: &QuerySpec) -> Vec<Community> {
+        let Some(&q) = qs.first() else { return Vec::new() };
+        cx_algos::KTruss::new().search(ctx.graph, q, spec.k.max(2))
+    }
+}
+
+/// Spatial-aware community search behind the trait: the smallest
+/// query-centred disk containing a connected k-core (AppInc). Returns
+/// nothing when the graph has no installed coordinates.
+pub struct SacAlgorithm;
+
+impl CsAlgorithm for SacAlgorithm {
+    fn name(&self) -> &str {
+        "sac"
+    }
+
+    fn search(&self, ctx: &GraphContext<'_>, qs: &[VertexId], spec: &QuerySpec) -> Vec<Community> {
+        let (Some(&q), Some(coords)) = (qs.first(), ctx.coords) else {
+            return Vec::new();
+        };
+        cx_algos::spatial::sac_appinc(ctx.graph, coords, q, spec.k)
+            .map(|s| s.community)
+            .into_iter()
+            .collect()
+    }
+}
+
+/// k-edge-connected community search behind the trait.
+pub struct KEccAlgorithm;
+
+impl CsAlgorithm for KEccAlgorithm {
+    fn name(&self) -> &str {
+        "kecc"
+    }
+
+    fn search(&self, ctx: &GraphContext<'_>, qs: &[VertexId], spec: &QuerySpec) -> Vec<Community> {
+        let Some(&q) = qs.first() else { return Vec::new() };
+        cx_algos::kecc_community(ctx.graph, q, spec.k).into_iter().collect()
+    }
+}
+
+/// CODICIL behind the [`CdAlgorithm`] trait.
+#[derive(Default)]
+pub struct CodicilAlgorithm {
+    /// Pipeline parameters.
+    pub params: cx_algos::CodicilParams,
+}
+
+impl CdAlgorithm for CodicilAlgorithm {
+    fn name(&self) -> &str {
+        "codicil"
+    }
+
+    fn detect(&self, ctx: &GraphContext<'_>) -> Vec<Community> {
+        cx_algos::Codicil::new(self.params.clone()).detect(ctx.graph).communities
+    }
+}
+
+/// Girvan–Newman divisive detection behind the [`CdAlgorithm`] trait.
+#[derive(Default)]
+pub struct GirvanNewmanAlgorithm {
+    /// Tuning parameters.
+    pub params: cx_algos::GirvanNewmanParams,
+}
+
+impl CdAlgorithm for GirvanNewmanAlgorithm {
+    fn name(&self) -> &str {
+        "girvan-newman"
+    }
+
+    fn detect(&self, ctx: &GraphContext<'_>) -> Vec<Community> {
+        cx_algos::GirvanNewman::new(self.params.clone()).detect(ctx.graph).communities
+    }
+}
+
+/// Louvain modularity detection behind the [`CdAlgorithm`] trait.
+#[derive(Default)]
+pub struct LouvainAlgorithm {
+    /// Tuning parameters.
+    pub params: cx_algos::LouvainParams,
+}
+
+impl CdAlgorithm for LouvainAlgorithm {
+    fn name(&self) -> &str {
+        "louvain"
+    }
+
+    fn detect(&self, ctx: &GraphContext<'_>) -> Vec<Community> {
+        cx_algos::Louvain::new(self.params.clone()).detect(ctx.graph).communities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_datagen::figure5_graph;
+
+    #[test]
+    fn acq_adapter_runs_paper_example() {
+        let g = figure5_graph();
+        let tree = ClTree::build(&g);
+        let ctx = GraphContext { graph: &g, tree: &tree, coords: None };
+        let q = g.vertex_by_label("A").unwrap();
+        let spec = QuerySpec::by_label("A").k(2);
+        let out = AcqAlgorithm::dec().search(&ctx, &[q], &spec);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 3);
+    }
+
+    #[test]
+    fn adapter_names_are_stable() {
+        assert_eq!(AcqAlgorithm::dec().name(), "acq");
+        assert_eq!(AcqAlgorithm::with_strategy(cx_acq::AcqStrategy::IncS).name(), "acq-inc-s");
+        assert_eq!(GlobalAlgorithm.name(), "global");
+        assert_eq!(LocalAlgorithm.name(), "local");
+        assert_eq!(KTrussAlgorithm.name(), "ktruss");
+        assert_eq!(CodicilAlgorithm::default().name(), "codicil");
+    }
+
+    #[test]
+    fn cd_default_community_of_selects_query_cluster() {
+        let g = figure5_graph();
+        let tree = ClTree::build(&g);
+        let ctx = GraphContext { graph: &g, tree: &tree, coords: None };
+        let a = g.vertex_by_label("A").unwrap();
+        let c = CodicilAlgorithm::default().community_of(&ctx, a).unwrap();
+        assert!(c.contains(a));
+    }
+
+    #[test]
+    fn empty_query_vector_is_harmless() {
+        let g = figure5_graph();
+        let tree = ClTree::build(&g);
+        let ctx = GraphContext { graph: &g, tree: &tree, coords: None };
+        let spec = QuerySpec::by_label("A");
+        assert!(AcqAlgorithm::dec().search(&ctx, &[], &spec).is_empty());
+        assert!(GlobalAlgorithm.search(&ctx, &[], &spec).is_empty());
+        assert!(LocalAlgorithm.search(&ctx, &[], &spec).is_empty());
+        assert!(KTrussAlgorithm.search(&ctx, &[], &spec).is_empty());
+    }
+}

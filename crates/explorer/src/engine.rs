@@ -1,0 +1,750 @@
+//! The engine: graphs + indexes + algorithm registry + profiles.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use cx_cltree::ClTree;
+use cx_graph::{AttributedGraph, Community, VertexId};
+use cx_layout::{layout_community, LayoutAlgorithm, Scene};
+
+use crate::api::{
+    AcqAlgorithm, CdAlgorithm, CodicilAlgorithm, CsAlgorithm, GlobalAlgorithm,
+    GlobalMaxMinAlgorithm, GirvanNewmanAlgorithm, GraphContext, KEccAlgorithm, KTrussAlgorithm, LocalAlgorithm,
+    SacAlgorithm,
+    LouvainAlgorithm,
+};
+use crate::error::ExplorerError;
+use crate::query::QuerySpec;
+use crate::report::AnalysisReport;
+
+/// A researcher profile record (Figure 2's popup content). The engine
+/// stores one per vertex per graph; where they come from (Wikipedia in the
+/// paper, the synthetic generator here) is the caller's business.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Display name.
+    pub name: String,
+    /// Broad research areas.
+    pub areas: Vec<String>,
+    /// Institutions.
+    pub institutes: Vec<String>,
+    /// Research interests.
+    pub interests: Vec<String>,
+}
+
+struct GraphEntry {
+    graph: AttributedGraph,
+    tree: ClTree,
+    profiles: HashMap<VertexId, Profile>,
+    coords: Option<Vec<(f64, f64)>>,
+}
+
+/// The C-Explorer engine. One instance serves many graphs and algorithms;
+/// it is `Sync` once constructed (wrap in a lock to mutate concurrently).
+pub struct Engine {
+    graphs: HashMap<String, GraphEntry>,
+    default_graph: Option<String>,
+    cs: Vec<Box<dyn CsAlgorithm>>,
+    cd: Vec<Box<dyn CdAlgorithm>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine with the built-in algorithms registered and no graphs.
+    pub fn new() -> Self {
+        let mut e = Self {
+            graphs: HashMap::new(),
+            default_graph: None,
+            cs: Vec::new(),
+            cd: Vec::new(),
+        };
+        e.register_cs(Box::new(AcqAlgorithm::dec()));
+        e.register_cs(Box::new(AcqAlgorithm::with_strategy(cx_acq::AcqStrategy::IncS)));
+        e.register_cs(Box::new(AcqAlgorithm::with_strategy(cx_acq::AcqStrategy::IncT)));
+        e.register_cs(Box::new(AcqAlgorithm::with_strategy(cx_acq::AcqStrategy::Basic)));
+        e.register_cs(Box::new(GlobalAlgorithm));
+        e.register_cs(Box::new(GlobalMaxMinAlgorithm));
+        e.register_cs(Box::new(LocalAlgorithm));
+        e.register_cs(Box::new(KTrussAlgorithm));
+        e.register_cs(Box::new(KEccAlgorithm));
+        e.register_cs(Box::new(SacAlgorithm));
+        e.register_cd(Box::new(CodicilAlgorithm::default()));
+        e.register_cd(Box::new(LouvainAlgorithm::default()));
+        e.register_cd(Box::new(GirvanNewmanAlgorithm::default()));
+        e
+    }
+
+    /// An engine preloaded with one graph (which becomes the default).
+    pub fn with_graph(name: impl Into<String>, graph: AttributedGraph) -> Self {
+        let mut e = Self::new();
+        e.add_graph(name, graph);
+        e
+    }
+
+    /// Adds (or replaces) a graph, building its CL-tree index — the paper's
+    /// offline Indexing module. The first graph added becomes the default.
+    pub fn add_graph(&mut self, name: impl Into<String>, graph: AttributedGraph) {
+        let name = name.into();
+        let tree = ClTree::build(&graph);
+        self.graphs.insert(
+            name.clone(),
+            GraphEntry { graph, tree, profiles: HashMap::new(), coords: None },
+        );
+        if self.default_graph.is_none() {
+            self.default_graph = Some(name);
+        }
+    }
+
+    /// The paper's `upload(filePath)`: loads a graph file (binary snapshot
+    /// if the extension is `.bin`, text format otherwise) and indexes it
+    /// under `name`.
+    pub fn upload(&mut self, name: impl Into<String>, path: &Path) -> Result<(), ExplorerError> {
+        let graph = if path.extension().is_some_and(|e| e == "bin") {
+            cx_graph::io::load_snapshot_file(path)?
+        } else {
+            cx_graph::io::load_text_file(path)?
+        };
+        self.add_graph(name, graph);
+        Ok(())
+    }
+
+    /// Registers (or replaces, by name) a community-search algorithm.
+    pub fn register_cs(&mut self, algo: Box<dyn CsAlgorithm>) {
+        self.cs.retain(|a| a.name() != algo.name());
+        self.cs.push(algo);
+    }
+
+    /// Registers (or replaces, by name) a community-detection algorithm.
+    pub fn register_cd(&mut self, algo: Box<dyn CdAlgorithm>) {
+        self.cd.retain(|a| a.name() != algo.name());
+        self.cd.push(algo);
+    }
+
+    /// Names of the registered CS algorithms.
+    pub fn cs_names(&self) -> Vec<&str> {
+        self.cs.iter().map(|a| a.name()).collect()
+    }
+
+    /// Names of the registered CD algorithms.
+    pub fn cd_names(&self) -> Vec<&str> {
+        self.cd.iter().map(|a| a.name()).collect()
+    }
+
+    /// Names of the uploaded graphs (sorted).
+    pub fn graph_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.graphs.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The default graph's name.
+    pub fn default_graph_name(&self) -> Option<&str> {
+        self.default_graph.as_deref()
+    }
+
+    /// Makes `name` the default graph.
+    pub fn set_default_graph(&mut self, name: &str) -> Result<(), ExplorerError> {
+        if !self.graphs.contains_key(name) {
+            return Err(ExplorerError::UnknownGraph(name.to_owned()));
+        }
+        self.default_graph = Some(name.to_owned());
+        Ok(())
+    }
+
+    fn entry(&self, graph: Option<&str>) -> Result<&GraphEntry, ExplorerError> {
+        let name = match graph {
+            Some(n) => n,
+            None => self.default_graph.as_deref().ok_or(ExplorerError::NoGraph)?,
+        };
+        self.graphs.get(name).ok_or_else(|| ExplorerError::UnknownGraph(name.to_owned()))
+    }
+
+    /// The (default or named) graph.
+    pub fn graph(&self, name: Option<&str>) -> Result<&AttributedGraph, ExplorerError> {
+        Ok(&self.entry(name)?.graph)
+    }
+
+    /// The CL-tree index of the (default or named) graph.
+    pub fn tree(&self, name: Option<&str>) -> Result<&ClTree, ExplorerError> {
+        Ok(&self.entry(name)?.tree)
+    }
+
+    fn find_cs(&self, name: &str) -> Option<&dyn CsAlgorithm> {
+        self.cs.iter().find(|a| a.name() == name).map(Box::as_ref)
+    }
+
+    fn find_cd(&self, name: &str) -> Option<&dyn CdAlgorithm> {
+        self.cd.iter().find(|a| a.name() == name).map(Box::as_ref)
+    }
+
+    /// The paper's `search(CSAlgorithm, Query)` on the default graph.
+    ///
+    /// A CD algorithm name is accepted too: its clustering is computed and
+    /// the query vertex's cluster returned (how CODICIL shows up alongside
+    /// the CS methods in Figure 6(a)).
+    pub fn search(&self, algo: &str, spec: &QuerySpec) -> Result<Vec<Community>, ExplorerError> {
+        self.search_on(None, algo, spec)
+    }
+
+    /// `search` against a named graph.
+    pub fn search_on(
+        &self,
+        graph: Option<&str>,
+        algo: &str,
+        spec: &QuerySpec,
+    ) -> Result<Vec<Community>, ExplorerError> {
+        let entry = self.entry(graph)?;
+        let ctx = GraphContext {
+            graph: &entry.graph,
+            tree: &entry.tree,
+            coords: entry.coords.as_deref(),
+        };
+        let qs = spec.resolve(&entry.graph)?;
+        if let Some(a) = self.find_cs(algo) {
+            return Ok(a.search(&ctx, &qs, spec));
+        }
+        if let Some(a) = self.find_cd(algo) {
+            return Ok(a.community_of(&ctx, qs[0]).into_iter().collect());
+        }
+        Err(ExplorerError::UnknownAlgorithm(algo.to_owned()))
+    }
+
+    /// The paper's `detect(CDAlgorithm)` on the default graph.
+    pub fn detect(&self, algo: &str) -> Result<Vec<Community>, ExplorerError> {
+        self.detect_on(None, algo)
+    }
+
+    /// `detect` against a named graph.
+    pub fn detect_on(
+        &self,
+        graph: Option<&str>,
+        algo: &str,
+    ) -> Result<Vec<Community>, ExplorerError> {
+        let entry = self.entry(graph)?;
+        let ctx = GraphContext {
+            graph: &entry.graph,
+            tree: &entry.tree,
+            coords: entry.coords.as_deref(),
+        };
+        let a = self
+            .find_cd(algo)
+            .ok_or_else(|| ExplorerError::UnknownAlgorithm(algo.to_owned()))?;
+        Ok(a.detect(&ctx))
+    }
+
+    /// The paper's `analyze(Community)`: CPJ/CMF quality plus per-community
+    /// statistics for a result set, w.r.t. query vertex `q`.
+    pub fn analyze(
+        &self,
+        graph: Option<&str>,
+        communities: &[Community],
+        q: VertexId,
+    ) -> Result<AnalysisReport, ExplorerError> {
+        let entry = self.entry(graph)?;
+        entry.graph.check_vertex(q)?;
+        Ok(AnalysisReport::new(&entry.graph, communities, q))
+    }
+
+    /// The paper's `display(Community)`: computes a layout scene for the
+    /// browser (or SVG export). `highlight` is typically the query vertex.
+    pub fn display(
+        &self,
+        graph: Option<&str>,
+        community: &Community,
+        algo: LayoutAlgorithm,
+        highlight: Option<VertexId>,
+    ) -> Result<Scene, ExplorerError> {
+        let entry = self.entry(graph)?;
+        Ok(layout_community(&entry.graph, community, algo, highlight, 960.0, 600.0, 42))
+    }
+
+    /// Installs profile records for a graph's vertices.
+    pub fn set_profiles(
+        &mut self,
+        graph: Option<&str>,
+        profiles: impl IntoIterator<Item = (VertexId, Profile)>,
+    ) -> Result<(), ExplorerError> {
+        let name = match graph {
+            Some(n) => n.to_owned(),
+            None => self.default_graph.clone().ok_or(ExplorerError::NoGraph)?,
+        };
+        let entry = self
+            .graphs
+            .get_mut(&name)
+            .ok_or_else(|| ExplorerError::UnknownGraph(name.clone()))?;
+        entry.profiles.extend(profiles);
+        Ok(())
+    }
+
+    /// Installs vertex coordinates for a graph, enabling spatial-aware
+    /// algorithms (`sac`). Must provide exactly one `(x, y)` per vertex.
+    pub fn set_coordinates(
+        &mut self,
+        graph: Option<&str>,
+        coords: Vec<(f64, f64)>,
+    ) -> Result<(), ExplorerError> {
+        let name = match graph {
+            Some(n) => n.to_owned(),
+            None => self.default_graph.clone().ok_or(ExplorerError::NoGraph)?,
+        };
+        let entry = self
+            .graphs
+            .get_mut(&name)
+            .ok_or_else(|| ExplorerError::UnknownGraph(name.clone()))?;
+        if coords.len() != entry.graph.vertex_count() {
+            return Err(ExplorerError::BadQuery(format!(
+                "expected {} coordinates, got {}",
+                entry.graph.vertex_count(),
+                coords.len()
+            )));
+        }
+        entry.coords = Some(coords);
+        Ok(())
+    }
+
+    /// The profile of a vertex (the Figure 2 popup), if one is installed.
+    pub fn profile(&self, graph: Option<&str>, v: VertexId) -> Result<Option<&Profile>, ExplorerError> {
+        Ok(self.entry(graph)?.profiles.get(&v))
+    }
+
+    /// Applies a batch of edge edits to a graph — the evolving-network
+    /// path (new co-authorships appear, stale ones are pruned). The graph
+    /// and its CL-tree are rebuilt (both linear); for high-frequency
+    /// streams, maintain core numbers with [`cx_kcore::DynamicCore`] and
+    /// batch the reindex points.
+    pub fn apply_edits(
+        &mut self,
+        graph: Option<&str>,
+        add: &[(VertexId, VertexId)],
+        remove: &[(VertexId, VertexId)],
+    ) -> Result<(), ExplorerError> {
+        let name = match graph {
+            Some(n) => n.to_owned(),
+            None => self.default_graph.clone().ok_or(ExplorerError::NoGraph)?,
+        };
+        let entry = self
+            .graphs
+            .get_mut(&name)
+            .ok_or_else(|| ExplorerError::UnknownGraph(name.clone()))?;
+        let g = &entry.graph;
+        for &(u, v) in add.iter().chain(remove) {
+            g.check_vertex(u)?;
+            g.check_vertex(v)?;
+        }
+        let removed: std::collections::HashSet<(VertexId, VertexId)> = remove
+            .iter()
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        let mut b = cx_graph::GraphBuilder::with_capacity(g.vertex_count(), g.edge_count());
+        for v in g.vertices() {
+            let kws = g.keyword_names(g.keywords(v));
+            let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
+            b.add_vertex(g.label(v), &refs);
+        }
+        for (u, v) in g.edges() {
+            if !removed.contains(&(u, v)) {
+                b.add_edge(u, v);
+            }
+        }
+        for &(u, v) in add {
+            b.add_edge(u, v);
+        }
+        let new_graph = b.try_build()?;
+        entry.tree = ClTree::build(&new_graph);
+        entry.graph = new_graph;
+        Ok(())
+    }
+
+    /// Case-insensitive vertex search for the UI's name box; returns
+    /// (vertex, label, degree) triples, best match first.
+    pub fn suggest(
+        &self,
+        graph: Option<&str>,
+        query: &str,
+        limit: usize,
+    ) -> Result<Vec<(VertexId, String, usize)>, ExplorerError> {
+        let g = self.graph(graph)?;
+        Ok(g.search_label(query)
+            .into_iter()
+            .take(limit)
+            .map(|v| (v, g.label(v).to_owned(), g.degree(v)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_datagen::figure5_graph;
+
+    fn engine() -> Engine {
+        Engine::with_graph("fig5", figure5_graph())
+    }
+
+    #[test]
+    fn builtins_are_registered() {
+        let e = engine();
+        let cs = e.cs_names();
+        for name in ["acq", "acq-inc-s", "acq-inc-t", "acq-basic", "global", "global-maxmin", "local", "ktruss", "kecc"] {
+            assert!(cs.contains(&name), "missing {name}");
+        }
+        assert_eq!(e.cd_names(), vec!["codicil", "louvain", "girvan-newman"]);
+        assert_eq!(e.graph_names(), vec!["fig5"]);
+        assert_eq!(e.default_graph_name(), Some("fig5"));
+    }
+
+    #[test]
+    fn search_paper_example_through_engine() {
+        let e = engine();
+        let out = e.search("acq", &QuerySpec::by_label("A").k(2)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 3);
+        // Global on the same query returns the bigger plain core.
+        let g = e.search("global", &QuerySpec::by_label("A").k(2)).unwrap();
+        assert_eq!(g[0].len(), 5);
+    }
+
+    #[test]
+    fn search_with_cd_algorithm_returns_query_cluster() {
+        let e = engine();
+        let out = e.search("codicil", &QuerySpec::by_label("A")).unwrap();
+        assert_eq!(out.len(), 1);
+        let g = e.graph(None).unwrap();
+        assert!(out[0].contains(g.vertex_by_label("A").unwrap()));
+    }
+
+    #[test]
+    fn unknown_things_error() {
+        let e = engine();
+        assert!(matches!(
+            e.search("nope", &QuerySpec::by_label("A")),
+            Err(ExplorerError::UnknownAlgorithm(_))
+        ));
+        assert!(matches!(
+            e.search_on(Some("nope"), "acq", &QuerySpec::by_label("A")),
+            Err(ExplorerError::UnknownGraph(_))
+        ));
+        assert!(matches!(
+            e.search("acq", &QuerySpec::by_label("nobody")),
+            Err(ExplorerError::UnknownVertex(_))
+        ));
+        assert!(matches!(e.detect("global"), Err(ExplorerError::UnknownAlgorithm(_))));
+        let empty = Engine::new();
+        assert!(matches!(
+            empty.search("acq", &QuerySpec::by_label("A")),
+            Err(ExplorerError::NoGraph)
+        ));
+    }
+
+    #[test]
+    fn multi_vertex_query_through_engine() {
+        let e = engine();
+        let out = e.search("acq", &QuerySpec::by_labels(["A", "D"]).k(2)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 3);
+    }
+
+    #[test]
+    fn analyze_and_display_roundtrip() {
+        let e = engine();
+        let out = e.search("acq", &QuerySpec::by_label("A").k(2)).unwrap();
+        let g = e.graph(None).unwrap();
+        let a = g.vertex_by_label("A").unwrap();
+        let report = e.analyze(None, &out, a).unwrap();
+        assert!(report.cpj > 0.5);
+        assert!(report.cmf > 0.5);
+        let scene = e
+            .display(None, &out[0], LayoutAlgorithm::default_force(), Some(a))
+            .unwrap();
+        assert_eq!(scene.vertex_count(), 3);
+        assert!(scene.in_bounds());
+    }
+
+    #[test]
+    fn profiles_store_and_fetch() {
+        let mut e = engine();
+        let g = e.graph(None).unwrap();
+        let a = g.vertex_by_label("A").unwrap();
+        let p = Profile {
+            name: "A".into(),
+            areas: vec!["Computer science".into()],
+            institutes: vec!["HKU".into()],
+            interests: vec!["databases".into()],
+        };
+        e.set_profiles(None, [(a, p.clone())]).unwrap();
+        assert_eq!(e.profile(None, a).unwrap(), Some(&p));
+        assert_eq!(e.profile(None, VertexId(3)).unwrap(), None);
+    }
+
+    #[test]
+    fn custom_algorithm_plugs_in() {
+        struct Egocentric;
+        impl crate::api::CsAlgorithm for Egocentric {
+            fn name(&self) -> &str {
+                "ego"
+            }
+            fn search(
+                &self,
+                ctx: &GraphContext<'_>,
+                qs: &[VertexId],
+                _spec: &QuerySpec,
+            ) -> Vec<Community> {
+                let q = qs[0];
+                let mut members = vec![q];
+                members.extend_from_slice(ctx.graph.neighbors(q));
+                vec![Community::structural(members)]
+            }
+        }
+        let mut e = engine();
+        e.register_cs(Box::new(Egocentric));
+        assert!(e.cs_names().contains(&"ego"));
+        let out = e.search("ego", &QuerySpec::by_label("A")).unwrap();
+        assert_eq!(out[0].len(), 4); // A + its 3 clique neighbours
+    }
+
+    #[test]
+    fn suggest_ranks_matches() {
+        let e = engine();
+        let hits = e.suggest(None, "a", 10).unwrap();
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].1, "A");
+    }
+
+    #[test]
+    fn upload_text_file() {
+        let dir = std::env::temp_dir().join("cx_engine_upload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.graph");
+        cx_graph::io::save_text_file(&figure5_graph(), &path).unwrap();
+        let mut e = Engine::new();
+        e.upload("uploaded", &path).unwrap();
+        assert_eq!(e.graph(None).unwrap().vertex_count(), 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn set_default_graph_switches() {
+        let mut e = engine();
+        e.add_graph("second", cx_datagen::small_collab_graph());
+        assert_eq!(e.default_graph_name(), Some("fig5"));
+        e.set_default_graph("second").unwrap();
+        assert_eq!(e.graph(None).unwrap().vertex_count(), 16);
+        assert!(e.set_default_graph("ghost").is_err());
+    }
+}
+
+#[cfg(test)]
+mod edit_tests {
+    use super::*;
+    use cx_datagen::figure5_graph;
+    use crate::query::QuerySpec;
+
+    #[test]
+    fn adding_edges_grows_the_core() {
+        let mut e = Engine::with_graph("fig5", figure5_graph());
+        let g = e.graph(None).unwrap();
+        let (ee, f, gg) = (
+            g.vertex_by_label("E").unwrap(),
+            g.vertex_by_label("F").unwrap(),
+            g.vertex_by_label("G").unwrap(),
+        );
+        // Before: E is in the 2-core, F and G are only 1-core.
+        assert_eq!(e.tree(None).unwrap().core(f), 1);
+        // Close the E-F-G triangle fully against the K4: G-E edge already
+        // exists? No — add G-E and F-C to densify.
+        let c = e.graph(None).unwrap().vertex_by_label("C").unwrap();
+        e.apply_edits(None, &[(gg, ee), (f, c)], &[]).unwrap();
+        let tree = e.tree(None).unwrap();
+        assert!(tree.core(f) >= 2, "F core {} after densifying", tree.core(f));
+        assert!(tree.core(gg) >= 2);
+        // Queries run against the updated graph.
+        let out = e.search("acq", &QuerySpec::by_label("A").k(2)).unwrap();
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn removing_edges_shrinks_the_core() {
+        let mut e = Engine::with_graph("fig5", figure5_graph());
+        let g = e.graph(None).unwrap();
+        let (a, b) = (g.vertex_by_label("A").unwrap(), g.vertex_by_label("B").unwrap());
+        e.apply_edits(None, &[], &[(a, b)]).unwrap();
+        // K4 minus an edge: cores drop from 3 to 2.
+        let tree = e.tree(None).unwrap();
+        assert_eq!(tree.core(a), 2);
+        assert_eq!(tree.max_core(), 2);
+        assert_eq!(e.graph(None).unwrap().edge_count(), 10);
+    }
+
+    #[test]
+    fn edits_validate_vertices_and_keep_profiles() {
+        let mut e = Engine::with_graph("fig5", figure5_graph());
+        let a = e.graph(None).unwrap().vertex_by_label("A").unwrap();
+        e.set_profiles(
+            None,
+            [(a, Profile {
+                name: "A".into(),
+                areas: vec![],
+                institutes: vec![],
+                interests: vec![],
+            })],
+        )
+        .unwrap();
+        assert!(e.apply_edits(None, &[(a, VertexId(99))], &[]).is_err());
+        let b = e.graph(None).unwrap().vertex_by_label("B").unwrap();
+        e.apply_edits(None, &[], &[(a, b)]).unwrap();
+        // Profile survives the rebuild.
+        assert!(e.profile(None, a).unwrap().is_some());
+    }
+}
+
+#[cfg(test)]
+mod spatial_tests {
+    use super::*;
+    use crate::query::QuerySpec;
+    use cx_datagen::figure5_graph;
+
+    #[test]
+    fn sac_requires_coordinates() {
+        let mut e = Engine::with_graph("fig5", figure5_graph());
+        // Without coordinates the sac algorithm returns nothing.
+        let none = e.search("sac", &QuerySpec::by_label("A").k(2)).unwrap();
+        assert!(none.is_empty());
+        // Wrong coordinate count is rejected.
+        assert!(matches!(
+            e.set_coordinates(None, vec![(0.0, 0.0)]),
+            Err(ExplorerError::BadQuery(_))
+        ));
+        // With coordinates the query answers: put the K4 near A and the
+        // rest far away; the spatial community is the K4.
+        let g = e.graph(None).unwrap();
+        let coords: Vec<(f64, f64)> = g
+            .vertices()
+            .map(|v| if v.0 <= 3 { (v.0 as f64, 0.0) } else { (1000.0 + v.0 as f64, 0.0) })
+            .collect();
+        e.set_coordinates(None, coords).unwrap();
+        let out = e.search("sac", &QuerySpec::by_label("A").k(2)).unwrap();
+        assert_eq!(out.len(), 1);
+        // The smallest disk around A with a 2-core is the A-B-C triangle
+        // (the K4 minus its farthest vertex) — strictly tighter than the
+        // full K4, and far from the distant vertices.
+        assert_eq!(out[0].len(), 3);
+        let g = e.graph(None).unwrap();
+        assert!(out[0].vertices().iter().all(|&v| v.0 <= 3), "{:?}", out[0].labels(g));
+        assert!(matches!(
+            e.set_coordinates(Some("ghost"), vec![]),
+            Err(ExplorerError::UnknownGraph(_))
+        ));
+    }
+}
+
+impl Engine {
+    /// Persists every uploaded graph and its CL-tree index into `dir`
+    /// (`<name>.graph.bin` + `<name>.index.bin`) — the offline side of
+    /// Figure 3's Indexing box. Graph names must be filesystem-safe
+    /// (alphanumeric, `-`, `_`). Profiles and coordinates are runtime
+    /// state and are not persisted.
+    pub fn save_dir(&self, dir: &Path) -> Result<(), ExplorerError> {
+        std::fs::create_dir_all(dir).map_err(cx_graph::GraphError::from)?;
+        for (name, entry) in &self.graphs {
+            if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+                return Err(ExplorerError::BadQuery(format!(
+                    "graph name {name:?} is not filesystem-safe"
+                )));
+            }
+            cx_graph::io::save_snapshot_file(&entry.graph, dir.join(format!("{name}.graph.bin")))?;
+            entry.tree.save_snapshot_file(dir.join(format!("{name}.index.bin")))?;
+        }
+        Ok(())
+    }
+
+    /// Loads every `<name>.graph.bin` (+ matching index snapshot, if
+    /// present and valid — otherwise the index is rebuilt) from `dir`
+    /// into a fresh engine with the built-in algorithms.
+    pub fn load_dir(dir: &Path) -> Result<Engine, ExplorerError> {
+        let mut engine = Engine::new();
+        let mut names: Vec<String> = Vec::new();
+        for entry in std::fs::read_dir(dir).map_err(cx_graph::GraphError::from)? {
+            let entry = entry.map_err(cx_graph::GraphError::from)?;
+            let fname = entry.file_name().to_string_lossy().into_owned();
+            if let Some(name) = fname.strip_suffix(".graph.bin") {
+                names.push(name.to_owned());
+            }
+        }
+        names.sort();
+        for name in names {
+            let graph = cx_graph::io::load_snapshot_file(dir.join(format!("{name}.graph.bin")))?;
+            let index_path = dir.join(format!("{name}.index.bin"));
+            let tree = match std::fs::File::open(&index_path) {
+                Ok(mut f) => ClTree::read_snapshot(&graph, &mut f)
+                    .unwrap_or_else(|_| ClTree::build(&graph)),
+                Err(_) => ClTree::build(&graph),
+            };
+            engine.graphs.insert(
+                name.clone(),
+                GraphEntry { graph, tree, profiles: HashMap::new(), coords: None },
+            );
+            if engine.default_graph.is_none() {
+                engine.default_graph = Some(name);
+            }
+        }
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::query::QuerySpec;
+    use cx_datagen::{figure5_graph, small_collab_graph};
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join("cx_engine_persist_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut e = Engine::with_graph("fig5", figure5_graph());
+        e.add_graph("collab", small_collab_graph());
+        e.save_dir(&dir).unwrap();
+
+        let restored = Engine::load_dir(&dir).unwrap();
+        assert_eq!(restored.graph_names(), vec!["collab", "fig5"]);
+        // Queries answer identically after the round trip.
+        let spec = QuerySpec::by_label("A").k(2);
+        let before = e.search_on(Some("fig5"), "acq", &spec).unwrap();
+        let after = restored.search_on(Some("fig5"), "acq", &spec).unwrap();
+        assert_eq!(before, after);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsafe_names_are_rejected() {
+        let dir = std::env::temp_dir().join("cx_engine_persist_badname");
+        let mut e = Engine::new();
+        e.add_graph("../evil", figure5_graph());
+        assert!(matches!(e.save_dir(&dir), Err(ExplorerError::BadQuery(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_index_falls_back_to_rebuild() {
+        let dir = std::env::temp_dir().join("cx_engine_persist_corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let e = Engine::with_graph("fig5", figure5_graph());
+        e.save_dir(&dir).unwrap();
+        std::fs::write(dir.join("fig5.index.bin"), b"garbage").unwrap();
+        let restored = Engine::load_dir(&dir).unwrap();
+        // Index was rebuilt; queries still answer.
+        let out = restored.search("acq", &QuerySpec::by_label("A").k(2)).unwrap();
+        assert_eq!(out.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_errors() {
+        assert!(Engine::load_dir(std::path::Path::new("/definitely/not/here")).is_err());
+    }
+}

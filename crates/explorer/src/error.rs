@@ -1,0 +1,68 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the [`crate::Engine`] API.
+#[derive(Debug)]
+pub enum ExplorerError {
+    /// No graph has been uploaded yet.
+    NoGraph,
+    /// The named graph does not exist in the engine.
+    UnknownGraph(String),
+    /// The named algorithm is not registered (or is of the wrong kind —
+    /// e.g. asking `search` for a detection algorithm).
+    UnknownAlgorithm(String),
+    /// The query vertex could not be resolved.
+    UnknownVertex(String),
+    /// An underlying graph error (I/O, parse, bounds).
+    Graph(cx_graph::GraphError),
+    /// The query was structurally invalid (e.g. empty multi-vertex set).
+    BadQuery(String),
+}
+
+impl fmt::Display for ExplorerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplorerError::NoGraph => write!(f, "no graph uploaded"),
+            ExplorerError::UnknownGraph(g) => write!(f, "unknown graph {g:?}"),
+            ExplorerError::UnknownAlgorithm(a) => write!(f, "unknown algorithm {a:?}"),
+            ExplorerError::UnknownVertex(v) => write!(f, "unknown vertex {v:?}"),
+            ExplorerError::Graph(e) => write!(f, "graph error: {e}"),
+            ExplorerError::BadQuery(m) => write!(f, "bad query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExplorerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExplorerError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cx_graph::GraphError> for ExplorerError {
+    fn from(e: cx_graph::GraphError) -> Self {
+        ExplorerError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        assert!(ExplorerError::UnknownAlgorithm("foo".into()).to_string().contains("foo"));
+        assert!(ExplorerError::UnknownVertex("jim".into()).to_string().contains("jim"));
+        assert!(ExplorerError::UnknownGraph("dblp".into()).to_string().contains("dblp"));
+    }
+
+    #[test]
+    fn graph_errors_chain() {
+        use std::error::Error;
+        let e: ExplorerError = cx_graph::GraphError::UnknownLabel("x".into()).into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,201 @@
+//! The community value type exchanged between algorithms, metrics, the
+//! engine and the server.
+
+use crate::graph::{AttributedGraph, VertexId};
+use crate::keywords::KeywordId;
+
+/// A retrieved community: a set of member vertices of some
+/// [`AttributedGraph`], plus the keywords all members share — the
+/// community's *theme* in the paper's UI (empty for purely structural
+/// methods like Global/Local/CODICIL).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Community {
+    /// Member vertices, strictly sorted by id.
+    vertices: Vec<VertexId>,
+    /// Keywords shared by every member (`L(Gq, S)` for ACQ), sorted.
+    shared_keywords: Vec<KeywordId>,
+}
+
+impl Community {
+    /// Creates a community from members and shared keywords; both lists are
+    /// sorted and deduplicated.
+    pub fn new(mut vertices: Vec<VertexId>, mut shared_keywords: Vec<KeywordId>) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        shared_keywords.sort_unstable();
+        shared_keywords.dedup();
+        Self { vertices, shared_keywords }
+    }
+
+    /// A community with no keyword theme (structural methods).
+    pub fn structural(vertices: Vec<VertexId>) -> Self {
+        Self::new(vertices, Vec::new())
+    }
+
+    /// The sorted member vertices.
+    #[inline]
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// The sorted shared keywords (the theme).
+    #[inline]
+    pub fn shared_keywords(&self) -> &[KeywordId] {
+        &self.shared_keywords
+    }
+
+    /// Number of member vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the community has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// O(log n) membership test.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// Number of internal edges of the community in `g` (both endpoints are
+    /// members). O(sum of member degrees).
+    pub fn internal_edge_count(&self, g: &AttributedGraph) -> usize {
+        let mut m = 0;
+        for &u in &self.vertices {
+            for &v in g.neighbors(u) {
+                if u < v && self.contains(v) {
+                    m += 1;
+                }
+            }
+        }
+        m
+    }
+
+    /// Average internal degree `2·m_in / n`, the "Degree" column in the
+    /// paper's Figure 6(a) statistics table. 0 for the empty community.
+    pub fn average_internal_degree(&self, g: &AttributedGraph) -> f64 {
+        if self.vertices.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.internal_edge_count(g) as f64 / self.vertices.len() as f64
+    }
+
+    /// Minimum internal degree over the members — the structure-cohesiveness
+    /// value a k-core community guarantees to be ≥ k.
+    pub fn min_internal_degree(&self, g: &AttributedGraph) -> usize {
+        self.vertices
+            .iter()
+            .map(|&u| g.neighbors(u).iter().filter(|&&v| self.contains(v)).count())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Member labels, resolved through `g`, in member order.
+    pub fn labels<'g>(&self, g: &'g AttributedGraph) -> Vec<&'g str> {
+        self.vertices.iter().map(|&v| g.label(v)).collect()
+    }
+
+    /// Theme keyword strings, resolved through `g`.
+    pub fn theme(&self, g: &AttributedGraph) -> Vec<String> {
+        g.keyword_names(&self.shared_keywords)
+    }
+
+    /// Jaccard similarity between the member sets of two communities.
+    pub fn vertex_jaccard(&self, other: &Community) -> f64 {
+        if self.is_empty() && other.is_empty() {
+            return 0.0;
+        }
+        let mut inter = 0usize;
+        let (mut i, mut j) = (0, 0);
+        while i < self.vertices.len() && j < other.vertices.len() {
+            match self.vertices[i].cmp(&other.vertices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = self.vertices.len() + other.vertices.len() - inter;
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn triangle_plus_tail() -> AttributedGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex("a", &["x"]);
+        let c = b.add_vertex("b", &["x"]);
+        let d = b.add_vertex("c", &["x"]);
+        let e = b.add_vertex("d", &[]);
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.add_edge(a, d);
+        b.add_edge(d, e);
+        b.build()
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let c = Community::new(vec![v(3), v(1), v(3)], vec![KeywordId(2), KeywordId(0)]);
+        assert_eq!(c.vertices(), &[v(1), v(3)]);
+        assert_eq!(c.shared_keywords(), &[KeywordId(0), KeywordId(2)]);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(v(1)));
+        assert!(!c.contains(v(2)));
+    }
+
+    #[test]
+    fn internal_edges_and_degrees_on_triangle() {
+        let g = triangle_plus_tail();
+        let c = Community::structural(vec![v(0), v(1), v(2)]);
+        assert_eq!(c.internal_edge_count(&g), 3);
+        assert!((c.average_internal_degree(&g) - 2.0).abs() < 1e-12);
+        assert_eq!(c.min_internal_degree(&g), 2);
+        // Adding the pendant drops the minimum internal degree to 1.
+        let c2 = Community::structural(vec![v(0), v(1), v(2), v(3)]);
+        assert_eq!(c2.internal_edge_count(&g), 4);
+        assert_eq!(c2.min_internal_degree(&g), 1);
+    }
+
+    #[test]
+    fn empty_community_degenerate_values() {
+        let g = triangle_plus_tail();
+        let c = Community::structural(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.average_internal_degree(&g), 0.0);
+        assert_eq!(c.min_internal_degree(&g), 0);
+        assert_eq!(c.vertex_jaccard(&c), 0.0);
+    }
+
+    #[test]
+    fn vertex_jaccard_overlap() {
+        let a = Community::structural(vec![v(0), v(1), v(2)]);
+        let b = Community::structural(vec![v(1), v(2), v(3)]);
+        assert!((a.vertex_jaccard(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.vertex_jaccard(&a), 1.0);
+    }
+
+    #[test]
+    fn labels_and_theme_resolve() {
+        let g = triangle_plus_tail();
+        let x = g.interner().get("x").unwrap();
+        let c = Community::new(vec![v(0), v(2)], vec![x]);
+        assert_eq!(c.labels(&g), vec!["a", "c"]);
+        assert_eq!(c.theme(&g), vec!["x"]);
+    }
+}

@@ -1,0 +1,309 @@
+//! The immutable CSR attributed graph.
+
+use std::collections::HashMap;
+
+use crate::error::GraphError;
+use crate::keywords::{KeywordId, KeywordInterner};
+
+/// A dense vertex identifier, valid for the graph that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The id as a usize, for indexing per-vertex arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An immutable, undirected attributed graph `G(V, E)` in CSR form.
+///
+/// Every vertex `v` has:
+/// * a display label (author name in the paper's DBLP deployment),
+/// * a strictly sorted keyword set `W(v)` of interned [`KeywordId`]s,
+/// * a strictly sorted neighbour list (no self-loops, no parallel edges).
+///
+/// Construct with [`crate::GraphBuilder`]; load/save with [`crate::io`].
+#[derive(Debug, Clone)]
+pub struct AttributedGraph {
+    // CSR adjacency: neighbours of v are adj[adj_off[v] .. adj_off[v+1]].
+    pub(crate) adj_off: Vec<usize>,
+    pub(crate) adj: Vec<VertexId>,
+    // CSR keyword sets: W(v) = kws[kw_off[v] .. kw_off[v+1]].
+    pub(crate) kw_off: Vec<usize>,
+    pub(crate) kws: Vec<KeywordId>,
+    pub(crate) labels: Vec<String>,
+    pub(crate) label_index: HashMap<String, VertexId>,
+    pub(crate) interner: KeywordInterner,
+}
+
+impl AttributedGraph {
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Iterates all vertex ids `0..|V|`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertex_count() as u32).map(VertexId)
+    }
+
+    /// Returns true if `v` is a valid vertex of this graph.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        v.index() < self.vertex_count()
+    }
+
+    /// Validates a vertex id, returning a descriptive error when out of range.
+    pub fn check_vertex(&self, v: VertexId) -> Result<(), GraphError> {
+        if self.contains(v) {
+            Ok(())
+        } else {
+            Err(GraphError::VertexOutOfRange { vertex: v.0, vertex_count: self.vertex_count() })
+        }
+    }
+
+    /// The sorted neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[self.adj_off[v.index()]..self.adj_off[v.index() + 1]]
+    }
+
+    /// Degree of `v` in the full graph (`deg_G(v)` in the paper).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj_off[v.index() + 1] - self.adj_off[v.index()]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists (binary search, O(log d)).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v || !self.contains(u) || !self.contains(v) {
+            return false;
+        }
+        // Search the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterates every undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// The keyword set `W(v)`, strictly sorted.
+    #[inline]
+    pub fn keywords(&self, v: VertexId) -> &[KeywordId] {
+        &self.kws[self.kw_off[v.index()]..self.kw_off[v.index() + 1]]
+    }
+
+    /// Whether `W(v)` contains keyword `w` (binary search).
+    pub fn has_keyword(&self, v: VertexId, w: KeywordId) -> bool {
+        self.keywords(v).binary_search(&w).is_ok()
+    }
+
+    /// The display label of `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> &str {
+        &self.labels[v.index()]
+    }
+
+    /// Looks a vertex up by its exact label.
+    pub fn vertex_by_label(&self, label: &str) -> Option<VertexId> {
+        self.label_index.get(label).copied()
+    }
+
+    /// Like [`Self::vertex_by_label`] but returns a descriptive error.
+    pub fn require_label(&self, label: &str) -> Result<VertexId, GraphError> {
+        self.vertex_by_label(label).ok_or_else(|| GraphError::UnknownLabel(label.to_owned()))
+    }
+
+    /// Case-insensitive label search returning all matches (the UI's
+    /// name box is case-insensitive: "jim gray" finds "Jim Gray").
+    pub fn search_label(&self, query: &str) -> Vec<VertexId> {
+        let q = query.to_lowercase();
+        let mut hits: Vec<VertexId> = self
+            .vertices()
+            .filter(|&v| self.label(v).to_lowercase().contains(&q))
+            .collect();
+        // Exact (case-insensitive) matches first, then by degree descending so
+        // prominent vertices rank first, then by id for determinism.
+        hits.sort_by_key(|&v| {
+            (self.label(v).to_lowercase() != q, usize::MAX - self.degree(v), v.0)
+        });
+        hits
+    }
+
+    /// The keyword interner mapping ids to strings.
+    #[inline]
+    pub fn interner(&self) -> &KeywordInterner {
+        &self.interner
+    }
+
+    /// Resolves keyword ids to display strings (skipping foreign ids).
+    pub fn keyword_names(&self, ids: &[KeywordId]) -> Vec<String> {
+        self.interner.names(ids).map(str::to_owned).collect()
+    }
+
+    /// Total number of distinct keywords in the graph.
+    pub fn keyword_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Degrees of all vertices, as a vector indexed by vertex id.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.vertices().map(|v| self.degree(v)).collect()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Approximate heap footprint in bytes (CSR arrays + labels), used by the
+    /// index-size experiments.
+    pub fn memory_bytes(&self) -> usize {
+        self.adj_off.len() * std::mem::size_of::<usize>()
+            + self.adj.len() * std::mem::size_of::<VertexId>()
+            + self.kw_off.len() * std::mem::size_of::<usize>()
+            + self.kws.len() * std::mem::size_of::<KeywordId>()
+            + self.labels.iter().map(|l| l.len() + std::mem::size_of::<String>()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    use super::*;
+
+    /// Builds the small triangle-plus-pendant fixture:
+    /// a—b, b—c, a—c, c—d.
+    fn fixture() -> AttributedGraph {
+        let mut b = GraphBuilder::new();
+        let va = b.add_vertex("a", &["x", "y"]);
+        let vb = b.add_vertex("b", &["x"]);
+        let vc = b.add_vertex("c", &["y", "z"]);
+        let vd = b.add_vertex("d", &[]);
+        b.add_edge(va, vb);
+        b.add_edge(vb, vc);
+        b.add_edge(va, vc);
+        b.add_edge(vc, vd);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = fixture();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.degree(VertexId(2)), 3);
+        assert_eq!(g.degree(VertexId(3)), 1);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.degrees(), vec![2, 2, 3, 1]);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_symmetric() {
+        let g = fixture();
+        for u in g.vertices() {
+            let ns = g.neighbors(u);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted adjacency for {u}");
+            for &v in ns {
+                assert!(g.neighbors(v).contains(&u), "missing reverse edge {v}->{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn has_edge_both_directions_and_misses() {
+        let g = fixture();
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(1), VertexId(0)));
+        assert!(!g.has_edge(VertexId(0), VertexId(3)));
+        assert!(!g.has_edge(VertexId(0), VertexId(0)));
+        assert!(!g.has_edge(VertexId(0), VertexId(42)));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = fixture();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), g.edge_count());
+        for (u, v) in &es {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn keyword_lookup() {
+        let g = fixture();
+        let x = g.interner().get("x").unwrap();
+        let z = g.interner().get("z").unwrap();
+        assert!(g.has_keyword(VertexId(0), x));
+        assert!(!g.has_keyword(VertexId(0), z));
+        assert!(g.keywords(VertexId(3)).is_empty());
+        assert_eq!(g.keyword_count(), 3);
+        assert_eq!(g.keyword_names(g.keywords(VertexId(0))), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn label_lookup_and_search() {
+        let g = fixture();
+        assert_eq!(g.vertex_by_label("c"), Some(VertexId(2)));
+        assert_eq!(g.vertex_by_label("zz"), None);
+        assert!(g.require_label("zz").is_err());
+        assert_eq!(g.search_label("C"), vec![VertexId(2)]);
+    }
+
+    #[test]
+    fn search_label_ranks_exact_match_then_degree() {
+        let mut b = GraphBuilder::new();
+        let gray = b.add_vertex("Jim Gray", &[]);
+        let grayson = b.add_vertex("Jim Grayson", &[]);
+        let other = b.add_vertex("Hub", &[]);
+        // Grayson gets higher degree than Gray.
+        b.add_edge(grayson, other);
+        let g = b.build();
+        let hits = g.search_label("jim gray");
+        assert_eq!(hits, vec![gray, grayson]);
+    }
+
+    #[test]
+    fn check_vertex_bounds() {
+        let g = fixture();
+        assert!(g.check_vertex(VertexId(3)).is_ok());
+        assert!(g.check_vertex(VertexId(4)).is_err());
+    }
+
+    #[test]
+    fn memory_bytes_is_positive_and_monotone() {
+        let g = fixture();
+        let small = g.memory_bytes();
+        assert!(small > 0);
+        let mut b = GraphBuilder::new();
+        for i in 0..100 {
+            b.add_vertex(&format!("v{i}"), &["k"]);
+        }
+        for i in 0..99u32 {
+            b.add_edge(VertexId(i), VertexId(i + 1));
+        }
+        assert!(b.build().memory_bytes() > small);
+    }
+}

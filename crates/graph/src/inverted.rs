@@ -1,0 +1,135 @@
+//! Global inverted keyword index: keyword → sorted posting list of vertices.
+//!
+//! The CL-tree stores *per-node* inverted lists; this module provides the
+//! whole-graph index used by CODICIL's content-neighbour candidate
+//! generation and by the ACQ `Basic` baseline (which has no CL-tree).
+
+use crate::graph::{AttributedGraph, VertexId};
+use crate::keywords::KeywordId;
+
+/// Keyword → sorted list of vertices whose `W(v)` contains the keyword.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    postings: Vec<Vec<VertexId>>,
+}
+
+impl InvertedIndex {
+    /// Builds the index over every vertex of `g`. O(Σ|W(v)|).
+    pub fn build(g: &AttributedGraph) -> Self {
+        let mut postings = vec![Vec::new(); g.keyword_count()];
+        for v in g.vertices() {
+            for &w in g.keywords(v) {
+                postings[w.index()].push(v);
+            }
+        }
+        // Vertices are visited in id order, so each posting list is sorted.
+        Self { postings }
+    }
+
+    /// The sorted posting list for `w`; empty for foreign ids.
+    pub fn posting(&self, w: KeywordId) -> &[VertexId] {
+        self.postings.get(w.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Document frequency: number of vertices carrying `w`.
+    pub fn frequency(&self, w: KeywordId) -> usize {
+        self.posting(w).len()
+    }
+
+    /// Number of keywords indexed.
+    pub fn keyword_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Intersects the posting lists of all of `ws` (vertices carrying every
+    /// keyword). Returns all vertices when `ws` is empty.
+    pub fn vertices_with_all(&self, g: &AttributedGraph, ws: &[KeywordId]) -> Vec<VertexId> {
+        if ws.is_empty() {
+            return g.vertices().collect();
+        }
+        // Start from the rarest keyword to keep the working set small.
+        let mut order: Vec<KeywordId> = ws.to_vec();
+        order.sort_by_key(|&w| self.frequency(w));
+        let mut acc: Vec<VertexId> = self.posting(order[0]).to_vec();
+        for &w in &order[1..] {
+            let p = self.posting(w);
+            let mut out = Vec::with_capacity(acc.len().min(p.len()));
+            let (mut i, mut j) = (0, 0);
+            while i < acc.len() && j < p.len() {
+                match acc[i].cmp(&p[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push(acc[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            acc = out;
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> AttributedGraph {
+        let mut b = GraphBuilder::new();
+        b.add_vertex("a", &["x", "y"]);
+        b.add_vertex("b", &["x"]);
+        b.add_vertex("c", &["y", "z"]);
+        b.add_vertex("d", &["x", "y", "z"]);
+        b.build()
+    }
+
+    #[test]
+    fn postings_are_sorted_and_complete() {
+        let g = sample();
+        let idx = InvertedIndex::build(&g);
+        let x = g.interner().get("x").unwrap();
+        let p = idx.posting(x);
+        assert_eq!(p, &[VertexId(0), VertexId(1), VertexId(3)]);
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(idx.frequency(x), 3);
+        assert_eq!(idx.keyword_count(), 3);
+    }
+
+    #[test]
+    fn foreign_keyword_has_empty_posting() {
+        let g = sample();
+        let idx = InvertedIndex::build(&g);
+        assert!(idx.posting(KeywordId(99)).is_empty());
+        assert_eq!(idx.frequency(KeywordId(99)), 0);
+    }
+
+    #[test]
+    fn vertices_with_all_intersects() {
+        let g = sample();
+        let idx = InvertedIndex::build(&g);
+        let x = g.interner().get("x").unwrap();
+        let y = g.interner().get("y").unwrap();
+        let z = g.interner().get("z").unwrap();
+        assert_eq!(idx.vertices_with_all(&g, &[x, y]), vec![VertexId(0), VertexId(3)]);
+        assert_eq!(idx.vertices_with_all(&g, &[x, y, z]), vec![VertexId(3)]);
+        assert_eq!(idx.vertices_with_all(&g, &[]).len(), 4);
+    }
+
+    #[test]
+    fn empty_intersection_short_circuits() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex("a", &["p"]);
+        b.add_vertex("b", &["q"]);
+        let g = b.build();
+        let idx = InvertedIndex::build(&g);
+        let p = g.interner().get("p").unwrap();
+        let q = g.interner().get("q").unwrap();
+        assert!(idx.vertices_with_all(&g, &[p, q]).is_empty());
+    }
+}

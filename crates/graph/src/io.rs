@@ -1,0 +1,341 @@
+//! Persistence: a line-oriented text format (what the paper's `upload` API
+//! accepts) and a compact binary snapshot for large generated graphs.
+//!
+//! # Text format
+//!
+//! One record per line, tab-separated, `#` starts a comment:
+//!
+//! ```text
+//! # vertices first, then edges
+//! v\t<label>\t<kw1,kw2,...>     (keyword field may be empty)
+//! e\t<u>\t<v>                   (0-based indices in vertex declaration order)
+//! ```
+//!
+//! # Binary snapshot
+//!
+//! Little-endian: magic `CXG1`, then `n`, `m2` (directed slot count),
+//! CSR offsets/adjacency, keyword CSR, interner strings, labels, each
+//! string as `u32 len + bytes`.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{AttributedGraph, VertexId};
+
+const MAGIC: &[u8; 4] = b"CXG1";
+
+/// Writes `g` in the text format to `w`.
+pub fn write_text<W: Write>(g: &AttributedGraph, w: &mut W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# c-explorer attributed graph: {} vertices, {} edges", g.vertex_count(), g.edge_count())?;
+    for v in g.vertices() {
+        let kws = g.keyword_names(g.keywords(v)).join(",");
+        writeln!(w, "v\t{}\t{}", g.label(v), kws)?;
+    }
+    for (u, v) in g.edges() {
+        writeln!(w, "e\t{}\t{}", u.0, v.0)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Parses the text format from `r`.
+pub fn read_text<R: Read>(r: &mut R) -> Result<AttributedGraph, GraphError> {
+    let reader = BufReader::new(r);
+    let mut b = GraphBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.splitn(3, '\t');
+        let kind = parts.next().unwrap_or("");
+        match kind {
+            "v" => {
+                let label = parts.next().ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    message: "vertex line missing label".into(),
+                })?;
+                let kw_field = parts.next().unwrap_or("");
+                let kws: Vec<&str> =
+                    kw_field.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+                b.add_vertex(label, &kws);
+            }
+            "e" => {
+                let parse = |field: Option<&str>| -> Result<VertexId, GraphError> {
+                    let s = field.ok_or_else(|| GraphError::Parse {
+                        line: lineno,
+                        message: "edge line missing endpoint".into(),
+                    })?;
+                    s.trim().parse::<u32>().map(VertexId).map_err(|_| GraphError::Parse {
+                        line: lineno,
+                        message: format!("invalid vertex index {s:?}"),
+                    })
+                };
+                let u = parse(parts.next())?;
+                let v = parse(parts.next())?;
+                b.add_edge(u, v);
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("unknown record type {other:?}"),
+                })
+            }
+        }
+    }
+    b.try_build()
+}
+
+/// Loads a text-format graph from a file path.
+pub fn load_text_file<P: AsRef<Path>>(path: P) -> Result<AttributedGraph, GraphError> {
+    let mut f = std::fs::File::open(path)?;
+    read_text(&mut f)
+}
+
+/// Saves a graph in the text format to a file path.
+pub fn save_text_file<P: AsRef<Path>>(g: &AttributedGraph, path: P) -> Result<(), GraphError> {
+    let mut f = std::fs::File::create(path)?;
+    write_text(g, &mut f)
+}
+
+fn put_u32<W: Write>(w: &mut W, x: u32) -> std::io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn put_str<W: Write>(w: &mut W, s: &str) -> std::io::Result<()> {
+    put_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn get_u32<R: Read>(r: &mut R) -> Result<u32, GraphError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn get_str<R: Read>(r: &mut R) -> Result<String, GraphError> {
+    let len = get_u32(r)? as usize;
+    if len > 1 << 24 {
+        return Err(GraphError::Snapshot(format!("unreasonable string length {len}")));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| GraphError::Snapshot("non-utf8 string".into()))
+}
+
+/// Writes the binary snapshot of `g` to `w`.
+pub fn write_snapshot<W: Write>(g: &AttributedGraph, w: &mut W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    let n = g.vertex_count();
+    put_u32(&mut w, n as u32)?;
+    put_u32(&mut w, g.adj.len() as u32)?;
+    for v in g.vertices() {
+        put_u32(&mut w, g.degree(v) as u32)?;
+    }
+    for &u in &g.adj {
+        put_u32(&mut w, u.0)?;
+    }
+    put_u32(&mut w, g.kws.len() as u32)?;
+    for v in g.vertices() {
+        put_u32(&mut w, g.keywords(v).len() as u32)?;
+    }
+    for &k in &g.kws {
+        put_u32(&mut w, k.0)?;
+    }
+    put_u32(&mut w, g.interner.len() as u32)?;
+    for (_, name) in g.interner.iter() {
+        put_str(&mut w, name)?;
+    }
+    for v in g.vertices() {
+        put_str(&mut w, g.label(v))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a binary snapshot. The adjacency and keyword data is revalidated
+/// through [`GraphBuilder`], so a corrupted snapshot cannot produce an
+/// inconsistent graph.
+pub fn read_snapshot<R: Read>(r: &mut R) -> Result<AttributedGraph, GraphError> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Snapshot("bad magic".into()));
+    }
+    let n = get_u32(&mut r)? as usize;
+    let m2 = get_u32(&mut r)? as usize;
+    let mut degs = Vec::with_capacity(n);
+    for _ in 0..n {
+        degs.push(get_u32(&mut r)? as usize);
+    }
+    if degs.iter().sum::<usize>() != m2 {
+        return Err(GraphError::Snapshot("degree sum mismatch".into()));
+    }
+    let mut adj = Vec::with_capacity(m2);
+    for _ in 0..m2 {
+        adj.push(get_u32(&mut r)?);
+    }
+    let kw_total = get_u32(&mut r)? as usize;
+    let mut kw_counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        kw_counts.push(get_u32(&mut r)? as usize);
+    }
+    if kw_counts.iter().sum::<usize>() != kw_total {
+        return Err(GraphError::Snapshot("keyword count mismatch".into()));
+    }
+    let mut kw_ids = Vec::with_capacity(kw_total);
+    for _ in 0..kw_total {
+        kw_ids.push(get_u32(&mut r)?);
+    }
+    let vocab_len = get_u32(&mut r)? as usize;
+    let mut vocab = Vec::with_capacity(vocab_len);
+    for _ in 0..vocab_len {
+        vocab.push(get_str(&mut r)?);
+    }
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        labels.push(get_str(&mut r)?);
+    }
+
+    // Rebuild through the builder for validation.
+    let mut b = GraphBuilder::with_capacity(n, m2 / 2);
+    let mut kw_cursor = 0usize;
+    for i in 0..n {
+        let kws: Vec<&str> = kw_ids[kw_cursor..kw_cursor + kw_counts[i]]
+            .iter()
+            .map(|&id| {
+                vocab
+                    .get(id as usize)
+                    .map(String::as_str)
+                    .ok_or_else(|| GraphError::Snapshot(format!("keyword id {id} out of vocab")))
+            })
+            .collect::<Result<_, _>>()?;
+        kw_cursor += kw_counts[i];
+        b.add_vertex(&labels[i], &kws);
+    }
+    let mut adj_cursor = 0usize;
+    for (i, &d) in degs.iter().enumerate() {
+        for &u in &adj[adj_cursor..adj_cursor + d] {
+            let (a, c) = (i as u32, u);
+            if a < c {
+                b.add_edge(VertexId(a), VertexId(c));
+            }
+        }
+        adj_cursor += d;
+    }
+    b.try_build()
+}
+
+/// Loads a binary snapshot from a file path.
+pub fn load_snapshot_file<P: AsRef<Path>>(path: P) -> Result<AttributedGraph, GraphError> {
+    let mut f = std::fs::File::open(path)?;
+    read_snapshot(&mut f)
+}
+
+/// Saves a binary snapshot to a file path.
+pub fn save_snapshot_file<P: AsRef<Path>>(g: &AttributedGraph, path: P) -> Result<(), GraphError> {
+    let mut f = std::fs::File::create(path)?;
+    write_snapshot(g, &mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> AttributedGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex("Jim Gray", &["transaction", "data"]);
+        let c = b.add_vertex("Michael Stonebraker", &["data", "column"]);
+        let d = b.add_vertex("solo", &[]);
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.build()
+    }
+
+    fn assert_same(a: &AttributedGraph, b: &AttributedGraph) {
+        assert_eq!(a.vertex_count(), b.vertex_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for v in a.vertices() {
+            assert_eq!(a.label(v), b.label(v));
+            assert_eq!(a.keyword_names(a.keywords(v)), b.keyword_names(b.keywords(v)));
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_text(&g, &mut buf).unwrap();
+        let g2 = read_text(&mut buf.as_slice()).unwrap();
+        assert_same(&g, &g2);
+    }
+
+    #[test]
+    fn text_parses_comments_blank_lines_and_empty_keywords() {
+        let txt = "# comment\n\nv\talice\t\nv\tbob\tdb, ml\ne\t0\t1\n";
+        let g = read_text(&mut txt.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.keywords(VertexId(0)).is_empty());
+        assert_eq!(g.keywords(VertexId(1)).len(), 2);
+        assert_eq!(g.keyword_names(g.keywords(VertexId(1))), vec!["db", "ml"]);
+    }
+
+    #[test]
+    fn text_errors_carry_line_numbers() {
+        let bad_type = "v\ta\t\nq\t0\t1\n";
+        match read_text(&mut bad_type.as_bytes()) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let bad_idx = "v\ta\t\ne\tzero\t0\n";
+        assert!(matches!(read_text(&mut bad_idx.as_bytes()), Err(GraphError::Parse { line: 2, .. })));
+        let dangling = "v\ta\t\ne\t0\t9\n";
+        assert!(matches!(
+            read_text(&mut dangling.as_bytes()),
+            Err(GraphError::VertexOutOfRange { vertex: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_snapshot(&g, &mut buf).unwrap();
+        let g2 = read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_same(&g, &g2);
+    }
+
+    #[test]
+    fn snapshot_rejects_bad_magic_and_truncation() {
+        assert!(matches!(read_snapshot(&mut &b"NOPE"[..]), Err(GraphError::Snapshot(_))));
+        let g = sample();
+        let mut buf = Vec::new();
+        write_snapshot(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_snapshot(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_via_tempdir() {
+        let dir = std::env::temp_dir().join("cx_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample();
+        let tpath = dir.join("g.txt");
+        let spath = dir.join("g.bin");
+        save_text_file(&g, &tpath).unwrap();
+        save_snapshot_file(&g, &spath).unwrap();
+        assert_same(&g, &load_text_file(&tpath).unwrap());
+        assert_same(&g, &load_snapshot_file(&spath).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

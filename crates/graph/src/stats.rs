@@ -1,0 +1,155 @@
+//! Whole-graph summary statistics (the "Statistics" part of the paper's
+//! comparison-analysis facilities).
+
+use crate::graph::AttributedGraph;
+use crate::traversal::ConnectedComponents;
+
+/// Degree distribution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree over all vertices (0 for the empty graph).
+    pub min: usize,
+    /// Maximum degree over all vertices.
+    pub max: usize,
+    /// Mean degree `2m/n`.
+    pub mean: f64,
+    /// Median degree.
+    pub median: f64,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics for `g`.
+    pub fn compute(g: &AttributedGraph) -> Self {
+        let mut degs = g.degrees();
+        if degs.is_empty() {
+            return Self { min: 0, max: 0, mean: 0.0, median: 0.0 };
+        }
+        degs.sort_unstable();
+        let n = degs.len();
+        let median = if n % 2 == 1 {
+            degs[n / 2] as f64
+        } else {
+            (degs[n / 2 - 1] + degs[n / 2]) as f64 / 2.0
+        };
+        Self {
+            min: degs[0],
+            max: degs[n - 1],
+            mean: degs.iter().sum::<usize>() as f64 / n as f64,
+            median,
+        }
+    }
+}
+
+/// Top-level statistics of an attributed graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Number of connected components.
+    pub components: usize,
+    /// Distinct keywords in the vocabulary.
+    pub keywords: usize,
+    /// Average keywords per vertex.
+    pub avg_keywords_per_vertex: f64,
+    /// Degree distribution summary.
+    pub degrees: DegreeStats,
+}
+
+impl GraphStats {
+    /// Computes all statistics in O(n + m).
+    pub fn compute(g: &AttributedGraph) -> Self {
+        let n = g.vertex_count();
+        let total_kws: usize = g.vertices().map(|v| g.keywords(v).len()).sum();
+        Self {
+            vertices: n,
+            edges: g.edge_count(),
+            components: ConnectedComponents::compute(g).count,
+            keywords: g.keyword_count(),
+            avg_keywords_per_vertex: if n == 0 { 0.0 } else { total_kws as f64 / n as f64 },
+            degrees: DegreeStats::compute(g),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} components={} keywords={} kw/vertex={:.2} degree[min={} mean={:.2} median={:.1} max={}]",
+            self.vertices,
+            self.edges,
+            self.components,
+            self.keywords,
+            self.avg_keywords_per_vertex,
+            self.degrees.min,
+            self.degrees.mean,
+            self.degrees.median,
+            self.degrees.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, VertexId};
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_vertex(&format!("v{i}"), &["k", &format!("u{i}")]);
+        }
+        // Star centred on 0 → degrees [3,1,1,1].
+        for i in 1..4u32 {
+            b.add_edge(VertexId(0), VertexId(i));
+        }
+        let g = b.build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertices, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.keywords, 5); // "k" plus four unique
+        assert!((s.avg_keywords_per_vertex - 2.0).abs() < 1e-12);
+        assert_eq!(s.degrees.min, 1);
+        assert_eq!(s.degrees.max, 3);
+        assert!((s.degrees.mean - 1.5).abs() < 1e-12);
+        assert!((s.degrees.median - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let g = GraphBuilder::new().build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.components, 0);
+        assert_eq!(s.degrees, DegreeStats { min: 0, max: 0, mean: 0.0, median: 0.0 });
+        assert_eq!(s.avg_keywords_per_vertex, 0.0);
+    }
+
+    #[test]
+    fn median_even_count() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_vertex(&format!("v{i}"), &[]);
+        }
+        // Path: degrees [1, 2, 2, 1] → median 1.5.
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(1), VertexId(2));
+        b.add_edge(VertexId(2), VertexId(3));
+        let s = GraphStats::compute(&b.build());
+        assert!((s.degrees.median - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex("a", &["x"]);
+        let s = GraphStats::compute(&b.build());
+        let txt = s.to_string();
+        assert!(txt.contains("|V|=1"));
+        assert!(txt.contains("keywords=1"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Materialised induced subgraphs.
+//!
+//! Several algorithms (Local's candidate-set core check, ACQ's keyword-core
+//! verification, the layout engine) need to run graph algorithms on a small
+//! piece of a large graph. [`Subgraph`] copies the induced adjacency into a
+//! compact structure with *local* ids `0..n'` and keeps the mapping back to
+//! the parent's [`VertexId`]s.
+
+use std::collections::HashMap;
+
+use crate::graph::{AttributedGraph, VertexId};
+
+/// An induced subgraph with local vertex ids and a back-mapping.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// `local_to_global[i]` is the parent vertex of local vertex `i`.
+    local_to_global: Vec<VertexId>,
+    global_to_local: HashMap<VertexId, u32>,
+    adj_off: Vec<usize>,
+    adj: Vec<u32>,
+}
+
+impl Subgraph {
+    /// Builds the subgraph of `g` induced by `members` (duplicates ignored;
+    /// membership order defines local ids after dedup+sort).
+    pub fn induced(g: &AttributedGraph, members: &[VertexId]) -> Self {
+        let mut sorted: Vec<VertexId> = members.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let global_to_local: HashMap<VertexId, u32> =
+            sorted.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+
+        let n = sorted.len();
+        let mut adj_off = Vec::with_capacity(n + 1);
+        adj_off.push(0usize);
+        let mut adj = Vec::new();
+        for &v in &sorted {
+            for &u in g.neighbors(v) {
+                if let Some(&lu) = global_to_local.get(&u) {
+                    adj.push(lu);
+                }
+            }
+            adj_off.push(adj.len());
+        }
+        Self { local_to_global: sorted, global_to_local, adj_off, adj }
+    }
+
+    /// Number of local vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.local_to_global.len()
+    }
+
+    /// Number of undirected edges inside the subgraph.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Local neighbours of local vertex `i`.
+    #[inline]
+    pub fn neighbors(&self, i: u32) -> &[u32] {
+        &self.adj[self.adj_off[i as usize]..self.adj_off[i as usize + 1]]
+    }
+
+    /// Degree of local vertex `i` inside the subgraph.
+    #[inline]
+    pub fn degree(&self, i: u32) -> usize {
+        self.adj_off[i as usize + 1] - self.adj_off[i as usize]
+    }
+
+    /// The parent vertex of local vertex `i`.
+    #[inline]
+    pub fn global(&self, i: u32) -> VertexId {
+        self.local_to_global[i as usize]
+    }
+
+    /// The local id of a parent vertex, if it is a member.
+    pub fn local(&self, v: VertexId) -> Option<u32> {
+        self.global_to_local.get(&v).copied()
+    }
+
+    /// All members as parent vertex ids (sorted).
+    pub fn members(&self) -> &[VertexId] {
+        &self.local_to_global
+    }
+
+    /// Maps a set of local ids back to sorted parent ids.
+    pub fn to_global(&self, locals: &[u32]) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = locals.iter().map(|&i| self.global(i)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Connected component of the local vertex `start`, as local ids.
+    pub fn component_of(&self, start: u32) -> Vec<u32> {
+        let mut seen = vec![false; self.vertex_count()];
+        let mut stack = vec![start];
+        let mut out = Vec::new();
+        seen[start as usize] = true;
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            for &v in self.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// 5-cycle 0-1-2-3-4-0 plus chord 1-3.
+    fn cycle5() -> AttributedGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            b.add_vertex(&format!("v{i}"), &[]);
+        }
+        for i in 0..5u32 {
+            b.add_edge(v(i), v((i + 1) % 5));
+        }
+        b.add_edge(v(1), v(3));
+        b.build()
+    }
+
+    #[test]
+    fn induced_keeps_only_internal_edges() {
+        let g = cycle5();
+        let s = Subgraph::induced(&g, &[v(0), v(1), v(3)]);
+        assert_eq!(s.vertex_count(), 3);
+        // Internal edges: 0-1 and 1-3 (0-3 is not an edge of the cycle+chord).
+        assert_eq!(s.edge_count(), 2);
+        let l1 = s.local(v(1)).unwrap();
+        assert_eq!(s.degree(l1), 2);
+        assert_eq!(s.local(v(2)), None);
+    }
+
+    #[test]
+    fn duplicates_in_members_are_ignored() {
+        let g = cycle5();
+        let s = Subgraph::induced(&g, &[v(2), v(2), v(3)]);
+        assert_eq!(s.vertex_count(), 2);
+        assert_eq!(s.edge_count(), 1);
+    }
+
+    #[test]
+    fn global_local_roundtrip() {
+        let g = cycle5();
+        let s = Subgraph::induced(&g, &[v(4), v(0), v(2)]);
+        for i in 0..s.vertex_count() as u32 {
+            assert_eq!(s.local(s.global(i)), Some(i));
+        }
+        assert_eq!(s.members(), &[v(0), v(2), v(4)]);
+        assert_eq!(s.to_global(&[0, 2]), vec![v(0), v(4)]);
+    }
+
+    #[test]
+    fn component_of_disconnected_piece() {
+        let g = cycle5();
+        // {0, 2, 3}: edges 2-3 only; 0 is isolated inside.
+        let s = Subgraph::induced(&g, &[v(0), v(2), v(3)]);
+        let c0 = s.component_of(s.local(v(0)).unwrap());
+        assert_eq!(c0.len(), 1);
+        let c23 = s.component_of(s.local(v(2)).unwrap());
+        assert_eq!(c23.len(), 2);
+    }
+
+    #[test]
+    fn empty_members_gives_empty_subgraph() {
+        let g = cycle5();
+        let s = Subgraph::induced(&g, &[]);
+        assert_eq!(s.vertex_count(), 0);
+        assert_eq!(s.edge_count(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Dense vertex membership sets.
+//!
+//! Community-search algorithms repeatedly ask "is `v` in the current
+//! candidate set?" while peeling or expanding. [`VertexSet`] pairs a dense
+//! position index (O(1) membership and removal via swap-remove) with a
+//! member list (cheap iteration), sized to the host graph once and reusable
+//! across queries via [`VertexSet::clear`].
+
+use crate::graph::VertexId;
+
+const ABSENT: u32 = u32::MAX;
+
+/// A set of vertices of one graph: O(1) insert/remove/contains, O(len)
+/// iteration. Iteration order is unspecified (members are kept in a
+/// swap-removed list); use [`VertexSet::to_sorted_vec`] for canonical order.
+#[derive(Debug, Clone)]
+pub struct VertexSet {
+    /// `pos[v] == ABSENT` when absent, else index of `v` in `items`.
+    pos: Vec<u32>,
+    items: Vec<VertexId>,
+}
+
+impl VertexSet {
+    /// Creates an empty set able to hold vertices `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { pos: vec![ABSENT; capacity], items: Vec::new() }
+    }
+
+    /// Builds a set from an iterator of vertices (duplicates ignored).
+    pub fn from_iter<I: IntoIterator<Item = VertexId>>(capacity: usize, iter: I) -> Self {
+        let mut s = Self::with_capacity(capacity);
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Inserts `v`; returns true if it was newly added.
+    ///
+    /// Panics if `v` exceeds the capacity the set was created with.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        if self.pos[v.index()] != ABSENT {
+            return false;
+        }
+        self.pos[v.index()] = self.items.len() as u32;
+        self.items.push(v);
+        true
+    }
+
+    /// Removes `v` in O(1) via swap-remove; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: VertexId) -> bool {
+        if v.index() >= self.pos.len() {
+            return false;
+        }
+        let p = self.pos[v.index()];
+        if p == ABSENT {
+            return false;
+        }
+        let last = *self.items.last().expect("non-empty when a member exists");
+        self.items.swap_remove(p as usize);
+        if last != v {
+            self.pos[last.index()] = p;
+        }
+        self.pos[v.index()] = ABSENT;
+        true
+    }
+
+    /// O(1) membership test; vertices beyond capacity are "absent".
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        v.index() < self.pos.len() && self.pos[v.index()] != ABSENT
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates current members (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Members as a sorted vector (the canonical community representation).
+    pub fn to_sorted_vec(&self) -> Vec<VertexId> {
+        let mut v = self.items.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// Empties the set, keeping capacity.
+    pub fn clear(&mut self) {
+        for &v in &self.items {
+            self.pos[v.index()] = ABSENT;
+        }
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = VertexSet::with_capacity(10);
+        assert!(s.insert(v(3)));
+        assert!(!s.insert(v(3)));
+        assert!(s.contains(v(3)));
+        assert!(!s.contains(v(4)));
+        assert!(s.remove(v(3)));
+        assert!(!s.remove(v(3)));
+        assert!(!s.contains(v(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn out_of_capacity_contains_is_false_not_panic() {
+        let mut s = VertexSet::with_capacity(2);
+        assert!(!s.contains(v(99)));
+        assert!(!s.remove(v(99)));
+        s.insert(v(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_after_remove_iterates_once() {
+        let mut s = VertexSet::with_capacity(5);
+        s.insert(v(1));
+        s.insert(v(2));
+        s.remove(v(1));
+        s.insert(v(1));
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(s.to_sorted_vec(), vec![v(1), v(2)]);
+    }
+
+    #[test]
+    fn swap_remove_keeps_positions_consistent() {
+        let mut s = VertexSet::from_iter(10, (0..6).map(v));
+        s.remove(v(0)); // forces the last member into slot 0
+        for i in 1..6 {
+            assert!(s.contains(v(i)), "lost member {i} after swap-remove");
+        }
+        assert_eq!(s.len(), 5);
+        s.remove(v(5));
+        assert_eq!(s.to_sorted_vec(), vec![v(1), v(2), v(3), v(4)]);
+    }
+
+    #[test]
+    fn remove_last_member_is_safe() {
+        let mut s = VertexSet::with_capacity(3);
+        s.insert(v(2));
+        assert!(s.remove(v(2)));
+        assert!(s.is_empty());
+        s.insert(v(2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_and_is_reusable() {
+        let mut s = VertexSet::from_iter(8, [v(0), v(5), v(5)]);
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(v(0)));
+        s.insert(v(7));
+        assert_eq!(s.to_sorted_vec(), vec![v(7)]);
+    }
+
+    #[test]
+    fn to_sorted_vec_sorts_insertion_order() {
+        let s = VertexSet::from_iter(10, [v(9), v(2), v(7)]);
+        assert_eq!(s.to_sorted_vec(), vec![v(2), v(7), v(9)]);
+    }
+}

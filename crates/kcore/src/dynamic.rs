@@ -1,0 +1,335 @@
+//! Incremental core-number maintenance under edge insertions/deletions —
+//! the streaming k-core decomposition of Sariyüce et al. (PVLDB 2013).
+//!
+//! The demo paper positions C-Explorer over evolving social networks
+//! (new co-authorships appear continuously) and cites dynamic community
+//! maintenance as the motivation behind Huang et al.'s dynamic k-truss.
+//! This module keeps the core numbers — the input to the CL-tree — up to
+//! date in time proportional to the *affected subcore*, instead of
+//! re-peeling the whole graph per edit.
+//!
+//! Key facts the algorithm rests on: inserting one edge can raise core
+//! numbers by **at most 1**, and only for vertices in the *subcore* of the
+//! edge's lower endpoint (vertices with the same core number K reachable
+//! through core-K vertices); deleting one edge can lower core numbers by
+//! at most 1, within the same region.
+
+use std::collections::VecDeque;
+
+use cx_graph::{AttributedGraph, VertexId};
+
+/// A mutable graph whose core numbers are maintained incrementally.
+///
+/// Seed it from an [`AttributedGraph`] (or empty), then apply
+/// [`DynamicCore::insert_edge`] / [`DynamicCore::remove_edge`];
+/// [`DynamicCore::core`] is always equal to what a from-scratch
+/// decomposition of the current edge set would produce (property-tested
+/// against exactly that).
+#[derive(Debug, Clone)]
+pub struct DynamicCore {
+    adj: Vec<Vec<u32>>,
+    core: Vec<u32>,
+}
+
+impl DynamicCore {
+    /// Seeds from an existing graph: adjacency copy + one full peel.
+    pub fn from_graph(g: &AttributedGraph) -> Self {
+        let adj: Vec<Vec<u32>> =
+            g.vertices().map(|v| g.neighbors(v).iter().map(|u| u.0).collect()).collect();
+        let core = crate::decomposition::CoreDecomposition::compute(g).core_numbers().to_vec();
+        Self { adj, core }
+    }
+
+    /// An edgeless graph with `n` vertices (all cores 0).
+    pub fn with_vertices(n: usize) -> Self {
+        Self { adj: vec![Vec::new(); n], core: vec![0; n] }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Current core number of `v`.
+    pub fn core(&self, v: VertexId) -> u32 {
+        self.core[v.index()]
+    }
+
+    /// All current core numbers, indexed by vertex.
+    pub fn core_numbers(&self) -> &[u32] {
+        &self.core
+    }
+
+    /// Adds a new isolated vertex, returning its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.adj.push(Vec::new());
+        self.core.push(0);
+        VertexId(self.adj.len() as u32 - 1)
+    }
+
+    /// Whether the undirected edge currently exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u.index() < self.adj.len() && self.adj[u.index()].contains(&v.0)
+    }
+
+    /// Inserts the undirected edge `{u, v}` and updates core numbers.
+    /// Returns true if the edge was new. Self-loops and duplicates are
+    /// ignored.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v || u.index() >= self.adj.len() || v.index() >= self.adj.len() {
+            return false;
+        }
+        if self.has_edge(u, v) {
+            return false;
+        }
+        self.adj[u.index()].push(v.0);
+        self.adj[v.index()].push(u.0);
+
+        // Only vertices with core == K (the smaller endpoint core) can rise.
+        let k = self.core[u.index()].min(self.core[v.index()]);
+        let roots: Vec<u32> = [u, v]
+            .into_iter()
+            .filter(|w| self.core[w.index()] == k)
+            .map(|w| w.0)
+            .collect();
+
+        // Candidate set: the subcore — core-K vertices reachable from the
+        // root(s) through core-K vertices.
+        let n = self.adj.len();
+        let mut in_sub = vec![false; n];
+        let mut subcore = Vec::new();
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for r in roots {
+            if !in_sub[r as usize] {
+                in_sub[r as usize] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(w) = queue.pop_front() {
+            subcore.push(w);
+            for &x in &self.adj[w as usize] {
+                if self.core[x as usize] == k && !in_sub[x as usize] {
+                    in_sub[x as usize] = true;
+                    queue.push_back(x);
+                }
+            }
+        }
+
+        // cd(w): neighbours that could support w at level K+1 — those with
+        // core > K, or core == K and still candidates.
+        let mut cd = vec![0u32; n];
+        for &w in &subcore {
+            cd[w as usize] = self.adj[w as usize]
+                .iter()
+                .filter(|&&x| self.core[x as usize] > k || in_sub[x as usize])
+                .count() as u32;
+        }
+        // Peel candidates that cannot reach degree K+1.
+        let mut evict: VecDeque<u32> =
+            subcore.iter().copied().filter(|&w| cd[w as usize] <= k).collect();
+        while let Some(w) = evict.pop_front() {
+            if !in_sub[w as usize] {
+                continue;
+            }
+            in_sub[w as usize] = false;
+            for &x in &self.adj[w as usize] {
+                if in_sub[x as usize] {
+                    cd[x as usize] -= 1;
+                    if cd[x as usize] == k {
+                        evict.push_back(x);
+                    }
+                }
+            }
+        }
+        // Survivors rise to K+1.
+        for &w in &subcore {
+            if in_sub[w as usize] {
+                self.core[w as usize] = k + 1;
+            }
+        }
+        true
+    }
+
+    /// Removes the undirected edge `{u, v}` and updates core numbers.
+    /// Returns true if the edge existed.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v || !self.has_edge(u, v) {
+            return false;
+        }
+        self.adj[u.index()].retain(|&x| x != v.0);
+        self.adj[v.index()].retain(|&x| x != u.0);
+
+        let k = self.core[u.index()].min(self.core[v.index()]);
+        // Vertices with core == K near the affected endpoints may drop to
+        // K-1. Start from the endpoints whose core is K and cascade: a
+        // core-K vertex drops when fewer than K of its neighbours have
+        // (effective) core ≥ K.
+        let n = self.adj.len();
+        let mut cd = vec![u32::MAX; n]; // lazily computed for visited core-K vertices
+        let eff_core = |core: &[u32], x: u32| core[x as usize];
+
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        let mut queued = vec![false; n];
+        for w in [u.0, v.0] {
+            if self.core[w as usize] == k && !queued[w as usize] {
+                queued[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+        while let Some(w) = queue.pop_front() {
+            if self.core[w as usize] != k {
+                continue;
+            }
+            if cd[w as usize] == u32::MAX {
+                cd[w as usize] = self.adj[w as usize]
+                    .iter()
+                    .filter(|&&x| eff_core(&self.core, x) >= k)
+                    .count() as u32;
+            }
+            if cd[w as usize] < k {
+                // w drops; its core-K neighbours lose a supporter.
+                self.core[w as usize] = k.saturating_sub(1);
+                for &x in &self.adj[w as usize] {
+                    if self.core[x as usize] == k {
+                        if cd[x as usize] == u32::MAX {
+                            cd[x as usize] = self.adj[x as usize]
+                                .iter()
+                                .filter(|&&y| eff_core(&self.core, y) >= k)
+                                .count() as u32;
+                        } else {
+                            cd[x as usize] = cd[x as usize].saturating_sub(1);
+                        }
+                        if !queued[x as usize] || cd[x as usize] < k {
+                            queued[x as usize] = true;
+                            queue.push_back(x);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_graph::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Reference: full recompute on the current adjacency.
+    fn recompute(dc: &DynamicCore) -> Vec<u32> {
+        let mut b = GraphBuilder::new();
+        for i in 0..dc.vertex_count() {
+            b.add_vertex(&format!("v{i}"), &[]);
+        }
+        for (i, ns) in dc.adj.iter().enumerate() {
+            for &j in ns {
+                if (i as u32) < j {
+                    b.add_edge(v(i as u32), v(j));
+                }
+            }
+        }
+        crate::decomposition::CoreDecomposition::compute(&b.build()).core_numbers().to_vec()
+    }
+
+    #[test]
+    fn building_a_triangle_incrementally() {
+        let mut dc = DynamicCore::with_vertices(3);
+        assert!(dc.insert_edge(v(0), v(1)));
+        assert_eq!(dc.core_numbers(), &[1, 1, 0]);
+        assert!(dc.insert_edge(v(1), v(2)));
+        assert_eq!(dc.core_numbers(), &[1, 1, 1]);
+        assert!(dc.insert_edge(v(0), v(2)));
+        assert_eq!(dc.core_numbers(), &[2, 2, 2]);
+        assert_eq!(dc.edge_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut dc = DynamicCore::with_vertices(2);
+        assert!(dc.insert_edge(v(0), v(1)));
+        assert!(!dc.insert_edge(v(0), v(1)));
+        assert!(!dc.insert_edge(v(1), v(0)));
+        assert!(!dc.insert_edge(v(0), v(0)));
+        assert!(!dc.insert_edge(v(0), v(9)));
+        assert_eq!(dc.edge_count(), 1);
+    }
+
+    #[test]
+    fn removing_a_clique_edge_drops_cores() {
+        // K4: all cores 3; removing one edge drops everyone to 2.
+        let mut dc = DynamicCore::with_vertices(4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                dc.insert_edge(v(i), v(j));
+            }
+        }
+        assert_eq!(dc.core_numbers(), &[3, 3, 3, 3]);
+        assert!(dc.remove_edge(v(0), v(1)));
+        assert_eq!(dc.core_numbers(), recompute(&dc).as_slice());
+        assert_eq!(dc.core_numbers(), &[2, 2, 2, 2]);
+        assert!(!dc.remove_edge(v(0), v(1)));
+    }
+
+    #[test]
+    fn insertion_only_affects_subcore() {
+        // Two triangles joined by a path; adding a chord to one triangle
+        // must not disturb the other.
+        let mut dc = DynamicCore::with_vertices(7);
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (4, 5), (5, 6), (4, 6), (2, 3), (3, 4)] {
+            dc.insert_edge(v(a), v(b));
+        }
+        assert_eq!(dc.core_numbers(), recompute(&dc).as_slice());
+        let before_far = dc.core(v(5));
+        dc.insert_edge(v(0), v(3));
+        assert_eq!(dc.core_numbers(), recompute(&dc).as_slice());
+        assert_eq!(dc.core(v(5)), before_far);
+    }
+
+    #[test]
+    fn from_graph_matches_decomposition() {
+        let g = cx_datagen::figure5_graph();
+        let dc = DynamicCore::from_graph(&g);
+        let cd = crate::decomposition::CoreDecomposition::compute(&g);
+        assert_eq!(dc.core_numbers(), cd.core_numbers());
+        assert_eq!(dc.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn grow_figure5_from_scratch_and_tear_down() {
+        let g = cx_datagen::figure5_graph();
+        let mut dc = DynamicCore::with_vertices(g.vertex_count());
+        let edges: Vec<_> = g.edges().collect();
+        for &(a, b) in &edges {
+            dc.insert_edge(a, b);
+            assert_eq!(dc.core_numbers(), recompute(&dc).as_slice(), "after +({a},{b})");
+        }
+        let cd = crate::decomposition::CoreDecomposition::compute(&g);
+        assert_eq!(dc.core_numbers(), cd.core_numbers());
+        // Tear down in reverse.
+        for &(a, b) in edges.iter().rev() {
+            dc.remove_edge(a, b);
+            assert_eq!(dc.core_numbers(), recompute(&dc).as_slice(), "after -({a},{b})");
+        }
+        assert!(dc.core_numbers().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn add_vertex_extends_graph() {
+        let mut dc = DynamicCore::with_vertices(1);
+        let nv = dc.add_vertex();
+        assert_eq!(nv, v(1));
+        assert_eq!(dc.vertex_count(), 2);
+        dc.insert_edge(v(0), nv);
+        assert_eq!(dc.core_numbers(), &[1, 1]);
+    }
+}

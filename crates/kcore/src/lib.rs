@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # cx-kcore — core & truss decomposition primitives
+//!
+//! The structure-cohesiveness machinery every community-retrieval algorithm
+//! in C-Explorer rests on:
+//!
+//! * [`CoreDecomposition`] — Batagelj–Zaversnik bucket peeling; computes the
+//!   core number of every vertex in O(n + m). The k-core `H_k` is the
+//!   largest subgraph in which every vertex has degree ≥ k; cores are nested
+//!   (`H_{k+1} ⊆ H_k`), the property the CL-tree index is built on.
+//! * [`subset`] — peeling restricted to a vertex subset: the maximal k-core
+//!   of an induced subgraph, and the connected k-core containing a query
+//!   vertex. This is the verification step ACQ runs per candidate keyword
+//!   set, and the local check used by the `Local` algorithm.
+//! * [`truss`] — triangle counting, truss decomposition and the
+//!   triangle-connected k-truss community search of Huang et al.
+//!   (SIGMOD'14), the alternative cohesiveness measure the paper cites.
+
+pub mod decomposition;
+pub mod dynamic;
+pub mod subset;
+pub mod truss;
+
+pub use decomposition::CoreDecomposition;
+pub use dynamic::DynamicCore;
+pub use subset::{connected_k_core_containing, k_core_of_subset};
+pub use truss::{truss_communities, TrussDecomposition};

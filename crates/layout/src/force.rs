@@ -1,0 +1,302 @@
+//! Layout algorithms over an induced subgraph.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cx_graph::Subgraph;
+
+/// Which placement algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutAlgorithm {
+    /// Classic Fruchterman–Reingold force simulation with cooling.
+    FruchtermanReingold {
+        /// Simulation steps (50 is plenty for community-sized graphs).
+        iterations: usize,
+    },
+    /// Kamada–Kawai-style stress minimisation over BFS hop distances,
+    /// optimised by gradient steps.
+    KamadaKawai {
+        /// Optimisation sweeps.
+        iterations: usize,
+    },
+    /// Members evenly spaced on a circle, in id order.
+    Circular,
+    /// Concentric rings by BFS hop distance from the first member
+    /// (the query vertex when laid out through the engine).
+    Shell,
+}
+
+impl LayoutAlgorithm {
+    /// A sensible default: FR with 60 iterations.
+    pub fn default_force() -> Self {
+        LayoutAlgorithm::FruchtermanReingold { iterations: 60 }
+    }
+
+    /// Computes raw (unfitted) unit-space positions for `sub`.
+    /// Deterministic for a given `seed`.
+    pub fn run(&self, sub: &Subgraph, seed: u64) -> Vec<(f64, f64)> {
+        let n = sub.vertex_count();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![(0.5, 0.5)];
+        }
+        match *self {
+            LayoutAlgorithm::FruchtermanReingold { iterations } => fr(sub, iterations, seed),
+            LayoutAlgorithm::KamadaKawai { iterations } => kk(sub, iterations, seed),
+            LayoutAlgorithm::Circular => circular(n),
+            LayoutAlgorithm::Shell => shell(sub),
+        }
+    }
+}
+
+fn initial_positions(n: usize, seed: u64) -> Vec<(f64, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect()
+}
+
+/// Fruchterman–Reingold in the unit square.
+fn fr(sub: &Subgraph, iterations: usize, seed: u64) -> Vec<(f64, f64)> {
+    let n = sub.vertex_count();
+    let mut pos = initial_positions(n, seed);
+    let area = 1.0;
+    let k = (area / n as f64).sqrt();
+    let mut temp = 0.25f64;
+    let cool = 0.95f64;
+
+    for _ in 0..iterations.max(1) {
+        let mut disp = vec![(0.0f64, 0.0f64); n];
+        // Repulsion between all pairs.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = pos[i].0 - pos[j].0;
+                let dy = pos[i].1 - pos[j].1;
+                let d2 = (dx * dx + dy * dy).max(1e-9);
+                let d = d2.sqrt();
+                let f = k * k / d;
+                let (ux, uy) = (dx / d, dy / d);
+                disp[i].0 += ux * f;
+                disp[i].1 += uy * f;
+                disp[j].0 -= ux * f;
+                disp[j].1 -= uy * f;
+            }
+        }
+        // Attraction along edges.
+        for i in 0..n as u32 {
+            for &j in sub.neighbors(i) {
+                if j <= i {
+                    continue;
+                }
+                let (i, j) = (i as usize, j as usize);
+                let dx = pos[i].0 - pos[j].0;
+                let dy = pos[i].1 - pos[j].1;
+                let d = (dx * dx + dy * dy).sqrt().max(1e-9);
+                let f = d * d / k;
+                let (ux, uy) = (dx / d, dy / d);
+                disp[i].0 -= ux * f;
+                disp[i].1 -= uy * f;
+                disp[j].0 += ux * f;
+                disp[j].1 += uy * f;
+            }
+        }
+        // Displace, capped by temperature.
+        for i in 0..n {
+            let (dx, dy) = disp[i];
+            let d = (dx * dx + dy * dy).sqrt().max(1e-9);
+            let step = d.min(temp);
+            pos[i].0 += dx / d * step;
+            pos[i].1 += dy / d * step;
+        }
+        temp *= cool;
+    }
+    pos
+}
+
+/// Kamada–Kawai-style: target distance = BFS hops scaled; gradient descent
+/// on the stress function.
+fn kk(sub: &Subgraph, iterations: usize, seed: u64) -> Vec<(f64, f64)> {
+    let n = sub.vertex_count();
+    // All-pairs BFS distances (community-sized inputs only).
+    let mut dist = vec![vec![0usize; n]; n];
+    for s in 0..n {
+        let mut d = vec![usize::MAX; n];
+        let mut q = std::collections::VecDeque::new();
+        d[s] = 0;
+        q.push_back(s as u32);
+        while let Some(u) = q.pop_front() {
+            for &v in sub.neighbors(u) {
+                if d[v as usize] == usize::MAX {
+                    d[v as usize] = d[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        let max_seen = d.iter().filter(|&&x| x != usize::MAX).max().copied().unwrap_or(1);
+        for t in 0..n {
+            dist[s][t] = if d[t] == usize::MAX { max_seen + 1 } else { d[t] };
+        }
+    }
+    let dmax = dist.iter().flatten().copied().max().unwrap_or(1).max(1) as f64;
+    let ideal = |i: usize, j: usize| dist[i][j] as f64 / dmax;
+
+    let mut pos = initial_positions(n, seed);
+    let lr = 0.05;
+    for _ in 0..iterations.max(1) {
+        for i in 0..n {
+            let (mut gx, mut gy) = (0.0, 0.0);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dx = pos[i].0 - pos[j].0;
+                let dy = pos[i].1 - pos[j].1;
+                let d = (dx * dx + dy * dy).sqrt().max(1e-9);
+                let target = ideal(i, j).max(1e-3);
+                // Gradient of (d - target)^2 / target^2 wrt pos[i].
+                let coeff = 2.0 * (d - target) / (target * target * d);
+                gx += coeff * dx;
+                gy += coeff * dy;
+            }
+            pos[i].0 -= lr * gx;
+            pos[i].1 -= lr * gy;
+        }
+    }
+    pos
+}
+
+fn circular(n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            (0.5 + 0.45 * theta.cos(), 0.5 + 0.45 * theta.sin())
+        })
+        .collect()
+}
+
+/// Concentric rings by hop distance from local vertex 0.
+fn shell(sub: &Subgraph) -> Vec<(f64, f64)> {
+    let n = sub.vertex_count();
+    let mut d = vec![usize::MAX; n];
+    let mut q = std::collections::VecDeque::new();
+    d[0] = 0;
+    q.push_back(0u32);
+    while let Some(u) = q.pop_front() {
+        for &v in sub.neighbors(u) {
+            if d[v as usize] == usize::MAX {
+                d[v as usize] = d[u as usize] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    let finite_max = d.iter().filter(|&&x| x != usize::MAX).max().copied().unwrap_or(0);
+    for x in d.iter_mut() {
+        if *x == usize::MAX {
+            *x = finite_max + 1;
+        }
+    }
+    let rings = d.iter().max().copied().unwrap_or(0).max(1);
+    // Count members per ring to spread them evenly.
+    let mut per_ring = vec![0usize; rings + 1];
+    for &r in &d {
+        per_ring[r] += 1;
+    }
+    let mut placed = vec![0usize; rings + 1];
+    (0..n)
+        .map(|i| {
+            let r = d[i];
+            if r == 0 {
+                return (0.5, 0.5);
+            }
+            let radius = 0.45 * r as f64 / rings as f64;
+            let slot = placed[r];
+            placed[r] += 1;
+            let theta = 2.0 * std::f64::consts::PI * slot as f64 / per_ring[r] as f64;
+            (0.5 + radius * theta.cos(), 0.5 + radius * theta.sin())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_graph::{GraphBuilder, Subgraph, VertexId};
+
+    fn path_subgraph(n: usize) -> Subgraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_vertex(&format!("v{i}"), &[]);
+        }
+        for i in 0..(n as u32 - 1) {
+            b.add_edge(VertexId(i), VertexId(i + 1));
+        }
+        let g = b.build();
+        let members: Vec<VertexId> = g.vertices().collect();
+        Subgraph::induced(&g, &members)
+    }
+
+    #[test]
+    fn all_algorithms_place_every_vertex_finitely() {
+        let sub = path_subgraph(7);
+        for algo in [
+            LayoutAlgorithm::default_force(),
+            LayoutAlgorithm::KamadaKawai { iterations: 30 },
+            LayoutAlgorithm::Circular,
+            LayoutAlgorithm::Shell,
+        ] {
+            let pos = algo.run(&sub, 1);
+            assert_eq!(pos.len(), 7);
+            for (x, y) in pos {
+                assert!(x.is_finite() && y.is_finite(), "{algo:?} produced NaN");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sub = path_subgraph(6);
+        let algo = LayoutAlgorithm::default_force();
+        assert_eq!(algo.run(&sub, 7), algo.run(&sub, 7));
+        assert_ne!(algo.run(&sub, 7), algo.run(&sub, 8));
+    }
+
+    #[test]
+    fn fr_separates_nonadjacent_vertices() {
+        let sub = path_subgraph(5);
+        let pos = LayoutAlgorithm::default_force().run(&sub, 3);
+        // End vertices of the path should end up farther apart than
+        // adjacent ones.
+        let d = |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        assert!(d(pos[0], pos[4]) > d(pos[0], pos[1]));
+    }
+
+    #[test]
+    fn circular_is_evenly_spaced() {
+        let pos = LayoutAlgorithm::Circular.run(&path_subgraph(4), 0);
+        let center = (0.5, 0.5);
+        for (x, y) in &pos {
+            let r = ((x - center.0).powi(2) + (y - center.1).powi(2)).sqrt();
+            assert!((r - 0.45).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shell_centers_first_vertex() {
+        let pos = LayoutAlgorithm::Shell.run(&path_subgraph(5), 0);
+        assert_eq!(pos[0], (0.5, 0.5));
+        // Farther path vertices sit on larger rings.
+        let r = |p: (f64, f64)| ((p.0 - 0.5f64).powi(2) + (p.1 - 0.5).powi(2)).sqrt();
+        assert!(r(pos[4]) > r(pos[1]));
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex("only", &[]);
+        let g = b.build();
+        let sub = Subgraph::induced(&g, &[VertexId(0)]);
+        assert_eq!(LayoutAlgorithm::default_force().run(&sub, 0), vec![(0.5, 0.5)]);
+        let empty = Subgraph::induced(&g, &[]);
+        assert!(LayoutAlgorithm::Circular.run(&empty, 0).is_empty());
+    }
+}

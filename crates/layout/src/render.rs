@@ -1,0 +1,173 @@
+//! Renderers: SVG (for files — the paper's "save the community into a
+//! .jpg file or print it" feature) and JSON (for the web UI's canvas).
+
+use crate::scene::Scene;
+
+/// Escapes the five XML special characters.
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+        .replace('\'', "&apos;")
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Scene {
+    /// Renders the scene as a standalone SVG document: edges, vertex dots
+    /// (query vertex emphasised), labels, a title line, and the theme.
+    pub fn to_svg(&self) -> String {
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n",
+            self.width, self.height, self.width, self.height
+        ));
+        svg.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+        if !self.title.is_empty() {
+            svg.push_str(&format!(
+                "<text x=\"10\" y=\"18\" font-family=\"sans-serif\" font-size=\"14\" font-weight=\"bold\">{}</text>\n",
+                xml_escape(&self.title)
+            ));
+        }
+        if !self.theme.is_empty() {
+            svg.push_str(&format!(
+                "<text x=\"10\" y=\"34\" font-family=\"sans-serif\" font-size=\"11\" fill=\"#555\">Theme: {}</text>\n",
+                xml_escape(&self.theme.join(", "))
+            ));
+        }
+        for &(i, j) in &self.edges {
+            let (a, b) = (self.vertices[i].1, self.vertices[j].1);
+            svg.push_str(&format!(
+                "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#999\" stroke-width=\"1\"/>\n",
+                a.x, a.y, b.x, b.y
+            ));
+        }
+        for (idx, &(_, p)) in self.vertices.iter().enumerate() {
+            let is_hi = self.highlight == Some(idx);
+            let (r, fill) = if is_hi { (8.0, "#d9534f") } else { (5.0, "#337ab7") };
+            svg.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{r}\" fill=\"{fill}\" stroke=\"#222\" stroke-width=\"0.8\"/>\n",
+                p.x, p.y
+            ));
+            svg.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"10\" fill=\"#222\">{}</text>\n",
+                p.x + r + 2.0,
+                p.y + 3.0,
+                xml_escape(&self.labels[idx])
+            ));
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Serialises the scene to the JSON the embedded web UI consumes:
+    /// `{title, theme, width, height, nodes: [{id, label, x, y, highlight}],
+    /// edges: [[i, j], …]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"title\":\"{}\",", json_escape(&self.title)));
+        out.push_str("\"theme\":[");
+        for (i, t) in self.theme.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", json_escape(t)));
+        }
+        out.push_str("],");
+        out.push_str(&format!("\"width\":{:.1},\"height\":{:.1},", self.width, self.height));
+        out.push_str("\"nodes\":[");
+        for (i, &(v, p)) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"label\":\"{}\",\"x\":{:.1},\"y\":{:.1},\"highlight\":{}}}",
+                v.0,
+                json_escape(&self.labels[i]),
+                p.x,
+                p.y,
+                self.highlight == Some(i)
+            ));
+        }
+        out.push_str("],\"edges\":[");
+        for (i, &(a, b)) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{a},{b}]"));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{layout_community, LayoutAlgorithm};
+    use cx_datagen::figure5_graph;
+    use cx_graph::Community;
+
+    fn scene() -> crate::Scene {
+        let g = figure5_graph();
+        let a = g.vertex_by_label("A").unwrap();
+        let c = Community::structural(vec![
+            g.vertex_by_label("A").unwrap(),
+            g.vertex_by_label("B").unwrap(),
+            g.vertex_by_label("C").unwrap(),
+        ]);
+        layout_community(&g, &c, LayoutAlgorithm::Circular, Some(a), 300.0, 200.0, 0)
+            .titled("Method: <ACQ> & \"friends\"")
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = scene().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert_eq!(svg.matches("<line").count(), 3); // triangle
+        // Title is escaped.
+        assert!(svg.contains("&lt;ACQ&gt;"));
+        assert!(svg.contains("&quot;friends&quot;"));
+        assert!(!svg.contains("<ACQ>"));
+    }
+
+    #[test]
+    fn svg_highlights_query() {
+        let svg = scene().to_svg();
+        assert_eq!(svg.matches("#d9534f").count(), 1);
+    }
+
+    #[test]
+    fn json_has_nodes_and_edges() {
+        let json = scene().to_json();
+        assert!(json.contains("\"nodes\":["));
+        assert_eq!(json.matches("\"label\"").count(), 3);
+        assert!(json.contains("\"highlight\":true"));
+        assert!(json.contains("\"edges\":[["));
+        // Escaped title.
+        assert!(json.contains("\\\"friends\\\""));
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::json_escape("\u{1}"), "\\u0001");
+    }
+}

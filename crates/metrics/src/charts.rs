@@ -1,0 +1,139 @@
+//! Text bar charts — the terminal stand-in for the browser's CPJ/CMF bar
+//! graphs in the Analysis tab.
+
+/// Renders labelled values as a horizontal unicode bar chart, scaled so
+/// the largest value spans `width` cells. Values must be non-negative;
+/// the chart is empty for no data.
+///
+/// ```
+/// let chart = cx_metrics::bar_chart(&[("ACQ", 0.82), ("Global", 0.31)], 20);
+/// assert!(chart.contains("ACQ"));
+/// assert!(chart.lines().count() == 2);
+/// ```
+pub fn bar_chart(data: &[(&str, f64)], width: usize) -> String {
+    if data.is_empty() {
+        return String::new();
+    }
+    let max = data.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_w = data.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (i, &(label, value)) in data.iter().enumerate() {
+        let cells = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("{label:<label_w$} | {}{} {value:.3}", "█".repeat(cells), if cells == 0 { "·" } else { "" }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let chart = bar_chart(&[("a", 1.0), ("b", 0.5)], 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let bars_a = lines[0].matches('█').count();
+        let bars_b = lines[1].matches('█').count();
+        assert_eq!(bars_a, 10);
+        assert_eq!(bars_b, 5);
+        assert!(lines[0].contains("1.000"));
+    }
+
+    #[test]
+    fn zero_values_get_dot_marker() {
+        let chart = bar_chart(&[("z", 0.0)], 10);
+        assert!(chart.contains('·'));
+    }
+
+    #[test]
+    fn empty_data() {
+        assert_eq!(bar_chart(&[], 10), "");
+    }
+
+    #[test]
+    fn labels_are_aligned() {
+        let chart = bar_chart(&[("long-label", 1.0), ("s", 1.0)], 4);
+        let lines: Vec<&str> = chart.lines().collect();
+        let bar_pos = |l: &str| l.find('|').unwrap();
+        assert_eq!(bar_pos(lines[0]), bar_pos(lines[1]));
+    }
+}
+
+/// Renders labelled values as a standalone SVG bar chart (the file-export
+/// counterpart of [`bar_chart`], used by the Analysis tab's "save chart"
+/// action). Bars are scaled to the largest value; returns a complete SVG
+/// document. Empty input yields an empty-plot SVG.
+pub fn bar_chart_svg(title: &str, data: &[(&str, f64)], width: f64) -> String {
+    let bar_h = 22.0;
+    let gap = 8.0;
+    let label_w = 110.0;
+    let value_w = 64.0;
+    let top = 34.0;
+    let height = top + data.len() as f64 * (bar_h + gap) + 10.0;
+    let max = data.iter().map(|&(_, v)| v).fold(0.0f64, f64::max).max(1e-12);
+    let esc = |s: &str| {
+        s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    };
+
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\">\n\
+         <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n\
+         <text x=\"10\" y=\"20\" font-family=\"sans-serif\" font-size=\"14\" font-weight=\"bold\">{}</text>\n",
+        label_w + width + value_w,
+        height,
+        esc(title)
+    );
+    for (i, &(label, value)) in data.iter().enumerate() {
+        let y = top + i as f64 * (bar_h + gap);
+        let w = width * (value / max);
+        svg.push_str(&format!(
+            "<text x=\"{:.0}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"12\" text-anchor=\"end\">{}</text>\n",
+            label_w - 8.0,
+            y + bar_h * 0.7,
+            esc(label)
+        ));
+        svg.push_str(&format!(
+            "<rect x=\"{label_w:.0}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{bar_h:.0}\" fill=\"#337ab7\"/>\n"
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"12\">{value:.3}</text>\n",
+            label_w + w + 6.0,
+            y + bar_h * 0.7
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod svg_tests {
+    use super::*;
+
+    #[test]
+    fn svg_chart_structure() {
+        let svg = bar_chart_svg("CPJ <test>", &[("acq", 0.8), ("global", 0.2)], 200.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 3); // background + 2 bars
+        assert!(svg.contains("&lt;test&gt;"));
+        assert!(svg.contains("0.800"));
+        // The larger value gets the full width.
+        assert!(svg.contains("width=\"200.0\""));
+        assert!(svg.contains("width=\"50.0\""));
+    }
+
+    #[test]
+    fn svg_chart_empty_data() {
+        let svg = bar_chart_svg("empty", &[], 100.0);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<rect").count(), 1);
+    }
+}

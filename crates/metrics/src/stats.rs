@@ -1,0 +1,98 @@
+//! Community statistics — the Figure 6(a) table rows.
+
+use cx_graph::{AttributedGraph, Community};
+
+/// Aggregate statistics of one algorithm's result set, exactly the columns
+/// of the paper's "Community Statistics" table: number of communities,
+/// average vertices, average edges, average internal degree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunityStats {
+    /// Number of communities returned.
+    pub communities: usize,
+    /// Mean member count per community.
+    pub avg_vertices: f64,
+    /// Mean internal-edge count per community.
+    pub avg_edges: f64,
+    /// Mean average-internal-degree per community (`2m/n` per community,
+    /// then averaged).
+    pub avg_degree: f64,
+}
+
+impl CommunityStats {
+    /// Computes the table row for a result set (all zeros when empty).
+    pub fn compute(g: &AttributedGraph, communities: &[Community]) -> Self {
+        let n = communities.len();
+        if n == 0 {
+            return Self { communities: 0, avg_vertices: 0.0, avg_edges: 0.0, avg_degree: 0.0 };
+        }
+        let mut vsum = 0.0;
+        let mut esum = 0.0;
+        let mut dsum = 0.0;
+        for c in communities {
+            let m = c.internal_edge_count(g);
+            vsum += c.len() as f64;
+            esum += m as f64;
+            dsum += c.average_internal_degree(g);
+        }
+        Self {
+            communities: n,
+            avg_vertices: vsum / n as f64,
+            avg_edges: esum / n as f64,
+            avg_degree: dsum / n as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for CommunityStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} communities, {:.1} vertices, {:.1} edges, {:.1} degree",
+            self.communities, self.avg_vertices, self.avg_edges, self.avg_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_graph::{GraphBuilder, VertexId};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn stats_for_triangle_plus_pair() {
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            b.add_vertex(&format!("v{i}"), &[]);
+        }
+        for (a, c) in [(0, 1), (1, 2), (0, 2), (3, 4)] {
+            b.add_edge(v(a), v(c));
+        }
+        let g = b.build();
+        let cs = vec![
+            Community::structural(vec![v(0), v(1), v(2)]),
+            Community::structural(vec![v(3), v(4)]),
+        ];
+        let s = CommunityStats::compute(&g, &cs);
+        assert_eq!(s.communities, 2);
+        assert!((s.avg_vertices - 2.5).abs() < 1e-12);
+        assert!((s.avg_edges - 2.0).abs() < 1e-12); // (3 + 1) / 2
+        assert!((s.avg_degree - 1.5).abs() < 1e-12); // (2.0 + 1.0) / 2
+        assert!(s.to_string().contains("2 communities"));
+    }
+
+    #[test]
+    fn empty_result_set() {
+        let g = GraphBuilder::new().build();
+        let s = CommunityStats::compute(&g, &[]);
+        assert_eq!(s, CommunityStats {
+            communities: 0,
+            avg_vertices: 0.0,
+            avg_edges: 0.0,
+            avg_degree: 0.0
+        });
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the metric suite: every measure respects its
+//! documented bounds and symmetries on random graphs and communities.
+
+use proptest::prelude::*;
+
+use cx_graph::{AttributedGraph, Community, GraphBuilder, VertexId};
+use cx_metrics::{cmf, conductance, cpj, cpj_single, f1_score, modularity, nmi};
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = AttributedGraph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(3 * n));
+        let kws = proptest::collection::vec(proptest::collection::vec(0u8..8, 0..5), n);
+        (Just(n), edges, kws).prop_map(|(n, edges, kws)| {
+            let mut b = GraphBuilder::new();
+            for (i, ks) in kws.iter().enumerate() {
+                let names: Vec<String> = ks.iter().map(|k| format!("kw{k}")).collect();
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                b.add_vertex(&format!("v{i}"), &refs);
+            }
+            for (u, v) in edges {
+                b.add_edge(VertexId(u), VertexId(v));
+            }
+            b.build()
+        })
+    })
+}
+
+fn members_of(g: &AttributedGraph, mask: &[bool]) -> Vec<VertexId> {
+    g.vertices().filter(|v| mask.get(v.index()).copied().unwrap_or(false)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quality_metrics_are_bounded(
+        g in arb_graph(20),
+        mask in proptest::collection::vec(any::<bool>(), 20),
+        qi in 0u32..20,
+    ) {
+        let q = VertexId(qi % g.vertex_count() as u32);
+        let c = Community::structural(members_of(&g, &mask));
+        let j = cpj_single(&g, &c);
+        prop_assert!((0.0..=1.0).contains(&j), "CPJ {j}");
+        let m = cmf(&g, &[c.clone()], q);
+        prop_assert!((0.0..=1.0).contains(&m), "CMF {m}");
+        let phi = conductance(&g, &c);
+        prop_assert!((0.0..=1.0).contains(&phi), "conductance {phi}");
+        prop_assert!((0.0..=1.0).contains(&cpj(&g, &[c])));
+    }
+
+    #[test]
+    fn modularity_bounds_and_trivial_partition(
+        g in arb_graph(20),
+        labels in proptest::collection::vec(0usize..4, 20),
+    ) {
+        let labels: Vec<usize> = labels.into_iter().take(g.vertex_count()).collect();
+        if labels.len() == g.vertex_count() {
+            let q = modularity(&g, &labels);
+            prop_assert!((-0.5..=1.0).contains(&q), "Q = {q}");
+        }
+        // The one-community partition always scores exactly 0.
+        let whole = vec![0usize; g.vertex_count()];
+        prop_assert!(modularity(&g, &whole).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_is_symmetric_and_self_is_one(
+        a in proptest::collection::vec(0usize..4, 2..20),
+    ) {
+        // Self-NMI is 1 unless the partition is trivial AND… it's 1 either way
+        // by our convention for identical trivial partitions.
+        prop_assert!((nmi(&a, &a) - 1.0).abs() < 1e-9);
+        // Symmetry against a shuffled relabelling of itself.
+        let b: Vec<usize> = a.iter().map(|&x| (x + 1) % 4).collect();
+        prop_assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-9);
+        prop_assert!((nmi(&a, &b) - 1.0).abs() < 1e-9, "relabelling must preserve NMI");
+    }
+
+    #[test]
+    fn f1_bounds_and_identity(
+        g in arb_graph(15),
+        mask1 in proptest::collection::vec(any::<bool>(), 15),
+        mask2 in proptest::collection::vec(any::<bool>(), 15),
+    ) {
+        let a = Community::structural(members_of(&g, &mask1));
+        let b = Community::structural(members_of(&g, &mask2));
+        if !a.is_empty() {
+            let sa = vec![a.clone()];
+            prop_assert!((f1_score(&sa, &sa) - 1.0).abs() < 1e-12);
+            if !b.is_empty() {
+                let sb = vec![b];
+                let f = f1_score(&sa, &sb);
+                prop_assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+}

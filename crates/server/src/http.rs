@@ -1,0 +1,331 @@
+//! Minimal HTTP/1.1 server over `std::net`, with socket-free request and
+//! response types so the routing layer is unit-testable.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path without the query string, e.g. `/api/search`.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: HashMap<String, String>,
+    /// Request body (for `POST /api/upload`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Builds a GET request for tests: `Request::get("/api/search?k=4")`.
+    pub fn get(target: &str) -> Self {
+        let (path, query) = split_target(target);
+        Self { method: "GET".into(), path, query, body: Vec::new() }
+    }
+
+    /// Builds a POST request with a body for tests.
+    pub fn post(target: &str, body: impl Into<Vec<u8>>) -> Self {
+        let (path, query) = split_target(target);
+        Self { method: "POST".into(), path, query, body: body.into() }
+    }
+
+    /// A query parameter by name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+
+    /// A query parameter parsed to a type, with a default.
+    pub fn param_as<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.param(name).and_then(|s| s.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn split_target(target: &str) -> (String, HashMap<String, String>) {
+    match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), parse_query(q)),
+        None => (target.to_owned(), HashMap::new()),
+    }
+}
+
+/// Parses `a=1&b=two%20words` with percent- and plus-decoding.
+pub fn parse_query(q: &str) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    for pair in q.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.insert(url_decode(k), url_decode(v));
+    }
+    out
+}
+
+/// Percent-decodes a URL component (`+` becomes space; bad escapes are
+/// passed through literally).
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                if let (Some(h), Some(l)) = (
+                    bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                    bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+                ) {
+                    out.push((h * 16 + l) as u8);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// An HTTP response ready to serialise.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code, e.g. 200.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json(v: &crate::json::Json) -> Self {
+        Self { status: 200, content_type: "application/json".into(), body: v.to_string().into_bytes() }
+    }
+
+    /// 200 with an HTML body.
+    pub fn html(body: impl Into<String>) -> Self {
+        Self { status: 200, content_type: "text/html; charset=utf-8".into(), body: body.into().into_bytes() }
+    }
+
+    /// 200 with an SVG body.
+    pub fn svg(body: impl Into<String>) -> Self {
+        Self { status: 200, content_type: "image/svg+xml".into(), body: body.into().into_bytes() }
+    }
+
+    /// An error response with a JSON `{error}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        let v = crate::json::Json::obj([("error", crate::json::Json::str(message))]);
+        Self { status, content_type: "application/json".into(), body: v.to_string().into_bytes() }
+    }
+
+    /// Body as UTF-8 (tests).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    fn status_line(&self) -> &'static str {
+        match self.status {
+            200 => "200 OK",
+            400 => "400 Bad Request",
+            404 => "404 Not Found",
+            405 => "405 Method Not Allowed",
+            _ => "500 Internal Server Error",
+        }
+    }
+
+    fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status_line(),
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(&self.body)
+    }
+}
+
+/// Reads one request from a stream. Returns `None` on a malformed or
+/// empty request.
+fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_owned();
+    let target = parts.next()?.to_owned();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).ok()?;
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    // Bound upload size to 64 MiB.
+    if content_length > 64 << 20 {
+        return None;
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).ok()?;
+    }
+    let (path, query) = split_target(&target);
+    Some(Request { method, path, query, body })
+}
+
+fn handle_connection(mut stream: TcpStream, handler: &dyn Fn(&Request) -> Response) {
+    let resp = match read_request(&mut stream) {
+        Some(req) => handler(&req),
+        None => Response::error(400, "malformed request"),
+    };
+    let _ = resp.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+/// Serves forever on `addr` with `workers` threads fed by a crossbeam
+/// channel (the accept loop runs on the calling thread).
+pub fn serve<F>(addr: &str, workers: usize, handler: F) -> std::io::Result<()>
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    run_accept_loop(listener, workers, handler);
+    Ok(())
+}
+
+/// Binds `addr`, spawns the accept loop and workers in the background,
+/// and returns the bound port.
+pub fn serve_background<F>(addr: &str, workers: usize, handler: F) -> std::io::Result<u16>
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let port = listener.local_addr()?.port();
+    std::thread::spawn(move || run_accept_loop(listener, workers, handler));
+    Ok(port)
+}
+
+fn run_accept_loop<F>(listener: TcpListener, workers: usize, handler: F)
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    let handler: Arc<F> = Arc::new(handler);
+    let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+    for _ in 0..workers.max(1) {
+        let rx = rx.clone();
+        let handler = Arc::clone(&handler);
+        std::thread::spawn(move || {
+            while let Ok(stream) = rx.recv() {
+                handle_connection(stream, &*handler);
+            }
+        });
+    }
+    for stream in listener.incoming().flatten() {
+        let _ = tx.send(stream);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builders_split_query() {
+        let r = Request::get("/api/search?name=jim+gray&k=4&kw=a%2Cb");
+        assert_eq!(r.path, "/api/search");
+        assert_eq!(r.param("name"), Some("jim gray"));
+        assert_eq!(r.param("kw"), Some("a,b"));
+        assert_eq!(r.param_as::<u32>("k", 1), 4);
+        assert_eq!(r.param_as::<u32>("missing", 7), 7);
+        assert_eq!(r.param_as::<u32>("name", 9), 9); // unparseable → default
+    }
+
+    #[test]
+    fn url_decode_handles_escapes() {
+        assert_eq!(url_decode("a%20b"), "a b");
+        assert_eq!(url_decode("a+b"), "a b");
+        assert_eq!(url_decode("100%"), "100%"); // bad escape passes through
+        assert_eq!(url_decode("%e4%bd%a0"), "你");
+    }
+
+    #[test]
+    fn parse_query_skips_empty_pairs() {
+        let q = parse_query("a=1&&b=&c");
+        assert_eq!(q.get("a").unwrap(), "1");
+        assert_eq!(q.get("b").unwrap(), "");
+        assert_eq!(q.get("c").unwrap(), "");
+    }
+
+    #[test]
+    fn response_builders() {
+        let j = crate::json::Json::obj([("ok", crate::json::Json::Bool(true))]);
+        let r = Response::json(&j);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.text(), "{\"ok\":true}");
+        let e = Response::error(404, "nope");
+        assert_eq!(e.status, 404);
+        assert!(e.text().contains("nope"));
+        assert_eq!(Response::html("<p>").content_type, "text/html; charset=utf-8");
+        assert_eq!(Response::svg("<svg/>").content_type, "image/svg+xml");
+    }
+
+    #[test]
+    fn status_lines() {
+        assert_eq!(Response::error(400, "x").status_line(), "400 Bad Request");
+        assert_eq!(Response::error(405, "x").status_line(), "405 Method Not Allowed");
+        assert_eq!(Response::error(418, "x").status_line(), "500 Internal Server Error");
+    }
+
+    /// Full socket round-trip: serve_background, raw TCP client.
+    #[test]
+    fn end_to_end_socket_roundtrip() {
+        let port = serve_background("127.0.0.1:0", 1, |req| {
+            Response::html(format!("echo:{}", req.path))
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(stream, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 200 OK"), "{buf}");
+        assert!(buf.ends_with("echo:/hello"), "{buf}");
+    }
+
+    #[test]
+    fn post_body_is_delivered() {
+        let port = serve_background("127.0.0.1:0", 1, |req| {
+            Response::html(format!("len:{}", req.body.len()))
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        let body = "v\talice\t\n";
+        write!(
+            stream,
+            "POST /api/upload HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.contains(&format!("len:{}", body.len())), "{buf}");
+    }
+}

@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+
+//! # cx-server — the browser–server layer (Figure 3)
+//!
+//! The paper deploys C-Explorer as a JSP/Tomcat web application; this
+//! crate is the Rust equivalent, deliberately dependency-free at the
+//! transport level:
+//!
+//! * [`json`] — a small, strict JSON value model with a writer and parser
+//!   (no serde: the protocol is tiny and auditable);
+//! * [`http`] — an HTTP/1.1 server over `std::net::TcpListener` with a
+//!   crossbeam-channel worker pool, plus request/response types that are
+//!   fully testable without sockets;
+//! * [`routes`] — the REST API (`/api/search`, `/api/compare`,
+//!   `/api/detect`, `/api/profile`, `/api/suggest`, `/api/graphs`,
+//!   `/api/upload`) over an [`cx_explorer::Engine`] behind a
+//!   `parking_lot::RwLock`;
+//! * [`ui`] — the embedded single-page browser UI (left panel: name box,
+//!   degree constraint, keyword chips; right panel: the community drawn on
+//!   a canvas), mirroring Figure 1.
+//!
+//! ```no_run
+//! use cx_server::Server;
+//! let engine = cx_explorer::Engine::with_graph("fig5", cx_datagen::figure5_graph());
+//! Server::new(engine).serve("127.0.0.1:7171").unwrap();
+//! ```
+
+pub mod http;
+pub mod json;
+pub mod routes;
+pub mod ui;
+
+pub use http::{Request, Response};
+pub use json::Json;
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// The C-Explorer web server: an engine behind a lock plus the HTTP loop.
+pub struct Server {
+    engine: Arc<RwLock<cx_explorer::Engine>>,
+}
+
+impl Server {
+    /// Wraps an engine for serving.
+    pub fn new(engine: cx_explorer::Engine) -> Self {
+        Self { engine: Arc::new(RwLock::new(engine)) }
+    }
+
+    /// Shared handle to the engine (e.g. to add graphs while serving).
+    pub fn engine(&self) -> Arc<RwLock<cx_explorer::Engine>> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Handles one parsed request — the unit tests drive this directly.
+    pub fn handle(&self, req: &Request) -> Response {
+        routes::route(&self.engine, req)
+    }
+
+    /// Binds `addr` and serves forever (4 worker threads).
+    pub fn serve(&self, addr: &str) -> std::io::Result<()> {
+        http::serve(addr, 4, {
+            let engine = Arc::clone(&self.engine);
+            move |req| routes::route(&engine, req)
+        })
+    }
+
+    /// Binds an OS-assigned port, returns it, and serves in background
+    /// threads — used by the end-to-end tests and the `serve` example.
+    pub fn serve_background(&self) -> std::io::Result<u16> {
+        http::serve_background("127.0.0.1:0", 2, {
+            let engine = Arc::clone(&self.engine);
+            move |req| routes::route(&engine, req)
+        })
+    }
+}

@@ -1,0 +1,589 @@
+//! The REST API over the engine — the protocol the browser page speaks.
+
+use parking_lot::RwLock;
+
+use cx_explorer::{Engine, ExplorerError, QuerySpec};
+use cx_graph::{Community, VertexId};
+use cx_layout::LayoutAlgorithm;
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+
+/// Dispatches one request.
+pub fn route(engine: &RwLock<Engine>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/") | ("GET", "/index.html") => Response::html(crate::ui::INDEX_HTML),
+        ("GET", "/api/graphs") => graphs(engine),
+        ("GET", "/api/stats") => stats(engine, req),
+        ("GET", "/api/suggest") => suggest(engine, req),
+        ("GET", "/api/search") => search(engine, req),
+        ("GET", "/api/svg") => svg(engine, req),
+        ("GET", "/api/compare") => compare(engine, req),
+        ("GET", "/api/chart") => chart(engine, req),
+        ("GET", "/api/detect") => detect(engine, req),
+        ("GET", "/api/profile") => profile(engine, req),
+        ("POST", "/api/upload") => upload(engine, req),
+        ("POST", "/api/edit") => edit(engine, req),
+        ("GET", _) => Response::error(404, "no such endpoint"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+fn err_response(e: &ExplorerError) -> Response {
+    let status = match e {
+        ExplorerError::UnknownAlgorithm(_)
+        | ExplorerError::UnknownGraph(_)
+        | ExplorerError::UnknownVertex(_) => 404,
+        ExplorerError::BadQuery(_) | ExplorerError::NoGraph => 400,
+        ExplorerError::Graph(_) => 400,
+    };
+    Response::error(status, &e.to_string())
+}
+
+fn graphs(engine: &RwLock<Engine>) -> Response {
+    let e = engine.read();
+    let graphs = Json::arr(e.graph_names().iter().map(|n| Json::str(*n)));
+    let cs = Json::arr(e.cs_names().iter().map(|n| Json::str(*n)));
+    let cd = Json::arr(e.cd_names().iter().map(|n| Json::str(*n)));
+    let default = e.default_graph_name().map(Json::str).unwrap_or(Json::Null);
+    Response::json(&Json::obj([
+        ("graphs", graphs),
+        ("cs_algorithms", cs),
+        ("cd_algorithms", cd),
+        ("default_graph", default),
+    ]))
+}
+
+fn stats(engine: &RwLock<Engine>, req: &Request) -> Response {
+    let e = engine.read();
+    let g = match e.graph(req.param("graph")) {
+        Ok(g) => g,
+        Err(err) => return err_response(&err),
+    };
+    let s = cx_graph::stats::GraphStats::compute(g);
+    let tree = e.tree(req.param("graph")).expect("graph exists");
+    Response::json(&Json::obj([
+        ("vertices", Json::num(s.vertices as f64)),
+        ("edges", Json::num(s.edges as f64)),
+        ("components", Json::num(s.components as f64)),
+        ("keywords", Json::num(s.keywords as f64)),
+        ("avg_keywords_per_vertex", Json::num(s.avg_keywords_per_vertex)),
+        ("max_degree", Json::num(s.degrees.max as f64)),
+        ("mean_degree", Json::num(s.degrees.mean)),
+        ("degeneracy", Json::num(tree.max_core() as f64)),
+        ("index_nodes", Json::num(tree.node_count() as f64)),
+        ("index_bytes", Json::num(tree.memory_bytes() as f64)),
+    ]))
+}
+
+/// POST /api/edit?graph=g — body: JSON `{"add": [[u,v],…], "remove": [[u,v],…]}`.
+fn edit(engine: &RwLock<Engine>, req: &Request) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Response::error(400, "body must be UTF-8 JSON"),
+    };
+    let v = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+    };
+    let pairs = |key: &str| -> Result<Vec<(VertexId, VertexId)>, Response> {
+        let Some(arr) = v.get(key).and_then(Json::as_array) else {
+            return Ok(Vec::new());
+        };
+        arr.iter()
+            .map(|p| {
+                let xs = p.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                    Response::error(400, &format!("{key} entries must be [u, v] pairs"))
+                })?;
+                let f = |j: &Json| {
+                    j.as_f64()
+                        .filter(|x| x.fract() == 0.0 && *x >= 0.0)
+                        .map(|x| VertexId(x as u32))
+                        .ok_or_else(|| Response::error(400, "vertex ids must be integers"))
+                };
+                Ok((f(&xs[0])?, f(&xs[1])?))
+            })
+            .collect()
+    };
+    let add = match pairs("add") {
+        Ok(p) => p,
+        Err(r) => return r,
+    };
+    let remove = match pairs("remove") {
+        Ok(p) => p,
+        Err(r) => return r,
+    };
+    let mut e = engine.write();
+    match e.apply_edits(req.param("graph"), &add, &remove) {
+        Ok(()) => {
+            let g = e.graph(req.param("graph")).expect("graph exists");
+            Response::json(&Json::obj([
+                ("ok", Json::Bool(true)),
+                ("vertices", Json::num(g.vertex_count() as f64)),
+                ("edges", Json::num(g.edge_count() as f64)),
+            ]))
+        }
+        Err(err) => err_response(&err),
+    }
+}
+
+fn suggest(engine: &RwLock<Engine>, req: &Request) -> Response {
+    let e = engine.read();
+    let q = req.param("q").unwrap_or("");
+    let limit = req.param_as::<usize>("limit", 8);
+    match e.suggest(req.param("graph"), q, limit) {
+        Ok(hits) => Response::json(&Json::arr(hits.into_iter().map(|(v, label, degree)| {
+            Json::obj([
+                ("id", Json::num(v.0 as f64)),
+                ("label", Json::str(label)),
+                ("degree", Json::num(degree as f64)),
+            ])
+        }))),
+        Err(e) => err_response(&e),
+    }
+}
+
+/// Builds the query spec shared by `search` and `compare`:
+/// `name` (or `names=a|b` for multi-vertex, or `id`), `k`, `keywords=a,b`.
+fn spec_from(req: &Request) -> Result<QuerySpec, Response> {
+    let mut spec = if let Some(names) = req.param("names") {
+        let labels: Vec<&str> = names.split('|').filter(|s| !s.is_empty()).collect();
+        if labels.is_empty() {
+            return Err(Response::error(400, "names parameter is empty"));
+        }
+        QuerySpec::by_labels(labels)
+    } else if let Some(name) = req.param("name") {
+        QuerySpec::by_label(name)
+    } else if let Some(id) = req.param("id") {
+        match id.parse::<u32>() {
+            Ok(i) => QuerySpec::by_id(VertexId(i)),
+            Err(_) => return Err(Response::error(400, "id must be an integer")),
+        }
+    } else {
+        return Err(Response::error(400, "missing name/names/id parameter"));
+    };
+    spec = spec.k(req.param_as::<u32>("k", 1));
+    if let Some(kws) = req.param("keywords") {
+        spec = spec.with_keywords(kws.split(',').filter(|s| !s.is_empty()));
+    }
+    Ok(spec)
+}
+
+fn layout_from(req: &Request) -> LayoutAlgorithm {
+    match req.param("layout").unwrap_or("force") {
+        "circular" => LayoutAlgorithm::Circular,
+        "shell" => LayoutAlgorithm::Shell,
+        "kk" => LayoutAlgorithm::KamadaKawai { iterations: 80 },
+        _ => LayoutAlgorithm::default_force(),
+    }
+}
+
+fn community_json(
+    e: &Engine,
+    graph: Option<&str>,
+    c: &Community,
+    layout: LayoutAlgorithm,
+    highlight: Option<VertexId>,
+) -> Json {
+    let g = e.graph(graph).expect("validated upstream");
+    let scene = e.display(graph, c, layout, highlight).expect("validated upstream");
+    let members = Json::arr(c.vertices().iter().map(|&v| {
+        Json::obj([
+            ("id", Json::num(v.0 as f64)),
+            ("label", Json::str(g.label(v))),
+        ])
+    }));
+    Json::obj([
+        ("size", Json::num(c.len() as f64)),
+        ("edges", Json::num(c.internal_edge_count(g) as f64)),
+        ("avg_degree", Json::num(c.average_internal_degree(g))),
+        ("theme", Json::arr(c.theme(g).into_iter().map(Json::str))),
+        ("members", members),
+        // The scene is already JSON; parse and embed rather than nest a string.
+        ("scene", Json::parse(&scene.to_json()).expect("scene JSON is valid")),
+    ])
+}
+
+fn search(engine: &RwLock<Engine>, req: &Request) -> Response {
+    let e = engine.read();
+    let spec = match spec_from(req) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let graph = req.param("graph");
+    let algo = req.param("algo").unwrap_or("acq");
+    let layout = layout_from(req);
+    let communities = match e.search_on(graph, algo, &spec) {
+        Ok(c) => c,
+        Err(err) => return err_response(&err),
+    };
+    let g = match e.graph(graph) {
+        Ok(g) => g,
+        Err(err) => return err_response(&err),
+    };
+    let q = match spec.resolve(g) {
+        Ok(qs) => qs[0],
+        Err(err) => return err_response(&err),
+    };
+    let analysis = e.analyze(graph, &communities, q).expect("vertex validated");
+    let list = Json::arr(
+        communities
+            .iter()
+            .map(|c| community_json(&e, graph, c, layout, Some(q))),
+    );
+    Response::json(&Json::obj([
+        ("query", Json::obj([
+            ("vertex", Json::num(q.0 as f64)),
+            ("label", Json::str(g.label(q))),
+            ("k", Json::num(spec.k as f64)),
+            ("algo", Json::str(algo)),
+        ])),
+        ("communities", list),
+        ("cpj", Json::num(analysis.cpj)),
+        ("cmf", Json::num(analysis.cmf)),
+        // The query author's keywords, so the UI can render the chips.
+        ("query_keywords", Json::arr(g.keyword_names(g.keywords(q)).into_iter().map(Json::str))),
+    ]))
+}
+
+fn svg(engine: &RwLock<Engine>, req: &Request) -> Response {
+    let e = engine.read();
+    let spec = match spec_from(req) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let graph = req.param("graph");
+    let algo = req.param("algo").unwrap_or("acq");
+    let index = req.param_as::<usize>("index", 0);
+    let communities = match e.search_on(graph, algo, &spec) {
+        Ok(c) => c,
+        Err(err) => return err_response(&err),
+    };
+    let Some(c) = communities.get(index) else {
+        return Response::error(404, "community index out of range");
+    };
+    let g = e.graph(graph).expect("validated");
+    let q = spec.resolve(g).expect("validated")[0];
+    let scene = e
+        .display(graph, c, layout_from(req), Some(q))
+        .expect("validated")
+        .titled(format!("Method: {algo} — community {} of {}", index + 1, communities.len()));
+    Response::svg(scene.to_svg())
+}
+
+fn compare(engine: &RwLock<Engine>, req: &Request) -> Response {
+    let e = engine.read();
+    let spec = match spec_from(req) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let algos_param = req.param("algos").unwrap_or("global,local,codicil,acq");
+    let algos: Vec<&str> = algos_param.split(',').filter(|s| !s.is_empty()).collect();
+    match e.compare(req.param("graph"), &algos, &spec) {
+        Ok(report) => {
+            let rows = Json::arr(report.rows.iter().map(|r| {
+                Json::obj([
+                    ("method", Json::str(r.method.clone())),
+                    ("communities", Json::num(r.communities as f64)),
+                    ("avg_vertices", Json::num(r.avg_vertices)),
+                    ("avg_edges", Json::num(r.avg_edges)),
+                    ("avg_degree", Json::num(r.avg_degree)),
+                    ("cpj", Json::num(r.cpj)),
+                    ("cmf", Json::num(r.cmf)),
+                    ("millis", Json::num(r.millis)),
+                ])
+            }));
+            let sim = Json::arr(
+                report
+                    .similarity
+                    .iter()
+                    .map(|row| Json::arr(row.iter().map(|&x| Json::num(x)))),
+            );
+            Response::json(&Json::obj([("rows", rows), ("similarity", sim)]))
+        }
+        Err(err) => err_response(&err),
+    }
+}
+
+/// GET /api/chart — the comparison's CPJ/CMF bars as downloadable SVG.
+fn chart(engine: &RwLock<Engine>, req: &Request) -> Response {
+    let e = engine.read();
+    let spec = match spec_from(req) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let algos_param = req.param("algos").unwrap_or("global,local,codicil,acq");
+    let algos: Vec<&str> = algos_param.split(',').filter(|s| !s.is_empty()).collect();
+    match e.compare(req.param("graph"), &algos, &spec) {
+        Ok(report) => Response::svg(report.quality_charts_svg()),
+        Err(err) => err_response(&err),
+    }
+}
+
+fn detect(engine: &RwLock<Engine>, req: &Request) -> Response {
+    let e = engine.read();
+    let algo = req.param("algo").unwrap_or("codicil");
+    let limit = req.param_as::<usize>("limit", 20);
+    match e.detect_on(req.param("graph"), algo) {
+        Ok(communities) => {
+            let g = e.graph(req.param("graph")).expect("validated");
+            let list = Json::arr(communities.iter().take(limit).map(|c| {
+                Json::obj([
+                    ("size", Json::num(c.len() as f64)),
+                    ("edges", Json::num(c.internal_edge_count(g) as f64)),
+                    ("avg_degree", Json::num(c.average_internal_degree(g))),
+                ])
+            }));
+            Response::json(&Json::obj([
+                ("algo", Json::str(algo)),
+                ("total", Json::num(communities.len() as f64)),
+                ("communities", list),
+            ]))
+        }
+        Err(err) => err_response(&err),
+    }
+}
+
+fn profile(engine: &RwLock<Engine>, req: &Request) -> Response {
+    let e = engine.read();
+    let Some(id) = req.param("id").and_then(|s| s.parse::<u32>().ok()) else {
+        return Response::error(400, "id must be an integer");
+    };
+    match e.profile(req.param("graph"), VertexId(id)) {
+        Ok(Some(p)) => Response::json(&Json::obj([
+            ("name", Json::str(p.name.clone())),
+            ("areas", Json::arr(p.areas.iter().cloned().map(Json::str))),
+            ("institutes", Json::arr(p.institutes.iter().cloned().map(Json::str))),
+            ("interests", Json::arr(p.interests.iter().cloned().map(Json::str))),
+        ])),
+        Ok(None) => Response::error(404, "no profile for this vertex"),
+        Err(err) => err_response(&err),
+    }
+}
+
+fn upload(engine: &RwLock<Engine>, req: &Request) -> Response {
+    let Some(name) = req.param("name").map(str::to_owned) else {
+        return Response::error(400, "missing name parameter");
+    };
+    let graph = match cx_graph::io::read_text(&mut req.body.as_slice()) {
+        Ok(g) => g,
+        Err(e) => return Response::error(400, &format!("parse failed: {e}")),
+    };
+    let (v, m) = (graph.vertex_count(), graph.edge_count());
+    engine.write().add_graph(&name, graph);
+    Response::json(&Json::obj([
+        ("ok", Json::Bool(true)),
+        ("graph", Json::str(name)),
+        ("vertices", Json::num(v as f64)),
+        ("edges", Json::num(m as f64)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_datagen::figure5_graph;
+
+    fn server() -> crate::Server {
+        crate::Server::new(Engine::with_graph("fig5", figure5_graph()))
+    }
+
+    #[test]
+    fn index_page_serves() {
+        let s = server();
+        let r = s.handle(&Request::get("/"));
+        assert_eq!(r.status, 200);
+        assert!(r.text().contains("C-Explorer"));
+    }
+
+    #[test]
+    fn graphs_endpoint_lists_everything() {
+        let s = server();
+        let r = s.handle(&Request::get("/api/graphs"));
+        let v = Json::parse(&r.text()).unwrap();
+        assert_eq!(v.get("default_graph").and_then(Json::as_str), Some("fig5"));
+        let cs = v.get("cs_algorithms").and_then(Json::as_array).unwrap();
+        assert!(cs.iter().any(|a| a.as_str() == Some("acq")));
+    }
+
+    #[test]
+    fn search_returns_paper_example() {
+        let s = server();
+        let r = s.handle(&Request::get("/api/search?name=A&k=2&algo=acq"));
+        assert_eq!(r.status, 200, "{}", r.text());
+        let v = Json::parse(&r.text()).unwrap();
+        let comms = v.get("communities").and_then(Json::as_array).unwrap();
+        assert_eq!(comms.len(), 1);
+        assert_eq!(comms[0].get("size").and_then(Json::as_f64), Some(3.0));
+        let theme = comms[0].get("theme").and_then(Json::as_array).unwrap();
+        assert_eq!(theme.len(), 2); // {x, y}
+        // Scene is embedded with nodes.
+        let scene = comms[0].get("scene").unwrap();
+        assert_eq!(scene.get("nodes").and_then(Json::as_array).map(|a| a.len()), Some(3));
+        assert!(v.get("cpj").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn search_multi_vertex() {
+        let s = server();
+        let r = s.handle(&Request::get("/api/search?names=A|D&k=2"));
+        assert_eq!(r.status, 200, "{}", r.text());
+        let v = Json::parse(&r.text()).unwrap();
+        let comms = v.get("communities").and_then(Json::as_array).unwrap();
+        assert_eq!(comms[0].get("size").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn search_errors() {
+        let s = server();
+        assert_eq!(s.handle(&Request::get("/api/search?k=2")).status, 400);
+        assert_eq!(s.handle(&Request::get("/api/search?name=ZZZ")).status, 404);
+        assert_eq!(s.handle(&Request::get("/api/search?name=A&algo=ghost")).status, 404);
+        assert_eq!(s.handle(&Request::get("/api/search?id=notanum")).status, 400);
+        assert_eq!(s.handle(&Request::get("/api/nope")).status, 404);
+        assert_eq!(s.handle(&Request::post("/api/search?name=A", "")).status, 405);
+    }
+
+    #[test]
+    fn svg_endpoint_renders() {
+        let s = server();
+        let r = s.handle(&Request::get("/api/svg?name=A&k=2&algo=acq&index=0"));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "image/svg+xml");
+        assert!(r.text().starts_with("<svg"));
+        let out_of_range = s.handle(&Request::get("/api/svg?name=A&k=2&index=9"));
+        assert_eq!(out_of_range.status, 404);
+    }
+
+    #[test]
+    fn compare_endpoint_rows() {
+        let s = server();
+        let r = s.handle(&Request::get("/api/compare?name=A&k=2&algos=global,acq"));
+        assert_eq!(r.status, 200, "{}", r.text());
+        let v = Json::parse(&r.text()).unwrap();
+        let rows = v.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("method").and_then(Json::as_str), Some("global"));
+        let sim = v.get("similarity").and_then(Json::as_array).unwrap();
+        assert_eq!(sim.len(), 2);
+    }
+
+    #[test]
+    fn chart_endpoint_serves_svg() {
+        let s = server();
+        let r = s.handle(&Request::get("/api/chart?name=A&k=2&algos=global,acq"));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "image/svg+xml");
+        assert!(r.text().contains("CPJ"));
+    }
+
+    #[test]
+    fn detect_endpoint() {
+        let s = server();
+        let r = s.handle(&Request::get("/api/detect?algo=codicil"));
+        assert_eq!(r.status, 200);
+        let v = Json::parse(&r.text()).unwrap();
+        assert!(v.get("total").and_then(Json::as_f64).unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn profile_endpoint() {
+        let s = server();
+        {
+            let engine = s.engine();
+            let mut e = engine.write();
+            let g = e.graph(None).unwrap();
+            let a = g.vertex_by_label("A").unwrap();
+            e.set_profiles(
+                None,
+                [(
+                    a,
+                    cx_explorer::Profile {
+                        name: "A".into(),
+                        areas: vec!["CS".into()],
+                        institutes: vec!["HKU".into()],
+                        interests: vec!["db".into()],
+                    },
+                )],
+            )
+            .unwrap();
+        }
+        let ok = s.handle(&Request::get("/api/profile?id=0"));
+        assert_eq!(ok.status, 200);
+        assert!(ok.text().contains("HKU"));
+        assert_eq!(s.handle(&Request::get("/api/profile?id=5")).status, 404);
+        assert_eq!(s.handle(&Request::get("/api/profile?id=x")).status, 400);
+    }
+
+    #[test]
+    fn upload_then_query_uploaded_graph() {
+        let s = server();
+        let body = "v\talice\tdb,ml\nv\tbob\tdb\nv\tcarol\tdb\ne\t0\t1\ne\t1\t2\ne\t0\t2\n";
+        let up = s.handle(&Request::post("/api/upload?name=mine", body));
+        assert_eq!(up.status, 200, "{}", up.text());
+        let v = Json::parse(&up.text()).unwrap();
+        assert_eq!(v.get("vertices").and_then(Json::as_f64), Some(3.0));
+        let r = s.handle(&Request::get("/api/search?graph=mine&name=alice&k=2&algo=acq"));
+        assert_eq!(r.status, 200, "{}", r.text());
+        let v = Json::parse(&r.text()).unwrap();
+        let comms = v.get("communities").and_then(Json::as_array).unwrap();
+        assert_eq!(comms[0].get("size").and_then(Json::as_f64), Some(3.0));
+        // Bad upload body.
+        assert_eq!(s.handle(&Request::post("/api/upload?name=bad", "q\tjunk")).status, 400);
+        assert_eq!(s.handle(&Request::post("/api/upload", "")).status, 400);
+    }
+}
+
+#[cfg(test)]
+mod edit_endpoint_tests {
+    use super::*;
+    use cx_datagen::figure5_graph;
+
+    fn server() -> crate::Server {
+        crate::Server::new(Engine::with_graph("fig5", figure5_graph()))
+    }
+
+    #[test]
+    fn stats_endpoint_reports_graph_and_index() {
+        let s = server();
+        let r = s.handle(&Request::get("/api/stats"));
+        assert_eq!(r.status, 200);
+        let v = Json::parse(&r.text()).unwrap();
+        assert_eq!(v.get("vertices").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(v.get("edges").and_then(Json::as_f64), Some(11.0));
+        assert_eq!(v.get("degeneracy").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(v.get("index_nodes").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(s.handle(&Request::get("/api/stats?graph=nope")).status, 404);
+    }
+
+    #[test]
+    fn edit_endpoint_applies_and_reindexes() {
+        let s = server();
+        // Remove an edge of the K4 (A=0, B=1): cores drop to 2.
+        let r = s.handle(&Request::post("/api/edit", r#"{"remove":[[0,1]]}"#));
+        assert_eq!(r.status, 200, "{}", r.text());
+        let v = Json::parse(&r.text()).unwrap();
+        assert_eq!(v.get("edges").and_then(Json::as_f64), Some(10.0));
+        let r = s.handle(&Request::get("/api/stats"));
+        let v = Json::parse(&r.text()).unwrap();
+        assert_eq!(v.get("degeneracy").and_then(Json::as_f64), Some(2.0));
+        // A k=3 query now finds nothing.
+        let r = s.handle(&Request::get("/api/search?name=A&k=3&algo=acq"));
+        let v = Json::parse(&r.text()).unwrap();
+        assert_eq!(
+            v.get("communities").and_then(Json::as_array).map(|a| a.len()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn edit_endpoint_validates_payload() {
+        let s = server();
+        assert_eq!(s.handle(&Request::post("/api/edit", "not json")).status, 400);
+        assert_eq!(s.handle(&Request::post("/api/edit", r#"{"add":[[0]]}"#)).status, 400);
+        assert_eq!(s.handle(&Request::post("/api/edit", r#"{"add":[[0,1.5]]}"#)).status, 400);
+        assert_eq!(s.handle(&Request::post("/api/edit", r#"{"add":[[0,99]]}"#)).status, 400);
+        // Empty edit is a no-op success.
+        assert_eq!(s.handle(&Request::post("/api/edit", "{}")).status, 200);
+    }
+}

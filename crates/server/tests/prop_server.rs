@@ -1,0 +1,95 @@
+//! Property tests for the protocol layer: the JSON parser must be total
+//! (never panic) and inverse to the writer; URL decoding must be total;
+//! the router must answer every request without panicking.
+
+use proptest::prelude::*;
+
+use cx_server::{Json, Request, Server};
+
+/// Strategy for arbitrary JSON values of bounded depth.
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite doubles that survive text round-trips.
+        (-1e9f64..1e9).prop_map(|x| Json::Number((x * 1e3).round() / 1e3)),
+        "[a-zA-Z0-9 _\\-\\.\\n\\t\"\\\\]{0,24}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Json::Object),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn json_write_parse_roundtrip(v in arb_json()) {
+        let text = v.to_string();
+        let parsed = Json::parse(&text).expect("writer output must parse");
+        // Numbers round-trip through our fixed-precision strategy.
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn json_parse_is_total(input in "\\PC{0,64}") {
+        // Any unicode garbage: must return Ok or Err, never panic.
+        let _ = Json::parse(&input);
+    }
+
+    #[test]
+    fn json_parse_fuzzy_structures(input in "[\\[\\]{}\",:0-9a-z \\\\.eE+-]{0,48}") {
+        // Structure-shaped garbage hits the recursive paths.
+        let _ = Json::parse(&input);
+    }
+
+    #[test]
+    fn url_decode_is_total(input in "\\PC{0,64}") {
+        let _ = cx_server::http::url_decode(&input);
+    }
+
+    #[test]
+    fn url_decode_inverts_encoding(s in "[a-zA-Z0-9 /?=&\\-_.~%]{0,32}") {
+        // Encode then decode must give the original back.
+        let encoded: String = s
+            .bytes()
+            .map(|b| {
+                if b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.' || b == b'~' {
+                    (b as char).to_string()
+                } else {
+                    format!("%{b:02X}")
+                }
+            })
+            .collect();
+        prop_assert_eq!(cx_server::http::url_decode(&encoded), s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The router never panics, whatever the request line looks like.
+    #[test]
+    fn router_is_total(
+        path in "/[a-z/]{0,20}",
+        query in "[a-z0-9=&%+]{0,30}",
+        post in any::<bool>(),
+        body in "\\PC{0,64}",
+    ) {
+        let server = Server::new(cx_explorer::Engine::with_graph(
+            "fig5",
+            cx_datagen::figure5_graph(),
+        ));
+        let target = format!("{path}?{query}");
+        let req = if post {
+            Request::post(&target, body.into_bytes())
+        } else {
+            Request::get(&target)
+        };
+        let resp = server.handle(&req);
+        prop_assert!(matches!(resp.status, 200 | 400 | 404 | 405), "status {}", resp.status);
+    }
+}

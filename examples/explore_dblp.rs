@@ -1,0 +1,87 @@
+//! The Figures 1–2 exploration flow on the DBLP-like workload: search a
+//! renowned author's community, inspect a member's profile, then explore
+//! the member's own community — the demo's click-through loop, scripted.
+//!
+//! Run with: `cargo run --release --example explore_dblp [n_authors]`
+
+use c_explorer::prelude::*;
+use cx_explorer::Profile;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8_000);
+
+    // Generate the synthetic DBLP substitute and its researcher profiles.
+    let (graph, areas) = dblp_like(&DblpParams::scaled(n, 42));
+    println!("DBLP-like graph: {}", cx_graph::GraphStats::compute(&graph));
+    let profiles = cx_datagen::generate_profiles(&graph, &areas, 3);
+    let records: Vec<(VertexId, Profile)> = profiles
+        .into_iter()
+        .map(|p| {
+            (
+                p.vertex,
+                Profile {
+                    name: p.name,
+                    areas: p.areas,
+                    institutes: p.institutes,
+                    interests: p.interests,
+                },
+            )
+        })
+        .collect();
+
+    let mut engine = Engine::with_graph("dblp", graph);
+    engine.set_profiles(None, records).expect("profiles");
+
+    // Step 1 (Figure 1): the user types a name and hits Search.
+    let g = engine.graph(None).unwrap();
+    let jim = g.vertices().max_by_key(|&v| g.degree(v)).unwrap();
+    let jim_label = g.label(jim).to_owned();
+    println!("\n=== Exploration: community of {jim_label} (degree ≥ 4) ===");
+    let query = QuerySpec::by_label(jim_label.clone()).k(4);
+    let communities = engine.search("acq", &query).expect("search");
+    for (i, c) in communities.iter().enumerate() {
+        let g = engine.graph(None).unwrap();
+        println!(
+            "community {}: {} members, theme {:?}",
+            i + 1,
+            c.len(),
+            c.theme(g)
+        );
+    }
+
+    // Step 2 (Figure 2): the user clicks a member's portrait — prefer one
+    // of the renowned (profiled) members, like the paper's Stonebraker.
+    let g = engine.graph(None).unwrap();
+    let member = *communities[0]
+        .vertices()
+        .iter()
+        .filter(|&&v| v != jim)
+        .find(|&&v| engine.profile(None, v).unwrap().is_some())
+        .or_else(|| communities[0].vertices().iter().find(|&&v| v != jim))
+        .expect("community has another member");
+    let member_label = g.label(member).to_owned();
+    println!("\n=== Profile popup: {member_label} ===");
+    match engine.profile(None, member).expect("profile lookup") {
+        Some(p) => {
+            println!("name:       {}", p.name);
+            println!("areas:      {}", p.areas.join("; "));
+            println!("institutes: {}", p.institutes.join("; "));
+            println!("interests:  {}", p.interests.join("; "));
+        }
+        None => println!("(no profile on record — not a renowned author)"),
+    }
+
+    // Step 3: "Explore" — the member's own community.
+    println!("\n=== Exploration: community of {member_label} ===");
+    let query2 = QuerySpec::by_label(member_label).k(4);
+    let second = engine.search("acq", &query2).expect("second search");
+    match second.first() {
+        Some(c) => {
+            let g = engine.graph(None).unwrap();
+            println!("{} members, theme {:?}", c.len(), c.theme(g));
+            let overlap = c.vertex_jaccard(&communities[0]);
+            println!("overlap with {jim_label}'s community (Jaccard): {overlap:.2}");
+        }
+        None => println!("no community at k=4 — the UI would suggest lowering k"),
+    }
+}

@@ -1,0 +1,48 @@
+//! Launches the full browser–server system (Figure 3): generates the
+//! DBLP-like graph, indexes it, installs profiles, and serves the web UI.
+//!
+//! Run with: `cargo run --release --example serve [n_authors] [port]`
+//! then open http://127.0.0.1:<port>/ — type an author name (e.g. the one
+//! printed below), pick an algorithm, Search, click members for profiles,
+//! and use Compare for the Figure 6 analysis view.
+
+use c_explorer::prelude::*;
+use cx_explorer::Profile;
+use cx_server::Server;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8_000);
+    let port: u16 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(7171);
+
+    let (graph, areas) = dblp_like(&DblpParams::scaled(n, 42));
+    println!("graph: {}", cx_graph::GraphStats::compute(&graph));
+    let hub = graph.vertices().max_by_key(|&v| graph.degree(v)).unwrap();
+    println!("try querying: {} (degree {})", graph.label(hub), graph.degree(hub));
+
+    let profiles = cx_datagen::generate_profiles(&graph, &areas, 5);
+    let records: Vec<(VertexId, Profile)> = profiles
+        .into_iter()
+        .map(|p| {
+            (
+                p.vertex,
+                Profile {
+                    name: p.name,
+                    areas: p.areas,
+                    institutes: p.institutes,
+                    interests: p.interests,
+                },
+            )
+        })
+        .collect();
+
+    let mut engine = Engine::with_graph("dblp", graph);
+    engine.set_profiles(None, records).expect("profiles");
+    // The tiny paper graph is uploaded too, so the graph selector has
+    // something to switch to.
+    engine.add_graph("figure5", cx_datagen::figure5_graph());
+
+    let server = Server::new(engine);
+    let addr = format!("127.0.0.1:{port}");
+    println!("serving C-Explorer on http://{addr}/ (ctrl-c to stop)");
+    server.serve(&addr).expect("bind failed");
+}

@@ -1,0 +1,117 @@
+//! End-to-end browser–server test: a real TCP client drives the full
+//! Figure 3 stack — upload, suggest, search, compare, profile, SVG —
+//! against a background server instance.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use c_explorer::prelude::*;
+use cx_server::{Json, Server};
+
+fn http_get(port: u16, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+    read_response(stream)
+}
+
+fn http_post(port: u16, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .unwrap();
+    read_response(stream)
+}
+
+fn read_response(mut stream: TcpStream) -> (u16, String) {
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    (status, body)
+}
+
+fn start_server() -> u16 {
+    let engine = Engine::with_graph("fig5", cx_datagen::figure5_graph());
+    let server = Server::new(engine);
+    server.serve_background().unwrap()
+}
+
+#[test]
+fn full_stack_over_tcp() {
+    let port = start_server();
+
+    // Landing page.
+    let (status, html) = http_get(port, "/");
+    assert_eq!(status, 200);
+    assert!(html.contains("C-Explorer"));
+
+    // Capability discovery.
+    let (status, body) = http_get(port, "/api/graphs");
+    assert_eq!(status, 200);
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("default_graph").and_then(Json::as_str), Some("fig5"));
+
+    // The paper's worked example through the wire.
+    let (status, body) = http_get(port, "/api/search?name=A&k=2&algo=acq");
+    assert_eq!(status, 200);
+    let v = Json::parse(&body).unwrap();
+    let comms = v.get("communities").and_then(Json::as_array).unwrap();
+    assert_eq!(comms.len(), 1);
+    assert_eq!(comms[0].get("size").and_then(Json::as_f64), Some(3.0));
+
+    // Suggestions.
+    let (status, body) = http_get(port, "/api/suggest?q=a&limit=3");
+    assert_eq!(status, 200);
+    assert!(!Json::parse(&body).unwrap().as_array().unwrap().is_empty());
+
+    // Comparison analysis.
+    let (status, body) = http_get(port, "/api/compare?name=A&k=2&algos=global,acq");
+    assert_eq!(status, 200);
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("rows").and_then(Json::as_array).map(|r| r.len()), Some(2));
+
+    // SVG export.
+    let (status, svg) = http_get(port, "/api/svg?name=A&k=2");
+    assert_eq!(status, 200);
+    assert!(svg.starts_with("<svg"));
+
+    // Upload a new graph, then query it.
+    let upload_body = "v\tx\tdb\nv\ty\tdb\nv\tz\tdb\ne\t0\t1\ne\t1\t2\ne\t0\t2\n";
+    let (status, body) = http_post(port, "/api/upload?name=tiny", upload_body);
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = http_get(port, "/api/search?graph=tiny&name=x&k=2&algo=acq");
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    let comms = v.get("communities").and_then(Json::as_array).unwrap();
+    assert_eq!(comms[0].get("size").and_then(Json::as_f64), Some(3.0));
+
+    // Errors come back as JSON with useful statuses.
+    let (status, body) = http_get(port, "/api/search?name=nobody");
+    assert_eq!(status, 404);
+    assert!(Json::parse(&body).unwrap().get("error").is_some());
+}
+
+#[test]
+fn concurrent_clients_are_served() {
+    let port = start_server();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let target = if i % 2 == 0 {
+                    "/api/search?name=A&k=2&algo=acq"
+                } else {
+                    "/api/compare?name=A&k=2&algos=global,acq"
+                };
+                let (status, _) = http_get(port, target);
+                assert_eq!(status, 200);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
