@@ -21,11 +21,8 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use cx_graph::{AttributedGraph, Community, InvertedIndex, VertexId};
+use cx_par::rng::{Rng64, Shuffle};
 
 /// Tuning parameters for [`Codicil`].
 #[derive(Debug, Clone)]
@@ -141,13 +138,11 @@ impl Codicil {
                 (n as f64 / df as f64).ln().max(0.0)
             })
             .collect();
-        // Vector norms.
-        let norm: Vec<f64> = g
-            .vertices()
-            .map(|v| {
-                g.keywords(v).iter().map(|w| idf[w.index()] * idf[w.index()]).sum::<f64>().sqrt()
-            })
-            .collect();
+        // Vector norms (parallel per vertex; each entry is independent).
+        let norm: Vec<f64> = cx_par::par_map_indexed(n, |i| {
+            let v = VertexId(i as u32);
+            g.keywords(v).iter().map(|w| idf[w.index()] * idf[w.index()]).sum::<f64>().sqrt()
+        });
 
         let cosine = |u: VertexId, v: VertexId| -> f64 {
             let (nu, nv) = (norm[u.index()], norm[v.index()]);
@@ -161,12 +156,15 @@ impl Codicil {
             dot / (nu * nv)
         };
 
-        // Step 1: content k-NN per vertex.
+        // Step 1: content k-NN per vertex. Scoring each vertex's candidates
+        // is independent, so it runs on the cx-par pool; the symmetric
+        // insertion into `fused` stays sequential (and therefore ordered).
         let mut fused: Vec<HashMap<u32, f64>> = vec![HashMap::new(); n];
         let t = self.params.content_neighbors;
         let stop_df = ((n as f64) * self.params.stopword_fraction).ceil() as usize;
         if t > 0 {
-            for u in g.vertices() {
+            let top: Vec<Vec<u32>> = cx_par::par_map_indexed(n, |ui| {
+                let u = VertexId(ui as u32);
                 let mut scores: HashMap<u32, f64> = HashMap::new();
                 for &w in g.keywords(u) {
                     let posting = idx.posting(w);
@@ -181,9 +179,13 @@ impl Codicil {
                 }
                 let mut cands: Vec<(u32, f64)> = scores.into_iter().collect();
                 cands.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-                for &(v, _) in cands.iter().take(t) {
-                    fused[u.index()].insert(v, 0.0);
-                    fused[v as usize].insert(u.0, 0.0);
+                cands.truncate(t);
+                cands.into_iter().map(|(v, _)| v).collect()
+            });
+            for (ui, targets) in top.iter().enumerate() {
+                for &v in targets {
+                    fused[ui].insert(v, 0.0);
+                    fused[v as usize].insert(ui as u32, 0.0);
                 }
             }
         }
@@ -192,21 +194,27 @@ impl Codicil {
             fused[u.index()].insert(v.0, 0.0);
             fused[v.index()].insert(u.0, 0.0);
         }
-        // Step 3: re-weight.
+        // Step 3: re-weight. Enumerate each pair once in a deterministic
+        // order, score the pairs in parallel, then scatter sequentially.
         let alpha = self.params.alpha;
-        let mut weighted: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
-        for u in g.vertices() {
-            for &v in fused[u.index()].keys() {
-                if v <= u.0 {
-                    continue; // handle each pair once
-                }
-                let vv = VertexId(v);
-                let s_struct = neighborhood_jaccard(g, u, vv);
-                let s_content = cosine(u, vv);
-                let w = alpha * s_struct + (1.0 - alpha) * s_content;
-                weighted[u.index()].push((v, w));
-                weighted[v as usize].push((u.0, w));
+        let pairs: Vec<(u32, u32)> = {
+            let mut ps = Vec::new();
+            for u in 0..n {
+                let mut vs: Vec<u32> =
+                    fused[u].keys().copied().filter(|&v| v > u as u32).collect();
+                vs.sort_unstable();
+                ps.extend(vs.into_iter().map(|v| (u as u32, v)));
             }
+            ps
+        };
+        let pair_weights: Vec<f64> = cx_par::par_map_slice(&pairs, |&(u, v)| {
+            let (u, v) = (VertexId(u), VertexId(v));
+            alpha * neighborhood_jaccard(g, u, v) + (1.0 - alpha) * cosine(u, v)
+        });
+        let mut weighted: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for (&(u, v), &w) in pairs.iter().zip(&pair_weights) {
+            weighted[u as usize].push((v, w));
+            weighted[v as usize].push((u, w));
         }
         // Step 4: local sparsification — keep top ⌈deg^e⌉ per vertex; an
         // edge survives if either endpoint keeps it.
@@ -282,7 +290,7 @@ fn label_propagation(
 ) -> Vec<usize> {
     let mut labels: Vec<usize> = (0..n).collect();
     let mut order: Vec<usize> = (0..n).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     for _ in 0..iterations {
         order.shuffle(&mut rng);
         let mut changed = false;

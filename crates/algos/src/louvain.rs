@@ -12,11 +12,8 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use cx_graph::{AttributedGraph, Community, VertexId};
+use cx_par::rng::{Rng64, Shuffle};
 
 use crate::codicil::Clustering;
 
@@ -75,17 +72,17 @@ impl Louvain {
         if n == 0 {
             return Clustering { labels: Vec::new(), communities: Vec::new() };
         }
-        // Level-0 graph: unit weights.
+        // Level-0 graph: unit weights. Each row only reads the CSR graph,
+        // so the build fans out over the cx-par pool.
         let mut level = LevelGraph {
-            adj: g
-                .vertices()
-                .map(|u| g.neighbors(u).iter().map(|&v| (v.index(), 1.0)).collect())
-                .collect(),
+            adj: cx_par::par_map_indexed(n, |ui| {
+                g.neighbors(VertexId(ui as u32)).iter().map(|&v| (v.index(), 1.0)).collect()
+            }),
             total_weight: g.edge_count() as f64,
         };
         // membership[v] = community of original vertex v (composed across levels).
         let mut membership: Vec<usize> = (0..n).collect();
-        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut rng = Rng64::seed_from_u64(self.params.seed);
 
         for _ in 0..self.params.max_levels {
             let (assignment, improved) = self.local_moving(&level, &mut rng);
@@ -116,13 +113,14 @@ impl Louvain {
 
     /// Phase 1: greedy local moving. Returns (community per vertex,
     /// whether anything improved).
-    fn local_moving(&self, lg: &LevelGraph, rng: &mut StdRng) -> (Vec<usize>, bool) {
+    fn local_moving(&self, lg: &LevelGraph, rng: &mut Rng64) -> (Vec<usize>, bool) {
         let n = lg.adj.len();
         let m2 = (2.0 * lg.total_weight).max(1e-12);
         let mut comm: Vec<usize> = (0..n).collect();
-        // Sum of weighted degrees per community.
-        let mut comm_tot: Vec<f64> = (0..n).map(|u| lg.weighted_degree(u)).collect();
-        let kdeg: Vec<f64> = (0..n).map(|u| lg.weighted_degree(u)).collect();
+        // Weighted degree per vertex (parallel scan), which at the start of
+        // the level is also the per-community total.
+        let kdeg: Vec<f64> = cx_par::par_map_indexed(n, |u| lg.weighted_degree(u));
+        let mut comm_tot: Vec<f64> = kdeg.clone();
 
         let mut order: Vec<usize> = (0..n).collect();
         let mut improved_any = false;

@@ -1,45 +1,40 @@
-//! Criterion bench for E7: the four ACQ strategies at |S| = 6 on the
-//! standard workload (Dec is the paper's pick; Basic is the strawman).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Bench for E7: the four ACQ strategies at |S| = 6 on the standard
+//! workload (Dec is the paper's pick; Basic is the strawman). Uses the
+//! std-timer harness in `cx_bench::timer`.
 
 use cx_acq::{acq, AcqOptions, AcqStrategy};
-use cx_bench::{hub_vertex, workload};
+use cx_bench::{hub_vertex, timer::Group, workload};
 use cx_cltree::ClTree;
 
-fn bench_strategies(c: &mut Criterion) {
+fn bench_strategies() {
     let (g, _) = workload(4_000, 42);
     let tree = ClTree::build(&g);
     let q = hub_vertex(&g);
     let s: Vec<_> = g.keywords(q).iter().copied().take(6).collect();
 
-    let mut group = c.benchmark_group("acq_strategies");
+    let mut group = Group::new("acq_strategies");
     group.sample_size(20);
     for strat in AcqStrategy::ALL {
         let opts = AcqOptions::with_k(4).keywords(s.clone()).max_candidates(100_000);
-        group.bench_with_input(BenchmarkId::from_parameter(strat.name()), &strat, |b, &st| {
-            b.iter(|| acq(&g, &tree, q, &opts, st))
-        });
+        group.bench(strat.name(), || acq(&g, &tree, q, &opts, strat));
     }
-    group.finish();
 }
 
-fn bench_keyword_scaling(c: &mut Criterion) {
+fn bench_keyword_scaling() {
     let (g, _) = workload(4_000, 42);
     let tree = ClTree::build(&g);
     let q = hub_vertex(&g);
 
-    let mut group = c.benchmark_group("acq_dec_by_s");
+    let mut group = Group::new("acq_dec_by_s");
     group.sample_size(20);
     for s_size in [4usize, 8, 12] {
         let s: Vec<_> = g.keywords(q).iter().copied().take(s_size).collect();
         let opts = AcqOptions::with_k(4).keywords(s);
-        group.bench_with_input(BenchmarkId::from_parameter(s_size), &opts, |b, opts| {
-            b.iter(|| acq(&g, &tree, q, opts, AcqStrategy::Dec))
-        });
+        group.bench(&s_size.to_string(), || acq(&g, &tree, q, &opts, AcqStrategy::Dec));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_strategies, bench_keyword_scaling);
-criterion_main!(benches);
+fn main() {
+    bench_strategies();
+    bench_keyword_scaling();
+}

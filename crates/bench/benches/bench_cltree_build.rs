@@ -1,27 +1,17 @@
-//! Criterion bench for E6: CL-tree construction cost at doubling sizes
-//! (linearity shows as ~2× time per size step), plus the underlying core
-//! decomposition alone.
+//! Bench for E6: CL-tree construction cost at doubling sizes (linearity
+//! shows as ~2× time per size step), plus the underlying core
+//! decomposition alone. Uses the std-timer harness in `cx_bench::timer`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use cx_bench::workload;
+use cx_bench::{timer::Group, workload};
 use cx_cltree::ClTree;
 use cx_kcore::CoreDecomposition;
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cltree_build");
+fn main() {
+    let mut group = Group::new("cltree_build");
     group.sample_size(10);
     for n in [5_000usize, 10_000, 20_000] {
         let (g, _) = workload(n, 7);
-        group.bench_with_input(BenchmarkId::new("cl_tree", n), &g, |b, g| {
-            b.iter(|| ClTree::build(g))
-        });
-        group.bench_with_input(BenchmarkId::new("core_decomposition", n), &g, |b, g| {
-            b.iter(|| CoreDecomposition::compute(g))
-        });
+        group.bench(&format!("cl_tree/{n}"), || ClTree::build(&g));
+        group.bench(&format!("core_decomposition/{n}"), || CoreDecomposition::compute(&g));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_build);
-criterion_main!(benches);

@@ -1,35 +1,26 @@
-//! Criterion bench for E2/E3: the full comparison-analysis pipeline
-//! (methods + statistics + CPJ/CMF + similarity matrix) — what one click
-//! of the Analysis tab's "Compare" button costs.
+//! Bench for E2/E3: the full comparison-analysis pipeline (methods +
+//! statistics + CPJ/CMF + similarity matrix) — what one click of the
+//! Analysis tab's "Compare" button costs. Uses the std-timer harness in
+//! `cx_bench::timer`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use cx_bench::{hub_vertex, workload};
+use cx_bench::{hub_vertex, timer::Group, workload};
 use cx_explorer::{Engine, QuerySpec};
 
-fn bench_compare(c: &mut Criterion) {
+fn main() {
     let (g, _) = workload(4_000, 42);
     let hub = hub_vertex(&g);
     let label = g.label(hub).to_owned();
     let engine = Engine::with_graph("dblp", g);
     let spec = QuerySpec::by_label(label).k(4);
 
-    let mut group = c.benchmark_group("comparison_analysis");
+    let mut group = Group::new("comparison_analysis");
     group.sample_size(10);
-    group.bench_function("search_methods_only", |b| {
-        b.iter(|| {
-            engine.compare(None, &["global", "local", "acq"], &spec).expect("compare failed")
-        })
+    group.bench("search_methods_only", || {
+        engine.compare(None, &["global", "local", "acq"], &spec).expect("compare failed")
     });
-    group.bench_function("with_codicil", |b| {
-        b.iter(|| {
-            engine
-                .compare(None, &["global", "local", "codicil", "acq"], &spec)
-                .expect("compare failed")
-        })
+    group.bench("with_codicil", || {
+        engine
+            .compare(None, &["global", "local", "codicil", "acq"], &spec)
+            .expect("compare failed")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_compare);
-criterion_main!(benches);

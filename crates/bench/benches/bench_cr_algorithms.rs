@@ -1,35 +1,30 @@
-//! Criterion bench for E8: end-to-end latency of each CR method on the
-//! standard workload — the "returned instantly" claim, measured.
+//! Bench for E8: end-to-end latency of each CR method on the standard
+//! workload — the "returned instantly" claim, measured. Uses the
+//! std-timer harness in `cx_bench::timer`.
+//!
+//! The engine's query cache would make every sample after the first a
+//! cache hit, so it is disabled here: this bench measures the
+//! algorithms, not the cache.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use cx_bench::{hub_vertex, workload};
+use cx_bench::{hub_vertex, timer::Group, workload};
 use cx_explorer::{Engine, QuerySpec};
 
-fn bench_methods(c: &mut Criterion) {
+fn main() {
     let (g, _) = workload(8_000, 42);
     let hub = hub_vertex(&g);
     let label = g.label(hub).to_owned();
     let engine = Engine::with_graph("dblp", g);
+    engine.set_cache_capacity(0);
     let spec = QuerySpec::by_label(label).k(4);
 
-    let mut group = c.benchmark_group("cr_methods");
+    let mut group = Group::new("cr_methods");
     group.sample_size(10);
     for algo in ["acq", "local", "global", "ktruss"] {
-        group.bench_function(algo, |b| {
-            b.iter(|| engine.search(algo, &spec).expect("search failed"))
-        });
+        group.bench(algo, || engine.search(algo, &spec).expect("search failed"));
     }
-    group.finish();
 
     // CODICIL separately: it clusters the whole graph per call.
-    let mut slow = c.benchmark_group("cr_methods_detection");
+    let mut slow = Group::new("cr_methods_detection");
     slow.sample_size(10);
-    slow.bench_function("codicil", |b| {
-        b.iter(|| engine.search("codicil", &spec).expect("search failed"))
-    });
-    slow.finish();
+    slow.bench("codicil", || engine.search("codicil", &spec).expect("search failed"));
 }
-
-criterion_group!(benches, bench_methods);
-criterion_main!(benches);

@@ -1,59 +1,39 @@
-//! Criterion bench for the substrate: the graph/index primitives every
-//! query decomposes into — adjacency scans, subset peeling, inverted-list
-//! intersection, truss decomposition, layout.
+//! Bench for the substrate: the graph/index primitives every query
+//! decomposes into — adjacency scans, subset peeling, inverted-list
+//! intersection, truss decomposition, layout. Uses the std-timer
+//! harness in `cx_bench::timer`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use cx_bench::{hub_vertex, workload};
+use cx_bench::{hub_vertex, timer::Group, workload};
 use cx_graph::{InvertedIndex, Subgraph, VertexId};
 use cx_kcore::{k_core_of_subset, TrussDecomposition};
 use cx_layout::LayoutAlgorithm;
 
-fn bench_substrate(c: &mut Criterion) {
+fn main() {
     let (g, _) = workload(8_000, 7);
     let hub = hub_vertex(&g);
 
-    let mut group = c.benchmark_group("substrate");
+    let mut group = Group::new("substrate");
     group.sample_size(20);
 
-    group.bench_function("bfs_from_hub", |b| {
-        b.iter(|| cx_graph::traversal::bfs(&g, hub).len())
-    });
+    group.bench("bfs_from_hub", || cx_graph::traversal::bfs(&g, hub).len());
 
     let all: Vec<VertexId> = g.vertices().collect();
-    group.bench_function("k_core_of_whole_graph_k4", |b| {
-        b.iter(|| k_core_of_subset(&g, &all, 4).len())
-    });
+    group.bench("k_core_of_whole_graph_k4", || k_core_of_subset(&g, &all, 4).len());
 
-    group.bench_function("inverted_index_build", |b| {
-        b.iter(|| InvertedIndex::build(&g).keyword_count())
-    });
+    group.bench("inverted_index_build", || InvertedIndex::build(&g).keyword_count());
 
     let idx = InvertedIndex::build(&g);
     let ws: Vec<_> = g.keywords(hub).iter().copied().take(3).collect();
-    group.bench_function("posting_intersection_3way", |b| {
-        b.iter(|| idx.vertices_with_all(&g, &ws).len())
-    });
+    group.bench("posting_intersection_3way", || idx.vertices_with_all(&g, &ws).len());
 
     // Community-sized operations.
     let members: Vec<VertexId> = cx_graph::traversal::bfs(&g, hub).into_iter().take(60).collect();
-    group.bench_function("induced_subgraph_60", |b| {
-        b.iter(|| Subgraph::induced(&g, &members).edge_count())
-    });
+    group.bench("induced_subgraph_60", || Subgraph::induced(&g, &members).edge_count());
     let sub = Subgraph::induced(&g, &members);
-    group.bench_function("fr_layout_60", |b| {
-        b.iter(|| LayoutAlgorithm::default_force().run(&sub, 1).len())
-    });
-    group.finish();
+    group.bench("fr_layout_60", || LayoutAlgorithm::default_force().run(&sub, 1).len());
 
     let (small, _) = workload(2_000, 7);
-    let mut truss = c.benchmark_group("truss");
+    let mut truss = Group::new("truss");
     truss.sample_size(10);
-    truss.bench_function("truss_decomposition_2k", |b| {
-        b.iter(|| TrussDecomposition::compute(&small).max_truss())
-    });
-    truss.finish();
+    truss.bench("truss_decomposition_2k", || TrussDecomposition::compute(&small).max_truss());
 }
-
-criterion_group!(benches, bench_substrate);
-criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Parallel scaling of the CR hot paths over the `cx-par` pool: core
+//! decomposition, CL-tree build, triangle counting, and end-to-end query
+//! latency at 1/2/4/8 threads on one seeded workload.
+//!
+//! Emits one JSON line per `(threads, phase)` measurement so runs are
+//! machine-comparable (see `BENCH_par_scaling.json` for a committed
+//! run), then a summary block with the speedups versus one thread and a
+//! determinism check: core numbers, tree vertex sets, and triangle
+//! counts must be identical at every thread count.
+//!
+//! Usage: `par_scaling [vertices] [samples]` (defaults 100000, 3).
+
+use std::time::Instant;
+
+use cx_bench::{hub_vertex, workload};
+use cx_cltree::ClTree;
+use cx_explorer::{Engine, QuerySpec};
+use cx_kcore::truss::triangle_count;
+use cx_kcore::CoreDecomposition;
+
+const PHASES: [&str; 4] = ["core_decomposition", "cltree_build", "triangle_count", "query"];
+
+/// Median of `samples` timed runs of `f`, in milliseconds.
+fn median_ms<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// A stable fingerprint of a vertex-set family (FNV-1a over sorted data).
+fn fingerprint(chunks: impl IntoIterator<Item = Vec<u32>>) -> u64 {
+    let mut sets: Vec<Vec<u32>> = chunks.into_iter().collect();
+    for s in &mut sets {
+        s.sort_unstable();
+    }
+    sets.sort();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in &sets {
+        for &v in s {
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h = (h ^ 0xff).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+struct Run {
+    threads: usize,
+    /// phase → median ms, in `PHASES` order.
+    ms: Vec<f64>,
+    cores: Vec<u32>,
+    tree_print: u64,
+    triangles: usize,
+}
+
+fn run_at(threads: usize, n: usize, samples: usize) -> Run {
+    std::env::set_var("CX_THREADS", threads.to_string());
+    let (g, _) = workload(n, 7);
+
+    let core_ms = median_ms(samples, || CoreDecomposition::compute_par(&g));
+    let tree_ms = median_ms(samples, || ClTree::build(&g));
+    let tri_ms = median_ms(samples, || triangle_count(&g));
+
+    let hub = hub_vertex(&g);
+    let label = g.label(hub).to_owned();
+    let cores = CoreDecomposition::compute_par(&g).core_numbers().to_vec();
+    let tree = ClTree::build(&g);
+    let tree_print = fingerprint(
+        (0..tree.node_count()).map(|i| tree.node(cx_cltree::NodeId(i as u32)).vertices.iter().map(|v| v.0).collect()),
+    );
+    let triangles = triangle_count(&g);
+
+    let engine = Engine::with_graph("dblp", g);
+    engine.set_cache_capacity(0); // measure the algorithm, not the cache
+    let spec = QuerySpec::by_label(label).k(4);
+    let query_ms = median_ms(samples, || engine.search("acq", &spec).expect("search failed"));
+
+    let ms = vec![core_ms, tree_ms, tri_ms, query_ms];
+    for (phase, m) in PHASES.iter().zip(&ms) {
+        println!(
+            "{{\"threads\":{threads},\"phase\":\"{phase}\",\"vertices\":{n},\"median_ms\":{m:.2},\"samples\":{samples}}}"
+        );
+    }
+    Run { threads, ms, cores, tree_print, triangles }
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let samples: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(3);
+
+    let runs: Vec<Run> = [1usize, 2, 4, 8].iter().map(|&t| run_at(t, n, samples)).collect();
+
+    let base = &runs[0];
+    let identical = runs.iter().all(|r| {
+        r.cores == base.cores && r.tree_print == base.tree_print && r.triangles == base.triangles
+    });
+    for r in &runs[1..] {
+        for (i, phase) in PHASES.iter().enumerate() {
+            println!(
+                "{{\"threads\":{},\"phase\":\"{phase}\",\"speedup_vs_1\":{:.2}}}",
+                r.threads,
+                base.ms[i] / r.ms[i].max(1e-9)
+            );
+        }
+    }
+    // Speedup is bounded by the cores actually present: on a single-core
+    // host every thread count time-slices one CPU and speedups sit at
+    // ~1.0 — record the host so readers can interpret the numbers.
+    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "{{\"vertices\":{n},\"host_cpus\":{cpus},\"results_identical_across_threads\":{identical}}}"
+    );
+    assert!(identical, "parallel results diverged from single-threaded");
+}

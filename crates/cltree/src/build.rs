@@ -1,7 +1,19 @@
 //! CL-tree construction (bottom-up, anchored union-find) and queries.
+//!
+//! Construction is parallel along two axes, both deterministic:
+//!
+//! * **components** — every connected component owns an independent
+//!   subtree, so subtrees are built concurrently on the cx-par pool
+//!   (components ordered by smallest vertex id; local node arenas are
+//!   concatenated in that order, which fixes the node numbering at any
+//!   thread count);
+//! * **keyword indexing** — the per-node inverted lists only read the
+//!   graph and write their own node, so the final pass runs over disjoint
+//!   chunks of the node arena.
 
 use std::collections::HashMap;
 
+use cx_graph::traversal::ConnectedComponents;
 use cx_graph::{AttributedGraph, KeywordId, VertexId};
 use cx_kcore::CoreDecomposition;
 
@@ -28,127 +40,95 @@ impl ClTree {
     /// root assembly step for level 0 (isolated vertices). Near-linear in
     /// `n + m`.
     pub fn build(g: &AttributedGraph) -> Self {
-        let cd = CoreDecomposition::compute(g);
+        let cd = CoreDecomposition::compute_par(g);
         Self::build_with(g, &cd)
     }
 
     /// Like [`ClTree::build`] but reuses an existing core decomposition.
+    ///
+    /// Subtrees of independent connected components are built in parallel;
+    /// see the module docs for the determinism argument.
     pub fn build_with(g: &AttributedGraph, cd: &CoreDecomposition) -> Self {
         let n = g.vertex_count();
         let core: Vec<u32> = cd.core_numbers().to_vec();
         let max_core = cd.max_core();
 
-        // Vertices grouped by core number.
-        let mut levels: Vec<Vec<VertexId>> = vec![Vec::new(); max_core as usize + 1];
-        for v in g.vertices() {
-            levels[core[v.index()] as usize].push(v);
+        let cc = ConnectedComponents::compute(g);
+        let comps = cc.groups();
+        // Global vertex id → index within its component, shared read-only
+        // by every subtree builder.
+        let mut local = vec![0u32; n];
+        for comp in &comps {
+            for (i, &v) in comp.iter().enumerate() {
+                local[v.index()] = i as u32;
+            }
         }
+        let subtrees: Vec<ComponentSubtree> =
+            cx_par::par_map_slice(&comps, |comp| build_component_subtree(g, comp, &core, &local));
 
-        let mut nodes: Vec<ClTreeNode> = Vec::new();
-        let mut node_of = vec![NodeId(u32::MAX); n];
-        let mut uf = UnionFind::new(n);
-        // Current component anchors: union-find representative → node id.
-        let mut anchors: HashMap<u32, NodeId> = HashMap::new();
-
-        for k in (1..=max_core).rev() {
-            // Snapshot anchors before this level's unions change representatives.
-            let snapshot: Vec<(u32, NodeId)> =
-                anchors.iter().map(|(&rep, &nid)| (rep, nid)).collect();
-
-            // Union every edge from a level-k vertex to a vertex of core ≥ k.
-            for &v in &levels[k as usize] {
-                for &u in g.neighbors(v) {
-                    if core[u.index()] >= k {
-                        uf.union(v.0, u.0);
-                    }
+        // Concatenate the local arenas in component order, offsetting ids.
+        let total: usize = subtrees.iter().map(|s| s.nodes.len()).sum();
+        let mut nodes: Vec<ClTreeNode> = Vec::with_capacity(total + 1);
+        let mut tops: Vec<NodeId> = Vec::new();
+        for sub in subtrees {
+            let offset = nodes.len() as u32;
+            for mut node in sub.nodes {
+                node.parent = node.parent.map(|p| NodeId(p.0 + offset));
+                for c in &mut node.children {
+                    *c = NodeId(c.0 + offset);
                 }
+                nodes.push(node);
             }
-
-            // Regroup old anchors and the new level-k vertices by new root.
-            let mut child_anchors: HashMap<u32, Vec<NodeId>> = HashMap::new();
-            for (rep, nid) in snapshot {
-                child_anchors.entry(uf.find(rep)).or_default().push(nid);
+            if let Some(top) = sub.top {
+                tops.push(NodeId(top.0 + offset));
             }
-            let mut new_vertices: HashMap<u32, Vec<VertexId>> = HashMap::new();
-            for &v in &levels[k as usize] {
-                new_vertices.entry(uf.find(v.0)).or_default().push(v);
-            }
-
-            let mut next_anchors: HashMap<u32, NodeId> = HashMap::new();
-            let mut roots: Vec<u32> = child_anchors.keys().copied().collect();
-            for &r in new_vertices.keys() {
-                if !child_anchors.contains_key(&r) {
-                    roots.push(r);
-                }
-            }
-            // Deterministic node numbering regardless of hash order.
-            roots.sort_unstable();
-            for root in roots {
-                let mut verts = new_vertices.remove(&root).unwrap_or_default();
-                let mut kids = child_anchors.remove(&root).unwrap_or_default();
-                if verts.is_empty() && kids.len() == 1 {
-                    // Component unchanged at this level: no node, carry forward.
-                    next_anchors.insert(root, kids[0]);
-                    continue;
-                }
-                verts.sort_unstable();
-                kids.sort_unstable();
-                let nid = NodeId(nodes.len() as u32);
-                for &v in &verts {
-                    node_of[v.index()] = nid;
-                }
-                for &kid in &kids {
-                    nodes[kid.index()].parent = Some(nid);
-                }
-                nodes.push(ClTreeNode {
-                    level: k,
-                    parent: None,
-                    children: kids,
-                    vertices: verts,
-                    inverted: HashMap::new(),
-                });
-                next_anchors.insert(root, nid);
-            }
-            anchors = next_anchors;
         }
 
         // Level 0: core-0 vertices are exactly the isolated ones; assemble a
-        // single root holding them, with every remaining component anchor as
-        // a child (matching Figure 5(b), where the root contains J).
-        let isolated: Vec<VertexId> = levels.first().cloned().unwrap_or_default();
-        let mut tops: Vec<NodeId> = anchors.values().copied().collect();
+        // single root holding them, with every component's top anchor as a
+        // child (matching Figure 5(b), where the root contains J).
+        let mut isolated: Vec<VertexId> =
+            g.vertices().filter(|&v| core[v.index()] == 0).collect();
         tops.sort_unstable();
         let root = if isolated.is_empty() && tops.len() == 1 {
             tops[0]
         } else {
             let nid = NodeId(nodes.len() as u32);
-            for &v in &isolated {
-                node_of[v.index()] = nid;
-            }
             for &kid in &tops {
                 nodes[kid.index()].parent = Some(nid);
             }
-            let mut verts = isolated;
-            verts.sort_unstable();
+            isolated.sort_unstable();
             nodes.push(ClTreeNode {
                 level: 0,
                 parent: None,
                 children: tops,
-                vertices: verts,
+                vertices: isolated,
                 inverted: HashMap::new(),
             });
             nid
         };
 
-        // Inverted keyword lists, one pass per node.
-        for node in &mut nodes {
-            node.index_keywords(|v| g.keywords(v));
+        // node_of: every vertex appears in exactly one node.
+        let mut node_of = vec![NodeId(u32::MAX); n];
+        for (i, node) in nodes.iter().enumerate() {
+            for &v in &node.vertices {
+                node_of[v.index()] = NodeId(i as u32);
+            }
         }
+
+        // Inverted keyword lists: each node only reads the graph and writes
+        // itself, so the pass runs over disjoint chunks of the arena.
+        cx_par::par_chunks_mut(&mut nodes, 64, |_, chunk| {
+            for node in chunk {
+                node.index_keywords(|v| g.keywords(v));
+            }
+        });
 
         Self { nodes, root, node_of, core, max_core }
     }
 
-    /// Crate-internal constructor used by snapshot loading.
+    /// Crate-internal constructor used by snapshot loading — also the
+    /// splice point the parallel builder's arena concatenation feeds.
     pub(crate) fn from_parts(
         nodes: Vec<ClTreeNode>,
         root: NodeId,
@@ -311,6 +291,107 @@ impl ClTree {
     pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &ClTreeNode)> + '_ {
         self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
     }
+}
+
+/// One component's bottom-up subtree: a local node arena (ids local to the
+/// arena) plus the top anchor — `None` for isolated (core-0) vertices,
+/// which the level-0 root assembly picks up directly.
+struct ComponentSubtree {
+    nodes: Vec<ClTreeNode>,
+    top: Option<NodeId>,
+}
+
+/// The anchored union-find sweep of the sequential builder, restricted to
+/// one connected component. `local` maps global vertex ids to
+/// component-local union-find slots. Node numbering inside the arena is
+/// deterministic (levels descend; roots sorted by local representative),
+/// so the caller's component-ordered concatenation is thread-count
+/// independent.
+fn build_component_subtree(
+    g: &AttributedGraph,
+    comp: &[VertexId],
+    core: &[u32],
+    local: &[u32],
+) -> ComponentSubtree {
+    let comp_max = comp.iter().map(|&v| core[v.index()]).max().unwrap_or(0);
+    if comp_max == 0 {
+        // A lone isolated vertex: no arena, handled by the root assembly.
+        return ComponentSubtree { nodes: Vec::new(), top: None };
+    }
+    // Component vertices grouped by core number.
+    let mut levels: Vec<Vec<VertexId>> = vec![Vec::new(); comp_max as usize + 1];
+    for &v in comp {
+        levels[core[v.index()] as usize].push(v);
+    }
+
+    let mut nodes: Vec<ClTreeNode> = Vec::new();
+    let mut uf = UnionFind::new(comp.len());
+    // Current component anchors: local union-find representative → node id.
+    let mut anchors: HashMap<u32, NodeId> = HashMap::new();
+
+    for k in (1..=comp_max).rev() {
+        // Snapshot anchors before this level's unions change representatives.
+        let snapshot: Vec<(u32, NodeId)> =
+            anchors.iter().map(|(&rep, &nid)| (rep, nid)).collect();
+
+        // Union every edge from a level-k vertex to a vertex of core ≥ k.
+        for &v in &levels[k as usize] {
+            for &u in g.neighbors(v) {
+                if core[u.index()] >= k {
+                    uf.union(local[v.index()], local[u.index()]);
+                }
+            }
+        }
+
+        // Regroup old anchors and the new level-k vertices by new root.
+        let mut child_anchors: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        for (rep, nid) in snapshot {
+            child_anchors.entry(uf.find(rep)).or_default().push(nid);
+        }
+        let mut new_vertices: HashMap<u32, Vec<VertexId>> = HashMap::new();
+        for &v in &levels[k as usize] {
+            new_vertices.entry(uf.find(local[v.index()])).or_default().push(v);
+        }
+
+        let mut next_anchors: HashMap<u32, NodeId> = HashMap::new();
+        let mut roots: Vec<u32> = child_anchors.keys().copied().collect();
+        for &r in new_vertices.keys() {
+            if !child_anchors.contains_key(&r) {
+                roots.push(r);
+            }
+        }
+        // Deterministic node numbering regardless of hash order.
+        roots.sort_unstable();
+        for root in roots {
+            let mut verts = new_vertices.remove(&root).unwrap_or_default();
+            let mut kids = child_anchors.remove(&root).unwrap_or_default();
+            if verts.is_empty() && kids.len() == 1 {
+                // Component unchanged at this level: no node, carry forward.
+                next_anchors.insert(root, kids[0]);
+                continue;
+            }
+            verts.sort_unstable();
+            kids.sort_unstable();
+            let nid = NodeId(nodes.len() as u32);
+            for &kid in &kids {
+                nodes[kid.index()].parent = Some(nid);
+            }
+            nodes.push(ClTreeNode {
+                level: k,
+                parent: None,
+                children: kids,
+                vertices: verts,
+                inverted: HashMap::new(),
+            });
+            next_anchors.insert(root, nid);
+        }
+        anchors = next_anchors;
+    }
+
+    // A connected component with any edge is fully joined at level 1.
+    debug_assert_eq!(anchors.len(), 1, "component not fully anchored");
+    let top = anchors.into_values().next();
+    ComponentSubtree { nodes, top }
 }
 
 #[cfg(test)]

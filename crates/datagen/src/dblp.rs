@@ -21,8 +21,7 @@
 //! and a mixing fraction of edges crosses areas. Everything is
 //! deterministic per seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cx_par::rng::Rng64;
 
 use cx_graph::{AttributedGraph, GraphBuilder, VertexId};
 
@@ -95,7 +94,7 @@ impl DblpParams {
 pub fn dblp_like(params: &DblpParams) -> (AttributedGraph, Vec<usize>) {
     assert!(params.areas > 0, "need at least one area");
     assert!(params.authors >= params.areas, "need at least one author per area");
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng64::seed_from_u64(params.seed);
 
     // Power-law-ish area sizes: weight area a by 1/(a+1), then scale.
     let weights: Vec<f64> = (0..params.areas).map(|a| 1.0 / (a + 1) as f64).collect();
@@ -239,7 +238,7 @@ pub fn dblp_like(params: &DblpParams) -> (AttributedGraph, Vec<usize>) {
     // Intra-area bridges between groups: famous (high-degree) authors
     // collaborate across labs, which is what lets the k-core percolate
     // area-wide and makes Global's community huge.
-    let weighted_pick = |pool: &[u32], members: &[u32], rng: &mut StdRng| -> u32 {
+    let weighted_pick = |pool: &[u32], members: &[u32], rng: &mut Rng64| -> u32 {
         if pool.is_empty() || rng.gen_bool(0.2) {
             members[rng.gen_range(0..members.len())]
         } else {

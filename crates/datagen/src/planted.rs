@@ -4,8 +4,7 @@
 //! recovered from the generated graph can be scored with NMI against the
 //! planted assignment.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cx_par::rng::Rng64;
 
 use cx_graph::{AttributedGraph, GraphBuilder, VertexId};
 
@@ -55,7 +54,7 @@ pub fn planted_partition(params: &PlantedParams) -> (AttributedGraph, Vec<usize>
         params.vertices >= params.communities,
         "need at least one vertex per community"
     );
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng64::seed_from_u64(params.seed);
     let n = params.vertices;
     let label_of = |i: usize| i % params.communities;
 

@@ -6,8 +6,7 @@
 //! same planted area cluster spatially, with a fraction of "travellers"
 //! placed far from their area's centre.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cx_par::rng::Rng64;
 
 /// Generates one `(x, y)` per vertex: area centres sit on a ring of
 /// radius 100, members scatter uniformly in a disk of radius
@@ -21,7 +20,7 @@ pub fn area_clustered_coords(
     seed: u64,
 ) -> Vec<(f64, f64)> {
     let n_areas = area_of.iter().copied().max().map_or(1, |m| m + 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let centers: Vec<(f64, f64)> = (0..n_areas)
         .map(|a| {
             let theta = 2.0 * std::f64::consts::PI * a as f64 / n_areas as f64;

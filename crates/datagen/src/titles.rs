@@ -8,8 +8,7 @@
 //! the top N — so the attributed graphs used elsewhere can be built the
 //! same way the original system built its input.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cx_par::rng::Rng64;
 
 use crate::zipf::Zipf;
 
@@ -25,7 +24,7 @@ pub const STOP_WORDS: &[&str] = &[
 /// terms with stop words and generic scaffolding, e.g.
 /// `"efficient query processing for streaming data"`.
 pub fn generate_titles(area: usize, count: usize, seed: u64) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(seed ^ (area as u64) << 32);
+    let mut rng = Rng64::seed_from_u64(seed ^ (area as u64) << 32);
     let vocab = area_vocabulary(area);
     let zipf = Zipf::new(vocab.len(), 1.0);
     let scaffolds: [&[&str]; 4] = [

@@ -6,7 +6,7 @@
 //! share its head terms — the property that gives ACQ non-trivial keyword
 //! cohesiveness to find.
 
-use rand::Rng;
+use cx_par::rng::Rng64;
 
 /// Samples ranks `0..n` with probability proportional to `1/(rank+1)^s`.
 #[derive(Debug, Clone)]
@@ -49,7 +49,7 @@ impl Zipf {
     }
 
     /// Draws one rank.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
         let u: f64 = rng.gen();
         // First index whose cdf ≥ u.
         match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
@@ -74,8 +74,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn pmf_sums_to_one_and_decreases() {
@@ -91,7 +89,7 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed_and_head_heavy() {
         let z = Zipf::new(100, 1.0);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let mut counts = vec![0usize; 100];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -99,9 +97,9 @@ mod tests {
         // Rank 0 should appear far more often than rank 50.
         assert!(counts[0] > 5 * counts[50].max(1));
         // Determinism.
-        let mut rng2 = StdRng::seed_from_u64(7);
+        let mut rng2 = Rng64::seed_from_u64(7);
         let first: Vec<usize> = (0..10).map(|_| z.sample(&mut rng2)).collect();
-        let mut rng3 = StdRng::seed_from_u64(7);
+        let mut rng3 = Rng64::seed_from_u64(7);
         let second: Vec<usize> = (0..10).map(|_| z.sample(&mut rng3)).collect();
         assert_eq!(first, second);
     }
@@ -109,7 +107,7 @@ mod tests {
     #[test]
     fn single_rank_always_zero() {
         let z = Zipf::new(1, 1.2);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         for _ in 0..100 {
             assert_eq!(z.sample(&mut rng), 0);
         }

@@ -1,0 +1,227 @@
+//! Bounded LRU cache for engine query results.
+//!
+//! Browsing sessions re-run the same query constantly: the user tweaks
+//! `k`, flips back, compares two algorithms on the same vertex, or
+//! refreshes the page. The community itself is a pure function of
+//! `(graph contents, algorithm, resolved query)`, so the engine keeps a
+//! small LRU map from that key to the result vector.
+//!
+//! Invalidation is generation-based rather than eager: every graph entry
+//! carries a monotonically increasing generation number, bumped whenever
+//! the graph's contents change (`add_graph` replacing a name,
+//! `apply_edits`). Cached values remember the generation they were
+//! computed against; a lookup whose generation no longer matches is a
+//! miss and the stale value is dropped on the spot. Replacing an
+//! algorithm (`register_cs` / `register_cd`) clears the cache wholesale —
+//! the same name may now mean different code.
+
+use std::collections::HashMap;
+
+use cx_graph::{Community, VertexId};
+
+/// The identity of a query: everything that determines its answer other
+/// than the graph's contents (covered by the generation number).
+///
+/// `vertices` holds the *resolved* query vertex ids, so `by_label("A")`
+/// and `by_id` of the same vertex share a slot. A detect-style query
+/// (whole-graph clustering) has no query vertices; resolution guarantees
+/// searches always have at least one, so the two cannot collide.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// Resolved graph name (never the "default" alias).
+    pub graph: String,
+    /// Algorithm name as registered.
+    pub algo: String,
+    /// Resolved query vertices (empty for detect).
+    pub vertices: Vec<VertexId>,
+    /// Minimum-degree parameter (0 for detect).
+    pub k: u32,
+    /// Keyword selection, in query order.
+    pub keywords: Vec<String>,
+}
+
+struct CacheEntry {
+    /// Graph generation the result was computed against.
+    generation: u64,
+    /// Logical timestamp of the last hit or insert (for LRU eviction).
+    last_used: u64,
+    result: Vec<Community>,
+}
+
+/// Hit/miss/occupancy counters, for tests and the `/api/stats` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the algorithm.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub len: usize,
+    /// Maximum entries before LRU eviction kicks in.
+    pub capacity: usize,
+}
+
+/// The cache proper. The engine wraps it in a `Mutex`, which keeps
+/// `Engine: Sync` while letting `&self` query methods record hits.
+pub struct QueryCache {
+    map: HashMap<QueryKey, CacheEntry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Default number of cached query results per engine.
+pub const DEFAULT_CAPACITY: usize = 128;
+
+impl QueryCache {
+    /// An empty cache holding at most `capacity` results (0 disables
+    /// caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        Self { map: HashMap::new(), capacity, tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// Looks up `key` at graph generation `generation`. Counts a hit or
+    /// a miss; a generation mismatch evicts the stale entry and counts
+    /// as a miss.
+    pub fn get(&mut self, key: &QueryKey, generation: u64) -> Option<Vec<Community>> {
+        match self.map.get_mut(key) {
+            Some(e) if e.generation == generation => {
+                self.tick += 1;
+                e.last_used = self.tick;
+                self.hits += 1;
+                Some(e.result.clone())
+            }
+            Some(_) => {
+                self.map.remove(key);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly computed result, evicting the least-recently
+    /// used entry if the cache is full.
+    pub fn insert(&mut self, key: QueryKey, generation: u64, result: Vec<Community>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.tick += 1;
+        self.map
+            .insert(key, CacheEntry { generation, last_used: self.tick, result });
+    }
+
+    /// Drops every cached result (counters survive).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            len: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Resizes the cache, evicting LRU entries if it shrinks below the
+    /// current occupancy.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.map.len() > self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: &str) -> QueryKey {
+        QueryKey {
+            graph: "g".into(),
+            algo: tag.into(),
+            vertices: vec![VertexId(0)],
+            k: 2,
+            keywords: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_and_miss_before() {
+        let mut c = QueryCache::new(4);
+        assert!(c.get(&key("acq"), 1).is_none());
+        c.insert(key("acq"), 1, vec![Community::structural(vec![VertexId(0)])]);
+        let got = c.get(&key("acq"), 1).unwrap();
+        assert_eq!(got.len(), 1);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn generation_mismatch_is_a_miss_and_evicts() {
+        let mut c = QueryCache::new(4);
+        c.insert(key("acq"), 1, Vec::new());
+        assert!(c.get(&key("acq"), 2).is_none());
+        assert_eq!(c.stats().len, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let mut c = QueryCache::new(2);
+        c.insert(key("a"), 1, Vec::new());
+        c.insert(key("b"), 1, Vec::new());
+        c.get(&key("a"), 1); // touch a, making b the LRU
+        c.insert(key("c"), 1, Vec::new());
+        assert!(c.get(&key("a"), 1).is_some());
+        assert!(c.get(&key("b"), 1).is_none());
+        assert!(c.get(&key("c"), 1).is_some());
+        assert_eq!(c.stats().len, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = QueryCache::new(0);
+        c.insert(key("a"), 1, Vec::new());
+        assert!(c.get(&key("a"), 1).is_none());
+        assert_eq!(c.stats().len, 0);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let mut c = QueryCache::new(4);
+        for tag in ["a", "b", "c", "d"] {
+            c.insert(key(tag), 1, Vec::new());
+        }
+        c.get(&key("d"), 1);
+        c.set_capacity(1);
+        assert_eq!(c.stats().len, 1);
+        assert!(c.get(&key("d"), 1).is_some());
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Mutex;
 
 use cx_cltree::ClTree;
 use cx_graph::{AttributedGraph, Community, VertexId};
@@ -13,6 +14,7 @@ use crate::api::{
     SacAlgorithm,
     LouvainAlgorithm,
 };
+use crate::cache::{CacheStats, QueryCache, QueryKey, DEFAULT_CAPACITY};
 use crate::error::ExplorerError;
 use crate::query::QuerySpec;
 use crate::report::AnalysisReport;
@@ -37,15 +39,25 @@ struct GraphEntry {
     tree: ClTree,
     profiles: HashMap<VertexId, Profile>,
     coords: Option<Vec<(f64, f64)>>,
+    /// Monotone content version; queries cached against an older
+    /// generation are stale (see [`crate::cache`]).
+    generation: u64,
 }
 
 /// The C-Explorer engine. One instance serves many graphs and algorithms;
 /// it is `Sync` once constructed (wrap in a lock to mutate concurrently).
+///
+/// Query results from [`Engine::search_on`] / [`Engine::detect_on`] are
+/// memoised in a bounded LRU cache keyed by the resolved query; any
+/// mutation of a graph's contents invalidates its cached entries via a
+/// generation counter.
 pub struct Engine {
     graphs: HashMap<String, GraphEntry>,
     default_graph: Option<String>,
     cs: Vec<Box<dyn CsAlgorithm>>,
     cd: Vec<Box<dyn CdAlgorithm>>,
+    cache: Mutex<QueryCache>,
+    next_generation: u64,
 }
 
 impl Default for Engine {
@@ -62,6 +74,8 @@ impl Engine {
             default_graph: None,
             cs: Vec::new(),
             cd: Vec::new(),
+            cache: Mutex::new(QueryCache::new(DEFAULT_CAPACITY)),
+            next_generation: 0,
         };
         e.register_cs(Box::new(AcqAlgorithm::dec()));
         e.register_cs(Box::new(AcqAlgorithm::with_strategy(cx_acq::AcqStrategy::IncS)));
@@ -91,13 +105,21 @@ impl Engine {
     pub fn add_graph(&mut self, name: impl Into<String>, graph: AttributedGraph) {
         let name = name.into();
         let tree = ClTree::build(&graph);
+        let generation = self.fresh_generation();
         self.graphs.insert(
             name.clone(),
-            GraphEntry { graph, tree, profiles: HashMap::new(), coords: None },
+            GraphEntry { graph, tree, profiles: HashMap::new(), coords: None, generation },
         );
         if self.default_graph.is_none() {
             self.default_graph = Some(name);
         }
+    }
+
+    /// The next content generation. Fresh per insert/edit, so replacing
+    /// a graph under an existing name orphans its cached queries.
+    fn fresh_generation(&mut self) -> u64 {
+        self.next_generation += 1;
+        self.next_generation
     }
 
     /// The paper's `upload(filePath)`: loads a graph file (binary snapshot
@@ -114,15 +136,19 @@ impl Engine {
     }
 
     /// Registers (or replaces, by name) a community-search algorithm.
+    /// Clears the query cache — the name may now mean different code.
     pub fn register_cs(&mut self, algo: Box<dyn CsAlgorithm>) {
         self.cs.retain(|a| a.name() != algo.name());
         self.cs.push(algo);
+        self.cache.lock().unwrap().clear();
     }
 
     /// Registers (or replaces, by name) a community-detection algorithm.
+    /// Clears the query cache — the name may now mean different code.
     pub fn register_cd(&mut self, algo: Box<dyn CdAlgorithm>) {
         self.cd.retain(|a| a.name() != algo.name());
         self.cd.push(algo);
+        self.cache.lock().unwrap().clear();
     }
 
     /// Names of the registered CS algorithms.
@@ -156,11 +182,16 @@ impl Engine {
         Ok(())
     }
 
+    /// Resolves the optional graph name to the actual entry key.
+    fn resolved_name<'a>(&'a self, graph: Option<&'a str>) -> Result<&'a str, ExplorerError> {
+        match graph {
+            Some(n) => Ok(n),
+            None => self.default_graph.as_deref().ok_or(ExplorerError::NoGraph),
+        }
+    }
+
     fn entry(&self, graph: Option<&str>) -> Result<&GraphEntry, ExplorerError> {
-        let name = match graph {
-            Some(n) => n,
-            None => self.default_graph.as_deref().ok_or(ExplorerError::NoGraph)?,
-        };
+        let name = self.resolved_name(graph)?;
         self.graphs.get(name).ok_or_else(|| ExplorerError::UnknownGraph(name.to_owned()))
     }
 
@@ -191,27 +222,42 @@ impl Engine {
         self.search_on(None, algo, spec)
     }
 
-    /// `search` against a named graph.
+    /// `search` against a named graph. Results are served from the
+    /// query cache when the same resolved query was answered against
+    /// the same graph contents before.
     pub fn search_on(
         &self,
         graph: Option<&str>,
         algo: &str,
         spec: &QuerySpec,
     ) -> Result<Vec<Community>, ExplorerError> {
-        let entry = self.entry(graph)?;
+        let name = self.resolved_name(graph)?;
+        let entry = self.entry(Some(name))?;
+        let qs = spec.resolve(&entry.graph)?;
+        let key = QueryKey {
+            graph: name.to_owned(),
+            algo: algo.to_owned(),
+            vertices: qs.clone(),
+            k: spec.k,
+            keywords: spec.keywords.clone(),
+        };
+        if let Some(hit) = self.cache.lock().unwrap().get(&key, entry.generation) {
+            return Ok(hit);
+        }
         let ctx = GraphContext {
             graph: &entry.graph,
             tree: &entry.tree,
             coords: entry.coords.as_deref(),
         };
-        let qs = spec.resolve(&entry.graph)?;
-        if let Some(a) = self.find_cs(algo) {
-            return Ok(a.search(&ctx, &qs, spec));
-        }
-        if let Some(a) = self.find_cd(algo) {
-            return Ok(a.community_of(&ctx, qs[0]).into_iter().collect());
-        }
-        Err(ExplorerError::UnknownAlgorithm(algo.to_owned()))
+        let out = if let Some(a) = self.find_cs(algo) {
+            a.search(&ctx, &qs, spec)
+        } else if let Some(a) = self.find_cd(algo) {
+            a.community_of(&ctx, qs[0]).into_iter().collect()
+        } else {
+            return Err(ExplorerError::UnknownAlgorithm(algo.to_owned()));
+        };
+        self.cache.lock().unwrap().insert(key, entry.generation, out.clone());
+        Ok(out)
     }
 
     /// The paper's `detect(CDAlgorithm)` on the default graph.
@@ -219,22 +265,48 @@ impl Engine {
         self.detect_on(None, algo)
     }
 
-    /// `detect` against a named graph.
+    /// `detect` against a named graph. Cached like [`Engine::search_on`]
+    /// (a detect key has no query vertices, so it never collides with a
+    /// search key).
     pub fn detect_on(
         &self,
         graph: Option<&str>,
         algo: &str,
     ) -> Result<Vec<Community>, ExplorerError> {
-        let entry = self.entry(graph)?;
+        let name = self.resolved_name(graph)?;
+        let entry = self.entry(Some(name))?;
+        let a = self
+            .find_cd(algo)
+            .ok_or_else(|| ExplorerError::UnknownAlgorithm(algo.to_owned()))?;
+        let key = QueryKey {
+            graph: name.to_owned(),
+            algo: algo.to_owned(),
+            vertices: Vec::new(),
+            k: 0,
+            keywords: Vec::new(),
+        };
+        if let Some(hit) = self.cache.lock().unwrap().get(&key, entry.generation) {
+            return Ok(hit);
+        }
         let ctx = GraphContext {
             graph: &entry.graph,
             tree: &entry.tree,
             coords: entry.coords.as_deref(),
         };
-        let a = self
-            .find_cd(algo)
-            .ok_or_else(|| ExplorerError::UnknownAlgorithm(algo.to_owned()))?;
-        Ok(a.detect(&ctx))
+        let out = a.detect(&ctx);
+        self.cache.lock().unwrap().insert(key, entry.generation, out.clone());
+        Ok(out)
+    }
+
+    /// Query-cache counters (hits, misses, occupancy, capacity).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().unwrap().stats()
+    }
+
+    /// Resizes the query cache (0 disables caching). Shrinking evicts
+    /// least-recently-used entries.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.cache.lock().unwrap().set_capacity(capacity);
     }
 
     /// The paper's `analyze(Community)`: CPJ/CMF quality plus per-community
@@ -292,6 +364,9 @@ impl Engine {
             Some(n) => n.to_owned(),
             None => self.default_graph.clone().ok_or(ExplorerError::NoGraph)?,
         };
+        // Coordinates feed the spatial algorithms (`sac`), so installing
+        // them changes query answers: bump the generation.
+        let generation = self.fresh_generation();
         let entry = self
             .graphs
             .get_mut(&name)
@@ -304,6 +379,7 @@ impl Engine {
             )));
         }
         entry.coords = Some(coords);
+        entry.generation = generation;
         Ok(())
     }
 
@@ -327,6 +403,7 @@ impl Engine {
             Some(n) => n.to_owned(),
             None => self.default_graph.clone().ok_or(ExplorerError::NoGraph)?,
         };
+        let generation = self.fresh_generation();
         let entry = self
             .graphs
             .get_mut(&name)
@@ -357,6 +434,7 @@ impl Engine {
         let new_graph = b.try_build()?;
         entry.tree = ClTree::build(&new_graph);
         entry.graph = new_graph;
+        entry.generation = generation;
         Ok(())
     }
 
@@ -539,6 +617,165 @@ mod tests {
 }
 
 #[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    use cx_datagen::{figure5_graph, small_collab_graph};
+
+    /// A stub CS algorithm that counts how often its `search` actually
+    /// runs — cache hits must not reach it.
+    struct Counting {
+        calls: Arc<AtomicUsize>,
+    }
+    impl crate::api::CsAlgorithm for Counting {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn search(
+            &self,
+            _ctx: &GraphContext<'_>,
+            qs: &[VertexId],
+            _spec: &QuerySpec,
+        ) -> Vec<Community> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            vec![Community::structural(vec![qs[0]])]
+        }
+    }
+
+    fn counting_engine() -> (Engine, Arc<AtomicUsize>) {
+        let mut e = Engine::with_graph("fig5", figure5_graph());
+        let calls = Arc::new(AtomicUsize::new(0));
+        e.register_cs(Box::new(Counting { calls: Arc::clone(&calls) }));
+        (e, calls)
+    }
+
+    #[test]
+    fn repeated_search_skips_the_algorithm() {
+        let (e, calls) = counting_engine();
+        let spec = QuerySpec::by_label("A").k(2);
+        let first = e.search("counting", &spec).unwrap();
+        let second = e.search("counting", &spec).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "second call must hit the cache");
+        let s = e.cache_stats();
+        assert_eq!(s.hits, 1);
+        assert!(s.misses >= 1);
+    }
+
+    #[test]
+    fn label_and_id_queries_share_a_slot() {
+        let (e, calls) = counting_engine();
+        let a = e.graph(None).unwrap().vertex_by_label("A").unwrap();
+        e.search("counting", &QuerySpec::by_label("A").k(2)).unwrap();
+        e.search("counting", &QuerySpec::by_id(a).k(2)).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "keys use resolved vertex ids");
+    }
+
+    #[test]
+    fn different_parameters_miss() {
+        let (e, calls) = counting_engine();
+        e.search("counting", &QuerySpec::by_label("A").k(2)).unwrap();
+        e.search("counting", &QuerySpec::by_label("A").k(3)).unwrap();
+        e.search("counting", &QuerySpec::by_label("B").k(2)).unwrap();
+        e.search("counting", &QuerySpec::by_label("A").k(2).with_keywords(["x"])).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn replacing_the_graph_invalidates() {
+        let (mut e, calls) = counting_engine();
+        let spec = QuerySpec::by_label("A").k(2);
+        e.search("counting", &spec).unwrap();
+        // Re-adding under the same name bumps the generation.
+        e.add_graph("fig5", figure5_graph());
+        e.search("counting", &spec).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "stale generation must miss");
+    }
+
+    #[test]
+    fn upload_invalidates() {
+        let dir = std::env::temp_dir().join("cx_engine_cache_upload");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig5.graph");
+        cx_graph::io::save_text_file(&figure5_graph(), &path).unwrap();
+        let (mut e, calls) = counting_engine();
+        let spec = QuerySpec::by_label("A").k(2);
+        e.search("counting", &spec).unwrap();
+        e.upload("fig5", &path).unwrap();
+        e.search("counting", &spec).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn edits_invalidate_only_by_generation() {
+        let (mut e, calls) = counting_engine();
+        let spec = QuerySpec::by_label("A").k(2);
+        e.search("counting", &spec).unwrap();
+        let g = e.graph(None).unwrap();
+        let (a, b) = (g.vertex_by_label("A").unwrap(), g.vertex_by_label("B").unwrap());
+        e.apply_edits(None, &[], &[(a, b)]).unwrap();
+        e.search("counting", &spec).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn registering_an_algorithm_clears_the_cache() {
+        let (mut e, calls) = counting_engine();
+        let spec = QuerySpec::by_label("A").k(2);
+        e.search("counting", &spec).unwrap();
+        // Replace the algorithm under the same name: must re-run.
+        let calls2 = Arc::new(AtomicUsize::new(0));
+        e.register_cs(Box::new(Counting { calls: Arc::clone(&calls2) }));
+        e.search("counting", &spec).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(calls2.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let (e, calls) = counting_engine();
+        e.set_cache_capacity(2);
+        let qa = QuerySpec::by_label("A").k(2);
+        let qb = QuerySpec::by_label("B").k(2);
+        let qc = QuerySpec::by_label("C").k(2);
+        e.search("counting", &qa).unwrap(); // {A}
+        e.search("counting", &qb).unwrap(); // {A, B}
+        e.search("counting", &qa).unwrap(); // hit; B is now LRU
+        e.search("counting", &qc).unwrap(); // evicts B → {A, C}
+        assert_eq!(e.cache_stats().len, 2);
+        e.search("counting", &qa).unwrap(); // hit
+        e.search("counting", &qb).unwrap(); // miss (evicted) → recompute
+        assert_eq!(calls.load(Ordering::SeqCst), 4, "A, B, C, then B again");
+    }
+
+    #[test]
+    fn detect_results_are_cached_per_graph() {
+        let mut e = Engine::with_graph("fig5", figure5_graph());
+        e.add_graph("collab", small_collab_graph());
+        let a = e.detect_on(Some("fig5"), "louvain").unwrap();
+        let before = e.cache_stats();
+        let b = e.detect_on(Some("fig5"), "louvain").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(e.cache_stats().hits, before.hits + 1);
+        // A different graph is a different key.
+        let c = e.detect_on(Some("collab"), "louvain").unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let (e, _) = counting_engine();
+        assert!(e.search("counting", &QuerySpec::by_label("nobody")).is_err());
+        assert!(e.search("nope", &QuerySpec::by_label("A")).is_err());
+        let s = e.cache_stats();
+        assert_eq!(s.len, 0);
+    }
+}
+
+#[cfg(test)]
 mod edit_tests {
     use super::*;
     use cx_datagen::figure5_graph;
@@ -684,9 +921,10 @@ impl Engine {
                     .unwrap_or_else(|_| ClTree::build(&graph)),
                 Err(_) => ClTree::build(&graph),
             };
+            let generation = engine.fresh_generation();
             engine.graphs.insert(
                 name.clone(),
-                GraphEntry { graph, tree, profiles: HashMap::new(), coords: None },
+                GraphEntry { graph, tree, profiles: HashMap::new(), coords: None, generation },
             );
             if engine.default_graph.is_none() {
                 engine.default_graph = Some(name);

@@ -24,6 +24,7 @@
 //! `acq-basic`, `global`, `global-maxmin`, `local`, `ktruss`, `codicil`).
 
 pub mod api;
+pub mod cache;
 pub mod compare;
 pub mod engine;
 pub mod error;

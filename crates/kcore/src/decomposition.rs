@@ -1,5 +1,12 @@
 //! Whole-graph core decomposition (Batagelj–Zaversnik, 2003).
+//!
+//! The peel itself is inherently sequential (each removal changes the
+//! degrees the next step sees), but the O(n) setup — degree scan and the
+//! bucket histogram — runs on the cx-par pool, and [`CoreDecomposition::compute_par`]
+//! peels independent connected components concurrently. Both variants
+//! produce identical core numbers at any `CX_THREADS` value.
 
+use cx_graph::traversal::ConnectedComponents;
 use cx_graph::{AttributedGraph, VertexId};
 
 /// Core numbers for every vertex of a graph, plus derived queries.
@@ -22,14 +29,36 @@ impl CoreDecomposition {
         if n == 0 {
             return Self { core: Vec::new(), order: Vec::new(), max_core: 0 };
         }
-        let mut deg: Vec<usize> = g.degrees();
-        let max_deg = *deg.iter().max().unwrap();
+        // Degree scan in parallel; exact and order-free, so thread count
+        // cannot change the result.
+        let mut deg: Vec<usize> =
+            cx_par::par_map_indexed(n, |v| g.degree(VertexId(v as u32)));
+        let max_deg = cx_par::par_reduce(
+            n,
+            |r| r.clone().map(|v| deg[v]).max().unwrap_or(0),
+            usize::max,
+        )
+        .unwrap();
 
-        // Bucket sort vertices by degree.
-        let mut bin = vec![0usize; max_deg + 2];
-        for &d in &deg {
-            bin[d] += 1;
-        }
+        // Bucket sort vertices by degree: per-chunk histograms combined by
+        // element-wise addition (exact for integers in any order).
+        let mut bin = cx_par::par_reduce(
+            n,
+            |r| {
+                let mut h = vec![0usize; max_deg + 2];
+                for v in r {
+                    h[deg[v]] += 1;
+                }
+                h
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+        .unwrap();
         let mut start = 0usize;
         for b in bin.iter_mut() {
             let count = *b;
@@ -74,6 +103,54 @@ impl CoreDecomposition {
             }
         }
         let max_core = core.iter().copied().max().unwrap_or(0);
+        Self { core, order, max_core }
+    }
+
+    /// Parallel per-component decomposition: peels each connected component
+    /// independently on the cx-par pool. Core numbers are identical to
+    /// [`CoreDecomposition::compute`] (a k-core never spans components);
+    /// the peeling order is a deterministic merge of the per-component
+    /// orders by core number, so the monotonicity invariant holds and the
+    /// result is independent of the thread count.
+    pub fn compute_par(g: &AttributedGraph) -> Self {
+        let n = g.vertex_count();
+        if n == 0 {
+            return Self { core: Vec::new(), order: Vec::new(), max_core: 0 };
+        }
+        let cc = ConnectedComponents::compute(g);
+        if cc.count == 1 {
+            return Self::compute(g);
+        }
+        let comps = cc.groups();
+        // Global vertex id → index within its component.
+        let mut local = vec![0u32; n];
+        for comp in &comps {
+            for (i, &v) in comp.iter().enumerate() {
+                local[v.index()] = i as u32;
+            }
+        }
+        let peeled: Vec<(Vec<u32>, Vec<VertexId>)> =
+            cx_par::par_map_slice(&comps, |comp| peel_component(g, comp, &local));
+
+        let mut core = vec![0u32; n];
+        for (comp, (cores, _)) in comps.iter().zip(&peeled) {
+            for (&v, &c) in comp.iter().zip(cores) {
+                core[v.index()] = c;
+            }
+        }
+        let max_core = core.iter().copied().max().unwrap_or(0);
+        // Merge per-component peel orders into one globally monotone order:
+        // bucket by core number, components in their deterministic order.
+        let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_core as usize + 1];
+        for (_, comp_order) in &peeled {
+            for &v in comp_order {
+                buckets[core[v.index()] as usize].push(v);
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        for b in buckets {
+            order.extend(b);
+        }
         Self { core, order, max_core }
     }
 
@@ -136,6 +213,67 @@ impl CoreDecomposition {
         }
         h
     }
+}
+
+/// Batagelj–Zaversnik peel restricted to one connected component.
+/// `local` maps global vertex ids to component-local indices. Returns the
+/// core number per component-local index plus the component's peel order
+/// (as global ids). Edges never leave a component, so the global degree is
+/// also the within-component degree.
+fn peel_component(
+    g: &AttributedGraph,
+    comp: &[VertexId],
+    local: &[u32],
+) -> (Vec<u32>, Vec<VertexId>) {
+    let n = comp.len();
+    let mut deg: Vec<usize> = comp.iter().map(|&v| g.degree(v)).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        bin[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut vert = vec![0u32; n];
+    let mut pos = vec![0usize; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            pos[v] = cursor[deg[v]];
+            vert[pos[v]] = v as u32;
+            cursor[deg[v]] += 1;
+        }
+    }
+
+    let mut core = vec![0u32; n];
+    let mut order = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = vert[i] as usize;
+        core[v] = deg[v] as u32;
+        order.push(comp[v]);
+        for &gu in g.neighbors(comp[v]) {
+            let u = local[gu.index()] as usize;
+            if deg[u] > deg[v] {
+                let du = deg[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw] as usize;
+                if u != w {
+                    vert.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin[du] += 1;
+                deg[u] -= 1;
+            }
+        }
+    }
+    (core, order)
 }
 
 #[cfg(test)]
@@ -258,6 +396,20 @@ mod tests {
         let cores: Vec<u32> = cd.peeling_order().iter().map(|&u| cd.core(u)).collect();
         assert!(cores.windows(2).all(|w| w[0] <= w[1]), "order {cores:?} not monotone");
         assert_eq!(cd.peeling_order().len(), g.vertex_count());
+    }
+
+    #[test]
+    fn compute_par_matches_sequential_on_multi_component_graph() {
+        let g = figure5_graph(); // 4 components: the big one, H, I, J
+        let a = CoreDecomposition::compute(&g);
+        let b = CoreDecomposition::compute_par(&g);
+        assert_eq!(a.core_numbers(), b.core_numbers());
+        assert_eq!(a.max_core(), b.max_core());
+        assert_eq!(b.peeling_order().len(), g.vertex_count());
+        let cores: Vec<u32> = b.peeling_order().iter().map(|&u| b.core(u)).collect();
+        assert!(cores.windows(2).all(|w| w[0] <= w[1]), "par order not monotone");
+        // Empty graph hits the early return.
+        assert_eq!(CoreDecomposition::compute_par(&GraphBuilder::new().build()).max_core(), 0);
     }
 
     #[test]

@@ -34,10 +34,11 @@ impl TrussDecomposition {
         for (i, &(u, v)) in edges.iter().enumerate() {
             index.insert((u.0, v.0), i as u32);
         }
-        let mut support = vec![0u32; m];
-        for (i, &(u, v)) in edges.iter().enumerate() {
-            support[i] = common_neighbor_count(g, u, v);
-        }
+        // Support initialization — the O(m·d) scan that dominates the
+        // decomposition — fans out per edge on the cx-par pool; each entry
+        // is an independent sorted-merge intersection.
+        let support: Vec<u32> =
+            cx_par::par_map_slice(&edges, |&(u, v)| common_neighbor_count(g, u, v));
 
         // Bucket peeling on edges by support.
         let max_sup = support.iter().copied().max().unwrap_or(0) as usize;
@@ -157,9 +158,18 @@ pub fn common_neighbor_count(g: &AttributedGraph, u: VertexId, v: VertexId) -> u
     n
 }
 
-/// Total number of triangles in `g`.
+/// Total number of triangles in `g`. The per-edge intersection counts are
+/// summed with cx-par's ordered reduce, so the result (an exact integer
+/// sum) is identical at any thread count.
 pub fn triangle_count(g: &AttributedGraph) -> usize {
-    g.edges().map(|(u, v)| common_neighbor_count(g, u, v) as usize).sum::<usize>() / 3
+    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    cx_par::par_reduce(
+        edges.len(),
+        |r| r.map(|i| common_neighbor_count(g, edges[i].0, edges[i].1) as usize).sum::<usize>(),
+        |a, b| a + b,
+    )
+    .unwrap_or(0)
+        / 3
 }
 
 /// The k-truss communities of `q`: one [`Community`] per triangle-connected

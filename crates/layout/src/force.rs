@@ -1,7 +1,6 @@
 //! Layout algorithms over an induced subgraph.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cx_par::rng::Rng64;
 
 use cx_graph::Subgraph;
 
@@ -52,7 +51,7 @@ impl LayoutAlgorithm {
 }
 
 fn initial_positions(n: usize, seed: u64) -> Vec<(f64, f64)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect()
 }
 

@@ -200,8 +200,8 @@ fn handle_connection(mut stream: TcpStream, handler: &dyn Fn(&Request) -> Respon
     let _ = stream.flush();
 }
 
-/// Serves forever on `addr` with `workers` threads fed by a crossbeam
-/// channel (the accept loop runs on the calling thread).
+/// Serves forever on `addr` with a fixed pool of `workers` threads (the
+/// accept loop runs on the calling thread).
 pub fn serve<F>(addr: &str, workers: usize, handler: F) -> std::io::Result<()>
 where
     F: Fn(&Request) -> Response + Send + Sync + 'static,
@@ -228,19 +228,14 @@ where
     F: Fn(&Request) -> Response + Send + Sync + 'static,
 {
     let handler: Arc<F> = Arc::new(handler);
-    let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
-    for _ in 0..workers.max(1) {
-        let rx = rx.clone();
-        let handler = Arc::clone(&handler);
-        std::thread::spawn(move || {
-            while let Ok(stream) = rx.recv() {
-                handle_connection(stream, &*handler);
-            }
-        });
-    }
+    // A fixed pool: each accepted connection becomes one queued job. The
+    // pool (and its queue) lives as long as the accept loop, i.e. forever.
+    let pool = cx_par::queue::WorkerPool::new("cx-http", workers.max(1));
     for stream in listener.incoming().flatten() {
-        let _ = tx.send(stream);
+        let handler = Arc::clone(&handler);
+        pool.execute(move || handle_connection(stream, &*handler));
     }
+    drop(pool); // unreachable in practice; joins workers if accept ends
 }
 
 #[cfg(test)]

@@ -9,12 +9,12 @@
 //! * [`json`] — a small, strict JSON value model with a writer and parser
 //!   (no serde: the protocol is tiny and auditable);
 //! * [`http`] — an HTTP/1.1 server over `std::net::TcpListener` with a
-//!   crossbeam-channel worker pool, plus request/response types that are
-//!   fully testable without sockets;
+//!   fixed [`cx_par::queue::WorkerPool`] handling connections, plus
+//!   request/response types that are fully testable without sockets;
 //! * [`routes`] — the REST API (`/api/search`, `/api/compare`,
 //!   `/api/detect`, `/api/profile`, `/api/suggest`, `/api/graphs`,
 //!   `/api/upload`) over an [`cx_explorer::Engine`] behind a
-//!   `parking_lot::RwLock`;
+//!   `std::sync::RwLock`;
 //! * [`ui`] — the embedded single-page browser UI (left panel: name box,
 //!   degree constraint, keyword chips; right panel: the community drawn on
 //!   a canvas), mirroring Figure 1.
@@ -33,7 +33,7 @@ pub mod ui;
 pub use http::{Request, Response};
 pub use json::Json;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::sync::Arc;
 
 /// The C-Explorer web server: an engine behind a lock plus the HTTP loop.

@@ -1,6 +1,6 @@
 //! The REST API over the engine — the protocol the browser page speaks.
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use cx_explorer::{Engine, ExplorerError, QuerySpec};
 use cx_graph::{Community, VertexId};
@@ -41,7 +41,7 @@ fn err_response(e: &ExplorerError) -> Response {
 }
 
 fn graphs(engine: &RwLock<Engine>) -> Response {
-    let e = engine.read();
+    let e = engine.read().unwrap();
     let graphs = Json::arr(e.graph_names().iter().map(|n| Json::str(*n)));
     let cs = Json::arr(e.cs_names().iter().map(|n| Json::str(*n)));
     let cd = Json::arr(e.cd_names().iter().map(|n| Json::str(*n)));
@@ -55,13 +55,14 @@ fn graphs(engine: &RwLock<Engine>) -> Response {
 }
 
 fn stats(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read();
+    let e = engine.read().unwrap();
     let g = match e.graph(req.param("graph")) {
         Ok(g) => g,
         Err(err) => return err_response(&err),
     };
     let s = cx_graph::stats::GraphStats::compute(g);
     let tree = e.tree(req.param("graph")).expect("graph exists");
+    let cache = e.cache_stats();
     Response::json(&Json::obj([
         ("vertices", Json::num(s.vertices as f64)),
         ("edges", Json::num(s.edges as f64)),
@@ -73,6 +74,15 @@ fn stats(engine: &RwLock<Engine>, req: &Request) -> Response {
         ("degeneracy", Json::num(tree.max_core() as f64)),
         ("index_nodes", Json::num(tree.node_count() as f64)),
         ("index_bytes", Json::num(tree.memory_bytes() as f64)),
+        (
+            "query_cache",
+            Json::obj([
+                ("hits", Json::num(cache.hits as f64)),
+                ("misses", Json::num(cache.misses as f64)),
+                ("len", Json::num(cache.len as f64)),
+                ("capacity", Json::num(cache.capacity as f64)),
+            ]),
+        ),
     ]))
 }
 
@@ -113,7 +123,7 @@ fn edit(engine: &RwLock<Engine>, req: &Request) -> Response {
         Ok(p) => p,
         Err(r) => return r,
     };
-    let mut e = engine.write();
+    let mut e = engine.write().unwrap();
     match e.apply_edits(req.param("graph"), &add, &remove) {
         Ok(()) => {
             let g = e.graph(req.param("graph")).expect("graph exists");
@@ -128,7 +138,7 @@ fn edit(engine: &RwLock<Engine>, req: &Request) -> Response {
 }
 
 fn suggest(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read();
+    let e = engine.read().unwrap();
     let q = req.param("q").unwrap_or("");
     let limit = req.param_as::<usize>("limit", 8);
     match e.suggest(req.param("graph"), q, limit) {
@@ -205,7 +215,7 @@ fn community_json(
 }
 
 fn search(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read();
+    let e = engine.read().unwrap();
     let spec = match spec_from(req) {
         Ok(s) => s,
         Err(r) => return r,
@@ -247,7 +257,7 @@ fn search(engine: &RwLock<Engine>, req: &Request) -> Response {
 }
 
 fn svg(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read();
+    let e = engine.read().unwrap();
     let spec = match spec_from(req) {
         Ok(s) => s,
         Err(r) => return r,
@@ -272,7 +282,7 @@ fn svg(engine: &RwLock<Engine>, req: &Request) -> Response {
 }
 
 fn compare(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read();
+    let e = engine.read().unwrap();
     let spec = match spec_from(req) {
         Ok(s) => s,
         Err(r) => return r,
@@ -307,7 +317,7 @@ fn compare(engine: &RwLock<Engine>, req: &Request) -> Response {
 
 /// GET /api/chart — the comparison's CPJ/CMF bars as downloadable SVG.
 fn chart(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read();
+    let e = engine.read().unwrap();
     let spec = match spec_from(req) {
         Ok(s) => s,
         Err(r) => return r,
@@ -321,7 +331,7 @@ fn chart(engine: &RwLock<Engine>, req: &Request) -> Response {
 }
 
 fn detect(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read();
+    let e = engine.read().unwrap();
     let algo = req.param("algo").unwrap_or("codicil");
     let limit = req.param_as::<usize>("limit", 20);
     match e.detect_on(req.param("graph"), algo) {
@@ -345,7 +355,7 @@ fn detect(engine: &RwLock<Engine>, req: &Request) -> Response {
 }
 
 fn profile(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read();
+    let e = engine.read().unwrap();
     let Some(id) = req.param("id").and_then(|s| s.parse::<u32>().ok()) else {
         return Response::error(400, "id must be an integer");
     };
@@ -370,7 +380,7 @@ fn upload(engine: &RwLock<Engine>, req: &Request) -> Response {
         Err(e) => return Response::error(400, &format!("parse failed: {e}")),
     };
     let (v, m) = (graph.vertex_count(), graph.edge_count());
-    engine.write().add_graph(&name, graph);
+    engine.write().unwrap().add_graph(&name, graph);
     Response::json(&Json::obj([
         ("ok", Json::Bool(true)),
         ("graph", Json::str(name)),
@@ -491,7 +501,7 @@ mod tests {
         let s = server();
         {
             let engine = s.engine();
-            let mut e = engine.write();
+            let mut e = engine.write().unwrap();
             let g = e.graph(None).unwrap();
             let a = g.vertex_by_label("A").unwrap();
             e.set_profiles(

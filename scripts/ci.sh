@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification wrapper: release build, full test suite, and a
+# small par_scaling smoke run (thread sweep + cross-thread determinism
+# check on a 5k-vertex workload). Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --workspace =="
+cargo build --release --workspace
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== par_scaling smoke (5k vertices, 2 samples) =="
+cargo run -q --release -p cx-bench --bin par_scaling -- 5000 2
+
+echo "== ci.sh: all green =="

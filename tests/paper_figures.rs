@@ -93,7 +93,7 @@ fn dec_generally_verifies_fewer_candidates_than_inc_s() {
     let mut hubs: Vec<VertexId> = g.vertices().collect();
     hubs.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
     let (mut dec_total, mut inc_total) = (0usize, 0usize);
-    for &q in hubs.iter().take(8) {
+    for &q in hubs.iter().take(24) {
         let s: Vec<KeywordId> = g.keywords(q).iter().copied().take(8).collect();
         let opts = AcqOptions::with_k(4).keywords(s);
         let dec = cx_acq::acq(&g, &tree, q, &opts, AcqStrategy::Dec);
