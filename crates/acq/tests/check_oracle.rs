@@ -1,0 +1,66 @@
+//! Differential + invariant sweep of the ACQ strategies via `cx-check`.
+//!
+//! Complements the crate's unit tests: instead of hand-picked fixtures,
+//! this runs seeded workloads over generated graphs and demands that all
+//! four strategies agree *and* that every answer satisfies the problem
+//! definition (connectivity, min-degree, keyword maximality) checked by
+//! naive reference algorithms.
+
+use cx_acq::AcqOptions;
+use cx_check::{acq_strategy_differential, check_acq_result, graph_matrix, query_workload};
+use cx_cltree::ClTree;
+
+#[test]
+fn seeded_workloads_pass_differential_and_invariants() {
+    for case in graph_matrix(&[60, 150], &[3, 11]) {
+        let g = &case.graph;
+        let tree = ClTree::build(g);
+        for qc in query_workload(g, 6, 0xAC01) {
+            let mut opts = AcqOptions::with_k(qc.k).max_candidates(2000);
+            if !qc.keywords.is_empty() {
+                opts = opts.keywords(qc.keywords.clone());
+            }
+            let (reference, mismatches) =
+                acq_strategy_differential(g, &tree, qc.q, &opts, 10);
+            assert!(
+                mismatches.is_empty(),
+                "{} {}: {mismatches:?}",
+                case.name,
+                qc.describe(g)
+            );
+            let s: Vec<_> = if qc.keywords.is_empty() {
+                g.keywords(qc.q).to_vec()
+            } else {
+                qc.keywords.clone()
+            };
+            let violations = check_acq_result(g, qc.q, qc.k, &s, &reference);
+            assert!(
+                violations.is_empty(),
+                "{} {}: {violations:?}",
+                case.name,
+                qc.describe(g)
+            );
+        }
+    }
+}
+
+#[test]
+fn high_k_queries_return_empty_not_wrong() {
+    // Far above the degeneracy of any workload graph: every strategy must
+    // agree the answer is empty (the invariant checker verifies that no
+    // core actually exists).
+    for case in graph_matrix(&[60], &[5]) {
+        let g = &case.graph;
+        let tree = ClTree::build(g);
+        for qc in query_workload(g, 3, 1) {
+            let opts = AcqOptions::with_k(64);
+            let (reference, mismatches) =
+                acq_strategy_differential(g, &tree, qc.q, &opts, 10);
+            assert!(mismatches.is_empty(), "{mismatches:?}");
+            assert!(reference.communities.is_empty());
+            let violations =
+                check_acq_result(g, qc.q, 64, g.keywords(qc.q), &reference);
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+}

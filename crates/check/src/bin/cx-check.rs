@@ -1,0 +1,212 @@
+//! `cx-check` — the seeded correctness sweep run in CI.
+//!
+//! Runs the full battery over a graph/query seed matrix:
+//!
+//! 1. **Invariants** — every community returned by the ACQ reference
+//!    passes connectivity / membership / min-degree / theme checks, and
+//!    every ACQ result passes keyword-maximality.
+//! 2. **Core-number differential** — `CoreDecomposition` (sequential and
+//!    parallel) vs. a naive fixpoint peel.
+//! 3. **Strategy differential** — Dec vs. Inc-S / Inc-T / Basic.
+//! 4. **Cache differential** — cold vs. warm vs. cache-disabled engines.
+//! 5. **Thread differential** — fingerprints at CX_THREADS=1 vs. N.
+//! 6. **API fuzz** — mutated requests must never panic or break the
+//!    JSON error contract.
+//!
+//! Exit status 0 = clean; 1 = violations found; 2 = bad usage.
+
+use cx_acq::AcqOptions;
+use cx_check::invariants::check_core_numbers;
+use cx_check::oracle::thread_differential;
+use cx_check::{
+    acq_strategy_differential, cached_vs_uncached, check_acq_result, fingerprint, fuzz_server,
+    graph_matrix, query_workload, FuzzParams,
+};
+use cx_cltree::ClTree;
+use cx_datagen::dblp_like;
+use cx_explorer::{Engine, QuerySpec};
+use cx_kcore::CoreDecomposition;
+use cx_server::Server;
+
+struct Args {
+    sizes: Vec<usize>,
+    seeds: Vec<u64>,
+    queries: usize,
+    fuzz: usize,
+    threads: Vec<usize>,
+    basic_limit: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            sizes: vec![60, 200, 800],
+            seeds: vec![7, 21],
+            queries: 4,
+            fuzz: 600,
+            threads: vec![1, 2, 8],
+            basic_limit: 10,
+        }
+    }
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str, flag: &str) -> Result<Vec<T>, String> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.trim().parse::<T>().map_err(|_| format!("bad value {p:?} for {flag}")))
+        .collect()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = || -> Result<&str, String> {
+            i += 1;
+            argv.get(i).map(|s| s.as_str()).ok_or(format!("{flag} needs a value"))
+        };
+        match flag {
+            "--sizes" => args.sizes = parse_list(value()?, flag)?,
+            "--seeds" => args.seeds = parse_list(value()?, flag)?,
+            "--queries" => args.queries = value()?.parse().map_err(|_| format!("bad {flag}"))?,
+            "--fuzz" => args.fuzz = value()?.parse().map_err(|_| format!("bad {flag}"))?,
+            "--threads" => args.threads = parse_list(value()?, flag)?,
+            "--basic-limit" => {
+                args.basic_limit = value()?.parse().map_err(|_| format!("bad {flag}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: cx-check [--sizes N,N,..] [--seeds S,S,..] [--queries N] \
+                     [--fuzz N] [--threads N,N,..] [--basic-limit N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cx-check: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut problems: Vec<String> = Vec::new();
+    let mut queries_run = 0usize;
+    let matrix = graph_matrix(&args.sizes, &args.seeds);
+    println!(
+        "cx-check: {} graphs × {} queries, threads {:?}, fuzz {}",
+        matrix.len(),
+        args.queries,
+        args.threads,
+        args.fuzz
+    );
+
+    for case in &matrix {
+        let g = &case.graph;
+        let tree = ClTree::build(g);
+        let decomp = CoreDecomposition::compute(g);
+        let decomp_par = CoreDecomposition::compute_par(g);
+
+        // Core-number differential: sequential + parallel decomposition
+        // against the naive peel inside cx-check.
+        for (label, d) in [("seq", &decomp), ("par", &decomp_par)] {
+            for v in check_core_numbers(g, &|v| d.core(v)) {
+                problems.push(format!("{} [core/{label}] {v}", case.name));
+            }
+        }
+
+        let workload = query_workload(g, args.queries, 0xC0DE ^ g.vertex_count() as u64);
+        for qc in &workload {
+            queries_run += 1;
+            let mut opts = AcqOptions::with_k(qc.k).max_candidates(2000);
+            if !qc.keywords.is_empty() {
+                opts = opts.keywords(qc.keywords.clone());
+            }
+            let (reference, mismatches) =
+                acq_strategy_differential(g, &tree, qc.q, &opts, args.basic_limit);
+            for m in mismatches {
+                problems.push(format!("{} {}", case.name, m));
+            }
+            let s: Vec<_> = if qc.keywords.is_empty() {
+                g.keywords(qc.q).to_vec()
+            } else {
+                qc.keywords.clone()
+            };
+            for v in check_acq_result(g, qc.q, qc.k, &s, &reference) {
+                problems.push(format!("{} {} {}", case.name, qc.describe(g), v));
+            }
+        }
+
+        // Cache differential on a hub query, across engine algorithms.
+        if let Some(qc) = workload.first() {
+            let spec = QuerySpec::by_id(qc.q).k(qc.k);
+            for algo in ["acq", "global", "local", "ktruss"] {
+                for m in cached_vs_uncached(g, algo, &spec) {
+                    problems.push(format!("{} {}", case.name, m));
+                }
+            }
+        }
+
+        // Thread differential: decomposition + index + query fingerprint
+        // must be identical at every thread count.
+        if let Some(qc) = workload.first() {
+            let (q, k) = (qc.q, qc.k);
+            for m in thread_differential(&case.name, &args.threads, || {
+                let d = CoreDecomposition::compute_par(g);
+                let t = ClTree::build(g);
+                let r = acq(g, &t, q, k);
+                format!("max_core={};{}", d.max_core(), fingerprint(&r))
+            }) {
+                problems.push(format!("{} {}", case.name, m));
+            }
+        }
+        println!("  {} ok ({} vertices, {} edges)", case.name, g.vertex_count(), g.edge_count());
+    }
+
+    // API fuzz: one server seeded with the figure-5 fixture plus a small
+    // generated graph, hammered with mutated requests.
+    let mut engine = Engine::with_graph("fig5", cx_datagen::figure5_graph());
+    let (dblp, _) = dblp_like(&cx_check::workload::check_params(120, 5));
+    engine.add_graph("dblp", dblp);
+    let server = Server::new(engine);
+    let report = fuzz_server(&server, &FuzzParams { requests: args.fuzz, seed: 0xF022 });
+    println!("  fuzz: {}", report.summary());
+    problems.extend(report.failures.iter().map(|f| format!("fuzz {f}")));
+
+    if problems.is_empty() {
+        println!(
+            "cx-check PASS: {} graphs, {} queries, {} fuzz requests — no violations",
+            matrix.len(),
+            queries_run,
+            report.total
+        );
+    } else {
+        eprintln!("cx-check FAIL: {} violations", problems.len());
+        for p in problems.iter().take(50) {
+            eprintln!("  {p}");
+        }
+        if problems.len() > 50 {
+            eprintln!("  … and {} more", problems.len() - 50);
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Runs the Dec reference through `cx_acq::acq` with default keyword set.
+fn acq(
+    g: &cx_graph::AttributedGraph,
+    tree: &ClTree,
+    q: cx_graph::VertexId,
+    k: u32,
+) -> Vec<cx_graph::Community> {
+    cx_acq::acq(g, tree, q, &AcqOptions::with_k(k), cx_acq::AcqStrategy::Dec).communities
+}

@@ -1,0 +1,443 @@
+//! Structure-aware fuzzing of the HTTP API.
+//!
+//! The driver builds *valid* requests first (real labels, registered
+//! algorithm names, well-formed JSON bodies) and then mutates them:
+//! truncation, type swaps, huge/negative numbers, unknown vertices,
+//! graphs and keywords, junk percent-escapes, deep JSON nesting. The
+//! contract it enforces on every response:
+//!
+//! * the handler never panics;
+//! * the status is one of 200/400/404/405 — never a 5xx;
+//! * the body is non-empty;
+//! * JSON responses parse, and error responses carry a non-empty
+//!   `error` string.
+//!
+//! Everything is seeded, so a failing case replays deterministically.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use cx_par::rng::Rng64;
+use cx_server::{Json, Request, Response, Server};
+
+/// Fuzzing knobs.
+#[derive(Debug, Clone)]
+pub struct FuzzParams {
+    /// How many mutated requests to fire.
+    pub requests: usize,
+    /// RNG seed; same seed + same server setup → same request stream.
+    pub seed: u64,
+}
+
+impl Default for FuzzParams {
+    fn default() -> Self {
+        Self { requests: 500, seed: 0xc0ffee }
+    }
+}
+
+/// Outcome of a fuzzing run.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    /// Requests fired.
+    pub total: usize,
+    /// Requests whose handler panicked (must be 0).
+    pub panics: usize,
+    /// Contract violations, each with the offending request line.
+    pub failures: Vec<String>,
+    /// Responses seen per status code.
+    pub status_counts: BTreeMap<u16, usize>,
+}
+
+impl FuzzReport {
+    /// True when the run found no panics and no contract violations.
+    pub fn ok(&self) -> bool {
+        self.panics == 0 && self.failures.is_empty()
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        let statuses: Vec<String> =
+            self.status_counts.iter().map(|(s, n)| format!("{s}×{n}")).collect();
+        format!(
+            "{} requests, {} panics, {} violations [{}]",
+            self.total,
+            self.panics,
+            self.failures.len(),
+            statuses.join(" ")
+        )
+    }
+}
+
+/// A pool of strings to draw valid and almost-valid values from.
+struct ValuePool {
+    labels: Vec<String>,
+    algos: Vec<String>,
+    graphs: Vec<String>,
+    keywords: Vec<String>,
+}
+
+fn pool_from(server: &Server) -> ValuePool {
+    let engine = server.engine();
+    let e = engine.read().unwrap_or_else(|p| p.into_inner());
+    let graphs: Vec<String> = e.graph_names().iter().map(|s| s.to_string()).collect();
+    let mut algos: Vec<String> = e.cs_names().iter().map(|s| s.to_string()).collect();
+    algos.extend(e.cd_names().iter().map(|s| s.to_string()));
+    let (mut labels, mut keywords) = (Vec::new(), Vec::new());
+    if let Ok(g) = e.graph(None) {
+        labels = g.vertices().take(50).map(|v| g.label(v).to_owned()).collect();
+        keywords = g
+            .vertices()
+            .take(10)
+            .flat_map(|v| g.keyword_names(g.keywords(v)))
+            .take(20)
+            .collect();
+    }
+    ValuePool { labels, algos, graphs, keywords }
+}
+
+fn pick<'a>(rng: &mut Rng64, xs: &'a [String]) -> &'a str {
+    if xs.is_empty() {
+        return "";
+    }
+    &xs[(rng.next_u64() as usize) % xs.len()]
+}
+
+/// A hostile scalar: the classic boundary values plus junk.
+fn hostile_value(rng: &mut Rng64) -> String {
+    const CANNED: &[&str] = &[
+        "-1",
+        "0",
+        "4294967295",
+        "4294967296",
+        "99999999999999999999",
+        "1e309",
+        "NaN",
+        "",
+        " ",
+        "null",
+        "true",
+        "%zz%1",
+        "%00",
+        "a|b|c|||",
+        "' OR 1=1 --",
+        "<script>alert(1)</script>",
+        "\u{202e}exe.tab",
+        "名無しの権兵衛",
+    ];
+    match rng.next_u64() % 5 {
+        0 => "x".repeat(1 + (rng.next_u64() % 2048) as usize),
+        1 => format!("{}", rng.next_u64()),
+        _ => CANNED[(rng.next_u64() as usize) % CANNED.len()].to_owned(),
+    }
+}
+
+/// A valid-ish query-string value for the named parameter.
+fn plausible_value(rng: &mut Rng64, pool: &ValuePool, param: &str) -> String {
+    match param {
+        "name" | "q" => pick(rng, &pool.labels).to_owned(),
+        "names" => {
+            let a = pick(rng, &pool.labels);
+            let b = pick(rng, &pool.labels);
+            format!("{a}|{b}")
+        }
+        "id" | "index" => format!("{}", rng.next_u64() % 64),
+        "k" => format!("{}", rng.next_u64() % 6),
+        "limit" => format!("{}", rng.next_u64() % 30),
+        "algo" => pick(rng, &pool.algos).to_owned(),
+        "algos" => {
+            let a = pick(rng, &pool.algos);
+            let b = pick(rng, &pool.algos);
+            format!("{a},{b}")
+        }
+        "graph" => pick(rng, &pool.graphs).to_owned(),
+        "keywords" => {
+            let a = pick(rng, &pool.keywords);
+            let b = pick(rng, &pool.keywords);
+            format!("{a},{b}")
+        }
+        "layout" => ["force", "circular", "shell", "kk"][(rng.next_u64() as usize) % 4].to_owned(),
+        _ => hostile_value(rng),
+    }
+}
+
+/// Endpoint templates: (method, path, candidate params, has JSON body).
+const TEMPLATES: &[(&str, &str, &[&str], bool)] = &[
+    ("GET", "/api/graphs", &[], false),
+    ("GET", "/api/stats", &["graph"], false),
+    ("GET", "/api/suggest", &["q", "limit", "graph"], false),
+    ("GET", "/api/search", &["name", "names", "id", "k", "algo", "graph", "keywords", "layout"], false),
+    ("GET", "/api/svg", &["name", "id", "k", "algo", "index", "layout", "graph"], false),
+    ("GET", "/api/compare", &["name", "id", "k", "algos", "graph", "keywords"], false),
+    ("GET", "/api/chart", &["name", "id", "k", "algos", "graph"], false),
+    ("GET", "/api/detect", &["algo", "limit", "graph"], false),
+    ("GET", "/api/profile", &["id", "graph"], false),
+    ("POST", "/api/edit", &["graph"], true),
+    ("POST", "/api/upload", &["name"], true),
+];
+
+fn valid_edit_body(rng: &mut Rng64) -> String {
+    let u = rng.next_u64() % 12;
+    let v = rng.next_u64() % 12;
+    format!("{{\"add\":[[{u},{v}]],\"remove\":[[{v},{u}]]}}")
+}
+
+fn valid_upload_body(rng: &mut Rng64) -> String {
+    let n = 2 + (rng.next_u64() % 5) as usize;
+    let mut s = String::new();
+    for i in 0..n {
+        s.push_str(&format!("v\tu{i}\tkw{}\n", i % 3));
+    }
+    for i in 1..n {
+        s.push_str(&format!("e\t0\t{i}\n"));
+    }
+    s
+}
+
+fn mutate_body(rng: &mut Rng64, body: &mut Vec<u8>) {
+    match rng.next_u64() % 7 {
+        0 => {
+            // Truncate at a random byte.
+            let at = (rng.next_u64() as usize) % (body.len() + 1);
+            body.truncate(at);
+        }
+        1 => {
+            // Replace a number with a string / float / negative.
+            let swaps: &[&str] = &["\"zero\"", "-3", "1.5", "null", "1e400", "[]"];
+            let s = String::from_utf8_lossy(body).replace(
+                char::is_numeric,
+                swaps[(rng.next_u64() as usize) % swaps.len()],
+            );
+            *body = s.into_bytes();
+        }
+        2 => {
+            // Deep nesting (bounded well above the parser's depth cap).
+            let depth = 70 + (rng.next_u64() % 60) as usize;
+            *body = ("[".repeat(depth) + &"]".repeat(depth)).into_bytes();
+        }
+        3 => *body = hostile_value(rng).into_bytes(),
+        4 => {
+            // Invalid UTF-8.
+            body.extend_from_slice(&[0xff, 0xfe, 0x80]);
+        }
+        5 => {
+            // Huge vertex ids.
+            *body = format!(
+                "{{\"add\":[[{},{}]]}}",
+                u64::MAX,
+                rng.next_u64()
+            )
+            .into_bytes();
+        }
+        _ => {
+            // Duplicate the body (garbage after valid JSON).
+            let copy = body.clone();
+            body.extend_from_slice(&copy);
+        }
+    }
+}
+
+/// Builds one request: start from a valid template instantiation, then
+/// apply 0–3 mutations.
+fn generate(rng: &mut Rng64, pool: &ValuePool) -> Request {
+    let (method, path, params, has_body) =
+        TEMPLATES[(rng.next_u64() as usize) % TEMPLATES.len()];
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for &p in params {
+        // `name`/`names`/`id` are alternatives; include each with 60%.
+        if rng.next_u64() % 5 < 3 {
+            pairs.push((p.to_owned(), plausible_value(rng, pool, p)));
+        }
+    }
+    let mut body = if has_body {
+        if path == "/api/edit" {
+            valid_edit_body(rng).into_bytes()
+        } else {
+            valid_upload_body(rng).into_bytes()
+        }
+    } else {
+        Vec::new()
+    };
+    let mut method = method.to_owned();
+    for _ in 0..rng.next_u64() % 4 {
+        match rng.next_u64() % 6 {
+            0 if !pairs.is_empty() => {
+                // Swap one value for a hostile one.
+                let i = (rng.next_u64() as usize) % pairs.len();
+                pairs[i].1 = hostile_value(rng);
+            }
+            1 if !pairs.is_empty() => {
+                // Drop a parameter.
+                let i = (rng.next_u64() as usize) % pairs.len();
+                pairs.remove(i);
+            }
+            2 => pairs.push((hostile_value(rng), hostile_value(rng))),
+            3 if !body.is_empty() => mutate_body(rng, &mut body),
+            4 => method = if method == "GET" { "POST".into() } else { "GET".into() },
+            _ => {
+                // Unknown graph / algo / vertex names.
+                pairs.push((
+                    ["graph", "algo", "name", "id"][(rng.next_u64() as usize) % 4].to_owned(),
+                    format!("ghost-{}", rng.next_u64() % 1000),
+                ));
+            }
+        }
+    }
+    let query: String = pairs
+        .iter()
+        .map(|(k, v)| format!("{}={}", url_encode(k), url_encode(v)))
+        .collect::<Vec<_>>()
+        .join("&");
+    let target = if query.is_empty() { path.to_owned() } else { format!("{path}?{query}") };
+    if method == "GET" {
+        Request::get(&target)
+    } else {
+        Request::post(&target, body)
+    }
+}
+
+fn url_encode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' | b'|' | b','
+            | b'%' => out.push(b as char),
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02x}")),
+        }
+    }
+    out
+}
+
+fn request_line(req: &Request) -> String {
+    let mut q: Vec<String> = req.query.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    q.sort();
+    format!("{} {}?{} body[{}B]", req.method, req.path, q.join("&"), req.body.len())
+}
+
+/// Checks the response contract for one request; returns a violation
+/// message or `None`.
+fn check_response(req: &Request, resp: &Response) -> Option<String> {
+    let line = request_line(req);
+    if !matches!(resp.status, 200 | 400 | 404 | 405) {
+        return Some(format!("{line} → unexpected status {}", resp.status));
+    }
+    if resp.body.is_empty() {
+        return Some(format!("{line} → empty body (status {})", resp.status));
+    }
+    if resp.content_type.starts_with("application/json") {
+        let text = resp.text();
+        let parsed = match Json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                return Some(format!(
+                    "{line} → malformed JSON response ({e}): {}",
+                    &text[..text.len().min(120)]
+                ))
+            }
+        };
+        if resp.status >= 400 {
+            match parsed.get("error").and_then(Json::as_str) {
+                Some(msg) if !msg.is_empty() => {}
+                _ => {
+                    return Some(format!(
+                        "{line} → {} without a non-empty error field",
+                        resp.status
+                    ))
+                }
+            }
+        }
+    } else if resp.status >= 400 {
+        return Some(format!(
+            "{line} → error status {} with non-JSON content type {}",
+            resp.status, resp.content_type
+        ));
+    }
+    None
+}
+
+/// Fires `params.requests` mutated requests at the server and checks the
+/// response contract on each. The engine behind the server is mutated by
+/// successful `/api/edit` / `/api/upload` requests — by design, so the
+/// fuzzer also exercises queries interleaved with churn.
+pub fn fuzz_server(server: &Server, params: &FuzzParams) -> FuzzReport {
+    let pool = pool_from(server);
+    let mut rng = Rng64::seed_from_u64(params.seed);
+    let mut report = FuzzReport::default();
+    for _ in 0..params.requests {
+        let req = generate(&mut rng, &pool);
+        report.total += 1;
+        match catch_unwind(AssertUnwindSafe(|| server.handle(&req))) {
+            Ok(resp) => {
+                *report.status_counts.entry(resp.status).or_insert(0) += 1;
+                if let Some(v) = check_response(&req, &resp) {
+                    report.failures.push(v);
+                }
+            }
+            Err(panic) => {
+                report.panics += 1;
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".into());
+                report.failures.push(format!("{} → PANIC: {msg}", request_line(&req)));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_explorer::Engine;
+
+    fn server() -> Server {
+        Server::new(Engine::with_graph("fig5", cx_datagen::figure5_graph()))
+    }
+
+    #[test]
+    fn short_run_is_clean_and_deterministic() {
+        let p = FuzzParams { requests: 80, seed: 11 };
+        let r1 = fuzz_server(&server(), &p);
+        assert!(r1.ok(), "{}\n{:#?}", r1.summary(), r1.failures);
+        let r2 = fuzz_server(&server(), &p);
+        assert_eq!(r1.status_counts, r2.status_counts, "fuzz stream must be deterministic");
+    }
+
+    #[test]
+    fn contract_checker_flags_bad_responses() {
+        let req = Request::get("/api/search?name=A");
+        // 500s are never acceptable.
+        let bad = Response::error(500, "boom");
+        assert!(check_response(&req, &bad).unwrap().contains("unexpected status"));
+        // Error bodies must be JSON with a non-empty error.
+        let empty = Response {
+            status: 400,
+            content_type: "application/json".into(),
+            body: b"{}".to_vec(),
+        };
+        assert!(check_response(&req, &empty).unwrap().contains("error field"));
+        let malformed = Response {
+            status: 400,
+            content_type: "application/json".into(),
+            body: b"{oops".to_vec(),
+        };
+        assert!(check_response(&req, &malformed).unwrap().contains("malformed"));
+        // A good error passes.
+        assert!(check_response(&req, &Response::error(404, "no such vertex")).is_none());
+    }
+
+    #[test]
+    fn hostile_values_cover_boundaries() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut seen_long = false;
+        for _ in 0..200 {
+            let v = hostile_value(&mut rng);
+            if v.len() > 1000 {
+                seen_long = true;
+            }
+        }
+        assert!(seen_long, "long-string mutation must be reachable");
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # cx-check — the correctness-tooling subsystem
+//!
+//! C-Explorer's value proposition is *comparison analysis*: the same query
+//! answered by several community-retrieval methods side by side. The
+//! comparison only means anything if each method is individually correct,
+//! so this crate turns the formal guarantees of the underlying papers into
+//! executable oracles:
+//!
+//! * [`invariants`] — reusable assertions over a returned community:
+//!   connectivity, query-vertex membership, the k-core / k-truss degree
+//!   bound, theme consistency, and ACQ keyword-cohesiveness *maximality*
+//!   (no strict superset of the shared keyword set admits a qualifying
+//!   community). Every check is implemented directly on the graph — never
+//!   through the algorithm under test — so the oracle is independent.
+//! * [`oracle`] — differential testing: ACQ's Dec/Inc-S/Inc-T strategies
+//!   (and the index-free Basic baseline) are provably equivalent, the
+//!   engine's cached and uncached paths must agree byte for byte, and
+//!   every `cx-par` helper is documented to be thread-count independent.
+//!   The oracle runs both sides and diffs canonicalized results.
+//! * [`canonical`] — the canonical form and fingerprint the diffs compare.
+//! * [`workload`] — a seeded graph/query matrix over [`cx_datagen`]
+//!   generators, so the oracles sweep thousands of cases reproducibly.
+//! * [`fuzz`] — a structure-aware HTTP API fuzzer: mutates valid requests
+//!   (truncation, type swaps, huge/negative k, unknown vertices/keywords)
+//!   and asserts the server always answers with well-formed JSON errors —
+//!   never a panic, never a 500, never an empty body.
+//!
+//! The crate doubles as a test-support library (dev-dependency of the
+//! algorithm, engine and server crates) and a CI gate: the `cx-check`
+//! binary runs the full seed matrix and exits non-zero on any violation.
+
+pub mod canonical;
+pub mod fuzz;
+pub mod invariants;
+pub mod oracle;
+pub mod workload;
+
+pub use canonical::{canonicalize, diff_results, fingerprint};
+pub use fuzz::{fuzz_server, FuzzParams, FuzzReport};
+pub use invariants::{
+    check_acq_result, check_community, check_ktruss_community, Violation,
+};
+pub use oracle::{acq_strategy_differential, cached_vs_uncached, with_threads, Mismatch};
+pub use workload::{graph_matrix, query_workload, GraphCase, QueryCase};

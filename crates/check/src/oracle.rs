@@ -1,0 +1,251 @@
+//! Differential oracles: run the same query through provably-equivalent
+//! paths and diff the canonicalized answers.
+//!
+//! Three free oracles fall out of the system's design:
+//!
+//! * **Strategy equivalence** — ACQ's Basic/Inc-S/Inc-T/Dec all solve the
+//!   same optimisation problem, and Basic does it without the CL-tree
+//!   index, so a four-way agreement also covers index vs. index-free.
+//! * **Cache transparency** — a warm [`cx_explorer::Engine`] query must be
+//!   byte-identical to the cold computation, and to an engine with the
+//!   cache disabled entirely.
+//! * **Thread independence** — every `cx-par` helper documents output
+//!   independent of `CX_THREADS`; [`with_threads`] re-runs a closure under
+//!   different counts so callers can fingerprint-compare.
+
+use std::sync::Mutex;
+
+use cx_acq::{acq, AcqOptions, AcqResult, AcqStrategy};
+use cx_cltree::ClTree;
+use cx_explorer::{Engine, QuerySpec};
+use cx_graph::{AttributedGraph, VertexId};
+
+use crate::canonical::{diff_results, fingerprint};
+
+/// One disagreement between two paths that must agree.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Which oracle produced this (e.g. `acq-strategies`, `cache`, `threads`).
+    pub oracle: &'static str,
+    /// The query / configuration under which the paths diverged.
+    pub context: String,
+    /// What differed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.oracle, self.context, self.detail)
+    }
+}
+
+/// Runs one ACQ query through every strategy and diffs the results against
+/// the `Dec` reference. `Basic` (the index-free exponential baseline) is
+/// included only when the effective keyword set has at most
+/// `basic_keyword_limit` keywords; pass ~10 for test-sized graphs, 0 to
+/// skip it. Returns the reference result plus any mismatches.
+pub fn acq_strategy_differential(
+    g: &AttributedGraph,
+    tree: &ClTree,
+    q: VertexId,
+    opts: &AcqOptions,
+    basic_keyword_limit: usize,
+) -> (AcqResult, Vec<Mismatch>) {
+    let reference = acq(g, tree, q, opts, AcqStrategy::Dec);
+    let mut mismatches = Vec::new();
+    let effective = if opts.keywords.is_empty() {
+        g.keywords(q).len()
+    } else {
+        opts.keywords.len()
+    };
+    let mut rivals = vec![AcqStrategy::IncS, AcqStrategy::IncT];
+    if effective <= basic_keyword_limit {
+        rivals.push(AcqStrategy::Basic);
+    }
+    for strat in rivals {
+        let res = acq(g, tree, q, opts, strat);
+        let context = format!("q={} ({:?}) k={}", g.label(q), q, opts.k);
+        if res.shared_keyword_count != reference.shared_keyword_count {
+            mismatches.push(Mismatch {
+                oracle: "acq-strategies",
+                context: context.clone(),
+                detail: format!(
+                    "{} found |L|={}, Dec found |L|={}",
+                    strat.name(),
+                    res.shared_keyword_count,
+                    reference.shared_keyword_count
+                ),
+            });
+        }
+        if let Some(d) =
+            diff_results(strat.name(), &res.communities, "Dec", &reference.communities)
+        {
+            mismatches.push(Mismatch { oracle: "acq-strategies", context, detail: d });
+        }
+    }
+    (reference, mismatches)
+}
+
+/// Cache-transparency oracle for one engine query:
+///
+/// 1. a *cold* engine call (fresh engine, cache enabled),
+/// 2. a *warm* repeat on the same engine (must be served by the cache),
+/// 3. a call on a second engine with the cache disabled (capacity 0).
+///
+/// All three must produce identical fingerprints, and the warm call must
+/// actually hit the cache. Builds its own engines so callers can't
+/// accidentally share cache state with other oracles.
+pub fn cached_vs_uncached(
+    g: &AttributedGraph,
+    algo: &str,
+    spec: &QuerySpec,
+) -> Vec<Mismatch> {
+    let mut mismatches = Vec::new();
+    let context = format!("algo={algo} spec={spec:?}");
+    let cached = Engine::with_graph("check", g.clone());
+    let cold = match cached.search_on(None, algo, spec) {
+        Ok(c) => c,
+        Err(e) => {
+            return vec![Mismatch {
+                oracle: "cache",
+                context,
+                detail: format!("cold query errored: {e}"),
+            }]
+        }
+    };
+    let hits_before = cached.cache_stats().hits;
+    let warm = cached.search_on(None, algo, spec).expect("warm repeat of a successful query");
+    if cached.cache_stats().hits != hits_before + 1 {
+        mismatches.push(Mismatch {
+            oracle: "cache",
+            context: context.clone(),
+            detail: "second identical query was not served by the cache".into(),
+        });
+    }
+    if fingerprint(&cold) != fingerprint(&warm) {
+        mismatches.push(Mismatch {
+            oracle: "cache",
+            context: context.clone(),
+            detail: "cache hit returned a different result than the cold computation".into(),
+        });
+    }
+    let uncached = Engine::with_graph("check", g.clone());
+    uncached.set_cache_capacity(0);
+    match uncached.search_on(None, algo, spec) {
+        Ok(plain) => {
+            if let Some(d) = diff_results("cached", &cold, "uncached", &plain) {
+                mismatches.push(Mismatch { oracle: "cache", context, detail: d });
+            }
+        }
+        Err(e) => mismatches.push(Mismatch {
+            oracle: "cache",
+            context,
+            detail: format!("uncached engine errored where cached succeeded: {e}"),
+        }),
+    }
+    mismatches
+}
+
+/// Serialises `CX_THREADS` mutation across tests and oracles (environment
+/// variables are process-global).
+static THREAD_ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with `CX_THREADS` pinned to `n`, restoring the previous value
+/// afterwards. Holds a global lock for the duration so concurrent callers
+/// (e.g. parallel test threads) can't interleave env mutations.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = THREAD_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let old = std::env::var("CX_THREADS").ok();
+    std::env::set_var("CX_THREADS", n.to_string());
+    let out = f();
+    match old {
+        Some(v) => std::env::set_var("CX_THREADS", v),
+        None => std::env::remove_var("CX_THREADS"),
+    }
+    out
+}
+
+/// Thread-independence oracle: evaluates `fingerprint_of()` under each
+/// thread count and reports any divergence from the single-threaded run.
+/// The closure should rebuild whatever is under test from scratch (e.g.
+/// decompose + index + query) and return its fingerprint.
+pub fn thread_differential(
+    context: &str,
+    counts: &[usize],
+    fingerprint_of: impl Fn() -> String,
+) -> Vec<Mismatch> {
+    let base = with_threads(1, &fingerprint_of);
+    counts
+        .iter()
+        .filter(|&&n| n != 1)
+        .filter_map(|&n| {
+            let got = with_threads(n, &fingerprint_of);
+            (got != base).then(|| Mismatch {
+                oracle: "threads",
+                context: context.to_owned(),
+                detail: format!("output at CX_THREADS={n} differs from CX_THREADS=1"),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_datagen::figure5_graph;
+
+    #[test]
+    fn strategies_agree_on_figure5() {
+        let g = figure5_graph();
+        let tree = ClTree::build(&g);
+        for q in g.vertices() {
+            for k in 1..=3 {
+                let (reference, mm) =
+                    acq_strategy_differential(&g, &tree, q, &AcqOptions::with_k(k), 10);
+                assert!(mm.is_empty(), "{mm:?}");
+                // Reference passes its own invariants too.
+                let s =
+                    crate::invariants::check_acq_result(&g, q, k, g.keywords(q), &reference);
+                assert!(s.is_empty(), "q={q:?} k={k}: {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_oracle_is_clean_on_builtins() {
+        let g = figure5_graph();
+        for algo in ["acq", "global", "local", "ktruss"] {
+            let mm = cached_vs_uncached(&g, algo, &QuerySpec::by_label("A").k(2));
+            assert!(mm.is_empty(), "{algo}: {mm:?}");
+        }
+    }
+
+    #[test]
+    fn cache_oracle_reports_errors_as_mismatch() {
+        let g = figure5_graph();
+        let mm = cached_vs_uncached(&g, "no-such-algo", &QuerySpec::by_label("A"));
+        assert_eq!(mm.len(), 1);
+        assert!(mm[0].detail.contains("errored"));
+    }
+
+    #[test]
+    fn with_threads_restores_environment() {
+        let before = std::env::var("CX_THREADS").ok();
+        let seen = with_threads(3, || std::env::var("CX_THREADS").unwrap());
+        assert_eq!(seen, "3");
+        assert_eq!(std::env::var("CX_THREADS").ok(), before);
+    }
+
+    #[test]
+    fn thread_differential_flags_divergence() {
+        // A closure that depends on the env var is (deliberately) not
+        // thread-independent.
+        let mm = thread_differential("selftest", &[1, 2], || {
+            std::env::var("CX_THREADS").unwrap_or_default()
+        });
+        assert_eq!(mm.len(), 1);
+        // A constant closure is clean.
+        let mm = thread_differential("selftest", &[1, 2, 8], || "same".into());
+        assert!(mm.is_empty());
+    }
+}

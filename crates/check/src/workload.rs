@@ -1,0 +1,162 @@
+//! Seeded graph/query matrices — the reproducible workloads the oracles
+//! sweep.
+//!
+//! A *graph case* is a named, seeded [`cx_datagen`] graph; a *query case*
+//! is one (vertex, k, keyword-selection) combination against it. Both are
+//! pure functions of their seeds, so a CI failure message like
+//! `dblp-200/s7 q=author-63 k=2` reproduces exactly on any machine.
+
+use cx_datagen::{dblp_like, DblpParams};
+use cx_graph::{AttributedGraph, KeywordId, VertexId};
+use cx_par::rng::Rng64;
+
+/// One named, seeded workload graph.
+pub struct GraphCase {
+    /// Stable display name, e.g. `dblp-200/s7` or `figure5`.
+    pub name: String,
+    /// The generated graph.
+    pub graph: AttributedGraph,
+}
+
+/// One generated query against a workload graph.
+#[derive(Debug, Clone)]
+pub struct QueryCase {
+    /// The query vertex.
+    pub q: VertexId,
+    /// Minimum internal degree.
+    pub k: u32,
+    /// Explicit keyword selection (empty = the ACQ default `S = W(q)`).
+    pub keywords: Vec<KeywordId>,
+}
+
+impl QueryCase {
+    /// Short reproducer string for failure messages.
+    pub fn describe(&self, g: &AttributedGraph) -> String {
+        format!(
+            "q={} ({:?}) k={} |S|={}",
+            g.label(self.q),
+            self.q,
+            self.k,
+            if self.keywords.is_empty() { g.keywords(self.q).len() } else { self.keywords.len() }
+        )
+    }
+}
+
+/// DBLP-like parameters sized for correctness sweeps: smaller per-author
+/// keyword sets than the benchmark preset, so the exponential `Basic`
+/// baseline stays cheap enough to participate in every differential.
+pub fn check_params(authors: usize, seed: u64) -> DblpParams {
+    DblpParams {
+        authors,
+        areas: (authors / 60).clamp(2, 16),
+        keywords_per_author: 6,
+        vocab_per_area: 24,
+        seed,
+        ..DblpParams::default()
+    }
+}
+
+/// The seed matrix: the Figure 5 fixture plus one DBLP-like graph per
+/// (size, seed) pair. Sizes are author counts.
+pub fn graph_matrix(sizes: &[usize], seeds: &[u64]) -> Vec<GraphCase> {
+    let mut out = vec![GraphCase {
+        name: "figure5".into(),
+        graph: cx_datagen::figure5_graph(),
+    }];
+    for &n in sizes {
+        for &seed in seeds {
+            let (graph, _areas) = dblp_like(&check_params(n, seed));
+            out.push(GraphCase { name: format!("dblp-{n}/s{seed}"), graph });
+        }
+    }
+    out
+}
+
+/// Generates `count` query cases against `g`, seeded: a mix of hub
+/// vertices (well-connected "renowned authors", what the paper queries),
+/// uniform random vertices, and low-degree periphery; `k` sweeps 1..=4;
+/// every third query pins an explicit keyword subset of `W(q)` (including
+/// occasionally a keyword `q` does not carry, which ACQ must ignore).
+pub fn query_workload(g: &AttributedGraph, count: usize, seed: u64) -> Vec<QueryCase> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = Rng64::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut by_degree: Vec<VertexId> = g.vertices().collect();
+    by_degree.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v.0));
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let q = match i % 3 {
+            // Hubs: one of the 10 best-connected vertices.
+            0 => by_degree[(rng.next_u64() as usize) % by_degree.len().min(10)],
+            // Uniform random.
+            1 => VertexId((rng.next_u64() % n as u64) as u32),
+            // Periphery: one of the 25% lowest-degree vertices.
+            _ => {
+                let tail = (n / 4).max(1);
+                by_degree[n - 1 - (rng.next_u64() as usize) % tail]
+            }
+        };
+        let k = 1 + (rng.next_u64() % 4) as u32;
+        let mut keywords = Vec::new();
+        if i % 3 == 2 {
+            // Explicit subset of W(q) (possibly empty), sometimes salted
+            // with a keyword from elsewhere in the vocabulary.
+            for &w in g.keywords(q) {
+                if rng.next_u64() % 2 == 0 {
+                    keywords.push(w);
+                }
+            }
+            if g.keyword_count() > 0 && rng.next_u64() % 4 == 0 {
+                keywords.push(KeywordId((rng.next_u64() % g.keyword_count() as u64) as u32));
+            }
+        }
+        out.push(QueryCase { q, k, keywords });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_deterministic() {
+        let a = graph_matrix(&[80], &[7]);
+        let b = graph_matrix(&[80], &[7]);
+        assert_eq!(a.len(), 2); // figure5 + dblp-80/s7
+        assert_eq!(a[1].name, "dblp-80/s7");
+        assert_eq!(a[1].graph.vertex_count(), b[1].graph.vertex_count());
+        assert_eq!(a[1].graph.edge_count(), b[1].graph.edge_count());
+        let ea: Vec<_> = a[1].graph.edges().collect();
+        let eb: Vec<_> = b[1].graph.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_in_bounds() {
+        let g = cx_datagen::figure5_graph();
+        let w1 = query_workload(&g, 12, 3);
+        let w2 = query_workload(&g, 12, 3);
+        assert_eq!(w1.len(), 12);
+        for (a, b) in w1.iter().zip(&w2) {
+            assert_eq!(a.q, b.q);
+            assert_eq!(a.k, b.k);
+            assert_eq!(a.keywords, b.keywords);
+            assert!(g.contains(a.q));
+            assert!((1..=4).contains(&a.k));
+        }
+        // Different seeds give different workloads.
+        let w3 = query_workload(&g, 12, 4);
+        assert!(w1.iter().zip(&w3).any(|(a, b)| a.q != b.q || a.k != b.k));
+    }
+
+    #[test]
+    fn check_params_keep_basic_feasible() {
+        let p = check_params(120, 1);
+        assert!(p.keywords_per_author <= 8, "Basic is 2^|S|; keep S small");
+        let (g, _) = dblp_like(&p);
+        assert_eq!(g.vertex_count(), 120);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the quality and similarity metrics, over seeded
+//! random communities drawn from generated graphs (dependency-free; the
+//! workload generator in cx-check replaces an external proptest).
+
+use cx_check::workload::graph_matrix;
+use cx_graph::{Community, VertexId};
+use cx_metrics::{cmf, cpj, cpj_single, f1_score, pairwise_jaccard_matrix};
+use cx_par::rng::Rng64;
+
+/// Draws `count` random communities (2–10 members each) from `g`.
+fn random_communities(
+    g: &cx_graph::AttributedGraph,
+    count: usize,
+    rng: &mut Rng64,
+) -> Vec<Community> {
+    let n = g.vertex_count() as u64;
+    (0..count)
+        .map(|_| {
+            let size = 2 + (rng.next_u64() % 9) as usize;
+            let mut vs: Vec<VertexId> =
+                (0..size).map(|_| VertexId((rng.next_u64() % n) as u32)).collect();
+            vs.sort();
+            vs.dedup();
+            Community::structural(vs)
+        })
+        .collect()
+}
+
+#[test]
+fn cpj_and_cmf_stay_in_unit_interval() {
+    for case in graph_matrix(&[80, 160], &[3, 17]) {
+        let g = &case.graph;
+        let mut rng = Rng64::seed_from_u64(0xBEEF);
+        for round in 0..20 {
+            let comms = random_communities(g, 1 + round % 5, &mut rng);
+            let p = cpj(g, &comms);
+            assert!((0.0..=1.0).contains(&p), "{} cpj={p}", case.name);
+            for c in &comms {
+                let ps = cpj_single(g, c);
+                assert!((0.0..=1.0).contains(&ps), "{} cpj_single={ps}", case.name);
+            }
+            let q = VertexId((rng.next_u64() % g.vertex_count() as u64) as u32);
+            let m = cmf(g, &comms, q);
+            assert!((0.0..=1.0).contains(&m), "{} cmf={m}", case.name);
+        }
+    }
+}
+
+#[test]
+fn identical_communities_score_perfect() {
+    let case = &graph_matrix(&[100], &[7])[1];
+    let g = &case.graph;
+    let mut rng = Rng64::seed_from_u64(0xFEED);
+    let comms = random_communities(g, 6, &mut rng);
+    for c in &comms {
+        // A community is always identical to itself.
+        assert_eq!(c.vertex_jaccard(c), 1.0);
+    }
+    // Comparing a result set against itself: diagonal of ones, perfect F1.
+    let m = pairwise_jaccard_matrix(&comms, &comms);
+    for (i, row) in m.iter().enumerate() {
+        assert_eq!(row[i], 1.0, "diagonal at {i}");
+    }
+    assert!((f1_score(&comms, &comms) - 1.0).abs() < 1e-12);
+    // A community of keyword-identical vertices has CPJ exactly 1.
+    let mut b = cx_graph::GraphBuilder::new();
+    let u = b.add_vertex("a", &["db", "graphs"]);
+    let v = b.add_vertex("b", &["db", "graphs"]);
+    b.add_edge(u, v);
+    let tiny = b.build();
+    let c = Community::structural(vec![VertexId(0), VertexId(1)]);
+    assert_eq!(cpj_single(&tiny, &c), 1.0);
+}
+
+#[test]
+fn jaccard_matrix_is_symmetric_under_swap() {
+    let case = &graph_matrix(&[90], &[9])[1];
+    let g = &case.graph;
+    let mut rng = Rng64::seed_from_u64(0xABCD);
+    let a = random_communities(g, 5, &mut rng);
+    let b = random_communities(g, 7, &mut rng);
+    let ab = pairwise_jaccard_matrix(&a, &b);
+    let ba = pairwise_jaccard_matrix(&b, &a);
+    assert_eq!(ab.len(), a.len());
+    assert_eq!(ab[0].len(), b.len());
+    for i in 0..a.len() {
+        for j in 0..b.len() {
+            assert_eq!(ab[i][j], ba[j][i], "J must be symmetric: m[{i}][{j}]");
+            assert!((0.0..=1.0).contains(&ab[i][j]));
+        }
+    }
+}
+
+#[test]
+fn cpj_of_empty_and_singleton_is_zero() {
+    let case = &graph_matrix(&[60], &[2])[1];
+    let g = &case.graph;
+    assert_eq!(cpj(g, &[]), 0.0);
+    let single = Community::structural(vec![VertexId(0)]);
+    assert_eq!(cpj_single(g, &single), 0.0);
+    assert_eq!(cmf(g, &[], VertexId(0)), 0.0);
+}

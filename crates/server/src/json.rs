@@ -115,7 +115,11 @@ impl fmt::Display for Json {
             Json::Null => write!(f, "null"),
             Json::Bool(b) => write!(f, "{b}"),
             Json::Number(n) => {
-                if n.fract() == 0.0 && n.abs() < 9e15 {
+                // JSON has no NaN/Infinity literals; serialize them as
+                // null (what JSON.stringify does) so output always parses.
+                if !n.is_finite() {
+                    write!(f, "null")
+                } else if n.fract() == 0.0 && n.abs() < 9e15 {
                     write!(f, "{}", *n as i64)
                 } else {
                     write!(f, "{n}")
@@ -452,5 +456,15 @@ mod tests {
     fn whitespace_everywhere() {
         let v = Json::parse("  { \"a\" : [ 1 , 2 ] , \"b\" : null }  ").unwrap();
         assert_eq!(v.get("a").and_then(Json::as_array).map(|a| a.len()), Some(2));
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let s = Json::obj([("x", Json::num(bad))]).to_string();
+            assert_eq!(s, "{\"x\":null}");
+            // Round-trips: the output is still valid JSON.
+            assert!(Json::parse(&s).is_ok(), "{s}");
+        }
     }
 }

@@ -29,6 +29,19 @@ pub fn route(engine: &RwLock<Engine>, req: &Request) -> Response {
     }
 }
 
+/// Acquires the engine read lock, recovering from poisoning: a panic in
+/// one request handler must not turn every later request into a 500.
+/// Engine state is rebuilt-on-write (never left half-updated across an
+/// unwind), so the inner value is safe to keep using.
+fn read_engine(engine: &RwLock<Engine>) -> std::sync::RwLockReadGuard<'_, Engine> {
+    engine.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Write-lock counterpart of [`read_engine`].
+fn write_engine(engine: &RwLock<Engine>) -> std::sync::RwLockWriteGuard<'_, Engine> {
+    engine.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 fn err_response(e: &ExplorerError) -> Response {
     let status = match e {
         ExplorerError::UnknownAlgorithm(_)
@@ -41,7 +54,7 @@ fn err_response(e: &ExplorerError) -> Response {
 }
 
 fn graphs(engine: &RwLock<Engine>) -> Response {
-    let e = engine.read().unwrap();
+    let e = read_engine(engine);
     let graphs = Json::arr(e.graph_names().iter().map(|n| Json::str(*n)));
     let cs = Json::arr(e.cs_names().iter().map(|n| Json::str(*n)));
     let cd = Json::arr(e.cd_names().iter().map(|n| Json::str(*n)));
@@ -55,13 +68,16 @@ fn graphs(engine: &RwLock<Engine>) -> Response {
 }
 
 fn stats(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read().unwrap();
+    let e = read_engine(engine);
     let g = match e.graph(req.param("graph")) {
         Ok(g) => g,
         Err(err) => return err_response(&err),
     };
     let s = cx_graph::stats::GraphStats::compute(g);
-    let tree = e.tree(req.param("graph")).expect("graph exists");
+    let tree = match e.tree(req.param("graph")) {
+        Ok(t) => t,
+        Err(err) => return err_response(&err),
+    };
     let cache = e.cache_stats();
     Response::json(&Json::obj([
         ("vertices", Json::num(s.vertices as f64)),
@@ -123,10 +139,13 @@ fn edit(engine: &RwLock<Engine>, req: &Request) -> Response {
         Ok(p) => p,
         Err(r) => return r,
     };
-    let mut e = engine.write().unwrap();
+    let mut e = write_engine(engine);
     match e.apply_edits(req.param("graph"), &add, &remove) {
         Ok(()) => {
-            let g = e.graph(req.param("graph")).expect("graph exists");
+            let g = match e.graph(req.param("graph")) {
+                Ok(g) => g,
+                Err(err) => return err_response(&err),
+            };
             Response::json(&Json::obj([
                 ("ok", Json::Bool(true)),
                 ("vertices", Json::num(g.vertex_count() as f64)),
@@ -138,7 +157,7 @@ fn edit(engine: &RwLock<Engine>, req: &Request) -> Response {
 }
 
 fn suggest(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read().unwrap();
+    let e = read_engine(engine);
     let q = req.param("q").unwrap_or("");
     let limit = req.param_as::<usize>("limit", 8);
     match e.suggest(req.param("graph"), q, limit) {
@@ -191,12 +210,19 @@ fn layout_from(req: &Request) -> LayoutAlgorithm {
 fn community_json(
     e: &Engine,
     graph: Option<&str>,
+    g: &cx_graph::AttributedGraph,
     c: &Community,
     layout: LayoutAlgorithm,
     highlight: Option<VertexId>,
 ) -> Json {
-    let g = e.graph(graph).expect("validated upstream");
-    let scene = e.display(graph, c, layout, highlight).expect("validated upstream");
+    // The scene is decorative; if layout or serialization fails (e.g.
+    // degenerate coordinates), degrade to `scene: null` rather than
+    // failing the whole response.
+    let scene = e
+        .display(graph, c, layout, highlight)
+        .ok()
+        .and_then(|scene| Json::parse(&scene.to_json()).ok())
+        .unwrap_or(Json::Null);
     let members = Json::arr(c.vertices().iter().map(|&v| {
         Json::obj([
             ("id", Json::num(v.0 as f64)),
@@ -209,13 +235,12 @@ fn community_json(
         ("avg_degree", Json::num(c.average_internal_degree(g))),
         ("theme", Json::arr(c.theme(g).into_iter().map(Json::str))),
         ("members", members),
-        // The scene is already JSON; parse and embed rather than nest a string.
-        ("scene", Json::parse(&scene.to_json()).expect("scene JSON is valid")),
+        ("scene", scene),
     ])
 }
 
 fn search(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read().unwrap();
+    let e = read_engine(engine);
     let spec = match spec_from(req) {
         Ok(s) => s,
         Err(r) => return r,
@@ -232,14 +257,18 @@ fn search(engine: &RwLock<Engine>, req: &Request) -> Response {
         Err(err) => return err_response(&err),
     };
     let q = match spec.resolve(g) {
-        Ok(qs) => qs[0],
+        Ok(qs) if !qs.is_empty() => qs[0],
+        Ok(_) => return Response::error(400, "query resolved to no vertices"),
         Err(err) => return err_response(&err),
     };
-    let analysis = e.analyze(graph, &communities, q).expect("vertex validated");
+    let analysis = match e.analyze(graph, &communities, q) {
+        Ok(a) => a,
+        Err(err) => return err_response(&err),
+    };
     let list = Json::arr(
         communities
             .iter()
-            .map(|c| community_json(&e, graph, c, layout, Some(q))),
+            .map(|c| community_json(&e, graph, g, c, layout, Some(q))),
     );
     Response::json(&Json::obj([
         ("query", Json::obj([
@@ -257,7 +286,7 @@ fn search(engine: &RwLock<Engine>, req: &Request) -> Response {
 }
 
 fn svg(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read().unwrap();
+    let e = read_engine(engine);
     let spec = match spec_from(req) {
         Ok(s) => s,
         Err(r) => return r,
@@ -272,17 +301,26 @@ fn svg(engine: &RwLock<Engine>, req: &Request) -> Response {
     let Some(c) = communities.get(index) else {
         return Response::error(404, "community index out of range");
     };
-    let g = e.graph(graph).expect("validated");
-    let q = spec.resolve(g).expect("validated")[0];
-    let scene = e
-        .display(graph, c, layout_from(req), Some(q))
-        .expect("validated")
+    let g = match e.graph(graph) {
+        Ok(g) => g,
+        Err(err) => return err_response(&err),
+    };
+    let q = match spec.resolve(g) {
+        Ok(qs) if !qs.is_empty() => qs[0],
+        Ok(_) => return Response::error(400, "query resolved to no vertices"),
+        Err(err) => return err_response(&err),
+    };
+    let scene = match e.display(graph, c, layout_from(req), Some(q)) {
+        Ok(s) => s,
+        Err(err) => return err_response(&err),
+    };
+    let scene = scene
         .titled(format!("Method: {algo} — community {} of {}", index + 1, communities.len()));
     Response::svg(scene.to_svg())
 }
 
 fn compare(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read().unwrap();
+    let e = read_engine(engine);
     let spec = match spec_from(req) {
         Ok(s) => s,
         Err(r) => return r,
@@ -317,7 +355,7 @@ fn compare(engine: &RwLock<Engine>, req: &Request) -> Response {
 
 /// GET /api/chart — the comparison's CPJ/CMF bars as downloadable SVG.
 fn chart(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read().unwrap();
+    let e = read_engine(engine);
     let spec = match spec_from(req) {
         Ok(s) => s,
         Err(r) => return r,
@@ -331,12 +369,15 @@ fn chart(engine: &RwLock<Engine>, req: &Request) -> Response {
 }
 
 fn detect(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read().unwrap();
+    let e = read_engine(engine);
     let algo = req.param("algo").unwrap_or("codicil");
     let limit = req.param_as::<usize>("limit", 20);
     match e.detect_on(req.param("graph"), algo) {
         Ok(communities) => {
-            let g = e.graph(req.param("graph")).expect("validated");
+            let g = match e.graph(req.param("graph")) {
+                Ok(g) => g,
+                Err(err) => return err_response(&err),
+            };
             let list = Json::arr(communities.iter().take(limit).map(|c| {
                 Json::obj([
                     ("size", Json::num(c.len() as f64)),
@@ -355,7 +396,7 @@ fn detect(engine: &RwLock<Engine>, req: &Request) -> Response {
 }
 
 fn profile(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let e = engine.read().unwrap();
+    let e = read_engine(engine);
     let Some(id) = req.param("id").and_then(|s| s.parse::<u32>().ok()) else {
         return Response::error(400, "id must be an integer");
     };
@@ -380,7 +421,7 @@ fn upload(engine: &RwLock<Engine>, req: &Request) -> Response {
         Err(e) => return Response::error(400, &format!("parse failed: {e}")),
     };
     let (v, m) = (graph.vertex_count(), graph.edge_count());
-    engine.write().unwrap().add_graph(&name, graph);
+    write_engine(engine).add_graph(&name, graph);
     Response::json(&Json::obj([
         ("ok", Json::Bool(true)),
         ("graph", Json::str(name)),
@@ -501,7 +542,7 @@ mod tests {
         let s = server();
         {
             let engine = s.engine();
-            let mut e = engine.write().unwrap();
+            let mut e = write_engine(&engine);
             let g = e.graph(None).unwrap();
             let a = g.vertex_by_label("A").unwrap();
             e.set_profiles(

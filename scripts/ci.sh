@@ -1,17 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 verification wrapper: release build, full test suite, and a
-# small par_scaling smoke run (thread sweep + cross-thread determinism
-# check on a 5k-vertex workload). Run from anywhere inside the repo.
+# Tier-1 verification wrapper: release build, full test suite (at two
+# thread counts, since every parallel helper promises thread-count
+# independence), a par_scaling smoke run, and the cx-check correctness
+# sweep (invariants + differential oracles + API fuzz over a seeded
+# graph/query matrix). Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release --workspace =="
 cargo build --release --workspace
 
-echo "== cargo test -q --workspace =="
-cargo test -q --workspace
+echo "== cargo test -q --workspace (CX_THREADS=1) =="
+CX_THREADS=1 cargo test -q --workspace
+
+echo "== cargo test -q --workspace (CX_THREADS=8) =="
+CX_THREADS=8 cargo test -q --workspace
 
 echo "== par_scaling smoke (5k vertices, 2 samples) =="
 cargo run -q --release -p cx-bench --bin par_scaling -- 5000 2
+
+echo "== cx-check seed matrix (3 sizes x 2 seeds x 4 queries + fuzz) =="
+cargo run -q --release -p cx-check --bin cx-check -- \
+  --sizes 60,200,800 --seeds 7,21 --queries 4 --fuzz 600
 
 echo "== ci.sh: all green =="
