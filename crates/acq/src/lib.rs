@@ -146,6 +146,12 @@ pub fn acq(
     if !g.contains(q) {
         return AcqResult::empty();
     }
+    let _span = cx_obs::span(match strategy {
+        AcqStrategy::Basic => "acq.basic",
+        AcqStrategy::IncS => "acq.inc-s",
+        AcqStrategy::IncT => "acq.inc-t",
+        AcqStrategy::Dec => "acq.dec",
+    });
     match strategy {
         AcqStrategy::Basic => basic::run(g, q, opts),
         AcqStrategy::IncS => inc::run_inc_s(g, tree, q, opts),

@@ -27,6 +27,7 @@ pub fn acq_multi(
     if qs.is_empty() || qs.iter().any(|&q| !g.contains(q)) {
         return AcqResult::empty();
     }
+    let _span = cx_obs::span("acq.multi");
     let q0 = qs[0];
     // All query vertices must live in the same connected k-core.
     let Some(subtree) = tree.subtree_root_for(q0, opts.k) else {

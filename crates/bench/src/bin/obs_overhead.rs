@@ -1,0 +1,86 @@
+//! Observability overhead bench: end-to-end request latency through the
+//! full HTTP routing layer (`Server::handle` on `/api/v1/search`) with
+//! cx-obs instrumentation enabled vs disabled (`cx_obs::set_enabled`).
+//!
+//! The query cache is turned off so every request exercises the real
+//! algorithm path — the worst case for span overhead, since spans fire
+//! on every layer instead of short-circuiting at the cache.
+//!
+//! Acceptance: median overhead below 5%. The bench prints a JSON report
+//! and exits non-zero only with `--strict` (CI smoke runs stay resilient
+//! to timer noise on loaded machines).
+//!
+//! Usage: `obs_overhead [vertices] [iters] [--strict]`
+
+use std::time::Instant;
+
+use cx_bench::{hub_vertex, workload};
+use cx_explorer::Engine;
+use cx_server::{Request, Server};
+
+fn median_us(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Per-request latencies in microseconds for `iters` requests.
+fn run(server: &Server, req: &Request, warmup: usize, iters: usize) -> Vec<f64> {
+    for _ in 0..warmup {
+        let r = server.handle(req);
+        assert_eq!(r.status, 200, "bench request failed: {}", r.text());
+    }
+    (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            let r = server.handle(req);
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            assert_eq!(r.status, 200);
+            us
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strict = args.iter().any(|a| a == "--strict");
+    let nums: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let n = nums.first().copied().unwrap_or(4_000);
+    let iters = nums.get(1).copied().unwrap_or(200);
+    let warmup = (iters / 10).max(5);
+
+    let (g, _) = workload(n, 7);
+    let hub = hub_vertex(&g);
+    let label = g.label(hub).to_owned();
+    let engine = Engine::with_graph("dblp", g);
+    // No cache: every request runs the algorithm, the worst case for
+    // per-span instrumentation cost.
+    engine.set_cache_capacity(0);
+    let server = Server::new(engine);
+    let req = Request::get(&format!("/api/v1/search?name={label}&k=4&algo=acq"));
+
+    cx_obs::set_enabled(true);
+    let on = median_us(run(&server, &req, warmup, iters));
+    cx_obs::set_enabled(false);
+    let off = median_us(run(&server, &req, warmup, iters));
+    cx_obs::set_enabled(true);
+
+    let overhead_pct = if off > 0.0 { (on - off) / off * 100.0 } else { 0.0 };
+    let pass = overhead_pct < 5.0;
+    println!(
+        "{{\"bench\":\"obs_overhead\",\"vertices\":{n},\"iters\":{iters},\
+         \"median_us_on\":{on:.1},\"median_us_off\":{off:.1},\
+         \"overhead_pct\":{overhead_pct:.2},\"acceptance_pct\":5.0,\"pass\":{pass}}}"
+    );
+    if strict && !pass {
+        eprintln!("obs_overhead: FAILED acceptance ({overhead_pct:.2}% >= 5%)");
+        std::process::exit(1);
+    }
+}

@@ -9,8 +9,12 @@
 //! * the handler never panics;
 //! * the status is one of 200/400/404/405 — never a 5xx;
 //! * the body is non-empty;
-//! * JSON responses parse, and error responses carry a non-empty
-//!   `error` string.
+//! * JSON responses parse; on the legacy `/api/*` routes error responses
+//!   carry a non-empty `error` string, while `/api/v1/*` JSON responses
+//!   must honour the envelope contract: `ok` mirrors the status class,
+//!   `request_id` is a non-empty string, `elapsed_ms` is a number, and
+//!   `error` is `null` on success or `{code, message}` (both non-empty)
+//!   on failure.
 //!
 //! Everything is seeded, so a failing case replays deterministically.
 
@@ -143,6 +147,10 @@ fn plausible_value(rng: &mut Rng64, pool: &ValuePool, param: &str) -> String {
         "id" | "index" => format!("{}", rng.next_u64() % 64),
         "k" => format!("{}", rng.next_u64() % 6),
         "limit" => format!("{}", rng.next_u64() % 30),
+        "offset" => format!("{}", rng.next_u64() % 10),
+        // Plausible-looking ids in the format the server generates; the
+        // in-process fuzz run records real traces, so low ids often hit.
+        "request_id" => format!("r{:08x}", rng.next_u64() % 600),
         "algo" => pick(rng, &pool.algos).to_owned(),
         "algos" => {
             let a = pick(rng, &pool.algos);
@@ -161,11 +169,13 @@ fn plausible_value(rng: &mut Rng64, pool: &ValuePool, param: &str) -> String {
 }
 
 /// Endpoint templates: (method, path, candidate params, has JSON body).
+/// Every legacy `/api/*` route has a versioned `/api/v1/*` twin so the
+/// fuzzer exercises both the bare and the enveloped response paths.
 const TEMPLATES: &[(&str, &str, &[&str], bool)] = &[
     ("GET", "/api/graphs", &[], false),
     ("GET", "/api/stats", &["graph"], false),
-    ("GET", "/api/suggest", &["q", "limit", "graph"], false),
-    ("GET", "/api/search", &["name", "names", "id", "k", "algo", "graph", "keywords", "layout"], false),
+    ("GET", "/api/suggest", &["q", "limit", "offset", "graph"], false),
+    ("GET", "/api/search", &["name", "names", "id", "k", "algo", "graph", "keywords", "layout", "limit", "offset"], false),
     ("GET", "/api/svg", &["name", "id", "k", "algo", "index", "layout", "graph"], false),
     ("GET", "/api/compare", &["name", "id", "k", "algos", "graph", "keywords"], false),
     ("GET", "/api/chart", &["name", "id", "k", "algos", "graph"], false),
@@ -173,6 +183,20 @@ const TEMPLATES: &[(&str, &str, &[&str], bool)] = &[
     ("GET", "/api/profile", &["id", "graph"], false),
     ("POST", "/api/edit", &["graph"], true),
     ("POST", "/api/upload", &["name"], true),
+    ("GET", "/api/v1/graphs", &[], false),
+    ("GET", "/api/v1/stats", &["graph"], false),
+    ("GET", "/api/v1/suggest", &["q", "limit", "offset", "graph"], false),
+    ("GET", "/api/v1/search", &["name", "names", "id", "k", "algo", "graph", "keywords", "layout", "limit", "offset"], false),
+    ("GET", "/api/v1/svg", &["name", "id", "k", "algo", "index", "layout", "graph"], false),
+    ("GET", "/api/v1/compare", &["name", "id", "k", "algos", "graph", "keywords"], false),
+    ("GET", "/api/v1/chart", &["name", "id", "k", "algos", "graph"], false),
+    ("GET", "/api/v1/detect", &["algo", "limit", "graph"], false),
+    ("GET", "/api/v1/profile", &["id", "graph"], false),
+    ("POST", "/api/v1/edit", &["graph"], true),
+    ("POST", "/api/v1/upload", &["name"], true),
+    ("GET", "/api/v1/trace", &["request_id"], false),
+    ("GET", "/metrics", &[], false),
+    ("GET", "/healthz", &[], false),
 ];
 
 fn valid_edit_body(rng: &mut Rng64) -> String {
@@ -249,7 +273,7 @@ fn generate(rng: &mut Rng64, pool: &ValuePool) -> Request {
         }
     }
     let mut body = if has_body {
-        if path == "/api/edit" {
+        if path.ends_with("/edit") {
             valid_edit_body(rng).into_bytes()
         } else {
             valid_upload_body(rng).into_bytes()
@@ -335,7 +359,11 @@ fn check_response(req: &Request, resp: &Response) -> Option<String> {
                 ))
             }
         };
-        if resp.status >= 400 {
+        if req.path.starts_with("/api/v1/") {
+            if let Some(v) = check_envelope(&line, resp.status, &parsed) {
+                return Some(v);
+            }
+        } else if resp.status >= 400 {
             match parsed.get("error").and_then(Json::as_str) {
                 Some(msg) if !msg.is_empty() => {}
                 _ => {
@@ -351,6 +379,40 @@ fn check_response(req: &Request, resp: &Response) -> Option<String> {
             "{line} → error status {} with non-JSON content type {}",
             resp.status, resp.content_type
         ));
+    }
+    None
+}
+
+/// The `/api/v1` envelope contract for a parsed JSON response body.
+fn check_envelope(line: &str, status: u16, parsed: &Json) -> Option<String> {
+    let ok = match parsed.get("ok").and_then(Json::as_bool) {
+        Some(b) => b,
+        None => return Some(format!("{line} → v1 envelope missing boolean ok")),
+    };
+    if ok != (status < 400) {
+        return Some(format!("{line} → v1 ok={ok} disagrees with status {status}"));
+    }
+    match parsed.get("request_id").and_then(Json::as_str) {
+        Some(id) if !id.is_empty() => {}
+        _ => return Some(format!("{line} → v1 envelope missing request_id")),
+    }
+    if parsed.get("elapsed_ms").and_then(Json::as_f64).is_none() {
+        return Some(format!("{line} → v1 envelope missing numeric elapsed_ms"));
+    }
+    if parsed.get("data").is_none() {
+        return Some(format!("{line} → v1 envelope missing data member"));
+    }
+    if status >= 400 {
+        let Some(err) = parsed.get("error") else {
+            return Some(format!("{line} → v1 error status without error object"));
+        };
+        let code = err.get("code").and_then(Json::as_str).unwrap_or("");
+        let msg = err.get("message").and_then(Json::as_str).unwrap_or("");
+        if code.is_empty() || msg.is_empty() {
+            return Some(format!("{line} → v1 error without code/message"));
+        }
+    } else if parsed.get("error") != Some(&Json::Null) {
+        return Some(format!("{line} → v1 success with non-null error"));
     }
     None
 }
@@ -416,12 +478,14 @@ mod tests {
             status: 400,
             content_type: "application/json".into(),
             body: b"{}".to_vec(),
+            headers: Vec::new(),
         };
         assert!(check_response(&req, &empty).unwrap().contains("error field"));
         let malformed = Response {
             status: 400,
             content_type: "application/json".into(),
             body: b"{oops".to_vec(),
+            headers: Vec::new(),
         };
         assert!(check_response(&req, &malformed).unwrap().contains("malformed"));
         // A good error passes.

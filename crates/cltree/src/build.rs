@@ -49,6 +49,7 @@ impl ClTree {
     /// Subtrees of independent connected components are built in parallel;
     /// see the module docs for the determinism argument.
     pub fn build_with(g: &AttributedGraph, cd: &CoreDecomposition) -> Self {
+        let _span = cx_obs::span("cltree.build");
         let n = g.vertex_count();
         let core: Vec<u32> = cd.core_numbers().to_vec();
         let max_core = cd.max_core();

@@ -95,6 +95,7 @@ impl QueryCache {
             Some(_) => {
                 self.map.remove(key);
                 self.misses += 1;
+                cx_obs::metrics::inc("cx_engine_cache_total{event=\"invalidate\"}");
                 None
             }
             None => {
@@ -118,6 +119,7 @@ impl QueryCache {
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&victim);
+                cx_obs::metrics::inc("cx_engine_cache_total{event=\"evict\"}");
             }
         }
         self.tick += 1;
@@ -127,6 +129,10 @@ impl QueryCache {
 
     /// Drops every cached result (counters survive).
     pub fn clear(&mut self) {
+        cx_obs::metrics::add(
+            "cx_engine_cache_total{event=\"invalidate\"}",
+            self.map.len() as u64,
+        );
         self.map.clear();
     }
 

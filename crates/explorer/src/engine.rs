@@ -231,6 +231,7 @@ impl Engine {
         algo: &str,
         spec: &QuerySpec,
     ) -> Result<Vec<Community>, ExplorerError> {
+        let _span = cx_obs::span("engine.search");
         let name = self.resolved_name(graph)?;
         let entry = self.entry(Some(name))?;
         let qs = spec.resolve(&entry.graph)?;
@@ -242,19 +243,24 @@ impl Engine {
             keywords: spec.keywords.clone(),
         };
         if let Some(hit) = self.cache.lock().unwrap().get(&key, entry.generation) {
+            cx_obs::metrics::inc("cx_engine_cache_total{event=\"hit\"}");
             return Ok(hit);
         }
+        cx_obs::metrics::inc("cx_engine_cache_total{event=\"miss\"}");
         let ctx = GraphContext {
             graph: &entry.graph,
             tree: &entry.tree,
             coords: entry.coords.as_deref(),
         };
-        let out = if let Some(a) = self.find_cs(algo) {
-            a.search(&ctx, &qs, spec)
-        } else if let Some(a) = self.find_cd(algo) {
-            a.community_of(&ctx, qs[0]).into_iter().collect()
-        } else {
-            return Err(ExplorerError::UnknownAlgorithm(algo.to_owned()));
+        let out = {
+            let _algo_span = cx_obs::span(&format!("algo.{algo}"));
+            if let Some(a) = self.find_cs(algo) {
+                a.search(&ctx, &qs, spec)
+            } else if let Some(a) = self.find_cd(algo) {
+                a.community_of(&ctx, qs[0]).into_iter().collect()
+            } else {
+                return Err(ExplorerError::UnknownAlgorithm(algo.to_owned()));
+            }
         };
         self.cache.lock().unwrap().insert(key, entry.generation, out.clone());
         Ok(out)
@@ -273,6 +279,7 @@ impl Engine {
         graph: Option<&str>,
         algo: &str,
     ) -> Result<Vec<Community>, ExplorerError> {
+        let _span = cx_obs::span("engine.detect");
         let name = self.resolved_name(graph)?;
         let entry = self.entry(Some(name))?;
         let a = self
@@ -286,14 +293,19 @@ impl Engine {
             keywords: Vec::new(),
         };
         if let Some(hit) = self.cache.lock().unwrap().get(&key, entry.generation) {
+            cx_obs::metrics::inc("cx_engine_cache_total{event=\"hit\"}");
             return Ok(hit);
         }
+        cx_obs::metrics::inc("cx_engine_cache_total{event=\"miss\"}");
         let ctx = GraphContext {
             graph: &entry.graph,
             tree: &entry.tree,
             coords: entry.coords.as_deref(),
         };
-        let out = a.detect(&ctx);
+        let out = {
+            let _algo_span = cx_obs::span(&format!("algo.{algo}"));
+            a.detect(&ctx)
+        };
         self.cache.lock().unwrap().insert(key, entry.generation, out.clone());
         Ok(out)
     }

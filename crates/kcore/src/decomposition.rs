@@ -25,6 +25,7 @@ pub struct CoreDecomposition {
 impl CoreDecomposition {
     /// Runs the decomposition on `g`.
     pub fn compute(g: &AttributedGraph) -> Self {
+        let _span = cx_obs::span("kcore.peel");
         let n = g.vertex_count();
         if n == 0 {
             return Self { core: Vec::new(), order: Vec::new(), max_core: 0 };
@@ -113,6 +114,7 @@ impl CoreDecomposition {
     /// orders by core number, so the monotonicity invariant holds and the
     /// result is independent of the thread count.
     pub fn compute_par(g: &AttributedGraph) -> Self {
+        let _span = cx_obs::span("kcore.decompose-par");
         let n = g.vertex_count();
         if n == 0 {
             return Self { core: Vec::new(), order: Vec::new(), max_core: 0 };

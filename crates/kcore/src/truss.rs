@@ -28,6 +28,7 @@ impl TrussDecomposition {
     /// Runs the decomposition on `g`. O(m^1.5) triangle enumeration plus
     /// bucket peeling over edges.
     pub fn compute(g: &AttributedGraph) -> Self {
+        let _span = cx_obs::span("ktruss.peel");
         let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
         let m = edges.len();
         let mut index = HashMap::with_capacity(m);

@@ -156,11 +156,21 @@ impl WorkerPool {
     }
 
     /// Queues `job` for execution on the next free worker.
+    ///
+    /// Instrumented: bumps `cx_par_tasks_total{state="submitted"}` and the
+    /// `cx_par_queue_depth` gauge on submit; the wrapper decrements the
+    /// gauge when the job is picked up and counts it completed afterwards.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        cx_obs::metrics::inc("cx_par_tasks_total{state=\"submitted\"}");
+        cx_obs::metrics::gauge_add("cx_par_queue_depth", 1);
         self.tx
             .as_ref()
             .expect("worker pool already shut down")
-            .send(Box::new(job))
+            .send(Box::new(move || {
+                cx_obs::metrics::gauge_add("cx_par_queue_depth", -1);
+                job();
+                cx_obs::metrics::inc("cx_par_tasks_total{state=\"completed\"}");
+            }))
             .unwrap_or_else(|_| unreachable!("workers hold receivers until tx drops"));
     }
 }

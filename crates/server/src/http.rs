@@ -105,28 +105,60 @@ pub struct Response {
     pub content_type: String,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// Extra response headers (`X-Request-Id`, `Deprecation`, …), emitted
+    /// after `Content-Type`/`Content-Length`. Names and values must be
+    /// header-safe ASCII — the server only ever sets them from literals
+    /// and internally generated ids.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
     /// 200 with a JSON body.
     pub fn json(v: &crate::json::Json) -> Self {
-        Self { status: 200, content_type: "application/json".into(), body: v.to_string().into_bytes() }
+        Self::with_body("application/json", v.to_string().into_bytes())
     }
 
     /// 200 with an HTML body.
     pub fn html(body: impl Into<String>) -> Self {
-        Self { status: 200, content_type: "text/html; charset=utf-8".into(), body: body.into().into_bytes() }
+        Self::with_body("text/html; charset=utf-8", body.into().into_bytes())
     }
 
     /// 200 with an SVG body.
     pub fn svg(body: impl Into<String>) -> Self {
-        Self { status: 200, content_type: "image/svg+xml".into(), body: body.into().into_bytes() }
+        Self::with_body("image/svg+xml", body.into().into_bytes())
+    }
+
+    /// 200 with an arbitrary content type (e.g. the Prometheus text
+    /// exposition format for `GET /metrics`).
+    pub fn with_body(content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status: 200,
+            content_type: content_type.into(),
+            body: body.into(),
+            headers: Vec::new(),
+        }
     }
 
     /// An error response with a JSON `{error}` body.
     pub fn error(status: u16, message: &str) -> Self {
         let v = crate::json::Json::obj([("error", crate::json::Json::str(message))]);
-        Self { status, content_type: "application/json".into(), body: v.to_string().into_bytes() }
+        let mut r = Self::with_body("application/json", v.to_string().into_bytes());
+        r.status = status;
+        r
+    }
+
+    /// Appends a response header (builder style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// The first header with this name (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     /// Body as UTF-8 (tests).
@@ -147,11 +179,15 @@ impl Response {
     fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status_line(),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
         stream.write_all(&self.body)
     }
 }
@@ -302,6 +338,25 @@ mod tests {
         stream.read_to_string(&mut buf).unwrap();
         assert!(buf.starts_with("HTTP/1.1 200 OK"), "{buf}");
         assert!(buf.ends_with("echo:/hello"), "{buf}");
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_on_the_wire() {
+        let port = serve_background("127.0.0.1:0", 1, |_req| {
+            Response::html("x")
+                .with_header("X-Request-Id", "r0000002a")
+                .with_header("Deprecation", "true")
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(stream, "GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.contains("X-Request-Id: r0000002a"), "{buf}");
+        assert!(buf.contains("Deprecation: true"), "{buf}");
+        let r = Response::html("x").with_header("X-Request-Id", "abc");
+        assert_eq!(r.header("x-request-id"), Some("abc"));
+        assert_eq!(r.header("nope"), None);
     }
 
     #[test]

@@ -71,6 +71,14 @@ impl Json {
         }
     }
 
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an array slice, if it is one.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {
@@ -400,6 +408,8 @@ mod tests {
         assert_eq!(v.get("tags").and_then(Json::as_array).map(|a| a.len()), Some(1));
         assert_eq!(v.get("missing"), None);
         assert_eq!(Json::Null.get("x"), None);
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::num(1.0).as_bool(), None);
     }
 
     #[test]

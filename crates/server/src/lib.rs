@@ -11,10 +11,14 @@
 //! * [`http`] — an HTTP/1.1 server over `std::net::TcpListener` with a
 //!   fixed [`cx_par::queue::WorkerPool`] handling connections, plus
 //!   request/response types that are fully testable without sockets;
-//! * [`routes`] — the REST API (`/api/search`, `/api/compare`,
-//!   `/api/detect`, `/api/profile`, `/api/suggest`, `/api/graphs`,
-//!   `/api/upload`) over an [`cx_explorer::Engine`] behind a
-//!   `std::sync::RwLock`;
+//! * [`routes`] — the REST API (`/api/v1/search`, `/api/v1/compare`,
+//!   `/api/v1/detect`, `/api/v1/profile`, `/api/v1/suggest`,
+//!   `/api/v1/graphs`, `/api/v1/upload`, …) over an
+//!   [`cx_explorer::Engine`] behind a `std::sync::RwLock`. v1 responses
+//!   use a uniform JSON envelope with typed error codes; the unversioned
+//!   `/api/*` paths remain as deprecated thin aliases. Operational
+//!   endpoints: `GET /metrics` (Prometheus text from `cx-obs`),
+//!   `GET /healthz`, `GET /api/v1/trace` (per-request span trees);
 //! * [`ui`] — the embedded single-page browser UI (left panel: name box,
 //!   degree constraint, keyword chips; right panel: the community drawn on
 //!   a canvas), mirroring Figure 1.

@@ -1,6 +1,30 @@
 //! The REST API over the engine — the protocol the browser page speaks.
+//!
+//! Two route families share one set of handlers:
+//!
+//! * `/api/v1/*` — the versioned API. Every JSON response is wrapped in a
+//!   uniform envelope `{"ok", "data", "error", "request_id",
+//!   "elapsed_ms"}`; errors carry a typed code from [`ErrorCode`].
+//!   Binary endpoints (`/api/v1/svg`, `/api/v1/chart`) return their
+//!   payload raw on success and the JSON envelope on error.
+//! * `/api/*` — the legacy routes, kept as thin aliases over the same
+//!   handlers. Success bodies are byte-identical to the v1 `data` member;
+//!   error bodies keep the historical `{"error": "..."}` shape (plus a
+//!   `code` field); every legacy response carries a `Deprecation: true`
+//!   header.
+//!
+//! Outside the API there are three operational endpoints: `GET /metrics`
+//! (Prometheus text exposition of the `cx-obs` registry), `GET /healthz`
+//! (liveness + graph-loaded readiness) and `GET /api/v1/trace` (the span
+//! tree recorded for a recent request id).
+//!
+//! [`route`] is the instrumented chokepoint: it assigns the request id,
+//! records the request trace and the `cx_http_*` metrics, and stamps
+//! `X-Request-Id` on every response. HTTP counters are bumped *after*
+//! dispatch so a `/metrics` scrape never counts itself in its own body.
 
 use std::sync::RwLock;
+use std::time::Instant;
 
 use cx_explorer::{Engine, ExplorerError, QuerySpec};
 use cx_graph::{Community, VertexId};
@@ -9,24 +33,331 @@ use cx_layout::LayoutAlgorithm;
 use crate::http::{Request, Response};
 use crate::json::Json;
 
-/// Dispatches one request.
-pub fn route(engine: &RwLock<Engine>, req: &Request) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/") | ("GET", "/index.html") => Response::html(crate::ui::INDEX_HTML),
-        ("GET", "/api/graphs") => graphs(engine),
-        ("GET", "/api/stats") => stats(engine, req),
-        ("GET", "/api/suggest") => suggest(engine, req),
-        ("GET", "/api/search") => search(engine, req),
-        ("GET", "/api/svg") => svg(engine, req),
-        ("GET", "/api/compare") => compare(engine, req),
-        ("GET", "/api/chart") => chart(engine, req),
-        ("GET", "/api/detect") => detect(engine, req),
-        ("GET", "/api/profile") => profile(engine, req),
-        ("POST", "/api/upload") => upload(engine, req),
-        ("POST", "/api/edit") => edit(engine, req),
-        ("GET", _) => Response::error(404, "no such endpoint"),
-        _ => Response::error(405, "method not allowed"),
+/// Typed, stable error codes for the JSON API. The HTTP status of every
+/// error is derived from its code in exactly one place ([`ErrorCode::status`]),
+/// so legacy and v1 routes can never disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Query parameters are structurally invalid (missing/ill-typed).
+    BadQuery,
+    /// The request body is not valid UTF-8 JSON of the expected shape.
+    BadJson,
+    /// No graph has been uploaded yet.
+    NoGraph,
+    /// An underlying graph operation failed (parse, bounds).
+    GraphError,
+    /// The query vertex could not be resolved.
+    UnknownVertex,
+    /// The named graph is not registered.
+    UnknownGraph,
+    /// The named algorithm is not registered (or is of the wrong kind).
+    UnknownAlgorithm,
+    /// No such resource (endpoint, community index, profile, trace).
+    NotFound,
+    /// The endpoint exists, but not for this HTTP method.
+    MethodNotAllowed,
+}
+
+impl ErrorCode {
+    /// The wire identifier (`"bad_query"`, `"unknown_vertex"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadQuery => "bad_query",
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::NoGraph => "no_graph",
+            ErrorCode::GraphError => "graph_error",
+            ErrorCode::UnknownVertex => "unknown_vertex",
+            ErrorCode::UnknownGraph => "unknown_graph",
+            ErrorCode::UnknownAlgorithm => "unknown_algorithm",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::MethodNotAllowed => "method_not_allowed",
+        }
     }
+
+    /// The HTTP status the code maps to (same statuses the pre-v1 API used).
+    pub fn status(self) -> u16 {
+        match self {
+            ErrorCode::BadQuery
+            | ErrorCode::BadJson
+            | ErrorCode::NoGraph
+            | ErrorCode::GraphError => 400,
+            ErrorCode::UnknownVertex
+            | ErrorCode::UnknownGraph
+            | ErrorCode::UnknownAlgorithm
+            | ErrorCode::NotFound => 404,
+            ErrorCode::MethodNotAllowed => 405,
+        }
+    }
+}
+
+/// A typed API error: machine-readable code plus human-readable message.
+#[derive(Debug, Clone)]
+pub struct ApiError {
+    /// The typed code (drives both the HTTP status and the wire `code`).
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ApiError {
+    fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ApiError { code, message: message.into() }
+    }
+
+    fn bad_query(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::BadQuery, message)
+    }
+
+    fn bad_json(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::BadJson, message)
+    }
+
+    fn not_found(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::NotFound, message)
+    }
+}
+
+/// The one place an engine error becomes an API error.
+impl From<ExplorerError> for ApiError {
+    fn from(e: ExplorerError) -> Self {
+        let code = match &e {
+            ExplorerError::UnknownAlgorithm(_) => ErrorCode::UnknownAlgorithm,
+            ExplorerError::UnknownGraph(_) => ErrorCode::UnknownGraph,
+            ExplorerError::UnknownVertex(_) => ErrorCode::UnknownVertex,
+            ExplorerError::BadQuery(_) => ErrorCode::BadQuery,
+            ExplorerError::NoGraph => ErrorCode::NoGraph,
+            ExplorerError::Graph(_) => ErrorCode::GraphError,
+        };
+        ApiError::new(code, e.to_string())
+    }
+}
+
+/// What a handler produced: a JSON document (enveloped on `/api/v1`,
+/// bare on `/api`) or a raw non-JSON response passed through unchanged.
+enum Payload {
+    Data(Json),
+    Raw(Response),
+}
+
+type Handler = Result<Payload, ApiError>;
+
+/// Dispatches one request. This is the instrumented chokepoint described
+/// in the module docs.
+pub fn route(engine: &RwLock<Engine>, req: &Request) -> Response {
+    let t0 = Instant::now();
+    let request_id = cx_obs::trace::next_request_id();
+    let mut resp = {
+        let _trace = cx_obs::trace::begin_request(&request_id);
+        let _span = cx_obs::span("http.request");
+        dispatch(engine, req, &request_id, t0)
+    };
+    // Bumped after dispatch: a /metrics response must not count itself.
+    let class = match resp.status {
+        200..=299 => "2xx",
+        300..=399 => "3xx",
+        400..=499 => "4xx",
+        _ => "5xx",
+    };
+    cx_obs::metrics::inc(&format!("cx_http_requests_total{{class=\"{class}\"}}"));
+    cx_obs::metrics::add("cx_http_bytes_in_total", req.body.len() as u64);
+    cx_obs::metrics::add("cx_http_bytes_out_total", resp.body.len() as u64);
+    cx_obs::metrics::observe_us("cx_http_request_duration_us", t0.elapsed().as_micros() as u64);
+    resp.headers.push(("X-Request-Id".into(), request_id));
+    resp
+}
+
+fn dispatch(engine: &RwLock<Engine>, req: &Request, request_id: &str, t0: Instant) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/") | ("GET", "/index.html") => return Response::html(crate::ui::INDEX_HTML),
+        ("GET", "/metrics") => return metrics_text(),
+        ("GET", "/healthz") => return healthz(engine),
+        _ => {}
+    }
+    let (endpoint, v1) = match api_target(&req.path) {
+        Some(t) => t,
+        None => {
+            // Non-API path: historical behaviour, no Deprecation header.
+            let e = if req.method == "GET" {
+                ApiError::not_found("no such endpoint")
+            } else {
+                ApiError::new(ErrorCode::MethodNotAllowed, "method not allowed")
+            };
+            return plain_error(&e);
+        }
+    };
+
+    // Per-endpoint span + latency histogram, with a *static* label so a
+    // hostile path can't explode metric cardinality.
+    fn timed(label: &'static str, f: impl FnOnce() -> Handler) -> Handler {
+        let _span = cx_obs::span(&format!("route.{label}"));
+        let t = Instant::now();
+        let out = f();
+        cx_obs::metrics::observe_us(
+            &format!("cx_route_duration_us{{endpoint=\"{label}\"}}"),
+            t.elapsed().as_micros() as u64,
+        );
+        out
+    }
+
+    let result = match (req.method.as_str(), endpoint) {
+        ("GET", "graphs") => timed("graphs", || graphs(engine)),
+        ("GET", "stats") => timed("stats", || stats(engine, req)),
+        ("GET", "suggest") => timed("suggest", || suggest(engine, req)),
+        ("GET", "search") => timed("search", || search(engine, req)),
+        ("GET", "svg") => timed("svg", || svg(engine, req)),
+        ("GET", "compare") => timed("compare", || compare(engine, req)),
+        ("GET", "chart") => timed("chart", || chart(engine, req)),
+        ("GET", "detect") => timed("detect", || detect(engine, req)),
+        ("GET", "profile") => timed("profile", || profile(engine, req)),
+        ("POST", "upload") => timed("upload", || upload(engine, req)),
+        ("POST", "edit") => timed("edit", || edit(engine, req)),
+        ("GET", "trace") if v1 => timed("trace", || trace_endpoint(req)),
+        ("GET", _) => Err(ApiError::not_found("no such endpoint")),
+        _ => Err(ApiError::new(ErrorCode::MethodNotAllowed, "method not allowed")),
+    };
+
+    match result {
+        Ok(Payload::Raw(r)) => {
+            if v1 {
+                r
+            } else {
+                r.with_header("Deprecation", "true")
+            }
+        }
+        Ok(Payload::Data(data)) => {
+            if v1 {
+                envelope(Ok(data), request_id, t0)
+            } else {
+                Response::json(&data).with_header("Deprecation", "true")
+            }
+        }
+        Err(e) => {
+            if v1 {
+                envelope(Err(e), request_id, t0)
+            } else {
+                plain_error(&e).with_header("Deprecation", "true")
+            }
+        }
+    }
+}
+
+/// Splits an API path into its endpoint name and version:
+/// `/api/v1/search` → `("search", true)`, `/api/search` → `("search", false)`.
+fn api_target(path: &str) -> Option<(&str, bool)> {
+    if let Some(rest) = path.strip_prefix("/api/v1/") {
+        Some((rest, true))
+    } else {
+        path.strip_prefix("/api/").map(|rest| (rest, false))
+    }
+}
+
+/// The legacy error shape `{"error": msg, "code": code}`.
+fn plain_error(e: &ApiError) -> Response {
+    let v = Json::obj([
+        ("error", Json::str(e.message.clone())),
+        ("code", Json::str(e.code.as_str())),
+    ]);
+    let mut r = Response::json(&v);
+    r.status = e.code.status();
+    r
+}
+
+/// Wraps a handler result in the v1 response envelope.
+fn envelope(result: Result<Json, ApiError>, request_id: &str, t0: Instant) -> Response {
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (status, ok, data, error) = match result {
+        Ok(d) => (200, true, d, Json::Null),
+        Err(e) => (
+            e.code.status(),
+            false,
+            Json::Null,
+            Json::obj([
+                ("code", Json::str(e.code.as_str())),
+                ("message", Json::str(e.message)),
+            ]),
+        ),
+    };
+    let mut r = Response::json(&Json::obj([
+        ("ok", Json::Bool(ok)),
+        ("data", data),
+        ("error", error),
+        ("request_id", Json::str(request_id)),
+        ("elapsed_ms", Json::num(elapsed_ms)),
+    ]));
+    r.status = status;
+    r
+}
+
+/// GET /metrics — Prometheus text exposition of the cx-obs registry.
+fn metrics_text() -> Response {
+    let mut body = cx_obs::global().prometheus_text();
+    if body.is_empty() {
+        // Cold registry (first-ever request, or CX_OBS=off): still a
+        // valid, non-empty exposition.
+        body.push_str("# no samples recorded yet\n");
+    }
+    Response::with_body("text/plain; version=0.0.4; charset=utf-8", body)
+}
+
+/// GET /healthz — liveness (the process answers) plus readiness
+/// (a graph is loaded and queryable).
+fn healthz(engine: &RwLock<Engine>) -> Response {
+    let e = read_engine(engine);
+    let graphs = e.graph_names().len();
+    Response::json(&Json::obj([
+        ("status", Json::str("ok")),
+        ("graph_loaded", Json::Bool(graphs > 0)),
+        ("graphs", Json::num(graphs as f64)),
+        ("traces", Json::num(cx_obs::trace::trace_count() as f64)),
+    ]))
+}
+
+/// GET /api/v1/trace?request_id=… — the recorded span tree for a recent
+/// request.
+fn trace_endpoint(req: &Request) -> Handler {
+    let Some(id) = req.param("request_id") else {
+        return Err(ApiError::bad_query("missing request_id parameter"));
+    };
+    let Some(t) = cx_obs::trace::get_trace(id) else {
+        return Err(ApiError::not_found(format!("no trace recorded for request id {id:?}")));
+    };
+    let spans = Json::arr(t.spans.iter().map(|s| {
+        Json::obj([
+            ("name", Json::str(s.name.clone())),
+            ("parent", s.parent.map(|p| Json::num(p as f64)).unwrap_or(Json::Null)),
+            ("start_us", Json::num(s.start_us as f64)),
+            ("dur_us", Json::num(s.dur_us as f64)),
+        ])
+    }));
+    Ok(Payload::Data(Json::obj([
+        ("request_id", Json::str(t.request_id.clone())),
+        ("span_count", Json::num(t.spans.len() as f64)),
+        ("spans", spans),
+        ("tree", span_tree(&t.spans)),
+    ])))
+}
+
+/// Builds the nested span tree from the flat parent-index records.
+/// Parents always precede children, so indices only point backwards.
+fn span_tree(spans: &[cx_obs::trace::SpanRecord]) -> Json {
+    fn node(spans: &[cx_obs::trace::SpanRecord], children: &[Vec<usize>], i: usize) -> Json {
+        let s = &spans[i];
+        Json::obj([
+            ("name", Json::str(s.name.clone())),
+            ("start_us", Json::num(s.start_us as f64)),
+            ("dur_us", Json::num(s.dur_us as f64)),
+            ("children", Json::arr(children[i].iter().map(|&c| node(spans, children, c)))),
+        ])
+    }
+    let mut children = vec![Vec::new(); spans.len()];
+    let mut roots = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match s.parent {
+            Some(p) => children[p as usize].push(i),
+            None => roots.push(i),
+        }
+    }
+    Json::arr(roots.into_iter().map(|r| node(spans, &children, r)))
 }
 
 /// Acquires the engine read lock, recovering from poisoning: a panic in
@@ -42,44 +373,36 @@ fn write_engine(engine: &RwLock<Engine>) -> std::sync::RwLockWriteGuard<'_, Engi
     engine.write().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-fn err_response(e: &ExplorerError) -> Response {
-    let status = match e {
-        ExplorerError::UnknownAlgorithm(_)
-        | ExplorerError::UnknownGraph(_)
-        | ExplorerError::UnknownVertex(_) => 404,
-        ExplorerError::BadQuery(_) | ExplorerError::NoGraph => 400,
-        ExplorerError::Graph(_) => 400,
-    };
-    Response::error(status, &e.to_string())
+/// Resolves `limit`/`offset` pagination parameters with bounded defaults:
+/// unparseable values fall back to the default (matching the API's
+/// historical leniency), and `limit` is clamped to `1..=max_limit`.
+fn page_params(req: &Request, default_limit: usize, max_limit: usize) -> (usize, usize) {
+    let limit = req.param_as::<usize>("limit", default_limit).clamp(1, max_limit);
+    let offset = req.param_as::<usize>("offset", 0);
+    (limit, offset)
 }
 
-fn graphs(engine: &RwLock<Engine>) -> Response {
+fn graphs(engine: &RwLock<Engine>) -> Handler {
     let e = read_engine(engine);
     let graphs = Json::arr(e.graph_names().iter().map(|n| Json::str(*n)));
     let cs = Json::arr(e.cs_names().iter().map(|n| Json::str(*n)));
     let cd = Json::arr(e.cd_names().iter().map(|n| Json::str(*n)));
     let default = e.default_graph_name().map(Json::str).unwrap_or(Json::Null);
-    Response::json(&Json::obj([
+    Ok(Payload::Data(Json::obj([
         ("graphs", graphs),
         ("cs_algorithms", cs),
         ("cd_algorithms", cd),
         ("default_graph", default),
-    ]))
+    ])))
 }
 
-fn stats(engine: &RwLock<Engine>, req: &Request) -> Response {
+fn stats(engine: &RwLock<Engine>, req: &Request) -> Handler {
     let e = read_engine(engine);
-    let g = match e.graph(req.param("graph")) {
-        Ok(g) => g,
-        Err(err) => return err_response(&err),
-    };
+    let g = e.graph(req.param("graph"))?;
     let s = cx_graph::stats::GraphStats::compute(g);
-    let tree = match e.tree(req.param("graph")) {
-        Ok(t) => t,
-        Err(err) => return err_response(&err),
-    };
+    let tree = e.tree(req.param("graph"))?;
     let cache = e.cache_stats();
-    Response::json(&Json::obj([
+    Ok(Payload::Data(Json::obj([
         ("vertices", Json::num(s.vertices as f64)),
         ("edges", Json::num(s.edges as f64)),
         ("components", Json::num(s.components as f64)),
@@ -99,86 +422,68 @@ fn stats(engine: &RwLock<Engine>, req: &Request) -> Response {
                 ("capacity", Json::num(cache.capacity as f64)),
             ]),
         ),
-    ]))
+    ])))
 }
 
 /// POST /api/edit?graph=g — body: JSON `{"add": [[u,v],…], "remove": [[u,v],…]}`.
-fn edit(engine: &RwLock<Engine>, req: &Request) -> Response {
-    let body = match std::str::from_utf8(&req.body) {
-        Ok(s) => s,
-        Err(_) => return Response::error(400, "body must be UTF-8 JSON"),
-    };
-    let v = match Json::parse(body) {
-        Ok(v) => v,
-        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
-    };
-    let pairs = |key: &str| -> Result<Vec<(VertexId, VertexId)>, Response> {
+fn edit(engine: &RwLock<Engine>, req: &Request) -> Handler {
+    let body = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::bad_json("body must be UTF-8 JSON"))?;
+    let v = Json::parse(body).map_err(|e| ApiError::bad_json(format!("bad JSON: {e}")))?;
+    let pairs = |key: &str| -> Result<Vec<(VertexId, VertexId)>, ApiError> {
         let Some(arr) = v.get(key).and_then(Json::as_array) else {
             return Ok(Vec::new());
         };
         arr.iter()
             .map(|p| {
                 let xs = p.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
-                    Response::error(400, &format!("{key} entries must be [u, v] pairs"))
+                    ApiError::bad_json(format!("{key} entries must be [u, v] pairs"))
                 })?;
                 let f = |j: &Json| {
                     j.as_f64()
                         .filter(|x| x.fract() == 0.0 && *x >= 0.0)
                         .map(|x| VertexId(x as u32))
-                        .ok_or_else(|| Response::error(400, "vertex ids must be integers"))
+                        .ok_or_else(|| ApiError::bad_json("vertex ids must be integers"))
                 };
                 Ok((f(&xs[0])?, f(&xs[1])?))
             })
             .collect()
     };
-    let add = match pairs("add") {
-        Ok(p) => p,
-        Err(r) => return r,
-    };
-    let remove = match pairs("remove") {
-        Ok(p) => p,
-        Err(r) => return r,
-    };
+    let add = pairs("add")?;
+    let remove = pairs("remove")?;
     let mut e = write_engine(engine);
-    match e.apply_edits(req.param("graph"), &add, &remove) {
-        Ok(()) => {
-            let g = match e.graph(req.param("graph")) {
-                Ok(g) => g,
-                Err(err) => return err_response(&err),
-            };
-            Response::json(&Json::obj([
-                ("ok", Json::Bool(true)),
-                ("vertices", Json::num(g.vertex_count() as f64)),
-                ("edges", Json::num(g.edge_count() as f64)),
-            ]))
-        }
-        Err(err) => err_response(&err),
-    }
+    e.apply_edits(req.param("graph"), &add, &remove)?;
+    let g = e.graph(req.param("graph"))?;
+    Ok(Payload::Data(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("vertices", Json::num(g.vertex_count() as f64)),
+        ("edges", Json::num(g.edge_count() as f64)),
+    ])))
 }
 
-fn suggest(engine: &RwLock<Engine>, req: &Request) -> Response {
+fn suggest(engine: &RwLock<Engine>, req: &Request) -> Handler {
     let e = read_engine(engine);
     let q = req.param("q").unwrap_or("");
-    let limit = req.param_as::<usize>("limit", 8);
-    match e.suggest(req.param("graph"), q, limit) {
-        Ok(hits) => Response::json(&Json::arr(hits.into_iter().map(|(v, label, degree)| {
+    let (limit, offset) = page_params(req, 8, 100);
+    let hits = e.suggest(req.param("graph"), q, offset.saturating_add(limit))?;
+    Ok(Payload::Data(Json::arr(hits.into_iter().skip(offset).map(
+        |(v, label, degree)| {
             Json::obj([
                 ("id", Json::num(v.0 as f64)),
                 ("label", Json::str(label)),
                 ("degree", Json::num(degree as f64)),
             ])
-        }))),
-        Err(e) => err_response(&e),
-    }
+        },
+    ))))
 }
 
 /// Builds the query spec shared by `search` and `compare`:
 /// `name` (or `names=a|b` for multi-vertex, or `id`), `k`, `keywords=a,b`.
-fn spec_from(req: &Request) -> Result<QuerySpec, Response> {
+fn spec_from(req: &Request) -> Result<QuerySpec, ApiError> {
     let mut spec = if let Some(names) = req.param("names") {
         let labels: Vec<&str> = names.split('|').filter(|s| !s.is_empty()).collect();
         if labels.is_empty() {
-            return Err(Response::error(400, "names parameter is empty"));
+            return Err(ApiError::bad_query("names parameter is empty"));
         }
         QuerySpec::by_labels(labels)
     } else if let Some(name) = req.param("name") {
@@ -186,10 +491,10 @@ fn spec_from(req: &Request) -> Result<QuerySpec, Response> {
     } else if let Some(id) = req.param("id") {
         match id.parse::<u32>() {
             Ok(i) => QuerySpec::by_id(VertexId(i)),
-            Err(_) => return Err(Response::error(400, "id must be an integer")),
+            Err(_) => return Err(ApiError::bad_query("id must be an integer")),
         }
     } else {
-        return Err(Response::error(400, "missing name/names/id parameter"));
+        return Err(ApiError::bad_query("missing name/names/id parameter"));
     };
     spec = spec.k(req.param_as::<u32>("k", 1));
     if let Some(kws) = req.param("keywords") {
@@ -239,38 +544,30 @@ fn community_json(
     ])
 }
 
-fn search(engine: &RwLock<Engine>, req: &Request) -> Response {
+fn search(engine: &RwLock<Engine>, req: &Request) -> Handler {
     let e = read_engine(engine);
-    let spec = match spec_from(req) {
-        Ok(s) => s,
-        Err(r) => return r,
-    };
+    let spec = spec_from(req)?;
     let graph = req.param("graph");
     let algo = req.param("algo").unwrap_or("acq");
     let layout = layout_from(req);
-    let communities = match e.search_on(graph, algo, &spec) {
-        Ok(c) => c,
-        Err(err) => return err_response(&err),
-    };
-    let g = match e.graph(graph) {
-        Ok(g) => g,
-        Err(err) => return err_response(&err),
-    };
+    let (limit, offset) = page_params(req, 20, 100);
+    let communities = e.search_on(graph, algo, &spec)?;
+    let g = e.graph(graph)?;
     let q = match spec.resolve(g) {
         Ok(qs) if !qs.is_empty() => qs[0],
-        Ok(_) => return Response::error(400, "query resolved to no vertices"),
-        Err(err) => return err_response(&err),
+        Ok(_) => return Err(ApiError::bad_query("query resolved to no vertices")),
+        Err(err) => return Err(err.into()),
     };
-    let analysis = match e.analyze(graph, &communities, q) {
-        Ok(a) => a,
-        Err(err) => return err_response(&err),
-    };
+    let analysis = e.analyze(graph, &communities, q)?;
+    let total = communities.len();
     let list = Json::arr(
         communities
             .iter()
+            .skip(offset)
+            .take(limit)
             .map(|c| community_json(&e, graph, g, c, layout, Some(q))),
     );
-    Response::json(&Json::obj([
+    Ok(Payload::Data(Json::obj([
         ("query", Json::obj([
             ("vertex", Json::num(q.0 as f64)),
             ("label", Json::str(g.label(q))),
@@ -278,156 +575,125 @@ fn search(engine: &RwLock<Engine>, req: &Request) -> Response {
             ("algo", Json::str(algo)),
         ])),
         ("communities", list),
+        ("total_communities", Json::num(total as f64)),
+        ("limit", Json::num(limit as f64)),
+        ("offset", Json::num(offset as f64)),
         ("cpj", Json::num(analysis.cpj)),
         ("cmf", Json::num(analysis.cmf)),
         // The query author's keywords, so the UI can render the chips.
         ("query_keywords", Json::arr(g.keyword_names(g.keywords(q)).into_iter().map(Json::str))),
-    ]))
+    ])))
 }
 
-fn svg(engine: &RwLock<Engine>, req: &Request) -> Response {
+fn svg(engine: &RwLock<Engine>, req: &Request) -> Handler {
     let e = read_engine(engine);
-    let spec = match spec_from(req) {
-        Ok(s) => s,
-        Err(r) => return r,
-    };
+    let spec = spec_from(req)?;
     let graph = req.param("graph");
     let algo = req.param("algo").unwrap_or("acq");
     let index = req.param_as::<usize>("index", 0);
-    let communities = match e.search_on(graph, algo, &spec) {
-        Ok(c) => c,
-        Err(err) => return err_response(&err),
-    };
+    let communities = e.search_on(graph, algo, &spec)?;
     let Some(c) = communities.get(index) else {
-        return Response::error(404, "community index out of range");
+        return Err(ApiError::not_found("community index out of range"));
     };
-    let g = match e.graph(graph) {
-        Ok(g) => g,
-        Err(err) => return err_response(&err),
-    };
+    let g = e.graph(graph)?;
     let q = match spec.resolve(g) {
         Ok(qs) if !qs.is_empty() => qs[0],
-        Ok(_) => return Response::error(400, "query resolved to no vertices"),
-        Err(err) => return err_response(&err),
+        Ok(_) => return Err(ApiError::bad_query("query resolved to no vertices")),
+        Err(err) => return Err(err.into()),
     };
-    let scene = match e.display(graph, c, layout_from(req), Some(q)) {
-        Ok(s) => s,
-        Err(err) => return err_response(&err),
-    };
+    let scene = e.display(graph, c, layout_from(req), Some(q))?;
     let scene = scene
         .titled(format!("Method: {algo} — community {} of {}", index + 1, communities.len()));
-    Response::svg(scene.to_svg())
+    Ok(Payload::Raw(Response::svg(scene.to_svg())))
 }
 
-fn compare(engine: &RwLock<Engine>, req: &Request) -> Response {
+fn compare(engine: &RwLock<Engine>, req: &Request) -> Handler {
     let e = read_engine(engine);
-    let spec = match spec_from(req) {
-        Ok(s) => s,
-        Err(r) => return r,
-    };
+    let spec = spec_from(req)?;
     let algos_param = req.param("algos").unwrap_or("global,local,codicil,acq");
     let algos: Vec<&str> = algos_param.split(',').filter(|s| !s.is_empty()).collect();
-    match e.compare(req.param("graph"), &algos, &spec) {
-        Ok(report) => {
-            let rows = Json::arr(report.rows.iter().map(|r| {
-                Json::obj([
-                    ("method", Json::str(r.method.clone())),
-                    ("communities", Json::num(r.communities as f64)),
-                    ("avg_vertices", Json::num(r.avg_vertices)),
-                    ("avg_edges", Json::num(r.avg_edges)),
-                    ("avg_degree", Json::num(r.avg_degree)),
-                    ("cpj", Json::num(r.cpj)),
-                    ("cmf", Json::num(r.cmf)),
-                    ("millis", Json::num(r.millis)),
-                ])
-            }));
-            let sim = Json::arr(
-                report
-                    .similarity
-                    .iter()
-                    .map(|row| Json::arr(row.iter().map(|&x| Json::num(x)))),
-            );
-            Response::json(&Json::obj([("rows", rows), ("similarity", sim)]))
-        }
-        Err(err) => err_response(&err),
-    }
+    let report = e.compare(req.param("graph"), &algos, &spec)?;
+    let rows = Json::arr(report.rows.iter().map(|r| {
+        Json::obj([
+            ("method", Json::str(r.method.clone())),
+            ("communities", Json::num(r.communities as f64)),
+            ("avg_vertices", Json::num(r.avg_vertices)),
+            ("avg_edges", Json::num(r.avg_edges)),
+            ("avg_degree", Json::num(r.avg_degree)),
+            ("cpj", Json::num(r.cpj)),
+            ("cmf", Json::num(r.cmf)),
+            ("millis", Json::num(r.millis)),
+        ])
+    }));
+    let sim = Json::arr(
+        report
+            .similarity
+            .iter()
+            .map(|row| Json::arr(row.iter().map(|&x| Json::num(x)))),
+    );
+    Ok(Payload::Data(Json::obj([("rows", rows), ("similarity", sim)])))
 }
 
 /// GET /api/chart — the comparison's CPJ/CMF bars as downloadable SVG.
-fn chart(engine: &RwLock<Engine>, req: &Request) -> Response {
+fn chart(engine: &RwLock<Engine>, req: &Request) -> Handler {
     let e = read_engine(engine);
-    let spec = match spec_from(req) {
-        Ok(s) => s,
-        Err(r) => return r,
-    };
+    let spec = spec_from(req)?;
     let algos_param = req.param("algos").unwrap_or("global,local,codicil,acq");
     let algos: Vec<&str> = algos_param.split(',').filter(|s| !s.is_empty()).collect();
-    match e.compare(req.param("graph"), &algos, &spec) {
-        Ok(report) => Response::svg(report.quality_charts_svg()),
-        Err(err) => err_response(&err),
-    }
+    let report = e.compare(req.param("graph"), &algos, &spec)?;
+    Ok(Payload::Raw(Response::svg(report.quality_charts_svg())))
 }
 
-fn detect(engine: &RwLock<Engine>, req: &Request) -> Response {
+fn detect(engine: &RwLock<Engine>, req: &Request) -> Handler {
     let e = read_engine(engine);
     let algo = req.param("algo").unwrap_or("codicil");
     let limit = req.param_as::<usize>("limit", 20);
-    match e.detect_on(req.param("graph"), algo) {
-        Ok(communities) => {
-            let g = match e.graph(req.param("graph")) {
-                Ok(g) => g,
-                Err(err) => return err_response(&err),
-            };
-            let list = Json::arr(communities.iter().take(limit).map(|c| {
-                Json::obj([
-                    ("size", Json::num(c.len() as f64)),
-                    ("edges", Json::num(c.internal_edge_count(g) as f64)),
-                    ("avg_degree", Json::num(c.average_internal_degree(g))),
-                ])
-            }));
-            Response::json(&Json::obj([
-                ("algo", Json::str(algo)),
-                ("total", Json::num(communities.len() as f64)),
-                ("communities", list),
-            ]))
-        }
-        Err(err) => err_response(&err),
-    }
+    let communities = e.detect_on(req.param("graph"), algo)?;
+    let g = e.graph(req.param("graph"))?;
+    let list = Json::arr(communities.iter().take(limit).map(|c| {
+        Json::obj([
+            ("size", Json::num(c.len() as f64)),
+            ("edges", Json::num(c.internal_edge_count(g) as f64)),
+            ("avg_degree", Json::num(c.average_internal_degree(g))),
+        ])
+    }));
+    Ok(Payload::Data(Json::obj([
+        ("algo", Json::str(algo)),
+        ("total", Json::num(communities.len() as f64)),
+        ("communities", list),
+    ])))
 }
 
-fn profile(engine: &RwLock<Engine>, req: &Request) -> Response {
+fn profile(engine: &RwLock<Engine>, req: &Request) -> Handler {
     let e = read_engine(engine);
     let Some(id) = req.param("id").and_then(|s| s.parse::<u32>().ok()) else {
-        return Response::error(400, "id must be an integer");
+        return Err(ApiError::bad_query("id must be an integer"));
     };
-    match e.profile(req.param("graph"), VertexId(id)) {
-        Ok(Some(p)) => Response::json(&Json::obj([
+    match e.profile(req.param("graph"), VertexId(id))? {
+        Some(p) => Ok(Payload::Data(Json::obj([
             ("name", Json::str(p.name.clone())),
             ("areas", Json::arr(p.areas.iter().cloned().map(Json::str))),
             ("institutes", Json::arr(p.institutes.iter().cloned().map(Json::str))),
             ("interests", Json::arr(p.interests.iter().cloned().map(Json::str))),
-        ])),
-        Ok(None) => Response::error(404, "no profile for this vertex"),
-        Err(err) => err_response(&err),
+        ]))),
+        None => Err(ApiError::not_found("no profile for this vertex")),
     }
 }
 
-fn upload(engine: &RwLock<Engine>, req: &Request) -> Response {
+fn upload(engine: &RwLock<Engine>, req: &Request) -> Handler {
     let Some(name) = req.param("name").map(str::to_owned) else {
-        return Response::error(400, "missing name parameter");
+        return Err(ApiError::bad_query("missing name parameter"));
     };
-    let graph = match cx_graph::io::read_text(&mut req.body.as_slice()) {
-        Ok(g) => g,
-        Err(e) => return Response::error(400, &format!("parse failed: {e}")),
-    };
+    let graph = cx_graph::io::read_text(&mut req.body.as_slice())
+        .map_err(|e| ApiError::new(ErrorCode::GraphError, format!("parse failed: {e}")))?;
     let (v, m) = (graph.vertex_count(), graph.edge_count());
     write_engine(engine).add_graph(&name, graph);
-    Response::json(&Json::obj([
+    Ok(Payload::Data(Json::obj([
         ("ok", Json::Bool(true)),
         ("graph", Json::str(name)),
         ("vertices", Json::num(v as f64)),
         ("edges", Json::num(m as f64)),
-    ]))
+    ])))
 }
 
 #[cfg(test)]
@@ -458,6 +724,16 @@ mod tests {
     }
 
     #[test]
+    fn legacy_routes_carry_deprecation_and_request_id() {
+        let s = server();
+        let r = s.handle(&Request::get("/api/graphs"));
+        assert_eq!(r.header("Deprecation"), Some("true"));
+        assert!(r.header("X-Request-Id").unwrap().starts_with('r'));
+        // The index page is not deprecated.
+        assert_eq!(s.handle(&Request::get("/")).header("Deprecation"), None);
+    }
+
+    #[test]
     fn search_returns_paper_example() {
         let s = server();
         let r = s.handle(&Request::get("/api/search?name=A&k=2&algo=acq"));
@@ -472,6 +748,10 @@ mod tests {
         let scene = comms[0].get("scene").unwrap();
         assert_eq!(scene.get("nodes").and_then(Json::as_array).map(|a| a.len()), Some(3));
         assert!(v.get("cpj").and_then(Json::as_f64).unwrap() > 0.0);
+        // Pagination metadata rides along.
+        assert_eq!(v.get("total_communities").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(v.get("limit").and_then(Json::as_f64), Some(20.0));
+        assert_eq!(v.get("offset").and_then(Json::as_f64), Some(0.0));
     }
 
     #[test]
@@ -493,6 +773,53 @@ mod tests {
         assert_eq!(s.handle(&Request::get("/api/search?id=notanum")).status, 400);
         assert_eq!(s.handle(&Request::get("/api/nope")).status, 404);
         assert_eq!(s.handle(&Request::post("/api/search?name=A", "")).status, 405);
+    }
+
+    #[test]
+    fn legacy_errors_keep_shape_and_gain_code() {
+        let s = server();
+        let r = s.handle(&Request::get("/api/search?name=ZZZ"));
+        assert_eq!(r.status, 404);
+        let v = Json::parse(&r.text()).unwrap();
+        assert!(!v.get("error").and_then(Json::as_str).unwrap().is_empty());
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("unknown_vertex"));
+        let r = s.handle(&Request::get("/api/search?k=2"));
+        assert_eq!(Json::parse(&r.text()).unwrap().get("code").and_then(Json::as_str), Some("bad_query"));
+    }
+
+    #[test]
+    fn search_pagination_slices_results() {
+        let s = server();
+        // k=1 on fig5 yields several communities? If only one, offset=1
+        // must yield an empty page while total stays put.
+        let r = s.handle(&Request::get("/api/search?name=A&k=2&limit=1&offset=1"));
+        assert_eq!(r.status, 200, "{}", r.text());
+        let v = Json::parse(&r.text()).unwrap();
+        let total = v.get("total_communities").and_then(Json::as_f64).unwrap();
+        let comms = v.get("communities").and_then(Json::as_array).unwrap();
+        assert_eq!(comms.len(), (total as usize).saturating_sub(1).min(1));
+        assert_eq!(v.get("offset").and_then(Json::as_f64), Some(1.0));
+        // Hostile limit values fall back to bounded defaults.
+        let r = s.handle(&Request::get("/api/search?name=A&k=2&limit=999999"));
+        let v = Json::parse(&r.text()).unwrap();
+        assert_eq!(v.get("limit").and_then(Json::as_f64), Some(100.0));
+        let r = s.handle(&Request::get("/api/search?name=A&k=2&limit=-3"));
+        let v = Json::parse(&r.text()).unwrap();
+        assert_eq!(v.get("limit").and_then(Json::as_f64), Some(20.0));
+    }
+
+    #[test]
+    fn suggest_pagination_offsets() {
+        let s = server();
+        let all = s.handle(&Request::get("/api/suggest?q=&limit=10"));
+        let all = Json::parse(&all.text()).unwrap();
+        let all = all.as_array().unwrap();
+        assert!(all.len() >= 3, "fig5 should suggest several vertices");
+        let page = s.handle(&Request::get("/api/suggest?q=&limit=2&offset=1"));
+        let page = Json::parse(&page.text()).unwrap();
+        let page = page.as_array().unwrap();
+        assert_eq!(page.len(), 2);
+        assert_eq!(page[0], all[1], "offset=1 must skip the first suggestion");
     }
 
     #[test]
@@ -582,6 +909,24 @@ mod tests {
         // Bad upload body.
         assert_eq!(s.handle(&Request::post("/api/upload?name=bad", "q\tjunk")).status, 400);
         assert_eq!(s.handle(&Request::post("/api/upload", "")).status, 400);
+    }
+
+    #[test]
+    fn error_code_statuses_are_stable() {
+        for (code, status, wire) in [
+            (ErrorCode::BadQuery, 400, "bad_query"),
+            (ErrorCode::BadJson, 400, "bad_json"),
+            (ErrorCode::NoGraph, 400, "no_graph"),
+            (ErrorCode::GraphError, 400, "graph_error"),
+            (ErrorCode::UnknownVertex, 404, "unknown_vertex"),
+            (ErrorCode::UnknownGraph, 404, "unknown_graph"),
+            (ErrorCode::UnknownAlgorithm, 404, "unknown_algorithm"),
+            (ErrorCode::NotFound, 404, "not_found"),
+            (ErrorCode::MethodNotAllowed, 405, "method_not_allowed"),
+        ] {
+            assert_eq!(code.status(), status);
+            assert_eq!(code.as_str(), wire);
+        }
     }
 }
 

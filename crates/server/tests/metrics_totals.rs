@@ -1,0 +1,72 @@
+//! Concurrency test for the cx-obs HTTP counters. Lives in its own test
+//! binary (one test, one process) because the metrics registry is
+//! process-global: any other test issuing requests in parallel would
+//! shift the totals.
+//!
+//! Counting order contract: `route()` bumps `cx_http_requests_total`
+//! *after* dispatch builds the response, so a `/metrics` scrape never
+//! counts itself in its own body. Hence: initial scrape (A), N worker
+//! requests, final scrape (B) → B's body reports `initial + 1 + N`
+//! (A counted, B not).
+
+use std::sync::Arc;
+
+use cx_explorer::Engine;
+use cx_server::{Request, Server};
+
+/// Sums every `cx_http_requests_total{class=...}` sample in an
+/// exposition body, and reads `cx_http_request_duration_us_count`.
+fn totals(body: &str) -> (u64, u64) {
+    let mut requests = 0u64;
+    let mut duration_count = 0u64;
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("cx_http_requests_total{") {
+            let v = rest.split_whitespace().next_back().unwrap_or("0");
+            requests += v.parse::<u64>().unwrap_or(0);
+        }
+        if let Some(rest) = line.strip_prefix("cx_http_request_duration_us_count ") {
+            duration_count = rest.trim().parse().unwrap_or(0);
+        }
+    }
+    (requests, duration_count)
+}
+
+#[test]
+fn metrics_totals_match_requests_issued_under_concurrency() {
+    let s = Arc::new(Server::new(Engine::with_graph("fig5", cx_datagen::figure5_graph())));
+
+    let initial = s.handle(&Request::get("/metrics"));
+    assert_eq!(initial.status, 200);
+    let (req0, dur0) = totals(&initial.text());
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 25;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let target = match (t + i) % 4 {
+                        0 => "/api/v1/graphs".to_owned(),
+                        1 => "/api/v1/search?name=A&k=2&algo=acq".to_owned(),
+                        2 => "/api/v1/stats".to_owned(),
+                        _ => format!("/api/v1/search?name=ZZZ{t}"),
+                    };
+                    let r = s.handle(&Request::get(&target));
+                    assert!(matches!(r.status, 200 | 404), "{target}: {}", r.status);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let n = (THREADS * PER_THREAD) as u64;
+    let fin = s.handle(&Request::get("/metrics"));
+    let (req1, dur1) = totals(&fin.text());
+    // +1: the initial scrape was counted after its own body was built;
+    // the final scrape is not yet counted in its own body.
+    assert_eq!(req1, req0 + n + 1, "request counter must match requests issued");
+    assert_eq!(dur1, dur0 + n + 1, "duration histogram count must match");
+}

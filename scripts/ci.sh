@@ -19,6 +19,9 @@ CX_THREADS=8 cargo test -q --workspace
 echo "== par_scaling smoke (5k vertices, 2 samples) =="
 cargo run -q --release -p cx-bench --bin par_scaling -- 5000 2
 
+echo "== obs_overhead smoke (instrumented vs CX_OBS=off, 5% acceptance) =="
+cargo run -q --release -p cx-bench --bin obs_overhead -- 4000 100
+
 echo "== cx-check seed matrix (3 sizes x 2 seeds x 4 queries + fuzz) =="
 cargo run -q --release -p cx-check --bin cx-check -- \
   --sizes 60,200,800 --seeds 7,21 --queries 4 --fuzz 600
