@@ -45,8 +45,8 @@ fn main() {
             if let Some(c) = out.first() {
                 hits += 1;
                 total_size += c.len() as f64;
-                let g = engine.graph(None).unwrap();
-                total_min_deg += c.min_internal_degree(g) as f64;
+                let snap = engine.snapshot(None).unwrap();
+                total_min_deg += c.min_internal_degree(&snap.graph) as f64;
             }
         }
         if hits == 0 {

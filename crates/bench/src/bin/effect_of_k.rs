@@ -27,7 +27,8 @@ fn main() {
         let spec = QuerySpec::by_label(label.clone()).k(k);
         let global = engine.search("global", &spec).expect("global failed");
         let acq = engine.search("acq", &spec).expect("acq failed");
-        let g = engine.graph(None).unwrap();
+        let snap = engine.snapshot(None).unwrap();
+        let g = &*snap.graph;
         let global_size =
             global.first().map(|c| c.len().to_string()).unwrap_or_else(|| "-".into());
         let acq_avg = if acq.is_empty() {

@@ -9,8 +9,11 @@
 //!    parallel) vs. a naive fixpoint peel.
 //! 3. **Strategy differential** — Dec vs. Inc-S / Inc-T / Basic.
 //! 4. **Cache differential** — cold vs. warm vs. cache-disabled engines.
-//! 5. **Thread differential** — fingerprints at CX_THREADS=1 vs. N.
-//! 6. **API fuzz** — mutated requests must never panic or break the
+//! 5. **Snapshot differential** — a reader pinned to a pre-edit snapshot
+//!    vs. the post-edit snapshot: each must match an engine that only
+//!    ever saw that graph version, and generations must advance.
+//! 6. **Thread differential** — fingerprints at CX_THREADS=1 vs. N.
+//! 7. **API fuzz** — mutated requests must never panic or break the
 //!    JSON error contract.
 //!
 //! Exit status 0 = clean; 1 = violations found; 2 = bad usage.
@@ -20,7 +23,7 @@ use cx_check::invariants::check_core_numbers;
 use cx_check::oracle::thread_differential;
 use cx_check::{
     acq_strategy_differential, cached_vs_uncached, check_acq_result, fingerprint, fuzz_server,
-    graph_matrix, query_workload, FuzzParams,
+    graph_matrix, query_workload, snapshot_pinning_differential, FuzzParams,
 };
 use cx_cltree::ClTree;
 use cx_datagen::dblp_like;
@@ -156,6 +159,21 @@ fn main() {
             }
         }
 
+        // Snapshot differential: a reader pinned to the pre-edit snapshot
+        // and the post-edit snapshot must each match an engine that only
+        // ever saw that graph version. The edit removes one of the hub's
+        // incident edges, so pinned and live answers genuinely differ.
+        if let Some(qc) = workload.first() {
+            let spec = QuerySpec::by_id(qc.q).k(qc.k);
+            if let Some(&u) = g.neighbors(qc.q).first() {
+                for algo in ["acq", "global", "local"] {
+                    for m in snapshot_pinning_differential(g, algo, &spec, &[], &[(qc.q, u)]) {
+                        problems.push(format!("{} {}", case.name, m));
+                    }
+                }
+            }
+        }
+
         // Thread differential: decomposition + index + query fingerprint
         // must be identical at every thread count.
         if let Some(qc) = workload.first() {
@@ -174,7 +192,7 @@ fn main() {
 
     // API fuzz: one server seeded with the figure-5 fixture plus a small
     // generated graph, hammered with mutated requests.
-    let mut engine = Engine::with_graph("fig5", cx_datagen::figure5_graph());
+    let engine = Engine::with_graph("fig5", cx_datagen::figure5_graph());
     let (dblp, _) = dblp_like(&cx_check::workload::check_params(120, 5));
     engine.add_graph("dblp", dblp);
     let server = Server::new(engine);

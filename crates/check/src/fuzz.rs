@@ -81,13 +81,13 @@ struct ValuePool {
 }
 
 fn pool_from(server: &Server) -> ValuePool {
-    let engine = server.engine();
-    let e = engine.read().unwrap_or_else(|p| p.into_inner());
-    let graphs: Vec<String> = e.graph_names().iter().map(|s| s.to_string()).collect();
+    let e = server.engine();
+    let graphs: Vec<String> = e.graph_names();
     let mut algos: Vec<String> = e.cs_names().iter().map(|s| s.to_string()).collect();
     algos.extend(e.cd_names().iter().map(|s| s.to_string()));
     let (mut labels, mut keywords) = (Vec::new(), Vec::new());
-    if let Ok(g) = e.graph(None) {
+    if let Ok(snap) = e.snapshot(None) {
+        let g = &*snap.graph;
         labels = g.vertices().take(50).map(|v| g.label(v).to_owned()).collect();
         keywords = g
             .vertices()

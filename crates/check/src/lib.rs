@@ -42,5 +42,8 @@ pub use fuzz::{fuzz_server, FuzzParams, FuzzReport};
 pub use invariants::{
     check_acq_result, check_community, check_ktruss_community, Violation,
 };
-pub use oracle::{acq_strategy_differential, cached_vs_uncached, with_threads, Mismatch};
+pub use oracle::{
+    acq_strategy_differential, cached_vs_uncached, snapshot_pinning_differential, with_threads,
+    Mismatch,
+};
 pub use workload::{graph_matrix, query_workload, GraphCase, QueryCase};

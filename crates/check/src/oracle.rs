@@ -146,6 +146,83 @@ pub fn cached_vs_uncached(
     mismatches
 }
 
+/// Snapshot-pinning oracle: a reader holding a pre-edit snapshot and the
+/// post-edit snapshot must differ *only* per the applied edit.
+///
+/// 1. pin the current snapshot of a fresh engine,
+/// 2. apply `add`/`remove` edits (publishing a new snapshot),
+/// 3. the pinned snapshot must answer exactly like a fresh engine that
+///    never saw the edit,
+/// 4. the live snapshot must answer exactly like a fresh engine that
+///    applied the same edit before its first query,
+/// 5. the published generation must have advanced past the pinned one.
+pub fn snapshot_pinning_differential(
+    g: &AttributedGraph,
+    algo: &str,
+    spec: &QuerySpec,
+    add: &[(VertexId, VertexId)],
+    remove: &[(VertexId, VertexId)],
+) -> Vec<Mismatch> {
+    let mut mismatches = Vec::new();
+    let context = format!("algo={algo} spec={spec:?} add={add:?} remove={remove:?}");
+    let mismatch = |detail: String| Mismatch {
+        oracle: "snapshot",
+        context: context.clone(),
+        detail,
+    };
+
+    let engine = Engine::with_graph("check", g.clone());
+    let pinned = engine.snapshot(None).expect("graph was just added");
+    if let Err(e) = engine.apply_edits(None, add, remove) {
+        return vec![mismatch(format!("edit failed: {e}"))];
+    }
+    let live = engine.snapshot(None).expect("graph still registered");
+    if live.generation <= pinned.generation {
+        mismatches.push(mismatch(format!(
+            "generation did not advance across an edit ({} -> {})",
+            pinned.generation, live.generation
+        )));
+    }
+
+    // The pinned reader must see the pre-edit world, byte for byte.
+    let before = Engine::with_graph("check", g.clone());
+    match (engine.search_snapshot(&pinned, algo, spec), before.search_on(None, algo, spec)) {
+        (Ok(p), Ok(f)) => {
+            if let Some(d) = diff_results("pinned", &p, "pre-edit", &f) {
+                mismatches.push(mismatch(d));
+            }
+        }
+        (Err(e), Ok(_)) => mismatches.push(mismatch(format!(
+            "pinned snapshot errored where the pre-edit engine succeeded: {e}"
+        ))),
+        (Ok(_), Err(e)) => mismatches.push(mismatch(format!(
+            "pre-edit engine errored where the pinned snapshot succeeded: {e}"
+        ))),
+        (Err(_), Err(_)) => {}
+    }
+
+    // The live snapshot must see the post-edit world, byte for byte.
+    let after = Engine::with_graph("check", g.clone());
+    if let Err(e) = after.apply_edits(None, add, remove) {
+        return vec![mismatch(format!("reference edit failed: {e}"))];
+    }
+    match (engine.search_snapshot(&live, algo, spec), after.search_on(None, algo, spec)) {
+        (Ok(l), Ok(f)) => {
+            if let Some(d) = diff_results("live", &l, "post-edit", &f) {
+                mismatches.push(mismatch(d));
+            }
+        }
+        (Err(e), Ok(_)) => mismatches.push(mismatch(format!(
+            "live snapshot errored where the post-edit engine succeeded: {e}"
+        ))),
+        (Ok(_), Err(e)) => mismatches.push(mismatch(format!(
+            "post-edit engine errored where the live snapshot succeeded: {e}"
+        ))),
+        (Err(_), Err(_)) => {}
+    }
+    mismatches
+}
+
 /// Serialises `CX_THREADS` mutation across tests and oracles (environment
 /// variables are process-global).
 static THREAD_ENV_LOCK: Mutex<()> = Mutex::new(());
@@ -226,6 +303,39 @@ mod tests {
         let mm = cached_vs_uncached(&g, "no-such-algo", &QuerySpec::by_label("A"));
         assert_eq!(mm.len(), 1);
         assert!(mm[0].detail.contains("errored"));
+    }
+
+    #[test]
+    fn snapshot_oracle_is_clean_on_builtins() {
+        let g = figure5_graph();
+        // Removing a K4 edge changes the k=3 answer, so the pinned and
+        // live snapshots genuinely diverge — the oracle must still pass.
+        for algo in ["acq", "global", "local"] {
+            for k in 1..=3 {
+                let mm = snapshot_pinning_differential(
+                    &g,
+                    algo,
+                    &QuerySpec::by_label("A").k(k),
+                    &[],
+                    &[(VertexId(0), VertexId(1))],
+                );
+                assert!(mm.is_empty(), "{algo} k={k}: {mm:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_oracle_reports_bad_edits() {
+        let g = figure5_graph();
+        let mm = snapshot_pinning_differential(
+            &g,
+            "acq",
+            &QuerySpec::by_label("A").k(2),
+            &[(VertexId(0), VertexId(99))],
+            &[],
+        );
+        assert_eq!(mm.len(), 1);
+        assert!(mm[0].detail.contains("edit failed"));
     }
 
     #[test]

@@ -58,13 +58,16 @@ impl Engine {
         algos: &[&str],
         spec: &QuerySpec,
     ) -> Result<ComparisonReport, ExplorerError> {
-        let g = self.graph(graph)?;
+        // Pin one snapshot for the whole comparison: every method runs
+        // against the same graph version even if an edit lands mid-way.
+        let snap = self.snapshot(graph)?;
+        let g = &*snap.graph;
         let q = spec.resolve(g)?[0];
 
         let mut rows = Vec::with_capacity(algos.len());
         for &name in algos {
             let start = Instant::now();
-            let results = self.search_on(graph, name, spec)?;
+            let results = self.search_snapshot(&snap, name, spec)?;
             let millis = start.elapsed().as_secs_f64() * 1e3;
             let stats = cx_metrics::CommunityStats::compute(g, &results);
             rows.push(ComparisonRow {

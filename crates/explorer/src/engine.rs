@@ -1,8 +1,35 @@
-//! The engine: graphs + indexes + algorithm registry + profiles.
+//! The engine: immutable per-graph snapshots + algorithm registry.
+//!
+//! # Snapshot concurrency model
+//!
+//! Every graph lives in the engine as one immutable [`GraphSnapshot`]
+//! behind an `Arc`: the attributed graph, its CL-tree index, profiles,
+//! coordinates, and a per-graph generation number, all frozen when the
+//! snapshot is built. A lightweight registry (`Mutex<HashMap>`) maps graph
+//! names to the *current* snapshot Arc.
+//!
+//! Readers ([`Engine::snapshot`] and everything built on it) hold the
+//! registry lock only long enough to clone one `Arc` — microseconds — and
+//! then run entirely lock-free off their pinned snapshot. Writers
+//! ([`Engine::apply_edits`], [`Engine::add_graph`], [`Engine::upload`],
+//! [`Engine::remove_graph`], …) serialize per graph on a write gate, build
+//! the *next* snapshot completely off-lock (graph rebuild, CL-tree
+//! reindex), and publish it with a single map insert under the registry
+//! lock — an atomic pointer swap from every reader's point of view.
+//! Readers in flight keep the old snapshot alive through their `Arc`;
+//! new requests see the new one.
+//!
+//! Poisoning is impossible by construction: no lock is ever held across
+//! algorithm or index-building code, so a panic mid-build unwinds with
+//! only private data on the stack, and every lock acquisition recovers a
+//! poisoned mutex anyway (`unwrap_or_else(PoisonError::into_inner)`) since
+//! the guarded state is always internally consistent at release time.
 
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 use cx_cltree::ClTree;
 use cx_graph::{AttributedGraph, Community, VertexId};
@@ -14,7 +41,7 @@ use crate::api::{
     SacAlgorithm,
     LouvainAlgorithm,
 };
-use crate::cache::{CacheStats, QueryCache, QueryKey, DEFAULT_CAPACITY};
+use crate::cache::{CacheStats, QueryKey, ShardedCache, DEFAULT_CAPACITY};
 use crate::error::ExplorerError;
 use crate::query::QuerySpec;
 use crate::report::AnalysisReport;
@@ -34,30 +61,161 @@ pub struct Profile {
     pub interests: Vec<String>,
 }
 
-struct GraphEntry {
-    graph: AttributedGraph,
-    tree: ClTree,
-    profiles: HashMap<VertexId, Profile>,
-    coords: Option<Vec<(f64, f64)>>,
-    /// Monotone content version; queries cached against an older
-    /// generation are stale (see [`crate::cache`]).
-    generation: u64,
+/// One immutable, internally consistent version of a graph: contents,
+/// index, and decorations all frozen at publish time. Cheap to share
+/// (`Arc`), never mutated after construction — a reader holding one can
+/// answer queries indefinitely while the engine publishes newer versions.
+///
+/// Dereferences to the [`AttributedGraph`] for convenience.
+pub struct GraphSnapshot {
+    name: String,
+    /// The graph contents.
+    pub graph: Arc<AttributedGraph>,
+    /// The CL-tree index built for exactly this graph version.
+    pub tree: Arc<ClTree>,
+    /// Vertex profiles (Figure 2 popups).
+    pub profiles: HashMap<VertexId, Profile>,
+    /// Vertex coordinates for spatial algorithms, if installed.
+    pub coords: Option<Vec<(f64, f64)>>,
+    /// Per-graph monotone version number; exactly one snapshot is ever
+    /// published per (graph, generation) pair.
+    pub generation: u64,
+    /// Whether this snapshot bumped the live-snapshot gauge when built
+    /// (observability could be toggled between construction and drop).
+    gauge_counted: bool,
 }
 
-/// The C-Explorer engine. One instance serves many graphs and algorithms;
-/// it is `Sync` once constructed (wrap in a lock to mutate concurrently).
+impl GraphSnapshot {
+    fn new(
+        name: String,
+        graph: Arc<AttributedGraph>,
+        tree: Arc<ClTree>,
+        profiles: HashMap<VertexId, Profile>,
+        coords: Option<Vec<(f64, f64)>>,
+        generation: u64,
+    ) -> Self {
+        let gauge_counted = cx_obs::enabled();
+        if gauge_counted {
+            cx_obs::global().gauge("cx_snapshots_live").add(1);
+        }
+        Self { name, graph, tree, profiles, coords, generation, gauge_counted }
+    }
+
+    /// The registry name this snapshot was published under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The algorithm-facing view of this snapshot.
+    pub fn context(&self) -> GraphContext<'_> {
+        GraphContext { graph: &self.graph, tree: &self.tree, coords: self.coords.as_deref() }
+    }
+}
+
+impl Deref for GraphSnapshot {
+    type Target = AttributedGraph;
+    fn deref(&self) -> &AttributedGraph {
+        &self.graph
+    }
+}
+
+impl Drop for GraphSnapshot {
+    fn drop(&mut self) {
+        if self.gauge_counted {
+            // Bypass the enabled() gate: the increment happened, so the
+            // decrement must too, even if CX_OBS was toggled since.
+            cx_obs::global().gauge("cx_snapshots_live").add(-1);
+        }
+    }
+}
+
+/// One graph's row in [`RegistryIndex`]: O(1) fields only, no snapshot
+/// contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphIndexEntry {
+    /// Graph name.
+    pub name: String,
+    /// Current published generation.
+    pub generation: u64,
+    /// Vertex count of the current snapshot.
+    pub vertices: usize,
+    /// Edge count of the current snapshot.
+    pub edges: usize,
+    /// Whether this graph is the engine default.
+    pub is_default: bool,
+}
+
+/// A cheap directory listing of the registry — what `healthz` and the
+/// `graphs` endpoint serve without ever cloning a snapshot `Arc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistryIndex {
+    /// The default graph's name, if any graph is loaded.
+    pub default_graph: Option<String>,
+    /// One entry per loaded graph, sorted by name.
+    pub graphs: Vec<GraphIndexEntry>,
+}
+
+/// The mutable heart of the engine: the name → current-snapshot map.
+/// Only ever locked for map operations and O(1) field reads — never
+/// across a graph build, an index build, or an algorithm run.
+struct Registry {
+    snapshots: HashMap<String, Arc<GraphSnapshot>>,
+    default_graph: Option<String>,
+    /// Per-graph generation counters. Survive removal and replacement so
+    /// a graph's generations are monotone over the engine's lifetime and
+    /// never restart (which would resurrect stale cache keys).
+    generations: HashMap<String, u64>,
+}
+
+/// Registry lock guard that reports its hold time to the
+/// `cx_registry_lock_hold_us` histogram on release — the refactor's
+/// claim is that this stays in microseconds, so we measure it.
+struct RegistryGuard<'a> {
+    guard: MutexGuard<'a, Registry>,
+    start: Instant,
+}
+
+impl Deref for RegistryGuard<'_> {
+    type Target = Registry;
+    fn deref(&self) -> &Registry {
+        &self.guard
+    }
+}
+
+impl DerefMut for RegistryGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Registry {
+        &mut self.guard
+    }
+}
+
+impl Drop for RegistryGuard<'_> {
+    fn drop(&mut self) {
+        cx_obs::metrics::observe_us(
+            "cx_registry_lock_hold_us",
+            self.start.elapsed().as_micros() as u64,
+        );
+    }
+}
+
+/// The C-Explorer engine. One instance serves many graphs and algorithms
+/// and is shared across threads directly (`Arc<Engine>`, no outer lock):
+/// reads pin an immutable [`GraphSnapshot`] and run lock-free; writes
+/// build the next snapshot off-lock and publish it atomically (see the
+/// module docs for the full concurrency model).
 ///
 /// Query results from [`Engine::search_on`] / [`Engine::detect_on`] are
-/// memoised in a bounded LRU cache keyed by the resolved query; any
-/// mutation of a graph's contents invalidates its cached entries via a
-/// generation counter.
+/// memoised in a bounded, sharded LRU cache keyed by the resolved query
+/// *and the snapshot generation*, so mutation can never serve stale
+/// answers.
 pub struct Engine {
-    graphs: HashMap<String, GraphEntry>,
-    default_graph: Option<String>,
+    registry: Mutex<Registry>,
+    /// Per-graph writer serialization. Writers hold their graph's gate
+    /// across read-modify-write (snapshot → rebuild → publish) so two
+    /// concurrent edits can't lose updates; readers never touch gates.
+    write_gates: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     cs: Vec<Box<dyn CsAlgorithm>>,
     cd: Vec<Box<dyn CdAlgorithm>>,
-    cache: Mutex<QueryCache>,
-    next_generation: u64,
+    cache: ShardedCache,
 }
 
 impl Default for Engine {
@@ -70,12 +228,15 @@ impl Engine {
     /// An engine with the built-in algorithms registered and no graphs.
     pub fn new() -> Self {
         let mut e = Self {
-            graphs: HashMap::new(),
-            default_graph: None,
+            registry: Mutex::new(Registry {
+                snapshots: HashMap::new(),
+                default_graph: None,
+                generations: HashMap::new(),
+            }),
+            write_gates: Mutex::new(HashMap::new()),
             cs: Vec::new(),
             cd: Vec::new(),
-            cache: Mutex::new(QueryCache::new(DEFAULT_CAPACITY)),
-            next_generation: 0,
+            cache: ShardedCache::new(DEFAULT_CAPACITY),
         };
         e.register_cs(Box::new(AcqAlgorithm::dec()));
         e.register_cs(Box::new(AcqAlgorithm::with_strategy(cx_acq::AcqStrategy::IncS)));
@@ -95,37 +256,98 @@ impl Engine {
 
     /// An engine preloaded with one graph (which becomes the default).
     pub fn with_graph(name: impl Into<String>, graph: AttributedGraph) -> Self {
-        let mut e = Self::new();
+        let e = Self::new();
         e.add_graph(name, graph);
         e
     }
 
-    /// Adds (or replaces) a graph, building its CL-tree index — the paper's
-    /// offline Indexing module. The first graph added becomes the default.
-    pub fn add_graph(&mut self, name: impl Into<String>, graph: AttributedGraph) {
-        let name = name.into();
-        let tree = ClTree::build(&graph);
-        let generation = self.fresh_generation();
-        self.graphs.insert(
-            name.clone(),
-            GraphEntry { graph, tree, profiles: HashMap::new(), coords: None, generation },
-        );
-        if self.default_graph.is_none() {
-            self.default_graph = Some(name);
+    /// Locks the registry, timing the hold.
+    fn registry(&self) -> RegistryGuard<'_> {
+        RegistryGuard {
+            start: Instant::now(),
+            guard: self.registry.lock().unwrap_or_else(|p| p.into_inner()),
         }
     }
 
-    /// The next content generation. Fresh per insert/edit, so replacing
-    /// a graph under an existing name orphans its cached queries.
-    fn fresh_generation(&mut self) -> u64 {
-        self.next_generation += 1;
-        self.next_generation
+    /// The writer gate for `name` (created on first use, kept forever —
+    /// gates are a `Mutex<()>` each, negligible to retain).
+    fn write_gate(&self, name: &str) -> Arc<Mutex<()>> {
+        let mut gates = self.write_gates.lock().unwrap_or_else(|p| p.into_inner());
+        gates.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Claims the next generation for `name`. Strictly monotone per graph
+    /// for the engine's lifetime (counters survive graph removal).
+    fn reserve_generation(&self, name: &str) -> u64 {
+        let mut r = self.registry();
+        let g = r.generations.entry(name.to_owned()).or_insert(0);
+        *g += 1;
+        *g
+    }
+
+    /// Publishes a finished snapshot: one map insert under the registry
+    /// lock (the atomic swap), then cache maintenance off-lock. Readers
+    /// holding the previous snapshot keep it alive through their `Arc`.
+    fn publish(&self, snap: GraphSnapshot) {
+        let name = snap.name.clone();
+        let generation = snap.generation;
+        {
+            let mut r = self.registry();
+            r.snapshots.insert(name.clone(), Arc::new(snap));
+            if r.default_graph.is_none() {
+                r.default_graph = Some(name.clone());
+            }
+            cx_obs::metrics::gauge_set("cx_graphs_loaded", r.snapshots.len() as i64);
+        }
+        cx_obs::metrics::inc("cx_snapshot_swap_total");
+        self.cache.purge_older(&name, generation);
+    }
+
+    /// Adds (or replaces) a graph, building its CL-tree index — the paper's
+    /// offline Indexing module. The first graph added becomes the default.
+    pub fn add_graph(&self, name: impl Into<String>, graph: AttributedGraph) {
+        let name = name.into();
+        let gate = self.write_gate(&name);
+        let _writing = gate.lock().unwrap_or_else(|p| p.into_inner());
+        let tree = ClTree::build(&graph);
+        let generation = self.reserve_generation(&name);
+        self.publish(GraphSnapshot::new(
+            name,
+            Arc::new(graph),
+            Arc::new(tree),
+            HashMap::new(),
+            None,
+            generation,
+        ));
+    }
+
+    /// Removes a graph from the registry. Readers already pinned to its
+    /// snapshot finish unaffected; the default moves to the first
+    /// remaining name (sorted) if the removed graph was the default.
+    pub fn remove_graph(&self, name: &str) -> Result<(), ExplorerError> {
+        let gate = self.write_gate(name);
+        let _writing = gate.lock().unwrap_or_else(|p| p.into_inner());
+        {
+            let mut r = self.registry();
+            if r.snapshots.remove(name).is_none() {
+                return Err(ExplorerError::UnknownGraph(name.to_owned()));
+            }
+            if r.default_graph.as_deref() == Some(name) {
+                let mut names: Vec<String> = r.snapshots.keys().cloned().collect();
+                names.sort_unstable();
+                r.default_graph = names.into_iter().next();
+            }
+            cx_obs::metrics::gauge_set("cx_graphs_loaded", r.snapshots.len() as i64);
+        }
+        cx_obs::metrics::inc("cx_snapshot_swap_total");
+        self.cache.purge_graph(name);
+        Ok(())
     }
 
     /// The paper's `upload(filePath)`: loads a graph file (binary snapshot
     /// if the extension is `.bin`, text format otherwise) and indexes it
     /// under `name`.
-    pub fn upload(&mut self, name: impl Into<String>, path: &Path) -> Result<(), ExplorerError> {
+    pub fn upload(&self, name: impl Into<String>, path: &Path) -> Result<(), ExplorerError> {
         let graph = if path.extension().is_some_and(|e| e == "bin") {
             cx_graph::io::load_snapshot_file(path)?
         } else {
@@ -137,18 +359,21 @@ impl Engine {
 
     /// Registers (or replaces, by name) a community-search algorithm.
     /// Clears the query cache — the name may now mean different code.
+    /// Setup-time API: takes `&mut self`, so registration happens before
+    /// the engine is shared.
     pub fn register_cs(&mut self, algo: Box<dyn CsAlgorithm>) {
         self.cs.retain(|a| a.name() != algo.name());
         self.cs.push(algo);
-        self.cache.lock().unwrap().clear();
+        self.cache.clear();
     }
 
     /// Registers (or replaces, by name) a community-detection algorithm.
     /// Clears the query cache — the name may now mean different code.
+    /// Setup-time API like [`Engine::register_cs`].
     pub fn register_cd(&mut self, algo: Box<dyn CdAlgorithm>) {
         self.cd.retain(|a| a.name() != algo.name());
         self.cd.push(algo);
-        self.cache.lock().unwrap().clear();
+        self.cache.clear();
     }
 
     /// Names of the registered CS algorithms.
@@ -162,47 +387,72 @@ impl Engine {
     }
 
     /// Names of the uploaded graphs (sorted).
-    pub fn graph_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.graphs.keys().map(String::as_str).collect();
+    pub fn graph_names(&self) -> Vec<String> {
+        let r = self.registry();
+        let mut names: Vec<String> = r.snapshots.keys().cloned().collect();
         names.sort_unstable();
         names
     }
 
     /// The default graph's name.
-    pub fn default_graph_name(&self) -> Option<&str> {
-        self.default_graph.as_deref()
+    pub fn default_graph_name(&self) -> Option<String> {
+        self.registry().default_graph.clone()
     }
 
     /// Makes `name` the default graph.
-    pub fn set_default_graph(&mut self, name: &str) -> Result<(), ExplorerError> {
-        if !self.graphs.contains_key(name) {
+    pub fn set_default_graph(&self, name: &str) -> Result<(), ExplorerError> {
+        let mut r = self.registry();
+        if !r.snapshots.contains_key(name) {
             return Err(ExplorerError::UnknownGraph(name.to_owned()));
         }
-        self.default_graph = Some(name.to_owned());
+        r.default_graph = Some(name.to_owned());
         Ok(())
     }
 
-    /// Resolves the optional graph name to the actual entry key.
-    fn resolved_name<'a>(&'a self, graph: Option<&'a str>) -> Result<&'a str, ExplorerError> {
+    /// A cheap listing of every loaded graph (name, generation, sizes) —
+    /// O(1) per graph, no snapshot clones. This is what `healthz` and the
+    /// `graphs` endpoint should use.
+    pub fn registry_index(&self) -> RegistryIndex {
+        let r = self.registry();
+        let default_graph = r.default_graph.clone();
+        let mut graphs: Vec<GraphIndexEntry> = r
+            .snapshots
+            .iter()
+            .map(|(name, s)| GraphIndexEntry {
+                name: name.clone(),
+                generation: s.generation,
+                vertices: s.graph.vertex_count(),
+                edges: s.graph.edge_count(),
+                is_default: default_graph.as_deref() == Some(name.as_str()),
+            })
+            .collect();
+        drop(r);
+        graphs.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+        RegistryIndex { default_graph, graphs }
+    }
+
+    /// Resolves `graph` (default when `None`) and other resolution errors.
+    fn resolved_owned(&self, graph: Option<&str>) -> Result<String, ExplorerError> {
         match graph {
-            Some(n) => Ok(n),
-            None => self.default_graph.as_deref().ok_or(ExplorerError::NoGraph),
+            Some(n) => Ok(n.to_owned()),
+            None => self.registry().default_graph.clone().ok_or(ExplorerError::NoGraph),
         }
     }
 
-    fn entry(&self, graph: Option<&str>) -> Result<&GraphEntry, ExplorerError> {
-        let name = self.resolved_name(graph)?;
-        self.graphs.get(name).ok_or_else(|| ExplorerError::UnknownGraph(name.to_owned()))
-    }
-
-    /// The (default or named) graph.
-    pub fn graph(&self, name: Option<&str>) -> Result<&AttributedGraph, ExplorerError> {
-        Ok(&self.entry(name)?.graph)
-    }
-
-    /// The CL-tree index of the (default or named) graph.
-    pub fn tree(&self, name: Option<&str>) -> Result<&ClTree, ExplorerError> {
-        Ok(&self.entry(name)?.tree)
+    /// Pins the current snapshot of the (default or named) graph. This is
+    /// the read-side entry point: the registry lock is held only for the
+    /// lookup + `Arc` clone; everything after runs lock-free against the
+    /// returned snapshot, unaffected by concurrent writers.
+    pub fn snapshot(&self, graph: Option<&str>) -> Result<Arc<GraphSnapshot>, ExplorerError> {
+        let r = self.registry();
+        let name = match graph {
+            Some(n) => n,
+            None => r.default_graph.as_deref().ok_or(ExplorerError::NoGraph)?,
+        };
+        r.snapshots
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ExplorerError::UnknownGraph(name.to_owned()))
     }
 
     fn find_cs(&self, name: &str) -> Option<&dyn CsAlgorithm> {
@@ -222,36 +472,44 @@ impl Engine {
         self.search_on(None, algo, spec)
     }
 
-    /// `search` against a named graph. Results are served from the
-    /// query cache when the same resolved query was answered against
-    /// the same graph contents before.
+    /// `search` against a named graph: pins the current snapshot and
+    /// delegates to [`Engine::search_snapshot`].
     pub fn search_on(
         &self,
         graph: Option<&str>,
         algo: &str,
         spec: &QuerySpec,
     ) -> Result<Vec<Community>, ExplorerError> {
+        self.search_snapshot(&*self.snapshot(graph)?, algo, spec)
+    }
+
+    /// `search` against an already pinned snapshot — what a request
+    /// handler uses to keep one consistent graph version across the
+    /// whole request. Results are served from the query cache when the
+    /// same resolved query was answered against the same snapshot
+    /// generation before.
+    pub fn search_snapshot(
+        &self,
+        snap: &GraphSnapshot,
+        algo: &str,
+        spec: &QuerySpec,
+    ) -> Result<Vec<Community>, ExplorerError> {
         let _span = cx_obs::span("engine.search");
-        let name = self.resolved_name(graph)?;
-        let entry = self.entry(Some(name))?;
-        let qs = spec.resolve(&entry.graph)?;
+        let qs = spec.resolve(&snap.graph)?;
         let key = QueryKey {
-            graph: name.to_owned(),
+            graph: snap.name.clone(),
+            generation: snap.generation,
             algo: algo.to_owned(),
             vertices: qs.clone(),
             k: spec.k,
             keywords: spec.keywords.clone(),
         };
-        if let Some(hit) = self.cache.lock().unwrap().get(&key, entry.generation) {
+        if let Some(hit) = self.cache.get(&key) {
             cx_obs::metrics::inc("cx_engine_cache_total{event=\"hit\"}");
             return Ok(hit);
         }
         cx_obs::metrics::inc("cx_engine_cache_total{event=\"miss\"}");
-        let ctx = GraphContext {
-            graph: &entry.graph,
-            tree: &entry.tree,
-            coords: entry.coords.as_deref(),
-        };
+        let ctx = snap.context();
         let out = {
             let _algo_span = cx_obs::span(&format!("algo.{algo}"));
             if let Some(a) = self.find_cs(algo) {
@@ -262,7 +520,7 @@ impl Engine {
                 return Err(ExplorerError::UnknownAlgorithm(algo.to_owned()));
             }
         };
-        self.cache.lock().unwrap().insert(key, entry.generation, out.clone());
+        self.cache.insert(key, out.clone());
         Ok(out)
     }
 
@@ -271,54 +529,59 @@ impl Engine {
         self.detect_on(None, algo)
     }
 
-    /// `detect` against a named graph. Cached like [`Engine::search_on`]
-    /// (a detect key has no query vertices, so it never collides with a
-    /// search key).
+    /// `detect` against a named graph: pins the current snapshot and
+    /// delegates to [`Engine::detect_snapshot`].
     pub fn detect_on(
         &self,
         graph: Option<&str>,
         algo: &str,
     ) -> Result<Vec<Community>, ExplorerError> {
+        self.detect_snapshot(&*self.snapshot(graph)?, algo)
+    }
+
+    /// `detect` against an already pinned snapshot. Cached like
+    /// [`Engine::search_snapshot`] (a detect key has no query vertices,
+    /// so it never collides with a search key).
+    pub fn detect_snapshot(
+        &self,
+        snap: &GraphSnapshot,
+        algo: &str,
+    ) -> Result<Vec<Community>, ExplorerError> {
         let _span = cx_obs::span("engine.detect");
-        let name = self.resolved_name(graph)?;
-        let entry = self.entry(Some(name))?;
         let a = self
             .find_cd(algo)
             .ok_or_else(|| ExplorerError::UnknownAlgorithm(algo.to_owned()))?;
         let key = QueryKey {
-            graph: name.to_owned(),
+            graph: snap.name.clone(),
+            generation: snap.generation,
             algo: algo.to_owned(),
             vertices: Vec::new(),
             k: 0,
             keywords: Vec::new(),
         };
-        if let Some(hit) = self.cache.lock().unwrap().get(&key, entry.generation) {
+        if let Some(hit) = self.cache.get(&key) {
             cx_obs::metrics::inc("cx_engine_cache_total{event=\"hit\"}");
             return Ok(hit);
         }
         cx_obs::metrics::inc("cx_engine_cache_total{event=\"miss\"}");
-        let ctx = GraphContext {
-            graph: &entry.graph,
-            tree: &entry.tree,
-            coords: entry.coords.as_deref(),
-        };
+        let ctx = snap.context();
         let out = {
             let _algo_span = cx_obs::span(&format!("algo.{algo}"));
             a.detect(&ctx)
         };
-        self.cache.lock().unwrap().insert(key, entry.generation, out.clone());
+        self.cache.insert(key, out.clone());
         Ok(out)
     }
 
     /// Query-cache counters (hits, misses, occupancy, capacity).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().unwrap().stats()
+        self.cache.stats()
     }
 
-    /// Resizes the query cache (0 disables caching). Shrinking evicts
-    /// least-recently-used entries.
+    /// Resizes the query cache (0 disables caching). Rebuilds the shard
+    /// layout, dropping cached entries.
     pub fn set_cache_capacity(&self, capacity: usize) {
-        self.cache.lock().unwrap().set_capacity(capacity);
+        self.cache.set_capacity(capacity);
     }
 
     /// The paper's `analyze(Community)`: CPJ/CMF quality plus per-community
@@ -329,9 +592,18 @@ impl Engine {
         communities: &[Community],
         q: VertexId,
     ) -> Result<AnalysisReport, ExplorerError> {
-        let entry = self.entry(graph)?;
-        entry.graph.check_vertex(q)?;
-        Ok(AnalysisReport::new(&entry.graph, communities, q))
+        self.analyze_snapshot(&*self.snapshot(graph)?, communities, q)
+    }
+
+    /// [`Engine::analyze`] against an already pinned snapshot.
+    pub fn analyze_snapshot(
+        &self,
+        snap: &GraphSnapshot,
+        communities: &[Community],
+        q: VertexId,
+    ) -> Result<AnalysisReport, ExplorerError> {
+        snap.graph.check_vertex(q)?;
+        Ok(AnalysisReport::new(&snap.graph, communities, q))
     }
 
     /// The paper's `display(Community)`: computes a layout scene for the
@@ -343,84 +615,101 @@ impl Engine {
         algo: LayoutAlgorithm,
         highlight: Option<VertexId>,
     ) -> Result<Scene, ExplorerError> {
-        let entry = self.entry(graph)?;
-        Ok(layout_community(&entry.graph, community, algo, highlight, 960.0, 600.0, 42))
+        Ok(self.display_snapshot(&*self.snapshot(graph)?, community, algo, highlight))
     }
 
-    /// Installs profile records for a graph's vertices.
+    /// [`Engine::display`] against an already pinned snapshot.
+    pub fn display_snapshot(
+        &self,
+        snap: &GraphSnapshot,
+        community: &Community,
+        algo: LayoutAlgorithm,
+        highlight: Option<VertexId>,
+    ) -> Scene {
+        layout_community(&snap.graph, community, algo, highlight, 960.0, 600.0, 42)
+    }
+
+    /// Installs profile records for a graph's vertices. Publishes a new
+    /// snapshot (graph and index are shared with the previous one — only
+    /// the profile map is rebuilt).
     pub fn set_profiles(
-        &mut self,
+        &self,
         graph: Option<&str>,
         profiles: impl IntoIterator<Item = (VertexId, Profile)>,
     ) -> Result<(), ExplorerError> {
-        let name = match graph {
-            Some(n) => n.to_owned(),
-            None => self.default_graph.clone().ok_or(ExplorerError::NoGraph)?,
-        };
-        let entry = self
-            .graphs
-            .get_mut(&name)
-            .ok_or_else(|| ExplorerError::UnknownGraph(name.clone()))?;
-        entry.profiles.extend(profiles);
+        let name = self.resolved_owned(graph)?;
+        let gate = self.write_gate(&name);
+        let _writing = gate.lock().unwrap_or_else(|p| p.into_inner());
+        let snap = self.snapshot(Some(&name))?;
+        let mut merged = snap.profiles.clone();
+        merged.extend(profiles);
+        let generation = self.reserve_generation(&name);
+        self.publish(GraphSnapshot::new(
+            name,
+            Arc::clone(&snap.graph),
+            Arc::clone(&snap.tree),
+            merged,
+            snap.coords.clone(),
+            generation,
+        ));
         Ok(())
     }
 
     /// Installs vertex coordinates for a graph, enabling spatial-aware
     /// algorithms (`sac`). Must provide exactly one `(x, y)` per vertex.
+    /// Coordinates change query answers, so this publishes a new
+    /// generation (graph and index are shared with the previous snapshot).
     pub fn set_coordinates(
-        &mut self,
+        &self,
         graph: Option<&str>,
         coords: Vec<(f64, f64)>,
     ) -> Result<(), ExplorerError> {
-        let name = match graph {
-            Some(n) => n.to_owned(),
-            None => self.default_graph.clone().ok_or(ExplorerError::NoGraph)?,
-        };
-        // Coordinates feed the spatial algorithms (`sac`), so installing
-        // them changes query answers: bump the generation.
-        let generation = self.fresh_generation();
-        let entry = self
-            .graphs
-            .get_mut(&name)
-            .ok_or_else(|| ExplorerError::UnknownGraph(name.clone()))?;
-        if coords.len() != entry.graph.vertex_count() {
+        let name = self.resolved_owned(graph)?;
+        let gate = self.write_gate(&name);
+        let _writing = gate.lock().unwrap_or_else(|p| p.into_inner());
+        let snap = self.snapshot(Some(&name))?;
+        if coords.len() != snap.graph.vertex_count() {
             return Err(ExplorerError::BadQuery(format!(
                 "expected {} coordinates, got {}",
-                entry.graph.vertex_count(),
+                snap.graph.vertex_count(),
                 coords.len()
             )));
         }
-        entry.coords = Some(coords);
-        entry.generation = generation;
+        let generation = self.reserve_generation(&name);
+        self.publish(GraphSnapshot::new(
+            name,
+            Arc::clone(&snap.graph),
+            Arc::clone(&snap.tree),
+            snap.profiles.clone(),
+            Some(coords),
+            generation,
+        ));
         Ok(())
     }
 
     /// The profile of a vertex (the Figure 2 popup), if one is installed.
-    pub fn profile(&self, graph: Option<&str>, v: VertexId) -> Result<Option<&Profile>, ExplorerError> {
-        Ok(self.entry(graph)?.profiles.get(&v))
+    pub fn profile(&self, graph: Option<&str>, v: VertexId) -> Result<Option<Profile>, ExplorerError> {
+        Ok(self.snapshot(graph)?.profiles.get(&v).cloned())
     }
 
     /// Applies a batch of edge edits to a graph — the evolving-network
     /// path (new co-authorships appear, stale ones are pruned). The graph
-    /// and its CL-tree are rebuilt (both linear); for high-frequency
-    /// streams, maintain core numbers with [`cx_kcore::DynamicCore`] and
-    /// batch the reindex points.
+    /// and its CL-tree are rebuilt off-lock (both linear) into a fresh
+    /// snapshot; concurrent readers keep answering from the previous one
+    /// until the publish. For high-frequency streams, maintain core
+    /// numbers with [`cx_kcore::DynamicCore`] and batch the reindex
+    /// points.
     pub fn apply_edits(
-        &mut self,
+        &self,
         graph: Option<&str>,
         add: &[(VertexId, VertexId)],
         remove: &[(VertexId, VertexId)],
     ) -> Result<(), ExplorerError> {
-        let name = match graph {
-            Some(n) => n.to_owned(),
-            None => self.default_graph.clone().ok_or(ExplorerError::NoGraph)?,
-        };
-        let generation = self.fresh_generation();
-        let entry = self
-            .graphs
-            .get_mut(&name)
-            .ok_or_else(|| ExplorerError::UnknownGraph(name.clone()))?;
-        let g = &entry.graph;
+        let name = self.resolved_owned(graph)?;
+        let gate = self.write_gate(&name);
+        let _writing = gate.lock().unwrap_or_else(|p| p.into_inner());
+        let snap = self.snapshot(Some(&name))?;
+        let g = &snap.graph;
         for &(u, v) in add.iter().chain(remove) {
             g.check_vertex(u)?;
             g.check_vertex(v)?;
@@ -444,9 +733,17 @@ impl Engine {
             b.add_edge(u, v);
         }
         let new_graph = b.try_build()?;
-        entry.tree = ClTree::build(&new_graph);
-        entry.graph = new_graph;
-        entry.generation = generation;
+        let tree = ClTree::build(&new_graph);
+        let generation = self.reserve_generation(&name);
+        // Edits touch edges only, so profiles and coordinates carry over.
+        self.publish(GraphSnapshot::new(
+            name,
+            Arc::new(new_graph),
+            Arc::new(tree),
+            snap.profiles.clone(),
+            snap.coords.clone(),
+            generation,
+        ));
         Ok(())
     }
 
@@ -458,7 +755,8 @@ impl Engine {
         query: &str,
         limit: usize,
     ) -> Result<Vec<(VertexId, String, usize)>, ExplorerError> {
-        let g = self.graph(graph)?;
+        let snap = self.snapshot(graph)?;
+        let g = &snap.graph;
         Ok(g.search_label(query)
             .into_iter()
             .take(limit)
@@ -470,7 +768,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cx_datagen::figure5_graph;
+    use cx_datagen::{figure5_graph, small_collab_graph};
 
     fn engine() -> Engine {
         Engine::with_graph("fig5", figure5_graph())
@@ -485,7 +783,7 @@ mod tests {
         }
         assert_eq!(e.cd_names(), vec!["codicil", "louvain", "girvan-newman"]);
         assert_eq!(e.graph_names(), vec!["fig5"]);
-        assert_eq!(e.default_graph_name(), Some("fig5"));
+        assert_eq!(e.default_graph_name().as_deref(), Some("fig5"));
     }
 
     #[test]
@@ -504,8 +802,8 @@ mod tests {
         let e = engine();
         let out = e.search("codicil", &QuerySpec::by_label("A")).unwrap();
         assert_eq!(out.len(), 1);
-        let g = e.graph(None).unwrap();
-        assert!(out[0].contains(g.vertex_by_label("A").unwrap()));
+        let snap = e.snapshot(None).unwrap();
+        assert!(out[0].contains(snap.vertex_by_label("A").unwrap()));
     }
 
     #[test]
@@ -529,6 +827,7 @@ mod tests {
             empty.search("acq", &QuerySpec::by_label("A")),
             Err(ExplorerError::NoGraph)
         ));
+        assert!(matches!(empty.snapshot(None), Err(ExplorerError::NoGraph)));
     }
 
     #[test]
@@ -543,8 +842,8 @@ mod tests {
     fn analyze_and_display_roundtrip() {
         let e = engine();
         let out = e.search("acq", &QuerySpec::by_label("A").k(2)).unwrap();
-        let g = e.graph(None).unwrap();
-        let a = g.vertex_by_label("A").unwrap();
+        let snap = e.snapshot(None).unwrap();
+        let a = snap.vertex_by_label("A").unwrap();
         let report = e.analyze(None, &out, a).unwrap();
         assert!(report.cpj > 0.5);
         assert!(report.cmf > 0.5);
@@ -557,9 +856,8 @@ mod tests {
 
     #[test]
     fn profiles_store_and_fetch() {
-        let mut e = engine();
-        let g = e.graph(None).unwrap();
-        let a = g.vertex_by_label("A").unwrap();
+        let e = engine();
+        let a = e.snapshot(None).unwrap().vertex_by_label("A").unwrap();
         let p = Profile {
             name: "A".into(),
             areas: vec!["Computer science".into()],
@@ -567,7 +865,7 @@ mod tests {
             interests: vec!["databases".into()],
         };
         e.set_profiles(None, [(a, p.clone())]).unwrap();
-        assert_eq!(e.profile(None, a).unwrap(), Some(&p));
+        assert_eq!(e.profile(None, a).unwrap(), Some(p));
         assert_eq!(e.profile(None, VertexId(3)).unwrap(), None);
     }
 
@@ -611,20 +909,142 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("tiny.graph");
         cx_graph::io::save_text_file(&figure5_graph(), &path).unwrap();
-        let mut e = Engine::new();
+        let e = Engine::new();
         e.upload("uploaded", &path).unwrap();
-        assert_eq!(e.graph(None).unwrap().vertex_count(), 10);
+        assert_eq!(e.snapshot(None).unwrap().vertex_count(), 10);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn set_default_graph_switches() {
-        let mut e = engine();
+        let e = engine();
         e.add_graph("second", cx_datagen::small_collab_graph());
-        assert_eq!(e.default_graph_name(), Some("fig5"));
+        assert_eq!(e.default_graph_name().as_deref(), Some("fig5"));
         e.set_default_graph("second").unwrap();
-        assert_eq!(e.graph(None).unwrap().vertex_count(), 16);
+        assert_eq!(e.snapshot(None).unwrap().vertex_count(), 16);
         assert!(e.set_default_graph("ghost").is_err());
+    }
+
+    #[test]
+    fn remove_graph_reassigns_default() {
+        let e = engine();
+        e.add_graph("collab", small_collab_graph());
+        assert_eq!(e.default_graph_name().as_deref(), Some("fig5"));
+        e.remove_graph("fig5").unwrap();
+        assert_eq!(e.default_graph_name().as_deref(), Some("collab"));
+        assert_eq!(e.graph_names(), vec!["collab"]);
+        assert!(matches!(e.remove_graph("fig5"), Err(ExplorerError::UnknownGraph(_))));
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use cx_datagen::figure5_graph;
+
+    #[test]
+    fn generations_are_per_graph_and_monotone() {
+        let e = Engine::with_graph("a", figure5_graph());
+        e.add_graph("b", figure5_graph());
+        // Per-graph counters: both start at 1, not 1 and 2.
+        assert_eq!(e.snapshot(Some("a")).unwrap().generation, 1);
+        assert_eq!(e.snapshot(Some("b")).unwrap().generation, 1);
+
+        let a_before = e.snapshot(Some("a")).unwrap();
+        let gb = e.snapshot(Some("b")).unwrap();
+        let (u, v) = (gb.vertex_by_label("A").unwrap(), gb.vertex_by_label("B").unwrap());
+        e.apply_edits(Some("b"), &[], &[(u, v)]).unwrap();
+
+        assert_eq!(e.snapshot(Some("b")).unwrap().generation, 2);
+        let a_after = e.snapshot(Some("a")).unwrap();
+        assert!(Arc::ptr_eq(&a_before, &a_after), "editing b must not republish a");
+        assert_eq!(a_after.generation, 1);
+
+        // Removal + re-add continues the counter — it never resets, so
+        // old cache keys can never be resurrected.
+        e.remove_graph("b").unwrap();
+        e.add_graph("b", figure5_graph());
+        assert_eq!(e.snapshot(Some("b")).unwrap().generation, 3);
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_edits() {
+        let e = Engine::with_graph("fig5", figure5_graph());
+        let old = e.snapshot(None).unwrap();
+        let (a, b) = (old.vertex_by_label("A").unwrap(), old.vertex_by_label("B").unwrap());
+        e.apply_edits(None, &[], &[(a, b)]).unwrap();
+
+        // The pinned reader still sees the pre-edit world, index included.
+        assert_eq!(old.edge_count(), 11);
+        assert_eq!(old.tree.max_core(), 3);
+        let out = e.search_snapshot(&old, "global", &QuerySpec::by_id(a).k(3)).unwrap();
+        assert_eq!(out[0].len(), 4, "K4 intact in the pinned snapshot");
+
+        // New requests see the new world.
+        let new = e.snapshot(None).unwrap();
+        assert_eq!(new.edge_count(), 10);
+        assert_eq!(new.tree.max_core(), 2);
+        assert!(new.generation > old.generation);
+    }
+
+    #[test]
+    fn registry_index_lists_without_cloning_snapshots() {
+        let e = Engine::with_graph("fig5", figure5_graph());
+        e.add_graph("zz", figure5_graph());
+        let idx = e.registry_index();
+        assert_eq!(idx.default_graph.as_deref(), Some("fig5"));
+        assert_eq!(idx.graphs.len(), 2);
+        assert_eq!(idx.graphs[0].name, "fig5");
+        assert!(idx.graphs[0].is_default);
+        assert_eq!(idx.graphs[0].vertices, 10);
+        assert_eq!(idx.graphs[0].edges, 11);
+        assert_eq!(idx.graphs[0].generation, 1);
+        assert_eq!(idx.graphs[1].name, "zz");
+        assert!(!idx.graphs[1].is_default);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_stay_consistent() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let e = Arc::new(Engine::with_graph("fig5", figure5_graph()));
+        let snap = e.snapshot(None).unwrap();
+        let (a, b) = (snap.vertex_by_label("A").unwrap(), snap.vertex_by_label("B").unwrap());
+        drop(snap);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let e = Arc::clone(&e);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last_gen = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let s = e.snapshot(None).unwrap();
+                        assert!(s.generation >= last_gen, "generation went backwards");
+                        last_gen = s.generation;
+                        // A snapshot is internally consistent: edge count
+                        // and index agree (A-B present ⇔ 3-core exists).
+                        let has_ab = s.neighbors(a).contains(&b);
+                        assert_eq!(s.tree.max_core(), if has_ab { 3 } else { 2 });
+                        assert_eq!(s.edge_count(), if has_ab { 11 } else { 10 });
+                    }
+                })
+            })
+            .collect();
+
+        for i in 0..20 {
+            if i % 2 == 0 {
+                e.apply_edits(None, &[], &[(a, b)]).unwrap();
+            } else {
+                e.apply_edits(None, &[(a, b)], &[]).unwrap();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(e.snapshot(None).unwrap().generation, 21);
     }
 }
 
@@ -679,7 +1099,7 @@ mod cache_tests {
     #[test]
     fn label_and_id_queries_share_a_slot() {
         let (e, calls) = counting_engine();
-        let a = e.graph(None).unwrap().vertex_by_label("A").unwrap();
+        let a = e.snapshot(None).unwrap().vertex_by_label("A").unwrap();
         e.search("counting", &QuerySpec::by_label("A").k(2)).unwrap();
         e.search("counting", &QuerySpec::by_id(a).k(2)).unwrap();
         assert_eq!(calls.load(Ordering::SeqCst), 1, "keys use resolved vertex ids");
@@ -697,7 +1117,7 @@ mod cache_tests {
 
     #[test]
     fn replacing_the_graph_invalidates() {
-        let (mut e, calls) = counting_engine();
+        let (e, calls) = counting_engine();
         let spec = QuerySpec::by_label("A").k(2);
         e.search("counting", &spec).unwrap();
         // Re-adding under the same name bumps the generation.
@@ -712,7 +1132,7 @@ mod cache_tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("fig5.graph");
         cx_graph::io::save_text_file(&figure5_graph(), &path).unwrap();
-        let (mut e, calls) = counting_engine();
+        let (e, calls) = counting_engine();
         let spec = QuerySpec::by_label("A").k(2);
         e.search("counting", &spec).unwrap();
         e.upload("fig5", &path).unwrap();
@@ -723,14 +1143,29 @@ mod cache_tests {
 
     #[test]
     fn edits_invalidate_only_by_generation() {
-        let (mut e, calls) = counting_engine();
+        let (e, calls) = counting_engine();
         let spec = QuerySpec::by_label("A").k(2);
         e.search("counting", &spec).unwrap();
-        let g = e.graph(None).unwrap();
-        let (a, b) = (g.vertex_by_label("A").unwrap(), g.vertex_by_label("B").unwrap());
+        let snap = e.snapshot(None).unwrap();
+        let (a, b) = (snap.vertex_by_label("A").unwrap(), snap.vertex_by_label("B").unwrap());
         e.apply_edits(None, &[], &[(a, b)]).unwrap();
         e.search("counting", &spec).unwrap();
         assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn editing_one_graph_spares_the_others_cache() {
+        let (e, calls) = counting_engine();
+        e.add_graph("other", small_collab_graph());
+        let spec = QuerySpec::by_id(VertexId(0)).k(2);
+        e.search_on(Some("other"), "counting", &spec).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        // Edit fig5: other's generation and cache entries are untouched.
+        let snap = e.snapshot(Some("fig5")).unwrap();
+        let (a, b) = (snap.vertex_by_label("A").unwrap(), snap.vertex_by_label("B").unwrap());
+        e.apply_edits(Some("fig5"), &[], &[(a, b)]).unwrap();
+        e.search_on(Some("other"), "counting", &spec).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "other graph's cache survives fig5's edit");
     }
 
     #[test]
@@ -747,25 +1182,39 @@ mod cache_tests {
     }
 
     #[test]
-    fn lru_eviction_at_capacity() {
+    fn lru_eviction_at_capacity_one() {
+        // Capacity 1 → a single shard with exact LRU semantics.
+        let (e, calls) = counting_engine();
+        e.set_cache_capacity(1);
+        let qa = QuerySpec::by_label("A").k(2);
+        let qb = QuerySpec::by_label("B").k(2);
+        e.search("counting", &qa).unwrap(); // {A}
+        e.search("counting", &qa).unwrap(); // hit
+        e.search("counting", &qb).unwrap(); // evicts A → {B}
+        e.search("counting", &qa).unwrap(); // miss → recompute
+        assert_eq!(e.cache_stats().len, 1);
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "A, B, then A again");
+    }
+
+    #[test]
+    fn capacity_bounds_hold_across_shards() {
         let (e, calls) = counting_engine();
         e.set_cache_capacity(2);
         let qa = QuerySpec::by_label("A").k(2);
         let qb = QuerySpec::by_label("B").k(2);
         let qc = QuerySpec::by_label("C").k(2);
-        e.search("counting", &qa).unwrap(); // {A}
-        e.search("counting", &qb).unwrap(); // {A, B}
-        e.search("counting", &qa).unwrap(); // hit; B is now LRU
-        e.search("counting", &qc).unwrap(); // evicts B → {A, C}
-        assert_eq!(e.cache_stats().len, 2);
-        e.search("counting", &qa).unwrap(); // hit
-        e.search("counting", &qb).unwrap(); // miss (evicted) → recompute
-        assert_eq!(calls.load(Ordering::SeqCst), 4, "A, B, C, then B again");
+        e.search("counting", &qa).unwrap();
+        e.search("counting", &qb).unwrap();
+        e.search("counting", &qc).unwrap();
+        assert!(e.cache_stats().len <= 2, "total occupancy bounded by capacity");
+        // The most recent insert is still resident in its shard.
+        e.search("counting", &qc).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "C was just inserted: must hit");
     }
 
     #[test]
     fn detect_results_are_cached_per_graph() {
-        let mut e = Engine::with_graph("fig5", figure5_graph());
+        let e = Engine::with_graph("fig5", figure5_graph());
         e.add_graph("collab", small_collab_graph());
         let a = e.detect_on(Some("fig5"), "louvain").unwrap();
         let before = e.cache_stats();
@@ -795,22 +1244,22 @@ mod edit_tests {
 
     #[test]
     fn adding_edges_grows_the_core() {
-        let mut e = Engine::with_graph("fig5", figure5_graph());
-        let g = e.graph(None).unwrap();
+        let e = Engine::with_graph("fig5", figure5_graph());
+        let snap = e.snapshot(None).unwrap();
         let (ee, f, gg) = (
-            g.vertex_by_label("E").unwrap(),
-            g.vertex_by_label("F").unwrap(),
-            g.vertex_by_label("G").unwrap(),
+            snap.vertex_by_label("E").unwrap(),
+            snap.vertex_by_label("F").unwrap(),
+            snap.vertex_by_label("G").unwrap(),
         );
         // Before: E is in the 2-core, F and G are only 1-core.
-        assert_eq!(e.tree(None).unwrap().core(f), 1);
+        assert_eq!(snap.tree.core(f), 1);
         // Close the E-F-G triangle fully against the K4: G-E edge already
         // exists? No — add G-E and F-C to densify.
-        let c = e.graph(None).unwrap().vertex_by_label("C").unwrap();
+        let c = snap.vertex_by_label("C").unwrap();
         e.apply_edits(None, &[(gg, ee), (f, c)], &[]).unwrap();
-        let tree = e.tree(None).unwrap();
-        assert!(tree.core(f) >= 2, "F core {} after densifying", tree.core(f));
-        assert!(tree.core(gg) >= 2);
+        let snap = e.snapshot(None).unwrap();
+        assert!(snap.tree.core(f) >= 2, "F core {} after densifying", snap.tree.core(f));
+        assert!(snap.tree.core(gg) >= 2);
         // Queries run against the updated graph.
         let out = e.search("acq", &QuerySpec::by_label("A").k(2)).unwrap();
         assert!(!out.is_empty());
@@ -818,21 +1267,21 @@ mod edit_tests {
 
     #[test]
     fn removing_edges_shrinks_the_core() {
-        let mut e = Engine::with_graph("fig5", figure5_graph());
-        let g = e.graph(None).unwrap();
-        let (a, b) = (g.vertex_by_label("A").unwrap(), g.vertex_by_label("B").unwrap());
+        let e = Engine::with_graph("fig5", figure5_graph());
+        let snap = e.snapshot(None).unwrap();
+        let (a, b) = (snap.vertex_by_label("A").unwrap(), snap.vertex_by_label("B").unwrap());
         e.apply_edits(None, &[], &[(a, b)]).unwrap();
         // K4 minus an edge: cores drop from 3 to 2.
-        let tree = e.tree(None).unwrap();
-        assert_eq!(tree.core(a), 2);
-        assert_eq!(tree.max_core(), 2);
-        assert_eq!(e.graph(None).unwrap().edge_count(), 10);
+        let snap = e.snapshot(None).unwrap();
+        assert_eq!(snap.tree.core(a), 2);
+        assert_eq!(snap.tree.max_core(), 2);
+        assert_eq!(snap.edge_count(), 10);
     }
 
     #[test]
     fn edits_validate_vertices_and_keep_profiles() {
-        let mut e = Engine::with_graph("fig5", figure5_graph());
-        let a = e.graph(None).unwrap().vertex_by_label("A").unwrap();
+        let e = Engine::with_graph("fig5", figure5_graph());
+        let a = e.snapshot(None).unwrap().vertex_by_label("A").unwrap();
         e.set_profiles(
             None,
             [(a, Profile {
@@ -844,7 +1293,7 @@ mod edit_tests {
         )
         .unwrap();
         assert!(e.apply_edits(None, &[(a, VertexId(99))], &[]).is_err());
-        let b = e.graph(None).unwrap().vertex_by_label("B").unwrap();
+        let b = e.snapshot(None).unwrap().vertex_by_label("B").unwrap();
         e.apply_edits(None, &[], &[(a, b)]).unwrap();
         // Profile survives the rebuild.
         assert!(e.profile(None, a).unwrap().is_some());
@@ -859,7 +1308,7 @@ mod spatial_tests {
 
     #[test]
     fn sac_requires_coordinates() {
-        let mut e = Engine::with_graph("fig5", figure5_graph());
+        let e = Engine::with_graph("fig5", figure5_graph());
         // Without coordinates the sac algorithm returns nothing.
         let none = e.search("sac", &QuerySpec::by_label("A").k(2)).unwrap();
         assert!(none.is_empty());
@@ -870,8 +1319,8 @@ mod spatial_tests {
         ));
         // With coordinates the query answers: put the K4 near A and the
         // rest far away; the spatial community is the K4.
-        let g = e.graph(None).unwrap();
-        let coords: Vec<(f64, f64)> = g
+        let snap = e.snapshot(None).unwrap();
+        let coords: Vec<(f64, f64)> = snap
             .vertices()
             .map(|v| if v.0 <= 3 { (v.0 as f64, 0.0) } else { (1000.0 + v.0 as f64, 0.0) })
             .collect();
@@ -882,8 +1331,8 @@ mod spatial_tests {
         // (the K4 minus its farthest vertex) — strictly tighter than the
         // full K4, and far from the distant vertices.
         assert_eq!(out[0].len(), 3);
-        let g = e.graph(None).unwrap();
-        assert!(out[0].vertices().iter().all(|&v| v.0 <= 3), "{:?}", out[0].labels(g));
+        let snap = e.snapshot(None).unwrap();
+        assert!(out[0].vertices().iter().all(|&v| v.0 <= 3), "{:?}", out[0].labels(&snap.graph));
         assert!(matches!(
             e.set_coordinates(Some("ghost"), vec![]),
             Err(ExplorerError::UnknownGraph(_))
@@ -896,17 +1345,23 @@ impl Engine {
     /// (`<name>.graph.bin` + `<name>.index.bin`) — the offline side of
     /// Figure 3's Indexing box. Graph names must be filesystem-safe
     /// (alphanumeric, `-`, `_`). Profiles and coordinates are runtime
-    /// state and are not persisted.
+    /// state and are not persisted. Snapshot Arcs are collected under one
+    /// brief registry lock; the file writes run off-lock.
     pub fn save_dir(&self, dir: &Path) -> Result<(), ExplorerError> {
         std::fs::create_dir_all(dir).map_err(cx_graph::GraphError::from)?;
-        for (name, entry) in &self.graphs {
+        let snaps: Vec<Arc<GraphSnapshot>> = {
+            let r = self.registry();
+            r.snapshots.values().cloned().collect()
+        };
+        for snap in snaps {
+            let name = snap.name();
             if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
                 return Err(ExplorerError::BadQuery(format!(
                     "graph name {name:?} is not filesystem-safe"
                 )));
             }
-            cx_graph::io::save_snapshot_file(&entry.graph, dir.join(format!("{name}.graph.bin")))?;
-            entry.tree.save_snapshot_file(dir.join(format!("{name}.index.bin")))?;
+            cx_graph::io::save_snapshot_file(&snap.graph, dir.join(format!("{name}.graph.bin")))?;
+            snap.tree.save_snapshot_file(dir.join(format!("{name}.index.bin")))?;
         }
         Ok(())
     }
@@ -915,7 +1370,7 @@ impl Engine {
     /// present and valid — otherwise the index is rebuilt) from `dir`
     /// into a fresh engine with the built-in algorithms.
     pub fn load_dir(dir: &Path) -> Result<Engine, ExplorerError> {
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let mut names: Vec<String> = Vec::new();
         for entry in std::fs::read_dir(dir).map_err(cx_graph::GraphError::from)? {
             let entry = entry.map_err(cx_graph::GraphError::from)?;
@@ -933,14 +1388,15 @@ impl Engine {
                     .unwrap_or_else(|_| ClTree::build(&graph)),
                 Err(_) => ClTree::build(&graph),
             };
-            let generation = engine.fresh_generation();
-            engine.graphs.insert(
-                name.clone(),
-                GraphEntry { graph, tree, profiles: HashMap::new(), coords: None, generation },
-            );
-            if engine.default_graph.is_none() {
-                engine.default_graph = Some(name);
-            }
+            let generation = engine.reserve_generation(&name);
+            engine.publish(GraphSnapshot::new(
+                name,
+                Arc::new(graph),
+                Arc::new(tree),
+                HashMap::new(),
+                None,
+                generation,
+            ));
         }
         Ok(engine)
     }
@@ -956,7 +1412,7 @@ mod persistence_tests {
     fn save_and_load_roundtrip() {
         let dir = std::env::temp_dir().join("cx_engine_persist_test");
         let _ = std::fs::remove_dir_all(&dir);
-        let mut e = Engine::with_graph("fig5", figure5_graph());
+        let e = Engine::with_graph("fig5", figure5_graph());
         e.add_graph("collab", small_collab_graph());
         e.save_dir(&dir).unwrap();
 
@@ -973,7 +1429,7 @@ mod persistence_tests {
     #[test]
     fn unsafe_names_are_rejected() {
         let dir = std::env::temp_dir().join("cx_engine_persist_badname");
-        let mut e = Engine::new();
+        let e = Engine::new();
         e.add_graph("../evil", figure5_graph());
         assert!(matches!(e.save_dir(&dir), Err(ExplorerError::BadQuery(_))));
         let _ = std::fs::remove_dir_all(&dir);

@@ -33,7 +33,7 @@ pub mod report;
 
 pub use api::{CdAlgorithm, CsAlgorithm, GraphContext};
 pub use compare::{ComparisonReport, ComparisonRow};
-pub use engine::{Engine, Profile};
+pub use engine::{Engine, GraphIndexEntry, GraphSnapshot, Profile, RegistryIndex};
 pub use error::ExplorerError;
 pub use query::{QuerySpec, VertexRef};
 pub use report::{AnalysisReport, CommunityReport};

@@ -26,7 +26,7 @@ fn cache_oracle_clean_across_algorithms() {
 /// fresh engine built directly on the edited graph (no stale cache hits).
 #[test]
 fn cache_hits_stay_identical_through_interleaved_edits() {
-    let mut engine = Engine::with_graph("fig5", figure5_graph());
+    let engine = Engine::with_graph("fig5", figure5_graph());
     let spec = QuerySpec::by_label("A").k(2);
 
     // Edits: remove an edge of the K4, then add it back, then remove a

@@ -13,12 +13,16 @@
 //!   request/response types that are fully testable without sockets;
 //! * [`routes`] — the REST API (`/api/v1/search`, `/api/v1/compare`,
 //!   `/api/v1/detect`, `/api/v1/profile`, `/api/v1/suggest`,
-//!   `/api/v1/graphs`, `/api/v1/upload`, …) over an
-//!   [`cx_explorer::Engine`] behind a `std::sync::RwLock`. v1 responses
-//!   use a uniform JSON envelope with typed error codes; the unversioned
-//!   `/api/*` paths remain as deprecated thin aliases. Operational
-//!   endpoints: `GET /metrics` (Prometheus text from `cx-obs`),
-//!   `GET /healthz`, `GET /api/v1/trace` (per-request span trees);
+//!   `/api/v1/graphs`, `/api/v1/upload`, …) over a shared
+//!   [`cx_explorer::Engine`]. The engine needs no outer lock: read
+//!   handlers pin an immutable graph snapshot (`Engine::snapshot`) and run
+//!   lock-free; write handlers (`/api/v1/edit`, `/upload`) build the next
+//!   snapshot off-lock and publish it atomically, so edits never block
+//!   concurrent searches. v1 responses use a uniform JSON envelope with
+//!   typed error codes; the unversioned `/api/*` paths remain as
+//!   deprecated thin aliases. Operational endpoints: `GET /metrics`
+//!   (Prometheus text from `cx-obs`), `GET /healthz`,
+//!   `GET /api/v1/trace` (per-request span trees);
 //! * [`ui`] — the embedded single-page browser UI (left panel: name box,
 //!   degree constraint, keyword chips; right panel: the community drawn on
 //!   a canvas), mirroring Figure 1.
@@ -37,22 +41,22 @@ pub mod ui;
 pub use http::{Request, Response};
 pub use json::Json;
 
-use std::sync::RwLock;
 use std::sync::Arc;
 
-/// The C-Explorer web server: an engine behind a lock plus the HTTP loop.
+/// The C-Explorer web server: a shared snapshot engine plus the HTTP loop.
 pub struct Server {
-    engine: Arc<RwLock<cx_explorer::Engine>>,
+    engine: Arc<cx_explorer::Engine>,
 }
 
 impl Server {
     /// Wraps an engine for serving.
     pub fn new(engine: cx_explorer::Engine) -> Self {
-        Self { engine: Arc::new(RwLock::new(engine)) }
+        Self { engine: Arc::new(engine) }
     }
 
-    /// Shared handle to the engine (e.g. to add graphs while serving).
-    pub fn engine(&self) -> Arc<RwLock<cx_explorer::Engine>> {
+    /// Shared handle to the engine (e.g. to add graphs while serving —
+    /// all mutation goes through `&self` snapshot-publishing methods).
+    pub fn engine(&self) -> Arc<cx_explorer::Engine> {
         Arc::clone(&self.engine)
     }
 

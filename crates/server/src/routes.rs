@@ -13,20 +13,29 @@
 //!   `code` field); every legacy response carries a `Deprecation: true`
 //!   header.
 //!
+//! Concurrency: the engine is shared as a plain `&Engine` — no request
+//! ever takes a server-wide lock. Read handlers pin one immutable
+//! [`cx_explorer::GraphSnapshot`] up front and serve the entire response
+//! from it, so every field of a response (counts, communities, layout,
+//! generation) is consistent with exactly one published graph version
+//! even while edits land concurrently. Write handlers (`edit`, `upload`)
+//! publish a new snapshot atomically; in-flight readers are unaffected.
+//!
 //! Outside the API there are three operational endpoints: `GET /metrics`
 //! (Prometheus text exposition of the `cx-obs` registry), `GET /healthz`
-//! (liveness + graph-loaded readiness) and `GET /api/v1/trace` (the span
-//! tree recorded for a recent request id).
+//! (liveness + graph-loaded readiness, served from the O(1) registry
+//! index) and `GET /api/v1/trace` (the span tree recorded for a recent
+//! request id).
 //!
 //! [`route`] is the instrumented chokepoint: it assigns the request id,
 //! records the request trace and the `cx_http_*` metrics, and stamps
 //! `X-Request-Id` on every response. HTTP counters are bumped *after*
 //! dispatch so a `/metrics` scrape never counts itself in its own body.
 
-use std::sync::RwLock;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
-use cx_explorer::{Engine, ExplorerError, QuerySpec};
+use cx_explorer::{Engine, ExplorerError, GraphSnapshot, QuerySpec};
 use cx_graph::{Community, VertexId};
 use cx_layout::LayoutAlgorithm;
 
@@ -143,7 +152,7 @@ type Handler = Result<Payload, ApiError>;
 
 /// Dispatches one request. This is the instrumented chokepoint described
 /// in the module docs.
-pub fn route(engine: &RwLock<Engine>, req: &Request) -> Response {
+pub fn route(engine: &Engine, req: &Request) -> Response {
     let t0 = Instant::now();
     let request_id = cx_obs::trace::next_request_id();
     let mut resp = {
@@ -166,7 +175,7 @@ pub fn route(engine: &RwLock<Engine>, req: &Request) -> Response {
     resp
 }
 
-fn dispatch(engine: &RwLock<Engine>, req: &Request, request_id: &str, t0: Instant) -> Response {
+fn dispatch(engine: &Engine, req: &Request, request_id: &str, t0: Instant) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/") | ("GET", "/index.html") => return Response::html(crate::ui::INDEX_HTML),
         ("GET", "/metrics") => return metrics_text(),
@@ -300,14 +309,14 @@ fn metrics_text() -> Response {
 }
 
 /// GET /healthz — liveness (the process answers) plus readiness
-/// (a graph is loaded and queryable).
-fn healthz(engine: &RwLock<Engine>) -> Response {
-    let e = read_engine(engine);
-    let graphs = e.graph_names().len();
+/// (a graph is loaded and queryable). Served entirely from the O(1)
+/// registry index: no snapshot is cloned, no graph data touched.
+fn healthz(engine: &Engine) -> Response {
+    let idx = engine.registry_index();
     Response::json(&Json::obj([
         ("status", Json::str("ok")),
-        ("graph_loaded", Json::Bool(graphs > 0)),
-        ("graphs", Json::num(graphs as f64)),
+        ("graph_loaded", Json::Bool(!idx.graphs.is_empty())),
+        ("graphs", Json::num(idx.graphs.len() as f64)),
         ("traces", Json::num(cx_obs::trace::trace_count() as f64)),
     ]))
 }
@@ -360,19 +369,6 @@ fn span_tree(spans: &[cx_obs::trace::SpanRecord]) -> Json {
     Json::arr(roots.into_iter().map(|r| node(spans, &children, r)))
 }
 
-/// Acquires the engine read lock, recovering from poisoning: a panic in
-/// one request handler must not turn every later request into a 500.
-/// Engine state is rebuilt-on-write (never left half-updated across an
-/// unwind), so the inner value is safe to keep using.
-fn read_engine(engine: &RwLock<Engine>) -> std::sync::RwLockReadGuard<'_, Engine> {
-    engine.read().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
-/// Write-lock counterpart of [`read_engine`].
-fn write_engine(engine: &RwLock<Engine>) -> std::sync::RwLockWriteGuard<'_, Engine> {
-    engine.write().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
 /// Resolves `limit`/`offset` pagination parameters with bounded defaults:
 /// unparseable values fall back to the default (matching the API's
 /// historical leniency), and `limit` is clamped to `1..=max_limit`.
@@ -382,26 +378,34 @@ fn page_params(req: &Request, default_limit: usize, max_limit: usize) -> (usize,
     (limit, offset)
 }
 
-fn graphs(engine: &RwLock<Engine>) -> Handler {
-    let e = read_engine(engine);
-    let graphs = Json::arr(e.graph_names().iter().map(|n| Json::str(*n)));
-    let cs = Json::arr(e.cs_names().iter().map(|n| Json::str(*n)));
-    let cd = Json::arr(e.cd_names().iter().map(|n| Json::str(*n)));
-    let default = e.default_graph_name().map(Json::str).unwrap_or(Json::Null);
+/// GET /api/graphs — the registry directory. Served from the O(1) index
+/// (never clones a snapshot); `generations` maps each graph to its
+/// currently published generation so clients can detect content changes.
+fn graphs(engine: &Engine) -> Handler {
+    let idx = engine.registry_index();
+    let graphs = Json::arr(idx.graphs.iter().map(|g| Json::str(g.name.clone())));
+    let generations: BTreeMap<String, Json> = idx
+        .graphs
+        .iter()
+        .map(|g| (g.name.clone(), Json::num(g.generation as f64)))
+        .collect();
+    let cs = Json::arr(engine.cs_names().iter().map(|n| Json::str(*n)));
+    let cd = Json::arr(engine.cd_names().iter().map(|n| Json::str(*n)));
+    let default = idx.default_graph.map(Json::str).unwrap_or(Json::Null);
     Ok(Payload::Data(Json::obj([
         ("graphs", graphs),
         ("cs_algorithms", cs),
         ("cd_algorithms", cd),
         ("default_graph", default),
+        ("generations", Json::Object(generations)),
     ])))
 }
 
-fn stats(engine: &RwLock<Engine>, req: &Request) -> Handler {
-    let e = read_engine(engine);
-    let g = e.graph(req.param("graph"))?;
-    let s = cx_graph::stats::GraphStats::compute(g);
-    let tree = e.tree(req.param("graph"))?;
-    let cache = e.cache_stats();
+fn stats(engine: &Engine, req: &Request) -> Handler {
+    let snap = engine.snapshot(req.param("graph"))?;
+    let s = cx_graph::stats::GraphStats::compute(&snap.graph);
+    let tree = &snap.tree;
+    let cache = engine.cache_stats();
     Ok(Payload::Data(Json::obj([
         ("vertices", Json::num(s.vertices as f64)),
         ("edges", Json::num(s.edges as f64)),
@@ -413,6 +417,7 @@ fn stats(engine: &RwLock<Engine>, req: &Request) -> Handler {
         ("degeneracy", Json::num(tree.max_core() as f64)),
         ("index_nodes", Json::num(tree.node_count() as f64)),
         ("index_bytes", Json::num(tree.memory_bytes() as f64)),
+        ("generation", Json::num(snap.generation as f64)),
         (
             "query_cache",
             Json::obj([
@@ -426,7 +431,11 @@ fn stats(engine: &RwLock<Engine>, req: &Request) -> Handler {
 }
 
 /// POST /api/edit?graph=g — body: JSON `{"add": [[u,v],…], "remove": [[u,v],…]}`.
-fn edit(engine: &RwLock<Engine>, req: &Request) -> Handler {
+///
+/// Read-non-blocking: the new graph and CL-tree are built off-lock and
+/// published as a fresh snapshot; concurrent searches keep answering from
+/// the previous snapshot throughout.
+fn edit(engine: &Engine, req: &Request) -> Handler {
     let body = std::str::from_utf8(&req.body)
         .map_err(|_| ApiError::bad_json("body must be UTF-8 JSON"))?;
     let v = Json::parse(body).map_err(|e| ApiError::bad_json(format!("bad JSON: {e}")))?;
@@ -451,21 +460,20 @@ fn edit(engine: &RwLock<Engine>, req: &Request) -> Handler {
     };
     let add = pairs("add")?;
     let remove = pairs("remove")?;
-    let mut e = write_engine(engine);
-    e.apply_edits(req.param("graph"), &add, &remove)?;
-    let g = e.graph(req.param("graph"))?;
+    engine.apply_edits(req.param("graph"), &add, &remove)?;
+    let snap = engine.snapshot(req.param("graph"))?;
     Ok(Payload::Data(Json::obj([
         ("ok", Json::Bool(true)),
-        ("vertices", Json::num(g.vertex_count() as f64)),
-        ("edges", Json::num(g.edge_count() as f64)),
+        ("vertices", Json::num(snap.graph.vertex_count() as f64)),
+        ("edges", Json::num(snap.graph.edge_count() as f64)),
+        ("generation", Json::num(snap.generation as f64)),
     ])))
 }
 
-fn suggest(engine: &RwLock<Engine>, req: &Request) -> Handler {
-    let e = read_engine(engine);
+fn suggest(engine: &Engine, req: &Request) -> Handler {
     let q = req.param("q").unwrap_or("");
     let (limit, offset) = page_params(req, 8, 100);
-    let hits = e.suggest(req.param("graph"), q, offset.saturating_add(limit))?;
+    let hits = engine.suggest(req.param("graph"), q, offset.saturating_add(limit))?;
     Ok(Payload::Data(Json::arr(hits.into_iter().skip(offset).map(
         |(v, label, degree)| {
             Json::obj([
@@ -514,19 +522,17 @@ fn layout_from(req: &Request) -> LayoutAlgorithm {
 
 fn community_json(
     e: &Engine,
-    graph: Option<&str>,
-    g: &cx_graph::AttributedGraph,
+    snap: &GraphSnapshot,
     c: &Community,
     layout: LayoutAlgorithm,
     highlight: Option<VertexId>,
 ) -> Json {
-    // The scene is decorative; if layout or serialization fails (e.g.
-    // degenerate coordinates), degrade to `scene: null` rather than
-    // failing the whole response.
-    let scene = e
-        .display(graph, c, layout, highlight)
+    let g = &*snap.graph;
+    // The scene is decorative; if serialization fails (e.g. degenerate
+    // coordinates), degrade to `scene: null` rather than failing the
+    // whole response.
+    let scene = Json::parse(&e.display_snapshot(snap, c, layout, highlight).to_json())
         .ok()
-        .and_then(|scene| Json::parse(&scene.to_json()).ok())
         .unwrap_or(Json::Null);
     let members = Json::arr(c.vertices().iter().map(|&v| {
         Json::obj([
@@ -544,28 +550,29 @@ fn community_json(
     ])
 }
 
-fn search(engine: &RwLock<Engine>, req: &Request) -> Handler {
-    let e = read_engine(engine);
+fn search(engine: &Engine, req: &Request) -> Handler {
     let spec = spec_from(req)?;
-    let graph = req.param("graph");
     let algo = req.param("algo").unwrap_or("acq");
     let layout = layout_from(req);
     let (limit, offset) = page_params(req, 20, 100);
-    let communities = e.search_on(graph, algo, &spec)?;
-    let g = e.graph(graph)?;
+    // One snapshot for the whole request: results, analysis, labels and
+    // the reported generation all describe the same graph version.
+    let snap = engine.snapshot(req.param("graph"))?;
+    let communities = engine.search_snapshot(&snap, algo, &spec)?;
+    let g = &*snap.graph;
     let q = match spec.resolve(g) {
         Ok(qs) if !qs.is_empty() => qs[0],
         Ok(_) => return Err(ApiError::bad_query("query resolved to no vertices")),
         Err(err) => return Err(err.into()),
     };
-    let analysis = e.analyze(graph, &communities, q)?;
+    let analysis = engine.analyze_snapshot(&snap, &communities, q)?;
     let total = communities.len();
     let list = Json::arr(
         communities
             .iter()
             .skip(offset)
             .take(limit)
-            .map(|c| community_json(&e, graph, g, c, layout, Some(q))),
+            .map(|c| community_json(engine, &snap, c, layout, Some(q))),
     );
     Ok(Payload::Data(Json::obj([
         ("query", Json::obj([
@@ -574,6 +581,7 @@ fn search(engine: &RwLock<Engine>, req: &Request) -> Handler {
             ("k", Json::num(spec.k as f64)),
             ("algo", Json::str(algo)),
         ])),
+        ("generation", Json::num(snap.generation as f64)),
         ("communities", list),
         ("total_communities", Json::num(total as f64)),
         ("limit", Json::num(limit as f64)),
@@ -585,34 +593,31 @@ fn search(engine: &RwLock<Engine>, req: &Request) -> Handler {
     ])))
 }
 
-fn svg(engine: &RwLock<Engine>, req: &Request) -> Handler {
-    let e = read_engine(engine);
+fn svg(engine: &Engine, req: &Request) -> Handler {
     let spec = spec_from(req)?;
-    let graph = req.param("graph");
     let algo = req.param("algo").unwrap_or("acq");
     let index = req.param_as::<usize>("index", 0);
-    let communities = e.search_on(graph, algo, &spec)?;
+    let snap = engine.snapshot(req.param("graph"))?;
+    let communities = engine.search_snapshot(&snap, algo, &spec)?;
     let Some(c) = communities.get(index) else {
         return Err(ApiError::not_found("community index out of range"));
     };
-    let g = e.graph(graph)?;
-    let q = match spec.resolve(g) {
+    let q = match spec.resolve(&snap.graph) {
         Ok(qs) if !qs.is_empty() => qs[0],
         Ok(_) => return Err(ApiError::bad_query("query resolved to no vertices")),
         Err(err) => return Err(err.into()),
     };
-    let scene = e.display(graph, c, layout_from(req), Some(q))?;
+    let scene = engine.display_snapshot(&snap, c, layout_from(req), Some(q));
     let scene = scene
         .titled(format!("Method: {algo} — community {} of {}", index + 1, communities.len()));
     Ok(Payload::Raw(Response::svg(scene.to_svg())))
 }
 
-fn compare(engine: &RwLock<Engine>, req: &Request) -> Handler {
-    let e = read_engine(engine);
+fn compare(engine: &Engine, req: &Request) -> Handler {
     let spec = spec_from(req)?;
     let algos_param = req.param("algos").unwrap_or("global,local,codicil,acq");
     let algos: Vec<&str> = algos_param.split(',').filter(|s| !s.is_empty()).collect();
-    let report = e.compare(req.param("graph"), &algos, &spec)?;
+    let report = engine.compare(req.param("graph"), &algos, &spec)?;
     let rows = Json::arr(report.rows.iter().map(|r| {
         Json::obj([
             ("method", Json::str(r.method.clone())),
@@ -635,21 +640,20 @@ fn compare(engine: &RwLock<Engine>, req: &Request) -> Handler {
 }
 
 /// GET /api/chart — the comparison's CPJ/CMF bars as downloadable SVG.
-fn chart(engine: &RwLock<Engine>, req: &Request) -> Handler {
-    let e = read_engine(engine);
+fn chart(engine: &Engine, req: &Request) -> Handler {
     let spec = spec_from(req)?;
     let algos_param = req.param("algos").unwrap_or("global,local,codicil,acq");
     let algos: Vec<&str> = algos_param.split(',').filter(|s| !s.is_empty()).collect();
-    let report = e.compare(req.param("graph"), &algos, &spec)?;
+    let report = engine.compare(req.param("graph"), &algos, &spec)?;
     Ok(Payload::Raw(Response::svg(report.quality_charts_svg())))
 }
 
-fn detect(engine: &RwLock<Engine>, req: &Request) -> Handler {
-    let e = read_engine(engine);
+fn detect(engine: &Engine, req: &Request) -> Handler {
     let algo = req.param("algo").unwrap_or("codicil");
     let limit = req.param_as::<usize>("limit", 20);
-    let communities = e.detect_on(req.param("graph"), algo)?;
-    let g = e.graph(req.param("graph"))?;
+    let snap = engine.snapshot(req.param("graph"))?;
+    let communities = engine.detect_snapshot(&snap, algo)?;
+    let g = &*snap.graph;
     let list = Json::arr(communities.iter().take(limit).map(|c| {
         Json::obj([
             ("size", Json::num(c.len() as f64)),
@@ -664,12 +668,11 @@ fn detect(engine: &RwLock<Engine>, req: &Request) -> Handler {
     ])))
 }
 
-fn profile(engine: &RwLock<Engine>, req: &Request) -> Handler {
-    let e = read_engine(engine);
+fn profile(engine: &Engine, req: &Request) -> Handler {
     let Some(id) = req.param("id").and_then(|s| s.parse::<u32>().ok()) else {
         return Err(ApiError::bad_query("id must be an integer"));
     };
-    match e.profile(req.param("graph"), VertexId(id))? {
+    match engine.profile(req.param("graph"), VertexId(id))? {
         Some(p) => Ok(Payload::Data(Json::obj([
             ("name", Json::str(p.name.clone())),
             ("areas", Json::arr(p.areas.iter().cloned().map(Json::str))),
@@ -680,14 +683,14 @@ fn profile(engine: &RwLock<Engine>, req: &Request) -> Handler {
     }
 }
 
-fn upload(engine: &RwLock<Engine>, req: &Request) -> Handler {
+fn upload(engine: &Engine, req: &Request) -> Handler {
     let Some(name) = req.param("name").map(str::to_owned) else {
         return Err(ApiError::bad_query("missing name parameter"));
     };
     let graph = cx_graph::io::read_text(&mut req.body.as_slice())
         .map_err(|e| ApiError::new(ErrorCode::GraphError, format!("parse failed: {e}")))?;
     let (v, m) = (graph.vertex_count(), graph.edge_count());
-    write_engine(engine).add_graph(&name, graph);
+    engine.add_graph(&name, graph);
     Ok(Payload::Data(Json::obj([
         ("ok", Json::Bool(true)),
         ("graph", Json::str(name)),
@@ -721,6 +724,9 @@ mod tests {
         assert_eq!(v.get("default_graph").and_then(Json::as_str), Some("fig5"));
         let cs = v.get("cs_algorithms").and_then(Json::as_array).unwrap();
         assert!(cs.iter().any(|a| a.as_str() == Some("acq")));
+        // Per-graph generations ride along for cache-busting clients.
+        let gens = v.get("generations").unwrap();
+        assert_eq!(gens.get("fig5").and_then(Json::as_f64), Some(1.0));
     }
 
     #[test]
@@ -748,6 +754,8 @@ mod tests {
         let scene = comms[0].get("scene").unwrap();
         assert_eq!(scene.get("nodes").and_then(Json::as_array).map(|a| a.len()), Some(3));
         assert!(v.get("cpj").and_then(Json::as_f64).unwrap() > 0.0);
+        // The snapshot generation the response was computed against.
+        assert_eq!(v.get("generation").and_then(Json::as_f64), Some(1.0));
         // Pagination metadata rides along.
         assert_eq!(v.get("total_communities").and_then(Json::as_f64), Some(1.0));
         assert_eq!(v.get("limit").and_then(Json::as_f64), Some(20.0));
@@ -869,22 +877,21 @@ mod tests {
         let s = server();
         {
             let engine = s.engine();
-            let mut e = write_engine(&engine);
-            let g = e.graph(None).unwrap();
-            let a = g.vertex_by_label("A").unwrap();
-            e.set_profiles(
-                None,
-                [(
-                    a,
-                    cx_explorer::Profile {
-                        name: "A".into(),
-                        areas: vec!["CS".into()],
-                        institutes: vec!["HKU".into()],
-                        interests: vec!["db".into()],
-                    },
-                )],
-            )
-            .unwrap();
+            let a = engine.snapshot(None).unwrap().vertex_by_label("A").unwrap();
+            engine
+                .set_profiles(
+                    None,
+                    [(
+                        a,
+                        cx_explorer::Profile {
+                            name: "A".into(),
+                            areas: vec!["CS".into()],
+                            institutes: vec!["HKU".into()],
+                            interests: vec!["db".into()],
+                        },
+                    )],
+                )
+                .unwrap();
         }
         let ok = s.handle(&Request::get("/api/profile?id=0"));
         assert_eq!(ok.status, 200);
@@ -949,6 +956,7 @@ mod edit_endpoint_tests {
         assert_eq!(v.get("edges").and_then(Json::as_f64), Some(11.0));
         assert_eq!(v.get("degeneracy").and_then(Json::as_f64), Some(3.0));
         assert_eq!(v.get("index_nodes").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(v.get("generation").and_then(Json::as_f64), Some(1.0));
         assert_eq!(s.handle(&Request::get("/api/stats?graph=nope")).status, 404);
     }
 
@@ -960,6 +968,7 @@ mod edit_endpoint_tests {
         assert_eq!(r.status, 200, "{}", r.text());
         let v = Json::parse(&r.text()).unwrap();
         assert_eq!(v.get("edges").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(v.get("generation").and_then(Json::as_f64), Some(2.0));
         let r = s.handle(&Request::get("/api/stats"));
         let v = Json::parse(&r.text()).unwrap();
         assert_eq!(v.get("degeneracy").and_then(Json::as_f64), Some(2.0));

@@ -1,0 +1,149 @@
+//! Snapshot-consistency stress test over the real HTTP stack: eight
+//! reader threads hammer `/api/v1/stats` and `/api/v1/search` while one
+//! writer thread toggles a K4 edge through `/api/v1/edit`.
+//!
+//! Every response carries the generation of the snapshot it was computed
+//! against, and on the fig5 fixture the generation *determines* the
+//! content: the writer alternates remove/add of edge (0,1) starting from
+//! generation 1 (edge present), so odd generations have 11 edges and a
+//! k=3 community of size 4, and even generations have 10 edges and no
+//! k=3 community. Each reader asserts:
+//!
+//! * every response is internally consistent with exactly one published
+//!   snapshot (content matches the generation's world, never a blend);
+//! * the generation it observes never goes backwards.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use cx_explorer::Engine;
+use cx_server::{Json, Server};
+
+const READERS: usize = 8;
+const READS_PER_READER: usize = 65;
+const EDITS: usize = 30;
+
+fn http_get(port: u16, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+    read_response(stream)
+}
+
+fn http_post(port: u16, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .unwrap();
+    read_response(stream)
+}
+
+fn read_response(mut stream: TcpStream) -> (u16, String) {
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    (status, body)
+}
+
+/// Unwraps a v1 envelope, asserting success, and returns the data member.
+fn data_of(status: u16, body: &str) -> Json {
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(body).unwrap();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{body}");
+    v.get("data").cloned().unwrap()
+}
+
+#[test]
+fn readers_see_single_published_snapshots_while_writer_edits() {
+    let server = Server::new(Engine::with_graph("fig5", cx_datagen::figure5_graph()));
+    let port = server.serve_background().unwrap();
+    let writer_done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut last_gen = 0u64;
+                let mut requests = 0usize;
+                for j in 0..READS_PER_READER {
+                    let gen;
+                    if (i + j) % 2 == 0 {
+                        let (status, body) = http_get(port, "/api/v1/stats");
+                        let d = data_of(status, &body);
+                        gen = d.get("generation").and_then(Json::as_f64).unwrap() as u64;
+                        let edges = d.get("edges").and_then(Json::as_f64).unwrap() as u64;
+                        let expected = if gen % 2 == 1 { 11 } else { 10 };
+                        assert_eq!(
+                            edges, expected,
+                            "generation {gen} must publish exactly {expected} edges"
+                        );
+                    } else {
+                        let (status, body) =
+                            http_get(port, "/api/v1/search?name=A&k=3&algo=acq");
+                        let d = data_of(status, &body);
+                        gen = d.get("generation").and_then(Json::as_f64).unwrap() as u64;
+                        let comms = d.get("communities").and_then(Json::as_array).unwrap();
+                        if gen % 2 == 1 {
+                            assert_eq!(comms.len(), 1, "odd generation: K4 is intact");
+                            assert_eq!(comms[0].get("size").and_then(Json::as_f64), Some(4.0));
+                        } else {
+                            assert!(comms.is_empty(), "even generation: K4 edge removed");
+                        }
+                    }
+                    assert!(
+                        gen >= last_gen,
+                        "reader {i} saw generation go backwards: {last_gen} -> {gen}"
+                    );
+                    last_gen = gen;
+                    requests += 1;
+                }
+                requests
+            })
+        })
+        .collect();
+
+    let writer = {
+        let done = Arc::clone(&writer_done);
+        std::thread::spawn(move || {
+            let mut last_gen = 1u64;
+            let mut requests = 0usize;
+            for i in 0..EDITS {
+                let body = if i % 2 == 0 {
+                    r#"{"remove":[[0,1]]}"#
+                } else {
+                    r#"{"add":[[0,1]]}"#
+                };
+                let (status, resp) = http_post(port, "/api/v1/edit", body);
+                let d = data_of(status, &resp);
+                let gen = d.get("generation").and_then(Json::as_f64).unwrap() as u64;
+                assert!(gen > last_gen, "edit must advance the generation");
+                last_gen = gen;
+                requests += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            done.store(true, Ordering::SeqCst);
+            (last_gen, requests)
+        })
+    };
+
+    let mut total = 0usize;
+    for r in readers {
+        total += r.join().unwrap();
+    }
+    let (final_gen, writes) = writer.join().unwrap();
+    total += writes;
+    assert!(writer_done.load(Ordering::SeqCst));
+    assert!(total >= 500, "stress must push at least 500 requests, did {total}");
+    assert_eq!(final_gen, 1 + EDITS as u64, "every edit published exactly one snapshot");
+
+    // The quiesced server reports the writer's last world.
+    let (status, body) = http_get(port, "/api/v1/stats");
+    let d = data_of(status, &body);
+    assert_eq!(d.get("generation").and_then(Json::as_f64), Some((1 + EDITS) as f64));
+    assert_eq!(d.get("edges").and_then(Json::as_f64), Some(11.0), "EDITS is even: edge restored");
+}

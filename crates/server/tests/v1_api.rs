@@ -216,6 +216,12 @@ fn metrics_expose_http_route_and_span_families() {
         "cx_route_duration_us_bucket{endpoint=\"search\",le=",
         "cx_span_duration_us_bucket{span=\"engine.search\",le=",
         "cx_engine_cache_total{event=\"miss\"}",
+        // The snapshot-engine families: publishes, live versions, and
+        // how long the registry lock is actually held.
+        "cx_snapshot_swap_total",
+        "cx_snapshots_live",
+        "cx_graphs_loaded",
+        "cx_registry_lock_hold_us_count",
     ] {
         assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
     }

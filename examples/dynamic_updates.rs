@@ -50,13 +50,14 @@ fn main() {
 
         // Sanity: the incrementally-maintained core number matches the
         // freshly-built index at every checkpoint.
-        let tree_core = engine.tree(None).unwrap().core(hub);
+        let tree_core = engine.snapshot(None).unwrap().tree.core(hub);
         assert_eq!(dc.core(hub), tree_core, "incremental vs rebuilt core numbers diverged");
 
         let communities = engine
             .search("acq", &QuerySpec::by_label(hub_label.clone()).k(4))
             .unwrap();
-        let g = engine.graph(None).unwrap();
+        let snap = engine.snapshot(None).unwrap();
+        let g = &*snap.graph;
         match communities.first() {
             Some(c) => println!(
                 "after {:>6} edges: core({hub_label}) = {} — {} communit{}, first has {} members, theme {:?}",

@@ -29,18 +29,19 @@ fn main() {
         })
         .collect();
 
-    let mut engine = Engine::with_graph("dblp", graph);
+    let engine = Engine::with_graph("dblp", graph);
     engine.set_profiles(None, records).expect("profiles");
 
     // Step 1 (Figure 1): the user types a name and hits Search.
-    let g = engine.graph(None).unwrap();
+    let snap = engine.snapshot(None).unwrap();
+    let g = &*snap.graph;
     let jim = g.vertices().max_by_key(|&v| g.degree(v)).unwrap();
     let jim_label = g.label(jim).to_owned();
     println!("\n=== Exploration: community of {jim_label} (degree ≥ 4) ===");
     let query = QuerySpec::by_label(jim_label.clone()).k(4);
     let communities = engine.search("acq", &query).expect("search");
     for (i, c) in communities.iter().enumerate() {
-        let g = engine.graph(None).unwrap();
+        let g = &*snap.graph;
         println!(
             "community {}: {} members, theme {:?}",
             i + 1,
@@ -51,7 +52,6 @@ fn main() {
 
     // Step 2 (Figure 2): the user clicks a member's portrait — prefer one
     // of the renowned (profiled) members, like the paper's Stonebraker.
-    let g = engine.graph(None).unwrap();
     let member = *communities[0]
         .vertices()
         .iter()
@@ -77,7 +77,7 @@ fn main() {
     let second = engine.search("acq", &query2).expect("second search");
     match second.first() {
         Some(c) => {
-            let g = engine.graph(None).unwrap();
+            let g = &*snap.graph;
             println!("{} members, theme {:?}", c.len(), c.theme(g));
             let overlap = c.vertex_jaccard(&communities[0]);
             println!("overlap with {jim_label}'s community (Jaccard): {overlap:.2}");

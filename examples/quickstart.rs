@@ -21,7 +21,8 @@ fn main() {
     let query = QuerySpec::by_label("A").k(2).with_keywords(["w", "x", "y"]);
     let communities = engine.search("acq", &query).expect("query failed");
 
-    let g = engine.graph(None).unwrap();
+    let snap = engine.snapshot(None).unwrap();
+    let g = &*snap.graph;
     println!("\nACQ(q=A, k=2, S={{w,x,y}}) returned {} community:", communities.len());
     for c in &communities {
         let members: Vec<&str> = c.vertices().iter().map(|&v| g.label(v)).collect();

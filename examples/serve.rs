@@ -35,7 +35,7 @@ fn main() {
         })
         .collect();
 
-    let mut engine = Engine::with_graph("dblp", graph);
+    let engine = Engine::with_graph("dblp", graph);
     engine.set_profiles(None, records).expect("profiles");
     // The tiny paper graph is uploaded too, so the graph selector has
     // something to switch to.

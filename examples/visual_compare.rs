@@ -21,7 +21,8 @@ fn main() {
             println!("{method}: no community found");
             continue;
         };
-        let g = engine.graph(None).unwrap();
+        let snap = engine.snapshot(None).unwrap();
+        let g = &*snap.graph;
         // Cap the rendering at 150 vertices (the browser zooms; SVG just
         // gets crowded) by shrinking to the query's neighbourhood.
         let scene = engine

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification wrapper: release build, full test suite (at two
 # thread counts, since every parallel helper promises thread-count
-# independence), a par_scaling smoke run, and the cx-check correctness
-# sweep (invariants + differential oracles + API fuzz over a seeded
-# graph/query matrix). Run from anywhere inside the repo.
+# independence), the snapshot-concurrency stress test, par_scaling and
+# concurrent_reads smoke runs, and the cx-check correctness sweep
+# (invariants + differential oracles incl. snapshot pinning + API fuzz
+# over a seeded graph/query matrix). Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,8 +17,20 @@ CX_THREADS=1 cargo test -q --workspace
 echo "== cargo test -q --workspace (CX_THREADS=8) =="
 CX_THREADS=8 cargo test -q --workspace
 
+echo "== snapshot stress (8 readers + 1 writer over HTTP, CX_THREADS=1) =="
+CX_THREADS=1 cargo test -q -p cx-server --test concurrent_stress
+
+echo "== snapshot stress (8 readers + 1 writer over HTTP, CX_THREADS=8) =="
+CX_THREADS=8 cargo test -q -p cx-server --test concurrent_stress
+
 echo "== par_scaling smoke (5k vertices, 2 samples) =="
 cargo run -q --release -p cx-bench --bin par_scaling -- 5000 2
+
+echo "== concurrent_reads smoke (reader p99 under writer ≤ 2x, CX_THREADS=1) =="
+CX_THREADS=1 cargo run -q --release -p cx-bench --bin concurrent_reads -- 5000 20
+
+echo "== concurrent_reads smoke (reader p99 under writer ≤ 2x, CX_THREADS=8) =="
+CX_THREADS=8 cargo run -q --release -p cx-bench --bin concurrent_reads -- 5000 20
 
 echo "== obs_overhead smoke (instrumented vs CX_OBS=off, 5% acceptance) =="
 cargo run -q --release -p cx-bench --bin obs_overhead -- 4000 100

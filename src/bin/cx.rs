@@ -127,7 +127,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 spec = spec.with_keywords(kws.split(','));
             }
             let communities = engine.search(algo, &spec).map_err(|e| e.to_string())?;
-            let g = engine.graph(None).unwrap();
+            let snap = engine.snapshot(None).unwrap();
+            let g = &*snap.graph;
             let q = spec.resolve(g).map_err(|e| e.to_string())?[0];
             println!(
                 "{} communit{} for {} via {algo} (k={k}):",
@@ -186,7 +187,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let algo = opts.get("algo").copied().unwrap_or("codicil");
             let engine = Engine::with_graph("g", g);
             let communities = engine.detect(algo).map_err(|e| e.to_string())?;
-            let g = engine.graph(None).unwrap();
+            let snap = engine.snapshot(None).unwrap();
+            let g = &*snap.graph;
             println!("{algo}: {} communities", communities.len());
             for (i, c) in communities.iter().take(15).enumerate() {
                 println!(

@@ -22,7 +22,7 @@ fn demo_engine(n: usize) -> Engine {
             )
         })
         .collect();
-    let mut engine = Engine::with_graph("dblp", graph);
+    let engine = Engine::with_graph("dblp", graph);
     engine.set_profiles(None, records).unwrap();
     engine
 }
@@ -30,7 +30,8 @@ fn demo_engine(n: usize) -> Engine {
 #[test]
 fn search_view_profile_explore_loop() {
     let engine = demo_engine(3000);
-    let g = engine.graph(None).unwrap();
+    let snap = engine.snapshot(None).unwrap();
+    let g = &*snap.graph;
     let hub = g.vertices().max_by_key(|&v| g.degree(v)).unwrap();
     let hub_label = g.label(hub).to_owned();
 
@@ -67,7 +68,8 @@ fn search_view_profile_explore_loop() {
 #[test]
 fn multi_vertex_plus_button() {
     let engine = demo_engine(2000);
-    let g = engine.graph(None).unwrap();
+    let snap = engine.snapshot(None).unwrap();
+    let g = &*snap.graph;
     let hub = g.vertices().max_by_key(|&v| g.degree(v)).unwrap();
     // Jointly query the hub and its strongest neighbour.
     let buddy = *g
@@ -102,7 +104,8 @@ fn suggestion_box_finds_authors() {
 #[test]
 fn switching_algorithms_on_same_query() {
     let engine = demo_engine(2000);
-    let g = engine.graph(None).unwrap();
+    let snap = engine.snapshot(None).unwrap();
+    let g = &*snap.graph;
     let hub = g.vertices().max_by_key(|&v| g.degree(v)).unwrap();
     let spec = QuerySpec::by_label(g.label(hub)).k(4);
     for algo in ["acq", "acq-inc-s", "acq-inc-t", "global", "global-maxmin", "local", "ktruss", "codicil"] {

@@ -76,7 +76,8 @@ fn figure6a_shape() {
     assert!(row("acq").cpj > row("global").cpj, "ACQ must win CPJ");
     assert!(row("acq").cmf > row("global").cmf, "ACQ must win CMF");
     // Every ACQ community satisfies the degree constraint.
-    let g = engine.graph(None).unwrap();
+    let snap = engine.snapshot(None).unwrap();
+    let g = &*snap.graph;
     for c in &row("acq").results {
         assert!(c.min_internal_degree(g) >= 4);
     }
