@@ -12,8 +12,12 @@
 //! 5. **Snapshot differential** — a reader pinned to a pre-edit snapshot
 //!    vs. the post-edit snapshot: each must match an engine that only
 //!    ever saw that graph version, and generations must advance.
-//! 6. **Thread differential** — fingerprints at CX_THREADS=1 vs. N.
-//! 7. **API fuzz** — mutated requests must never panic or break the
+//! 6. **Incremental differential** — a seeded edit script replayed
+//!    through the incremental write path: after every step the patched
+//!    graph, maintained core numbers, repaired CL-tree and a live query
+//!    must all match a from-scratch rebuild of the same edge set.
+//! 7. **Thread differential** — fingerprints at CX_THREADS=1 vs. N.
+//! 8. **API fuzz** — mutated requests must never panic or break the
 //!    JSON error contract.
 //!
 //! Exit status 0 = clean; 1 = violations found; 2 = bad usage.
@@ -22,8 +26,9 @@ use cx_acq::AcqOptions;
 use cx_check::invariants::check_core_numbers;
 use cx_check::oracle::thread_differential;
 use cx_check::{
-    acq_strategy_differential, cached_vs_uncached, check_acq_result, fingerprint, fuzz_server,
-    graph_matrix, query_workload, snapshot_pinning_differential, FuzzParams,
+    acq_strategy_differential, cached_vs_uncached, check_acq_result, edit_script, fingerprint,
+    fuzz_server, graph_matrix, incremental_vs_scratch, query_workload,
+    snapshot_pinning_differential, FuzzParams,
 };
 use cx_cltree::ClTree;
 use cx_datagen::dblp_like;
@@ -171,6 +176,17 @@ fn main() {
                         problems.push(format!("{} {}", case.name, m));
                     }
                 }
+            }
+        }
+
+        // Incremental differential: a seeded edit script replayed through
+        // the incremental write path must match a from-scratch rebuild
+        // after every single step.
+        if let Some(qc) = workload.first() {
+            let spec = QuerySpec::by_id(qc.q).k(qc.k);
+            let script = edit_script(g, 12, 0xED17 ^ g.vertex_count() as u64);
+            for m in incremental_vs_scratch(g, &script, "acq", &spec) {
+                problems.push(format!("{} {}", case.name, m));
             }
         }
 

@@ -7,7 +7,8 @@
 //! deterministic string — what "byte-identical results" means everywhere
 //! in cx-check.
 
-use cx_graph::Community;
+use cx_cltree::{ClTree, NodeId};
+use cx_graph::{AttributedGraph, Community};
 
 /// Sorts a result set into canonical order: larger communities first,
 /// ties broken by member ids, then by shared keywords. Idempotent.
@@ -47,6 +48,70 @@ pub fn fingerprint(communities: &[Community]) -> String {
         out.push('}');
     }
     out
+}
+
+/// Deterministic textual fingerprint of a graph's structure: vertex and
+/// edge counts plus every edge in CSR iteration order. Two graphs with
+/// the same fingerprint have identical adjacency, so this catches
+/// corruption in the incrementally-patched CSR that coarser statistics
+/// (counts, core numbers) would miss.
+pub fn graph_fingerprint(g: &AttributedGraph) -> String {
+    let mut out = format!("n={};m={};", g.vertex_count(), g.edge_count());
+    for (u, v) in g.edges() {
+        out.push_str(&u.0.to_string());
+        out.push('-');
+        out.push_str(&v.0.to_string());
+        out.push(',');
+    }
+    out
+}
+
+/// Node-id-independent canonical encoding of a CL-tree.
+///
+/// [`ClTree::update`] may assign different node ids than a fresh
+/// [`ClTree::build`] of the same graph, so equality must be structural:
+/// each node renders as its level, vertex list and *fully expanded*
+/// inverted keyword lists (catching a stale `Arc`-reused index), with
+/// children serialised in sorted canonical order. Two trees are
+/// equivalent iff their encodings are byte-identical.
+pub fn tree_canonical(tree: &ClTree) -> String {
+    fn node_canon(tree: &ClTree, id: NodeId) -> String {
+        let node = tree.node(id);
+        let mut s = format!("L{}[", node.level);
+        for (i, v) in node.vertices.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&v.0.to_string());
+        }
+        s.push('|');
+        let mut inv: Vec<_> = node.inverted.iter().collect();
+        inv.sort_by_key(|(w, _)| w.0);
+        for (i, (w, vs)) in inv.iter().enumerate() {
+            if i > 0 {
+                s.push(';');
+            }
+            s.push_str(&w.0.to_string());
+            s.push(':');
+            for (j, v) in vs.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&v.0.to_string());
+            }
+        }
+        s.push(']');
+        let mut kids: Vec<String> =
+            node.children.iter().map(|&c| node_canon(tree, c)).collect();
+        kids.sort();
+        for k in kids {
+            s.push('(');
+            s.push_str(&k);
+            s.push(')');
+        }
+        s
+    }
+    format!("cores={:?};{}", tree.core_numbers(), node_canon(tree, tree.root()))
 }
 
 /// First difference between two result sets, as a readable message, or
@@ -123,6 +188,36 @@ mod tests {
         assert!(diff_results("l", &a, "r", &a).is_none());
         let msg = diff_results("l", &a, "r", &[]).unwrap();
         assert!(msg.contains("0 communities") || msg.contains("returned 0"), "{msg}");
+    }
+
+    #[test]
+    fn graph_fingerprint_captures_every_edge() {
+        let g = cx_datagen::figure5_graph();
+        let fp = graph_fingerprint(&g);
+        assert!(fp.starts_with("n=10;m=11;"));
+        assert_eq!(fp, graph_fingerprint(&g));
+        // A structurally different graph fingerprints differently.
+        let delta = g.edge_delta(&[], &[(VertexId(0), VertexId(1))]).unwrap();
+        assert_ne!(fp, graph_fingerprint(&g.apply_delta(&delta)));
+    }
+
+    #[test]
+    fn tree_canonical_is_id_independent() {
+        let g = cx_datagen::figure5_graph();
+        let tree = cx_cltree::ClTree::build(&g);
+        // An incremental round-trip (remove then re-add an edge) lands on
+        // the same graph, possibly with different node ids; the canonical
+        // forms must nevertheless match.
+        let d1 = g.edge_delta(&[], &[(VertexId(0), VertexId(1))]).unwrap();
+        let g1 = g.apply_delta(&d1);
+        let c1 = cx_kcore::CoreDecomposition::compute(&g1);
+        let t1 = tree.update(&g1, &d1, c1.core_numbers());
+        let d2 = g1.edge_delta(&[(VertexId(0), VertexId(1))], &[]).unwrap();
+        let g2 = g1.apply_delta(&d2);
+        let c2 = cx_kcore::CoreDecomposition::compute(&g2);
+        let t2 = t1.update(&g2, &d2, c2.core_numbers());
+        assert_eq!(tree_canonical(&tree), tree_canonical(&t2));
+        assert_ne!(tree_canonical(&tree), tree_canonical(&t1));
     }
 
     #[test]

@@ -16,8 +16,10 @@
 //!   through the algorithm under test — so the oracle is independent.
 //! * [`oracle`] — differential testing: ACQ's Dec/Inc-S/Inc-T strategies
 //!   (and the index-free Basic baseline) are provably equivalent, the
-//!   engine's cached and uncached paths must agree byte for byte, and
-//!   every `cx-par` helper is documented to be thread-count independent.
+//!   engine's cached and uncached paths must agree byte for byte, every
+//!   `cx-par` helper is documented to be thread-count independent, and
+//!   the incremental write path must land on exactly the state a
+//!   from-scratch rebuild produces after every step of an edit script.
 //!   The oracle runs both sides and diffs canonicalized results.
 //! * [`canonical`] — the canonical form and fingerprint the diffs compare.
 //! * [`workload`] — a seeded graph/query matrix over [`cx_datagen`]
@@ -37,13 +39,13 @@ pub mod invariants;
 pub mod oracle;
 pub mod workload;
 
-pub use canonical::{canonicalize, diff_results, fingerprint};
+pub use canonical::{canonicalize, diff_results, fingerprint, graph_fingerprint, tree_canonical};
 pub use fuzz::{fuzz_server, FuzzParams, FuzzReport};
 pub use invariants::{
     check_acq_result, check_community, check_ktruss_community, Violation,
 };
 pub use oracle::{
-    acq_strategy_differential, cached_vs_uncached, snapshot_pinning_differential, with_threads,
-    Mismatch,
+    acq_strategy_differential, cached_vs_uncached, incremental_vs_scratch,
+    snapshot_pinning_differential, with_threads, Mismatch,
 };
-pub use workload::{graph_matrix, query_workload, GraphCase, QueryCase};
+pub use workload::{edit_script, graph_matrix, query_workload, EditStep, GraphCase, QueryCase};

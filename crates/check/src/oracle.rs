@@ -13,14 +13,17 @@
 //!   independent of `CX_THREADS`; [`with_threads`] re-runs a closure under
 //!   different counts so callers can fingerprint-compare.
 
+use std::collections::HashSet;
 use std::sync::Mutex;
 
 use cx_acq::{acq, AcqOptions, AcqResult, AcqStrategy};
 use cx_cltree::ClTree;
 use cx_explorer::{Engine, QuerySpec};
 use cx_graph::{AttributedGraph, VertexId};
+use cx_kcore::CoreDecomposition;
 
-use crate::canonical::{diff_results, fingerprint};
+use crate::canonical::{diff_results, fingerprint, graph_fingerprint, tree_canonical};
+use crate::workload::EditStep;
 
 /// One disagreement between two paths that must agree.
 #[derive(Debug, Clone)]
@@ -223,6 +226,108 @@ pub fn snapshot_pinning_differential(
     mismatches
 }
 
+/// Incremental-vs-scratch oracle for the engine's write path.
+///
+/// Replays a seeded [`EditStep`] script through ONE long-lived engine —
+/// whose `apply_edits` patches the CSR, maintains core numbers with the
+/// warm `DynamicCore`, and repairs the CL-tree incrementally — and after
+/// EVERY step compares four views against a from-scratch world rebuilt
+/// from the coalesced edge set:
+///
+/// 1. the graph fingerprint (full adjacency, CSR order),
+/// 2. core numbers vs. a fresh [`CoreDecomposition`],
+/// 3. the CL-tree's id-independent canonical form vs. a fresh
+///    [`ClTree::build`] (inverted lists expanded, so a stale `Arc`-reused
+///    keyword index is caught),
+/// 4. one community query answered by both engines.
+///
+/// The scratch side is constructed directly (builder + fresh index), not
+/// via the `CX_INCREMENTAL` env toggle — the env var is process-global
+/// and this oracle must be safe to run concurrently with other tests.
+/// Stops at the first divergent step (later steps would only echo it).
+pub fn incremental_vs_scratch(
+    g: &AttributedGraph,
+    script: &[EditStep],
+    algo: &str,
+    spec: &QuerySpec,
+) -> Vec<Mismatch> {
+    let norm = |&(u, v): &(VertexId, VertexId)| if u < v { (u, v) } else { (v, u) };
+    let mut mismatches = Vec::new();
+    let inc = Engine::with_graph("check", g.clone());
+    let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    for (step_no, step) in script.iter().enumerate() {
+        let context = format!("step {step_no} (+{} -{})", step.add.len(), step.remove.len());
+        let mismatch = |detail: String| Mismatch {
+            oracle: "incremental",
+            context: context.clone(),
+            detail,
+        };
+        if let Err(e) = inc.apply_edits(None, &step.add, &step.remove) {
+            return vec![mismatch(format!("edit failed: {e}"))];
+        }
+        // Mirror the engine's documented coalescing, E' = (E \ removed) ∪
+        // added with add-wins on conflict, onto a plain edge list.
+        let removed: HashSet<_> = step.remove.iter().map(norm).collect();
+        let added: HashSet<_> = step.add.iter().map(norm).collect();
+        edges.retain(|e| !removed.contains(e) || added.contains(e));
+        let present: HashSet<_> = edges.iter().copied().collect();
+        edges.extend(added.iter().filter(|e| !present.contains(*e)));
+        edges.sort_unstable();
+
+        let scratch_graph = rebuild_with_edges(g, &edges);
+        let snap = inc.snapshot(None).expect("graph stays registered across edits");
+        if graph_fingerprint(&snap.graph) != graph_fingerprint(&scratch_graph) {
+            mismatches.push(mismatch(format!(
+                "graph fingerprints diverge (incremental m={}, scratch m={})",
+                snap.graph.edge_count(),
+                scratch_graph.edge_count()
+            )));
+        }
+        let scratch_cores = CoreDecomposition::compute(&scratch_graph);
+        if snap.tree.core_numbers() != scratch_cores.core_numbers() {
+            mismatches.push(mismatch("maintained core numbers differ from a fresh peel".into()));
+        }
+        let scratch_tree = ClTree::build(&scratch_graph);
+        if tree_canonical(&snap.tree) != tree_canonical(&scratch_tree) {
+            mismatches.push(mismatch("CL-tree canonical forms diverge".into()));
+        }
+        let scratch_engine = Engine::with_graph("check", scratch_graph);
+        match (inc.search_on(None, algo, spec), scratch_engine.search_on(None, algo, spec)) {
+            (Ok(a), Ok(b)) => {
+                if let Some(d) = diff_results("incremental", &a, "scratch", &b) {
+                    mismatches.push(mismatch(d));
+                }
+            }
+            (Err(e), Ok(_)) => mismatches.push(mismatch(format!(
+                "incremental engine errored where scratch succeeded: {e}"
+            ))),
+            (Ok(_), Err(e)) => mismatches.push(mismatch(format!(
+                "scratch engine errored where incremental succeeded: {e}"
+            ))),
+            (Err(_), Err(_)) => {}
+        }
+        if !mismatches.is_empty() {
+            return mismatches;
+        }
+    }
+    mismatches
+}
+
+/// Rebuilds `g` from scratch with a replacement edge set (same vertices,
+/// labels and keywords, interned in the same order so ids line up).
+fn rebuild_with_edges(g: &AttributedGraph, edges: &[(VertexId, VertexId)]) -> AttributedGraph {
+    let mut b = cx_graph::GraphBuilder::with_capacity(g.vertex_count(), edges.len());
+    for v in g.vertices() {
+        let kws = g.keyword_names(g.keywords(v));
+        let refs: Vec<&str> = kws.iter().map(String::as_str).collect();
+        b.add_vertex(g.label(v), &refs);
+    }
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.try_build().expect("scratch rebuild of a valid edge set")
+}
+
 /// Serialises `CX_THREADS` mutation across tests and oracles (environment
 /// variables are process-global).
 static THREAD_ENV_LOCK: Mutex<()> = Mutex::new(());
@@ -336,6 +441,26 @@ mod tests {
         );
         assert_eq!(mm.len(), 1);
         assert!(mm[0].detail.contains("edit failed"));
+    }
+
+    #[test]
+    fn incremental_oracle_is_clean_on_figure5() {
+        let g = figure5_graph();
+        let script = crate::workload::edit_script(&g, 25, 7);
+        let mm = incremental_vs_scratch(&g, &script, "acq", &QuerySpec::by_label("A").k(2));
+        assert!(mm.is_empty(), "{mm:?}");
+    }
+
+    #[test]
+    fn incremental_oracle_reports_bad_scripts() {
+        let g = figure5_graph();
+        let script = vec![crate::workload::EditStep {
+            add: vec![(VertexId(0), VertexId(99))],
+            remove: vec![],
+        }];
+        let mm = incremental_vs_scratch(&g, &script, "acq", &QuerySpec::by_label("A").k(2));
+        assert_eq!(mm.len(), 1);
+        assert!(mm[0].detail.contains("edit failed"), "{}", mm[0]);
     }
 
     #[test]

@@ -49,10 +49,20 @@ impl ClTree {
     /// Subtrees of independent connected components are built in parallel;
     /// see the module docs for the determinism argument.
     pub fn build_with(g: &AttributedGraph, cd: &CoreDecomposition) -> Self {
+        Self::build_with_cores(g, cd.core_numbers())
+    }
+
+    /// Like [`ClTree::build_with`] but takes the bare core-number vector —
+    /// the entry point for callers that maintain core numbers
+    /// incrementally (see [`ClTree::update`]) and therefore have no
+    /// `CoreDecomposition` to hand. `cores` must be the exact core
+    /// numbers of `g`.
+    pub fn build_with_cores(g: &AttributedGraph, cores: &[u32]) -> Self {
         let _span = cx_obs::span("cltree.build");
         let n = g.vertex_count();
-        let core: Vec<u32> = cd.core_numbers().to_vec();
-        let max_core = cd.max_core();
+        assert_eq!(cores.len(), n, "core vector must cover every vertex");
+        let core: Vec<u32> = cores.to_vec();
+        let max_core = core.iter().copied().max().unwrap_or(0);
 
         let cc = ConnectedComponents::compute(g);
         let comps = cc.groups();
@@ -104,7 +114,7 @@ impl ClTree {
                 parent: None,
                 children: tops,
                 vertices: isolated,
-                inverted: HashMap::new(),
+                inverted: Default::default(),
             });
             nid
         };
@@ -245,7 +255,7 @@ impl ClTree {
         let mut stack = vec![id];
         while let Some(nid) = stack.pop() {
             let node = &self.nodes[nid.index()];
-            for (&w, vs) in &node.inverted {
+            for (&w, vs) in node.inverted.iter() {
                 *counts.entry(w).or_insert(0) += vs.len();
             }
             stack.extend_from_slice(&node.children);
@@ -382,7 +392,7 @@ fn build_component_subtree(
                 parent: None,
                 children: kids,
                 vertices: verts,
-                inverted: HashMap::new(),
+                inverted: Default::default(),
             });
             next_anchors.insert(root, nid);
         }

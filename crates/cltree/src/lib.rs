@@ -27,6 +27,7 @@ pub mod build;
 pub mod node;
 pub mod snapshot;
 pub mod unionfind;
+pub mod update;
 
 pub use build::ClTree;
 pub use node::{ClTreeNode, NodeId};

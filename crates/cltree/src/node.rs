@@ -1,6 +1,7 @@
 //! CL-tree node structure.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cx_graph::{KeywordId, VertexId};
 
@@ -29,8 +30,12 @@ pub struct ClTreeNode {
     pub children: Vec<NodeId>,
     /// Vertices with core number == `level` in this component, sorted.
     pub vertices: Vec<VertexId>,
-    /// Keyword → sorted vertices *of this node* carrying it.
-    pub inverted: HashMap<KeywordId, Vec<VertexId>>,
+    /// Keyword → sorted vertices *of this node* carrying it. `Arc`-shared
+    /// so that [`crate::ClTree::update`] can carry an unchanged node's
+    /// keyword index into the successor tree without copying it (keyword
+    /// sets are immutable under edge edits, so the map is determined by
+    /// the vertex list).
+    pub inverted: Arc<HashMap<KeywordId, Vec<VertexId>>>,
 }
 
 impl ClTreeNode {
@@ -39,12 +44,14 @@ impl ClTreeNode {
         &mut self,
         keywords_of: impl Fn(VertexId) -> &'a [KeywordId],
     ) {
+        let mut map: HashMap<KeywordId, Vec<VertexId>> = HashMap::new();
         for &v in &self.vertices {
             for &w in keywords_of(v) {
-                self.inverted.entry(w).or_default().push(v);
+                map.entry(w).or_default().push(v);
             }
         }
         // Vertices were iterated in sorted order, so each list is sorted.
+        self.inverted = Arc::new(map);
     }
 
     /// Vertices of this node carrying keyword `w`.

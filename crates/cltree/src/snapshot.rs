@@ -138,7 +138,7 @@ impl ClTree {
                 parent,
                 children,
                 vertices,
-                inverted: std::collections::HashMap::new(),
+                inverted: Default::default(),
             };
             node.index_keywords(|v| g.keywords(v));
             nodes.push(node);

@@ -73,10 +73,13 @@ pub struct GraphSnapshot {
     pub graph: Arc<AttributedGraph>,
     /// The CL-tree index built for exactly this graph version.
     pub tree: Arc<ClTree>,
-    /// Vertex profiles (Figure 2 popups).
-    pub profiles: HashMap<VertexId, Profile>,
-    /// Vertex coordinates for spatial algorithms, if installed.
-    pub coords: Option<Vec<(f64, f64)>>,
+    /// Vertex profiles (Figure 2 popups). `Arc`-shared across snapshots:
+    /// an edge edit republishes the same map, only `set_profiles` builds
+    /// a new one.
+    pub profiles: Arc<HashMap<VertexId, Profile>>,
+    /// Vertex coordinates for spatial algorithms, if installed. Shared
+    /// across snapshots like `profiles`.
+    pub coords: Option<Arc<Vec<(f64, f64)>>>,
     /// Per-graph monotone version number; exactly one snapshot is ever
     /// published per (graph, generation) pair.
     pub generation: u64,
@@ -90,8 +93,8 @@ impl GraphSnapshot {
         name: String,
         graph: Arc<AttributedGraph>,
         tree: Arc<ClTree>,
-        profiles: HashMap<VertexId, Profile>,
-        coords: Option<Vec<(f64, f64)>>,
+        profiles: Arc<HashMap<VertexId, Profile>>,
+        coords: Option<Arc<Vec<(f64, f64)>>>,
         generation: u64,
     ) -> Self {
         let gauge_counted = cx_obs::enabled();
@@ -108,7 +111,11 @@ impl GraphSnapshot {
 
     /// The algorithm-facing view of this snapshot.
     pub fn context(&self) -> GraphContext<'_> {
-        GraphContext { graph: &self.graph, tree: &self.tree, coords: self.coords.as_deref() }
+        GraphContext {
+            graph: &self.graph,
+            tree: &self.tree,
+            coords: self.coords.as_ref().map(|c| c.as_slice()),
+        }
     }
 }
 
@@ -205,6 +212,31 @@ impl Drop for RegistryGuard<'_> {
 ///
 /// Query results from [`Engine::search_on`] / [`Engine::detect_on`] are
 /// memoised in a bounded, sharded LRU cache keyed by the resolved query
+/// Writer-only state protected by a graph's write gate. Holding the gate
+/// *is* holding this state, so no extra synchronisation is needed.
+///
+/// `dyncore` is a warm [`cx_kcore::DynamicCore`] seeded from the snapshot
+/// it was last advanced to; `dyncore_for` pins the identity of that graph
+/// version. The cache is valid only when `dyncore_for` points at the graph
+/// `Arc` currently published for this name — attribute-only republishes
+/// (`set_profiles` / `set_coordinates`) keep the same graph `Arc` so the
+/// cache survives them, while `add_graph` / `upload` replace the graph and
+/// naturally invalidate it. Comparing via `Weak::as_ptr` is ABA-safe
+/// because the `Weak` itself keeps the old allocation's address reserved.
+#[derive(Default)]
+struct WriteState {
+    dyncore_for: std::sync::Weak<AttributedGraph>,
+    dyncore: Option<cx_kcore::DynamicCore>,
+}
+
+/// The C-Explorer engine. One instance serves many graphs and algorithms
+/// and is shared across threads directly (`Arc<Engine>`, no outer lock):
+/// reads pin an immutable [`GraphSnapshot`] and run lock-free; writes
+/// build the next snapshot off-lock and publish it atomically (see the
+/// module docs for the full concurrency model).
+///
+/// Query results from [`Engine::search_on`] / [`Engine::detect_on`] are
+/// memoised in a bounded, sharded LRU cache keyed by the resolved query
 /// *and the snapshot generation*, so mutation can never serve stale
 /// answers.
 pub struct Engine {
@@ -212,7 +244,9 @@ pub struct Engine {
     /// Per-graph writer serialization. Writers hold their graph's gate
     /// across read-modify-write (snapshot → rebuild → publish) so two
     /// concurrent edits can't lose updates; readers never touch gates.
-    write_gates: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// The gate also carries the writer-only incremental state (a warm
+    /// [`cx_kcore::DynamicCore`]) so consecutive edits skip the peel.
+    write_gates: Mutex<HashMap<String, Arc<Mutex<WriteState>>>>,
     cs: Vec<Box<dyn CsAlgorithm>>,
     cd: Vec<Box<dyn CdAlgorithm>>,
     cache: ShardedCache,
@@ -270,8 +304,9 @@ impl Engine {
     }
 
     /// The writer gate for `name` (created on first use, kept forever —
-    /// gates are a `Mutex<()>` each, negligible to retain).
-    fn write_gate(&self, name: &str) -> Arc<Mutex<()>> {
+    /// an idle gate is a mutex plus an empty [`WriteState`], negligible
+    /// to retain).
+    fn write_gate(&self, name: &str) -> Arc<Mutex<WriteState>> {
         let mut gates = self.write_gates.lock().unwrap_or_else(|p| p.into_inner());
         gates.entry(name.to_owned()).or_default().clone()
     }
@@ -315,7 +350,7 @@ impl Engine {
             name,
             Arc::new(graph),
             Arc::new(tree),
-            HashMap::new(),
+            Arc::new(HashMap::new()),
             None,
             generation,
         ));
@@ -641,14 +676,14 @@ impl Engine {
         let gate = self.write_gate(&name);
         let _writing = gate.lock().unwrap_or_else(|p| p.into_inner());
         let snap = self.snapshot(Some(&name))?;
-        let mut merged = snap.profiles.clone();
+        let mut merged = (*snap.profiles).clone();
         merged.extend(profiles);
         let generation = self.reserve_generation(&name);
         self.publish(GraphSnapshot::new(
             name,
             Arc::clone(&snap.graph),
             Arc::clone(&snap.tree),
-            merged,
+            Arc::new(merged),
             snap.coords.clone(),
             generation,
         ));
@@ -680,8 +715,8 @@ impl Engine {
             name,
             Arc::clone(&snap.graph),
             Arc::clone(&snap.tree),
-            snap.profiles.clone(),
-            Some(coords),
+            Arc::clone(&snap.profiles),
+            Some(Arc::new(coords)),
             generation,
         ));
         Ok(())
@@ -693,23 +728,73 @@ impl Engine {
     }
 
     /// Applies a batch of edge edits to a graph — the evolving-network
-    /// path (new co-authorships appear, stale ones are pruned). The graph
-    /// and its CL-tree are rebuilt off-lock (both linear) into a fresh
-    /// snapshot; concurrent readers keep answering from the previous one
-    /// until the publish. For high-frequency streams, maintain core
-    /// numbers with [`cx_kcore::DynamicCore`] and batch the reindex
-    /// points.
+    /// path (new co-authorships appear, stale ones are pruned).
+    ///
+    /// The incremental path (default): the edits are coalesced into an
+    /// effective [`cx_graph::EdgeDelta`], the CSR adjacency is patched
+    /// with [`AttributedGraph::apply_delta`] (attribute columns shared by
+    /// `Arc`), core numbers are maintained subcore-locally by a warm
+    /// [`cx_kcore::DynamicCore`] cached in the write gate, and the
+    /// CL-tree is repaired with [`ClTree::update`] (which itself falls
+    /// back to a full rebuild when too many core numbers changed). Set
+    /// `CX_INCREMENTAL=off` to force the original full-rebuild path.
+    ///
+    /// Either way the work happens off the registry lock; concurrent
+    /// readers keep answering from the previous snapshot until the
+    /// publish, and every call — including a structural no-op — publishes
+    /// a fresh generation. Wall time is recorded in the
+    /// `cx_edit_apply_us` histogram.
     pub fn apply_edits(
         &self,
         graph: Option<&str>,
         add: &[(VertexId, VertexId)],
         remove: &[(VertexId, VertexId)],
     ) -> Result<(), ExplorerError> {
+        let start = Instant::now();
         let name = self.resolved_owned(graph)?;
         let gate = self.write_gate(&name);
-        let _writing = gate.lock().unwrap_or_else(|p| p.into_inner());
+        let mut ws = gate.lock().unwrap_or_else(|p| p.into_inner());
         let snap = self.snapshot(Some(&name))?;
         let g = &snap.graph;
+        if Self::incremental_enabled() {
+            // Validates every endpoint before any effect, so a bad edit
+            // leaves the graph untouched.
+            let delta = g.edge_delta(add, remove)?;
+            let (new_graph, new_tree) = if delta.is_empty() {
+                // Structural no-op: share graph and index wholesale but
+                // still publish (callers observe a generation per edit).
+                (Arc::clone(g), Arc::clone(&snap.tree))
+            } else {
+                let new_graph = Arc::new(g.apply_delta(&delta));
+                let mut dc = match ws.dyncore.take() {
+                    Some(dc) if ws.dyncore_for.as_ptr() == Arc::as_ptr(g) => dc,
+                    _ => cx_kcore::DynamicCore::from_graph_with_cores(g, snap.tree.core_numbers()),
+                };
+                // Effective sets are disjoint (no edge is both added and
+                // removed), so the order of the two loops is immaterial.
+                for &(u, v) in &delta.removed {
+                    dc.remove_edge(u, v);
+                }
+                for &(u, v) in &delta.added {
+                    dc.insert_edge(u, v);
+                }
+                let tree = snap.tree.update(&new_graph, &delta, dc.core_numbers());
+                ws.dyncore_for = Arc::downgrade(&new_graph);
+                ws.dyncore = Some(dc);
+                (new_graph, Arc::new(tree))
+            };
+            let generation = self.reserve_generation(&name);
+            self.publish(GraphSnapshot::new(
+                name,
+                new_graph,
+                new_tree,
+                Arc::clone(&snap.profiles),
+                snap.coords.clone(),
+                generation,
+            ));
+            cx_obs::metrics::observe_us("cx_edit_apply_us", start.elapsed().as_micros() as u64);
+            return Ok(());
+        }
         for &(u, v) in add.iter().chain(remove) {
             g.check_vertex(u)?;
             g.check_vertex(v)?;
@@ -740,11 +825,18 @@ impl Engine {
             name,
             Arc::new(new_graph),
             Arc::new(tree),
-            snap.profiles.clone(),
+            Arc::clone(&snap.profiles),
             snap.coords.clone(),
             generation,
         ));
+        cx_obs::metrics::observe_us("cx_edit_apply_us", start.elapsed().as_micros() as u64);
         Ok(())
+    }
+
+    /// Whether the incremental write path is enabled (`CX_INCREMENTAL` is
+    /// unset, or set to anything other than `off`/`0`).
+    fn incremental_enabled() -> bool {
+        !matches!(std::env::var("CX_INCREMENTAL").ok().as_deref(), Some("off") | Some("0"))
     }
 
     /// Case-insensitive vertex search for the UI's name box; returns
@@ -1298,6 +1390,109 @@ mod edit_tests {
         // Profile survives the rebuild.
         assert!(e.profile(None, a).unwrap().is_some());
     }
+
+    #[test]
+    fn incremental_edits_share_attribute_columns_and_profiles() {
+        let e = Engine::with_graph("fig5", figure5_graph());
+        let before = e.snapshot(None).unwrap();
+        let a = before.vertex_by_label("A").unwrap();
+        let b = before.vertex_by_label("B").unwrap();
+        e.set_profiles(
+            None,
+            [(a, Profile {
+                name: "A".into(),
+                areas: vec![],
+                institutes: vec![],
+                interests: vec![],
+            })],
+        )
+        .unwrap();
+        let coords: Vec<(f64, f64)> =
+            (0..before.vertex_count()).map(|i| (i as f64, -(i as f64))).collect();
+        e.set_coordinates(None, coords).unwrap();
+        let before = e.snapshot(None).unwrap();
+        e.apply_edits(None, &[], &[(a, b)]).unwrap();
+        let after = e.snapshot(None).unwrap();
+        // The edit must not deep-copy what it didn't touch: attribute
+        // columns, the profile map, and the coordinate vector are all
+        // carried by pointer into the successor snapshot.
+        assert!(after.graph.shares_attributes_with(&before.graph));
+        assert!(Arc::ptr_eq(&after.profiles, &before.profiles));
+        assert!(Arc::ptr_eq(
+            after.coords.as_ref().unwrap(),
+            before.coords.as_ref().unwrap()
+        ));
+        assert_eq!(after.generation, before.generation + 1);
+    }
+
+    #[test]
+    fn no_op_edit_publishes_a_generation_sharing_graph_and_tree() {
+        let e = Engine::with_graph("fig5", figure5_graph());
+        let before = e.snapshot(None).unwrap();
+        let a = before.vertex_by_label("A").unwrap();
+        let b = before.vertex_by_label("B").unwrap();
+        let h = before.vertex_by_label("H").unwrap();
+        let i = before.vertex_by_label("I").unwrap();
+        // A–B already exists and H–I is removed-then-re-added within the
+        // same batch: structurally nothing changes.
+        e.apply_edits(None, &[(a, b), (h, i)], &[(h, i)]).unwrap();
+        let after = e.snapshot(None).unwrap();
+        assert_eq!(after.generation, before.generation + 1);
+        assert!(Arc::ptr_eq(&after.graph, &before.graph));
+        assert!(Arc::ptr_eq(&after.tree, &before.tree));
+    }
+
+    #[test]
+    fn chained_incremental_edits_match_a_from_scratch_engine() {
+        let inc = Engine::with_graph("fig5", figure5_graph());
+        let scratch = |edits: &dyn Fn(&Engine)| {
+            let e = Engine::with_graph("fig5", figure5_graph());
+            edits(&e);
+            e
+        };
+        let snap = inc.snapshot(None).unwrap();
+        let v = |l: &str| snap.vertex_by_label(l).unwrap();
+        let (a, b, c, ee, f, gg, h, i, j) = (
+            v("A"),
+            v("B"),
+            v("C"),
+            v("E"),
+            v("F"),
+            v("G"),
+            v("H"),
+            v("I"),
+            v("J"),
+        );
+        // A long script mixing inserts, deletes, batches, and a re-add,
+        // exercising the warm DynamicCore across consecutive calls.
+        let script: Vec<(Vec<(VertexId, VertexId)>, Vec<(VertexId, VertexId)>)> = vec![
+            (vec![(gg, ee), (f, c)], vec![]),
+            (vec![], vec![(a, b)]),
+            (vec![(a, b), (j, i)], vec![(h, i)]),
+            (vec![(h, i)], vec![(j, i)]),
+            (vec![], vec![(0, 2), (1, 3)].iter().map(|&(x, y)| (VertexId(x), VertexId(y))).collect()),
+            (vec![(VertexId(0), VertexId(2))], vec![]),
+        ];
+        for (step, (add, remove)) in script.iter().enumerate() {
+            inc.apply_edits(None, add, remove).unwrap();
+            let fresh = scratch(&|e| {
+                for (add, remove) in &script[..=step] {
+                    e.apply_edits(None, add, remove).unwrap();
+                }
+            });
+            let got = inc.snapshot(None).unwrap();
+            let want = fresh.snapshot(None).unwrap();
+            assert_eq!(got.edge_count(), want.edge_count(), "step {step}");
+            assert_eq!(got.tree.core_numbers(), want.tree.core_numbers(), "step {step}");
+            assert_eq!(got.tree.max_core(), want.tree.max_core(), "step {step}");
+            for q in ["A", "E", "H"] {
+                let spec = QuerySpec::by_label(q).k(2);
+                let gi = inc.search("acq", &spec).unwrap();
+                let gf = fresh.search("acq", &spec).unwrap();
+                assert_eq!(gi, gf, "step {step} query {q}");
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1393,7 +1588,7 @@ impl Engine {
                 name,
                 Arc::new(graph),
                 Arc::new(tree),
-                HashMap::new(),
+                Arc::new(HashMap::new()),
                 None,
                 generation,
             ));

@@ -1,6 +1,7 @@
 //! Mutable construction of [`AttributedGraph`]s.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::graph::{AttributedGraph, VertexId};
 use crate::keywords::KeywordInterner;
@@ -170,11 +171,11 @@ impl GraphBuilder {
         Ok(AttributedGraph {
             adj_off,
             adj,
-            kw_off,
-            kws,
-            labels: self.labels,
-            label_index: self.label_index,
-            interner: self.interner,
+            kw_off: Arc::new(kw_off),
+            kws: Arc::new(kws),
+            labels: Arc::new(self.labels),
+            label_index: Arc::new(self.label_index),
+            interner: Arc::new(self.interner),
         })
     }
 }

@@ -1,6 +1,7 @@
 //! The immutable CSR attributed graph.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::GraphError;
 use crate::keywords::{KeywordId, KeywordInterner};
@@ -34,14 +35,18 @@ impl std::fmt::Display for VertexId {
 #[derive(Debug, Clone)]
 pub struct AttributedGraph {
     // CSR adjacency: neighbours of v are adj[adj_off[v] .. adj_off[v+1]].
+    // These two are the only columns an edge edit touches, so they stay
+    // plain vectors; everything below is `Arc`-shared so that
+    // [`Self::apply_delta`] can produce a patched graph without copying
+    // keywords, labels, or the interner.
     pub(crate) adj_off: Vec<usize>,
     pub(crate) adj: Vec<VertexId>,
     // CSR keyword sets: W(v) = kws[kw_off[v] .. kw_off[v+1]].
-    pub(crate) kw_off: Vec<usize>,
-    pub(crate) kws: Vec<KeywordId>,
-    pub(crate) labels: Vec<String>,
-    pub(crate) label_index: HashMap<String, VertexId>,
-    pub(crate) interner: KeywordInterner,
+    pub(crate) kw_off: Arc<Vec<usize>>,
+    pub(crate) kws: Arc<Vec<KeywordId>>,
+    pub(crate) labels: Arc<Vec<String>>,
+    pub(crate) label_index: Arc<HashMap<String, VertexId>>,
+    pub(crate) interner: Arc<KeywordInterner>,
 }
 
 impl AttributedGraph {
@@ -173,6 +178,18 @@ impl AttributedGraph {
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
         self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether `self` and `other` share the same attribute columns
+    /// (keywords, labels, interner) by pointer identity. True exactly when
+    /// one graph was derived from the other via [`Self::apply_delta`];
+    /// independently built graphs never share.
+    pub fn shares_attributes_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.kw_off, &other.kw_off)
+            && Arc::ptr_eq(&self.kws, &other.kws)
+            && Arc::ptr_eq(&self.labels, &other.labels)
+            && Arc::ptr_eq(&self.label_index, &other.label_index)
+            && Arc::ptr_eq(&self.interner, &other.interner)
     }
 
     /// Approximate heap footprint in bytes (CSR arrays + labels), used by the

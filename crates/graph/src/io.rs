@@ -145,7 +145,7 @@ pub fn write_snapshot<W: Write>(g: &AttributedGraph, w: &mut W) -> Result<(), Gr
     for v in g.vertices() {
         put_u32(&mut w, g.keywords(v).len() as u32)?;
     }
-    for &k in &g.kws {
+    for &k in g.kws.iter() {
         put_u32(&mut w, k.0)?;
     }
     put_u32(&mut w, g.interner.len() as u32)?;

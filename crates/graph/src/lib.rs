@@ -42,6 +42,7 @@
 
 pub mod builder;
 pub mod community;
+pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod inverted;
@@ -54,6 +55,7 @@ pub mod vertexset;
 
 pub use builder::GraphBuilder;
 pub use community::Community;
+pub use delta::EdgeDelta;
 pub use error::GraphError;
 pub use graph::{AttributedGraph, VertexId};
 pub use inverted::InvertedIndex;

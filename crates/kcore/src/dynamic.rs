@@ -40,6 +40,18 @@ impl DynamicCore {
         Self { adj, core }
     }
 
+    /// Seeds from a graph whose core numbers are already known, skipping
+    /// the peel. `cores` must be the exact core numbers of `g` (as
+    /// produced by a prior decomposition of the same edge set) — the
+    /// engine uses this to warm its per-graph maintenance state from a
+    /// published snapshot without re-peeling.
+    pub fn from_graph_with_cores(g: &AttributedGraph, cores: &[u32]) -> Self {
+        assert_eq!(cores.len(), g.vertex_count(), "core vector must cover every vertex");
+        let adj: Vec<Vec<u32>> =
+            g.vertices().map(|v| g.neighbors(v).iter().map(|u| u.0).collect()).collect();
+        Self { adj, core: cores.to_vec() }
+    }
+
     /// An edgeless graph with `n` vertices (all cores 0).
     pub fn with_vertices(n: usize) -> Self {
         Self { adj: vec![Vec::new(); n], core: vec![0; n] }
@@ -302,6 +314,25 @@ mod tests {
         let cd = crate::decomposition::CoreDecomposition::compute(&g);
         assert_eq!(dc.core_numbers(), cd.core_numbers());
         assert_eq!(dc.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn from_graph_with_cores_skips_the_peel_but_behaves_identically() {
+        let g = cx_datagen::figure5_graph();
+        let cd = crate::decomposition::CoreDecomposition::compute(&g);
+        let mut warm = DynamicCore::from_graph_with_cores(&g, cd.core_numbers());
+        let mut cold = DynamicCore::from_graph(&g);
+        assert_eq!(warm.core_numbers(), cold.core_numbers());
+        assert_eq!(warm.edge_count(), cold.edge_count());
+        // Both stay in lockstep (and correct) through the same edits.
+        for (a, b) in [(0, 1), (4, 2), (5, 6)] {
+            warm.remove_edge(v(a), v(b));
+            cold.remove_edge(v(a), v(b));
+            warm.insert_edge(v(a), v(b));
+            cold.insert_edge(v(a), v(b));
+            assert_eq!(warm.core_numbers(), cold.core_numbers());
+            assert_eq!(warm.core_numbers(), recompute(&warm).as_slice());
+        }
     }
 
     #[test]

@@ -147,3 +147,106 @@ fn readers_see_single_published_snapshots_while_writer_edits() {
     assert_eq!(d.get("generation").and_then(Json::as_f64), Some((1 + EDITS) as f64));
     assert_eq!(d.get("edges").and_then(Json::as_f64), Some(11.0), "EDITS is even: edge restored");
 }
+
+/// Engine-level (no HTTP) pinned-reader test against the incremental
+/// write path: a writer applies 16-edge bursts to a ~2000-vertex
+/// DBLP-like graph while readers pin snapshots mid-stream.
+///
+/// Bursts alternate remove-all / re-add-all of one fixed edge set, so a
+/// published snapshot's generation parity *determines* its exact world:
+/// odd generations carry the full graph, even generations the reduced
+/// one. Readers assert each pinned snapshot is byte-identical (graph
+/// fingerprint and id-independent CL-tree canonical form) to the
+/// matching from-scratch world — a torn burst, a stale incremental core
+/// number or a miswired tree node would all surface as a divergence.
+#[test]
+fn pinned_readers_see_whole_bursts_only() {
+    use cx_check::{graph_fingerprint, tree_canonical};
+    use cx_explorer::QuerySpec;
+    use cx_graph::VertexId;
+
+    const BURSTS: usize = 24;
+    const BURST_SIZE: usize = 16;
+    const PIN_READERS: usize = 4;
+    const PINS_PER_READER: usize = 40;
+
+    let (g, _areas) = cx_datagen::dblp_like(&cx_datagen::DblpParams::scaled(2000, 11));
+    let burst: Vec<(VertexId, VertexId)> = g.edges().take(BURST_SIZE).collect();
+    let m = g.edge_count();
+
+    // The two worlds the writer alternates between, built from scratch.
+    let delta = g.edge_delta(&[], &burst).unwrap();
+    let reduced = g.apply_delta(&delta);
+    let full_fp = graph_fingerprint(&g);
+    let reduced_fp = graph_fingerprint(&reduced);
+    let full_tree =
+        tree_canonical(&Engine::with_graph("ref", g.clone()).snapshot(None).unwrap().tree);
+    let reduced_tree =
+        tree_canonical(&Engine::with_graph("ref", reduced).snapshot(None).unwrap().tree);
+
+    let engine = Arc::new(Engine::with_graph("dblp", g));
+    let hub = VertexId(0);
+
+    let writer = {
+        let engine = Arc::clone(&engine);
+        let burst = burst.clone();
+        std::thread::spawn(move || {
+            for i in 0..BURSTS {
+                if i % 2 == 0 {
+                    engine.apply_edits(None, &[], &burst).unwrap();
+                } else {
+                    engine.apply_edits(None, &burst, &[]).unwrap();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..PIN_READERS)
+        .map(|r| {
+            let engine = Arc::clone(&engine);
+            let full_fp = full_fp.clone();
+            let reduced_fp = reduced_fp.clone();
+            let full_tree = full_tree.clone();
+            let reduced_tree = reduced_tree.clone();
+            std::thread::spawn(move || {
+                let mut last_gen = 0u64;
+                for j in 0..PINS_PER_READER {
+                    let snap = engine.snapshot(None).unwrap();
+                    let gen = snap.generation;
+                    assert!(gen >= last_gen, "reader {r}: generation went backwards");
+                    last_gen = gen;
+                    // Generation parity determines the world; a snapshot
+                    // must never expose a partially-applied burst.
+                    let (want_m, want_fp, want_tree) = if gen % 2 == 1 {
+                        (m, &full_fp, &full_tree)
+                    } else {
+                        (m - BURST_SIZE, &reduced_fp, &reduced_tree)
+                    };
+                    assert_eq!(snap.edge_count(), want_m, "reader {r} gen {gen}: torn burst");
+                    // Full structural checks are expensive; sample them.
+                    if j % 8 == r % 8 {
+                        assert_eq!(&graph_fingerprint(&snap.graph), want_fp, "gen {gen}");
+                        assert_eq!(&tree_canonical(&snap.tree), want_tree, "gen {gen}");
+                    }
+                    // The pinned snapshot keeps answering while newer
+                    // generations are published over it.
+                    let res = engine
+                        .search_snapshot(&snap, "acq", &QuerySpec::by_id(hub).k(2))
+                        .unwrap();
+                    drop(res);
+                }
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+    let snap = engine.snapshot(None).unwrap();
+    assert_eq!(snap.generation, 1 + BURSTS as u64, "one generation per burst");
+    assert_eq!(snap.edge_count(), m, "BURSTS is even: every edge restored");
+    assert_eq!(graph_fingerprint(&snap.graph), full_fp);
+    assert_eq!(tree_canonical(&snap.tree), full_tree);
+}

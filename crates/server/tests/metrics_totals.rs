@@ -69,4 +69,35 @@ fn metrics_totals_match_requests_issued_under_concurrency() {
     // the final scrape is not yet counted in its own body.
     assert_eq!(req1, req0 + n + 1, "request counter must match requests issued");
     assert_eq!(dur1, dur0 + n + 1, "duration histogram count must match");
+
+    // The write-path metrics share the same process-global registry, so
+    // they are asserted here too (HTTP counting is already settled).
+    // Every edit records its wall time in the cx_edit_apply_us histogram…
+    let edit_us = cx_obs::global().histogram("cx_edit_apply_us");
+    let fallbacks = cx_obs::global().counter("cx_incremental_fallback_total");
+    let (edits0, fb0) = (edit_us.count(), fallbacks.get());
+    let e = Engine::with_graph("fig5", cx_datagen::figure5_graph());
+    // Dropping H–I only zeroes two of ten core numbers: well under the
+    // 25% fallback threshold, so this edit must stay incremental.
+    e.apply_edits(None, &[], &[(cx_graph::VertexId(7), cx_graph::VertexId(8))]).unwrap();
+    assert_eq!(edit_us.count(), edits0 + 1, "an edit must record cx_edit_apply_us");
+    assert_eq!(fallbacks.get(), fb0, "a small edit must stay incremental");
+
+    // …and dropping the whole K4 (6 edges, >25% of cores change) pushes
+    // the CL-tree repair over the fallback threshold.
+    let k4: Vec<_> = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        .iter()
+        .map(|&(u, v)| (cx_graph::VertexId(u), cx_graph::VertexId(v)))
+        .collect();
+    e.apply_edits(None, &[], &k4).unwrap();
+    assert_eq!(edit_us.count(), edits0 + 2);
+    assert_eq!(fallbacks.get(), fb0 + 1, "mass core change must count a fallback");
+
+    // Both series are visible on the exposition endpoint.
+    let scrape = s.handle(&Request::get("/metrics")).text();
+    assert!(scrape.contains("cx_edit_apply_us_count"), "histogram missing from /metrics");
+    assert!(
+        scrape.contains("cx_incremental_fallback_total"),
+        "fallback counter missing from /metrics"
+    );
 }

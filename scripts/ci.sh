@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification wrapper: release build, full test suite (at two
 # thread counts, since every parallel helper promises thread-count
-# independence), the snapshot-concurrency stress test, par_scaling and
-# concurrent_reads smoke runs, and the cx-check correctness sweep
-# (invariants + differential oracles incl. snapshot pinning + API fuzz
+# independence), the snapshot-concurrency stress test, par_scaling,
+# concurrent_reads and edit_latency smoke runs, and the cx-check
+# correctness sweep at both thread counts (invariants + differential
+# oracles incl. snapshot pinning and incremental-vs-scratch + API fuzz
 # over a seeded graph/query matrix). Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,8 +36,15 @@ CX_THREADS=8 cargo run -q --release -p cx-bench --bin concurrent_reads -- 5000 2
 echo "== obs_overhead smoke (instrumented vs CX_OBS=off, 5% acceptance) =="
 cargo run -q --release -p cx-bench --bin obs_overhead -- 4000 100
 
-echo "== cx-check seed matrix (3 sizes x 2 seeds x 4 queries + fuzz) =="
-cargo run -q --release -p cx-check --bin cx-check -- \
+echo "== edit_latency smoke (incremental vs full rebuild ≥ 2x at 4k) =="
+cargo run -q --release -p cx-bench --bin edit_latency -- 4000 10 2
+
+echo "== cx-check seed matrix (3 sizes x 2 seeds x 4 queries + fuzz, CX_THREADS=1) =="
+CX_THREADS=1 cargo run -q --release -p cx-check --bin cx-check -- \
+  --sizes 60,200,800 --seeds 7,21 --queries 4 --fuzz 600
+
+echo "== cx-check seed matrix (3 sizes x 2 seeds x 4 queries + fuzz, CX_THREADS=8) =="
+CX_THREADS=8 cargo run -q --release -p cx-check --bin cx-check -- \
   --sizes 60,200,800 --seeds 7,21 --queries 4 --fuzz 600
 
 echo "== ci.sh: all green =="
