@@ -6,47 +6,59 @@
 //! CL-tree, no single-keyword pruning — every subset of `S` (largest
 //! first) is materialised from a whole-graph inverted index and peeled.
 //! Complexity is exponential in `|S|`; it exists to be benchmarked against.
+//!
+//! Basic rebuilds its inverted index per query by design (it is the
+//! no-index baseline), so it is not allocation-free; it does reuse the
+//! scratch peel buffers for each candidate's verification.
 
 use cx_graph::{AttributedGraph, InvertedIndex, VertexId};
-use cx_kcore::{connected_k_core_containing, k_core_of_subset};
 
 use crate::dec::next_combination;
+use crate::scratch::{finalize_into, QueryAnswer, QueryScratch};
 use crate::{AcqOptions, AcqResult};
 
-/// Runs `Basic`.
-pub fn run(g: &AttributedGraph, q: VertexId, opts: &AcqOptions) -> AcqResult {
-    let s = crate::effective_keywords(g, q, opts);
+/// Runs `Basic` into a caller-provided scratch and answer.
+pub(crate) fn run_scratch(
+    g: &AttributedGraph,
+    q: VertexId,
+    opts: &AcqOptions,
+    scratch: &mut QueryScratch,
+    out: &mut QueryAnswer,
+) {
+    out.clear();
+    let QueryScratch { verify: vs, strat } = scratch;
+    crate::effective_keywords_into(g, q, opts, &mut strat.s);
     let idx = InvertedIndex::build(g);
-    let n = s.len();
+    let n = strat.s.len();
     let budget = opts.max_candidates;
     let mut verified = 0usize;
     let mut truncated = false;
 
     for size in (1..=n).rev() {
-        let mut hits: Vec<Vec<VertexId>> = Vec::new();
-        let mut idxs: Vec<usize> = (0..size).collect();
+        strat.clear_hits();
+        strat.idxs.clear();
+        strat.idxs.extend(0..size);
         loop {
             if budget > 0 && verified >= budget {
                 truncated = true;
                 break;
             }
-            let subset: Vec<_> = idxs.iter().map(|&i| s[i]).collect();
+            let subset: Vec<_> = strat.idxs.iter().map(|&i| strat.s[i]).collect();
             let members = idx.vertices_with_all(g, &subset);
             verified += 1;
-            if let Some(core) = connected_k_core_containing(g, &members, q, opts.k) {
-                hits.push(core);
+            if vs.peel.connected_k_core_containing_into(g, &members, q, opts.k, &mut vs.peeled) {
+                strat.push_hit(&vs.peeled);
             }
-            if !next_combination(&mut idxs, n) {
+            if !next_combination(&mut strat.idxs, n) {
                 break;
             }
         }
-        if !hits.is_empty() {
-            return AcqResult {
-                communities: crate::finalize(g, &s, hits),
-                shared_keyword_count: size,
-                candidates_verified: verified,
-                truncated,
-            };
+        if strat.hit_count() > 0 {
+            out.shared_keyword_count = size;
+            out.candidates_verified = verified;
+            out.truncated = truncated;
+            finalize_into(g, strat, true, out);
+            return;
         }
         if truncated {
             break;
@@ -56,21 +68,23 @@ pub fn run(g: &AttributedGraph, q: VertexId, opts: &AcqOptions) -> AcqResult {
     // Fallback: the plain connected k-core containing q, computed without
     // any index (this is the baseline, after all).
     let all: Vec<VertexId> = g.vertices().collect();
-    let core = k_core_of_subset(g, &all, opts.k);
-    match connected_k_core_containing(g, &core, q, opts.k) {
-        Some(plain) => AcqResult {
-            communities: crate::finalize(g, &[], vec![plain]),
-            shared_keyword_count: 0,
-            candidates_verified: verified,
-            truncated,
-        },
-        None => AcqResult {
-            communities: Vec::new(),
-            shared_keyword_count: 0,
-            candidates_verified: verified,
-            truncated,
-        },
+    vs.peel.k_core_of_subset_into(g, &all, opts.k, &mut vs.kw_list);
+    strat.clear_hits();
+    out.candidates_verified = verified;
+    out.truncated = truncated;
+    if vs.peel.connected_k_core_containing_into(g, &vs.kw_list, q, opts.k, &mut vs.peeled) {
+        strat.push_hit(&vs.peeled);
+        finalize_into(g, strat, false, out);
     }
+    // else: out stays empty (q not in any k-core).
+}
+
+/// Runs `Basic` with a one-off scratch, returning an owned result.
+pub fn run(g: &AttributedGraph, q: VertexId, opts: &AcqOptions) -> AcqResult {
+    let mut scratch = QueryScratch::new();
+    let mut out = QueryAnswer::new();
+    run_scratch(g, q, opts, &mut scratch, &mut out);
+    out.to_result()
 }
 
 #[cfg(test)]

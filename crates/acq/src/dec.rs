@@ -6,47 +6,61 @@
 //! queries (community members share most of the query author's keywords)
 //! this touches only the top of the subset lattice, which is why the paper
 //! picks Dec for the system.
+//!
+//! Dec is the strategy the engine serves, so it is held to the strictest
+//! hot-path contract: with a warmed [`QueryScratch`] it performs **zero**
+//! heap allocations per query (asserted by `query_hotpath --smoke` in CI).
 
 use cx_cltree::ClTree;
 use cx_graph::{AttributedGraph, VertexId};
 
+use crate::scratch::{finalize_into, QueryAnswer, QueryScratch};
 use crate::verify::Verifier;
 use crate::{AcqOptions, AcqResult};
 
-/// Runs `Dec`.
-pub fn run(g: &AttributedGraph, tree: &ClTree, q: VertexId, opts: &AcqOptions) -> AcqResult {
-    let s = crate::effective_keywords(g, q, opts);
-    let Some(mut verifier) = Verifier::new(g, tree, q, opts.k, &s) else {
-        return AcqResult::empty();
+/// Runs `Dec` into a caller-provided scratch and answer.
+pub(crate) fn run_scratch(
+    g: &AttributedGraph,
+    tree: &ClTree,
+    q: VertexId,
+    opts: &AcqOptions,
+    scratch: &mut QueryScratch,
+    out: &mut QueryAnswer,
+) {
+    out.clear();
+    let QueryScratch { verify: vs, strat } = scratch;
+    crate::effective_keywords_into(g, q, opts, &mut strat.s);
+    let Some(mut verifier) = Verifier::new(g, tree, q, opts.k, &strat.s, vs) else {
+        return;
     };
-    let n = verifier.alive.len();
+    let n = verifier.alive_count();
     let budget = opts.max_candidates;
     let mut truncated = false;
 
     for size in (1..=n).rev() {
-        let mut hits: Vec<Vec<VertexId>> = Vec::new();
-        let mut idxs: Vec<usize> = (0..size).collect();
+        strat.clear_hits();
+        strat.idxs.clear();
+        strat.idxs.extend(0..size);
         loop {
             if budget > 0 && verifier.verified >= budget {
                 truncated = true;
                 break;
             }
-            if let Some(members) = verifier.verify(&idxs) {
-                hits.push(members);
+            if verifier.verify_idxs(&strat.idxs) {
+                let (hits_data, hits_off) = (&mut strat.hits_data, &mut strat.hits_off);
+                hits_data.extend_from_slice(verifier.peeled());
+                hits_off.push(hits_data.len());
             }
-            if !next_combination(&mut idxs, n) {
+            if !next_combination(&mut strat.idxs, n) {
                 break;
             }
         }
-        if !hits.is_empty() {
-            let shared = size;
-            let communities = crate::finalize(g, &s, hits);
-            return AcqResult {
-                communities,
-                shared_keyword_count: shared,
-                candidates_verified: verifier.verified,
-                truncated,
-            };
+        if strat.hit_count() > 0 {
+            out.shared_keyword_count = size;
+            out.candidates_verified = verifier.verified;
+            out.truncated = truncated;
+            finalize_into(g, strat, true, out);
+            return;
         }
         if truncated {
             break;
@@ -54,13 +68,21 @@ pub fn run(g: &AttributedGraph, tree: &ClTree, q: VertexId, opts: &AcqOptions) -
     }
 
     // No keyword subset verified: fall back to the plain connected k-core.
-    let plain = verifier.plain_core();
-    AcqResult {
-        communities: crate::finalize(g, &[], vec![plain]),
-        shared_keyword_count: 0,
-        candidates_verified: verifier.verified,
-        truncated,
-    }
+    strat.clear_hits();
+    strat.hits_data.extend_from_slice(verifier.core());
+    strat.hits_off.push(strat.hits_data.len());
+    out.shared_keyword_count = 0;
+    out.candidates_verified = verifier.verified;
+    out.truncated = truncated;
+    finalize_into(g, strat, false, out);
+}
+
+/// Runs `Dec` with a one-off scratch, returning an owned result.
+pub fn run(g: &AttributedGraph, tree: &ClTree, q: VertexId, opts: &AcqOptions) -> AcqResult {
+    let mut scratch = QueryScratch::new();
+    let mut out = QueryAnswer::new();
+    run_scratch(g, tree, q, opts, &mut scratch, &mut out);
+    out.to_result()
 }
 
 /// Advances `idxs` to the next size-|idxs| combination of `0..n` in

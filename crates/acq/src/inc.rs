@@ -6,47 +6,63 @@
 //! peeled vertex set of each verified prefix with all of its extensions
 //! (and pruning a failing prefix's entire subtree, which is sound because
 //! keyword-cores shrink as keywords are added).
+//!
+//! Both run their peeling against the reusable scratch. `Inc-T` keeps its
+//! prefix cores on a flattened stack in the scratch and is allocation-free
+//! in steady state; `Inc-S` retains small per-level bookkeeping
+//! allocations (the apriori join's candidate-set table), which is
+//! acceptable because the engine's hot path is `Dec`.
 
 use std::collections::HashSet;
 
 use cx_cltree::ClTree;
 use cx_graph::{AttributedGraph, VertexId};
 
-use crate::verify::{intersect_sorted_vertices, Verifier};
+use crate::scratch::{finalize_into, QueryAnswer, QueryScratch, StratScratch};
+use crate::verify::Verifier;
 use crate::{AcqOptions, AcqResult};
 
-/// Runs `Inc-S` (level-wise apriori).
-pub fn run_inc_s(g: &AttributedGraph, tree: &ClTree, q: VertexId, opts: &AcqOptions) -> AcqResult {
-    let s = crate::effective_keywords(g, q, opts);
-    let Some(mut verifier) = Verifier::new(g, tree, q, opts.k, &s) else {
-        return AcqResult::empty();
+/// Runs `Inc-S` (level-wise apriori) into a caller-provided scratch.
+pub(crate) fn run_inc_s_scratch(
+    g: &AttributedGraph,
+    tree: &ClTree,
+    q: VertexId,
+    opts: &AcqOptions,
+    scratch: &mut QueryScratch,
+    out: &mut QueryAnswer,
+) {
+    out.clear();
+    let QueryScratch { verify: vs, strat } = scratch;
+    crate::effective_keywords_into(g, q, opts, &mut strat.s);
+    let Some(mut verifier) = Verifier::new(g, tree, q, opts.k, &strat.s, vs) else {
+        return;
     };
-    let n = verifier.alive.len();
+    let n = verifier.alive_count();
     let budget = opts.max_candidates;
     let mut truncated = false;
 
     // Level 1: every surviving singleton, re-verified to capture its core.
     let mut level_sets: Vec<Vec<usize>> = Vec::new();
-    let mut best_hits: Vec<Vec<VertexId>> = Vec::new();
+    strat.clear_hits();
     for i in 0..n {
         if budget > 0 && verifier.verified >= budget {
             truncated = true;
             break;
         }
-        if let Some(core) = verifier.verify(&[i]) {
+        if verifier.verify_idxs(&[i]) {
             level_sets.push(vec![i]);
-            best_hits.push(core);
+            strat.push_hit(verifier.peeled());
         }
     }
 
     if level_sets.is_empty() {
-        let plain = verifier.plain_core();
-        return AcqResult {
-            communities: crate::finalize(g, &[], vec![plain]),
-            shared_keyword_count: 0,
-            candidates_verified: verifier.verified,
-            truncated,
-        };
+        strat.clear_hits();
+        strat.push_hit(verifier.core());
+        out.shared_keyword_count = 0;
+        out.candidates_verified = verifier.verified;
+        out.truncated = truncated;
+        finalize_into(g, strat, false, out);
+        return;
     }
 
     let mut size = 1usize;
@@ -78,9 +94,9 @@ pub fn run_inc_s(g: &AttributedGraph, tree: &ClTree, q: VertexId, opts: &AcqOpti
                 if !all_present {
                     continue;
                 }
-                if let Some(core) = verifier.verify(&cand) {
+                if verifier.verify_idxs(&cand) {
                     next_sets.push(cand);
-                    next_hits.push(core);
+                    next_hits.push(verifier.peeled().to_vec());
                 }
             }
         }
@@ -89,86 +105,128 @@ pub fn run_inc_s(g: &AttributedGraph, tree: &ClTree, q: VertexId, opts: &AcqOpti
         }
         size += 1;
         level_sets = next_sets;
-        best_hits = next_hits;
-    }
-
-    AcqResult {
-        communities: crate::finalize(g, &s, best_hits),
-        shared_keyword_count: size,
-        candidates_verified: verifier.verified,
-        truncated,
-    }
-}
-
-/// Runs `Inc-T` (set-enumeration tree, shared prefix verification).
-pub fn run_inc_t(g: &AttributedGraph, tree: &ClTree, q: VertexId, opts: &AcqOptions) -> AcqResult {
-    let s = crate::effective_keywords(g, q, opts);
-    let Some(mut verifier) = Verifier::new(g, tree, q, opts.k, &s) else {
-        return AcqResult::empty();
-    };
-    let n = verifier.alive.len();
-    let budget = opts.max_candidates;
-
-    struct Dfs {
-        best_size: usize,
-        best_hits: Vec<Vec<VertexId>>,
-        truncated: bool,
-        budget: usize,
-    }
-    let mut state =
-        Dfs { best_size: 0, best_hits: Vec::new(), truncated: false, budget };
-
-    fn dfs(
-        verifier: &mut Verifier<'_>,
-        prefix_core: &[VertexId],
-        start: usize,
-        depth: usize,
-        n: usize,
-        state: &mut Dfs,
-    ) {
-        for i in start..n {
-            if state.budget > 0 && verifier.verified >= state.budget {
-                state.truncated = true;
-                return;
-            }
-            // Extend the prefix with keyword i: its keyword-core is inside
-            // the prefix's peeled core intersected with i's carriers.
-            let members = intersect_sorted_vertices(prefix_core, verifier.list(i));
-            if let Some(core) = verifier.peel(&members) {
-                let size = depth + 1;
-                if size > state.best_size {
-                    state.best_size = size;
-                    state.best_hits.clear();
-                }
-                if size == state.best_size {
-                    state.best_hits.push(core.clone());
-                }
-                dfs(verifier, &core, i + 1, size, n, state);
-                if state.truncated {
-                    return;
-                }
-            }
-            // A failing extension prunes its subtree (anti-monotone).
+        strat.clear_hits();
+        for hit in &next_hits {
+            strat.push_hit(hit);
         }
     }
 
-    let root_core = verifier.plain_core();
-    dfs(&mut verifier, &root_core, 0, 0, n, &mut state);
+    out.shared_keyword_count = size;
+    out.candidates_verified = verifier.verified;
+    out.truncated = truncated;
+    finalize_into(g, strat, true, out);
+}
+
+/// Runs `Inc-S` with a one-off scratch, returning an owned result.
+pub fn run_inc_s(g: &AttributedGraph, tree: &ClTree, q: VertexId, opts: &AcqOptions) -> AcqResult {
+    let mut scratch = QueryScratch::new();
+    let mut out = QueryAnswer::new();
+    run_inc_s_scratch(g, tree, q, opts, &mut scratch, &mut out);
+    out.to_result()
+}
+
+/// Depth-first state for `Inc-T`; best hits accumulate in the strategy
+/// scratch's flattened hit buffers.
+struct Dfs {
+    best_size: usize,
+    truncated: bool,
+    budget: usize,
+}
+
+/// One set-enumeration-tree expansion: extend the prefix core stored at
+/// `prefix_data[lo..hi]` on the scratch's flattened prefix stack with each
+/// keyword `i ≥ start`, recursing on verified extensions.
+fn dfs(
+    verifier: &mut Verifier<'_>,
+    strat: &mut StratScratch,
+    lo: usize,
+    hi: usize,
+    start: usize,
+    depth: usize,
+    n: usize,
+    state: &mut Dfs,
+) {
+    for i in start..n {
+        if state.budget > 0 && verifier.verified >= state.budget {
+            state.truncated = true;
+            return;
+        }
+        // Extend the prefix with keyword i: its keyword-core is inside
+        // the prefix's peeled core intersected with i's carriers.
+        if verifier.verify_prefix_extend(&strat.prefix_data[lo..hi], i) {
+            let size = depth + 1;
+            if size > state.best_size {
+                state.best_size = size;
+                strat.clear_hits();
+            }
+            if size == state.best_size {
+                strat.push_hit(verifier.peeled());
+            }
+            // Push the peeled core onto the prefix stack and recurse.
+            let child_lo = strat.prefix_data.len();
+            strat.prefix_data.extend_from_slice(verifier.peeled());
+            let child_hi = strat.prefix_data.len();
+            dfs(verifier, strat, child_lo, child_hi, i + 1, size, n, state);
+            strat.prefix_data.truncate(child_lo);
+            if state.truncated {
+                return;
+            }
+        }
+        // A failing extension prunes its subtree (anti-monotone).
+    }
+}
+
+/// Runs `Inc-T` (set-enumeration tree, shared prefix verification) into a
+/// caller-provided scratch.
+pub(crate) fn run_inc_t_scratch(
+    g: &AttributedGraph,
+    tree: &ClTree,
+    q: VertexId,
+    opts: &AcqOptions,
+    scratch: &mut QueryScratch,
+    out: &mut QueryAnswer,
+) {
+    out.clear();
+    let QueryScratch { verify: vs, strat } = scratch;
+    crate::effective_keywords_into(g, q, opts, &mut strat.s);
+    let Some(mut verifier) = Verifier::new(g, tree, q, opts.k, &strat.s, vs) else {
+        return;
+    };
+    let n = verifier.alive_count();
+    let mut state = Dfs { best_size: 0, truncated: false, budget: opts.max_candidates };
+
+    strat.clear_hits();
+    // The DFS root: the plain connected k-core, at the bottom of the
+    // prefix stack.
+    strat.prefix_data.clear();
+    strat.prefix_data.extend_from_slice(verifier.core());
+    let root_hi = strat.prefix_data.len();
+    dfs(&mut verifier, strat, 0, root_hi, 0, 0, n, &mut state);
 
     if state.best_size == 0 {
-        return AcqResult {
-            communities: crate::finalize(g, &[], vec![root_core]),
-            shared_keyword_count: 0,
-            candidates_verified: verifier.verified,
-            truncated: state.truncated,
-        };
+        strat.clear_hits();
+        strat.prefix_data.truncate(root_hi);
+        let (hits_data, hits_off) = (&mut strat.hits_data, &mut strat.hits_off);
+        hits_data.extend_from_slice(&strat.prefix_data);
+        hits_off.push(hits_data.len());
+        out.shared_keyword_count = 0;
+        out.candidates_verified = verifier.verified;
+        out.truncated = state.truncated;
+        finalize_into(g, strat, false, out);
+        return;
     }
-    AcqResult {
-        communities: crate::finalize(g, &s, state.best_hits),
-        shared_keyword_count: state.best_size,
-        candidates_verified: verifier.verified,
-        truncated: state.truncated,
-    }
+    out.shared_keyword_count = state.best_size;
+    out.candidates_verified = verifier.verified;
+    out.truncated = state.truncated;
+    finalize_into(g, strat, true, out);
+}
+
+/// Runs `Inc-T` with a one-off scratch, returning an owned result.
+pub fn run_inc_t(g: &AttributedGraph, tree: &ClTree, q: VertexId, opts: &AcqOptions) -> AcqResult {
+    let mut scratch = QueryScratch::new();
+    let mut out = QueryAnswer::new();
+    run_inc_t_scratch(g, tree, q, opts, &mut scratch, &mut out);
+    out.to_result()
 }
 
 #[cfg(test)]

@@ -35,10 +35,13 @@ pub mod basic;
 pub mod dec;
 pub mod inc;
 pub mod multi;
+pub mod scratch;
 pub mod verify;
 
 use cx_cltree::ClTree;
 use cx_graph::{AttributedGraph, Community, KeywordId, VertexId};
+
+pub use scratch::{QueryAnswer, QueryScratch};
 
 /// Which ACQ query algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -143,8 +146,31 @@ pub fn acq(
     opts: &AcqOptions,
     strategy: AcqStrategy,
 ) -> AcqResult {
+    scratch::with_pooled(|scratch, answer| {
+        acq_with_scratch(g, tree, q, opts, strategy, scratch, answer);
+        answer.to_result()
+    })
+}
+
+/// Runs an ACQ query against caller-managed execution state.
+///
+/// This is the allocation-free entry: with a warmed `scratch`/`out` pair
+/// the `Dec` strategy performs no heap allocation, and the answer can be
+/// read directly from `out` without materialising owned vectors. [`acq`]
+/// wraps this with a per-thread pooled scratch; benchmarks and batch
+/// executors call it directly.
+pub fn acq_with_scratch(
+    g: &AttributedGraph,
+    tree: &ClTree,
+    q: VertexId,
+    opts: &AcqOptions,
+    strategy: AcqStrategy,
+    scratch: &mut QueryScratch,
+    out: &mut QueryAnswer,
+) {
     if !g.contains(q) {
-        return AcqResult::empty();
+        out.clear();
+        return;
     }
     let _span = cx_obs::span(match strategy {
         AcqStrategy::Basic => "acq.basic",
@@ -153,29 +179,41 @@ pub fn acq(
         AcqStrategy::Dec => "acq.dec",
     });
     match strategy {
-        AcqStrategy::Basic => basic::run(g, q, opts),
-        AcqStrategy::IncS => inc::run_inc_s(g, tree, q, opts),
-        AcqStrategy::IncT => inc::run_inc_t(g, tree, q, opts),
-        AcqStrategy::Dec => dec::run(g, tree, q, opts),
+        AcqStrategy::Basic => basic::run_scratch(g, q, opts, scratch, out),
+        AcqStrategy::IncS => inc::run_inc_s_scratch(g, tree, q, opts, scratch, out),
+        AcqStrategy::IncT => inc::run_inc_t_scratch(g, tree, q, opts, scratch, out),
+        AcqStrategy::Dec => dec::run_scratch(g, tree, q, opts, scratch, out),
     }
 }
 
 /// The effective query keyword set: explicit `S` filtered to `W(q)`, or
 /// all of `W(q)` when no explicit set was given. Sorted, deduplicated.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn effective_keywords(
     g: &AttributedGraph,
     q: VertexId,
     opts: &AcqOptions,
 ) -> Vec<KeywordId> {
+    let mut s = Vec::new();
+    effective_keywords_into(g, q, opts, &mut s);
+    s
+}
+
+/// [`effective_keywords`] into a reusable buffer (cleared first).
+pub(crate) fn effective_keywords_into(
+    g: &AttributedGraph,
+    q: VertexId,
+    opts: &AcqOptions,
+    out: &mut Vec<KeywordId>,
+) {
+    out.clear();
     let wq = g.keywords(q);
     if opts.keywords.is_empty() {
-        wq.to_vec()
+        out.extend_from_slice(wq);
     } else {
-        let mut s: Vec<KeywordId> =
-            opts.keywords.iter().copied().filter(|&w| wq.binary_search(&w).is_ok()).collect();
-        s.sort_unstable();
-        s.dedup();
-        s
+        out.extend(opts.keywords.iter().copied().filter(|&w| wq.binary_search(&w).is_ok()));
+        out.sort_unstable();
+        out.dedup();
     }
 }
 

@@ -5,24 +5,26 @@
 //! verifier caches the single-keyword vertex lists (restricted to q's
 //! connected k-core via the CL-tree) and intersects them per candidate, so
 //! each verification is a sorted-merge plus one subset peel.
+//!
+//! The verifier is a *view* over a [`VerifyScratch`]: all of its state —
+//! the cached k-core, the flattened keyword lists, the intersection
+//! accumulators and the peel buffers — lives in the scratch and is reused
+//! across queries, so steady-state verification performs no heap
+//! allocation.
 
-use cx_cltree::{ClTree, NodeId};
+use cx_cltree::ClTree;
 use cx_graph::{AttributedGraph, KeywordId, VertexId};
-use cx_kcore::connected_k_core_containing;
+
+use crate::scratch::VerifyScratch;
 
 /// Per-query verification context: q's k-core subtree and cached
-/// single-keyword vertex lists within it.
-pub struct Verifier<'a> {
+/// single-keyword vertex lists within it, all resident in a borrowed
+/// [`VerifyScratch`].
+pub(crate) struct Verifier<'a> {
     g: &'a AttributedGraph,
     q: VertexId,
     k: u32,
-    /// Vertices of the connected k-core containing q (sorted).
-    pub core: Vec<VertexId>,
-    /// Surviving keywords of S (those whose singleton keyword-core exists),
-    /// sorted by id.
-    pub alive: Vec<KeywordId>,
-    /// `lists[i]`: sorted vertices of `core` carrying `alive[i]`.
-    lists: Vec<Vec<VertexId>>,
+    vs: &'a mut VerifyScratch,
     /// Verification counter (peeling runs), reported in [`crate::AcqResult`].
     pub verified: usize,
 }
@@ -39,74 +41,177 @@ impl<'a> Verifier<'a> {
         q: VertexId,
         k: u32,
         s: &[KeywordId],
+        vs: &'a mut VerifyScratch,
     ) -> Option<Self> {
-        let subtree: NodeId = tree.subtree_root_for(q, k)?;
-        let core = tree.subtree_vertices(subtree);
-        let mut v = Self { g, q, k, core, alive: Vec::new(), lists: Vec::new(), verified: 0 };
+        let subtree = tree.subtree_root_for(q, k)?;
+        tree.subtree_vertices_into(subtree, &mut vs.stack, &mut vs.core);
+        vs.alive.clear();
+        vs.lists_data.clear();
+        vs.lists_off.clear();
+        vs.lists_off.push(0);
+        let mut v = Self { g, q, k, vs, verified: 0 };
         for &w in s {
-            let members = tree.keyword_vertices_in_subtree(subtree, w);
+            tree.keyword_vertices_in_subtree_into(subtree, w, &mut v.vs.stack, &mut v.vs.kw_list);
             v.verified += 1;
-            if connected_k_core_containing(g, &members, q, k).is_some() {
-                v.alive.push(w);
-                v.lists.push(members);
+            if v.vs.peel.connected_k_core_containing_into(
+                g,
+                &v.vs.kw_list,
+                q,
+                k,
+                &mut v.vs.peeled,
+            ) {
+                // Cache the *peeled* singleton core, not the raw carrier
+                // list: every candidate community is contained in each of
+                // its keywords' singleton cores, so intersecting cores
+                // (typically orders of magnitude smaller than carrier
+                // lists) peels to the identical answer.
+                v.vs.alive.push(w);
+                v.vs.lists_data.extend_from_slice(&v.vs.peeled);
+                v.vs.lists_off.push(v.vs.lists_data.len());
             }
         }
         Some(v)
     }
 
-    /// The candidate vertex list for one surviving keyword (by index into
-    /// [`Self::alive`]).
-    pub fn list(&self, idx: usize) -> &[VertexId] {
-        &self.lists[idx]
+    /// Vertices of the connected k-core containing q (sorted).
+    pub fn core(&self) -> &[VertexId] {
+        &self.vs.core
     }
 
-    /// Intersects the vertex lists of the keywords at `idxs` (indices into
-    /// [`Self::alive`]). Empty `idxs` yields the whole k-core.
-    pub fn intersect(&self, idxs: &[usize]) -> Vec<VertexId> {
-        if idxs.is_empty() {
-            return self.core.clone();
-        }
-        let mut acc: Vec<VertexId> = self.lists[idxs[0]].clone();
+    /// Surviving keywords of S (those whose singleton keyword-core
+    /// exists), sorted by id.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn alive(&self) -> &[KeywordId] {
+        &self.vs.alive
+    }
+
+    /// Number of surviving keywords.
+    pub fn alive_count(&self) -> usize {
+        self.vs.alive.len()
+    }
+
+    /// Output of the most recent successful verification.
+    pub fn peeled(&self) -> &[VertexId] {
+        &self.vs.peeled
+    }
+
+    /// Intersects the vertex lists of the keywords at `idxs` into the
+    /// scratch accumulator. Empty `idxs` yields the whole k-core.
+    ///
+    /// Seeds the accumulator from the *shortest* list — intersections
+    /// only shrink, so starting small keeps every later merge near the
+    /// size of the final answer rather than of the inputs.
+    fn intersect_into_acc(&mut self, idxs: &[usize]) {
+        let vs = &mut *self.vs;
+        vs.acc.clear();
+        let Some(&first) = idxs.first() else {
+            vs.acc.extend_from_slice(&vs.core);
+            return;
+        };
+        let len_of = |off: &[usize], i: usize| off[i + 1] - off[i];
+        let mut smallest = first;
         for &i in &idxs[1..] {
-            acc = intersect_sorted_vertices(&acc, &self.lists[i]);
-            if acc.is_empty() {
+            if len_of(&vs.lists_off, i) < len_of(&vs.lists_off, smallest) {
+                smallest = i;
+            }
+        }
+        vs.acc
+            .extend_from_slice(&vs.lists_data[vs.lists_off[smallest]..vs.lists_off[smallest + 1]]);
+        for &i in idxs {
+            if i == smallest {
+                continue;
+            }
+            let list = &vs.lists_data[vs.lists_off[i]..vs.lists_off[i + 1]];
+            intersect_sorted_adaptive(&vs.acc, list, &mut vs.tmp);
+            std::mem::swap(&mut vs.acc, &mut vs.tmp);
+            if vs.acc.is_empty() {
                 break;
             }
         }
-        acc
     }
 
-    /// Verifies a candidate vertex list: peel to the connected k-core
-    /// containing q. Increments the work counter.
-    pub fn peel(&mut self, members: &[VertexId]) -> Option<Vec<VertexId>> {
+    /// Peels the accumulator to the connected k-core containing q; the
+    /// result lands in [`Self::peeled`]. Increments the work counter.
+    fn peel_acc(&mut self) -> bool {
         self.verified += 1;
+        let vs = &mut *self.vs;
         // Fast rejections: q must be present and at least k+1 vertices must
         // remain for a k-core to exist at all.
-        if members.len() < self.k as usize + 1 && self.k > 0 {
-            return None;
+        if vs.acc.len() < self.k as usize + 1 && self.k > 0 {
+            return false;
         }
-        if members.binary_search(&self.q).is_err() {
-            return None;
+        if vs.acc.binary_search(&self.q).is_err() {
+            return false;
         }
-        connected_k_core_containing(self.g, members, self.q, self.k)
+        vs.peel.connected_k_core_containing_into(self.g, &vs.acc, self.q, self.k, &mut vs.peeled)
     }
 
-    /// Convenience: intersect then peel.
-    pub fn verify(&mut self, idxs: &[usize]) -> Option<Vec<VertexId>> {
-        let members = self.intersect(idxs);
-        self.peel(&members)
+    /// Verifies a candidate keyword subset (indices into [`Self::alive`]):
+    /// intersect the lists, then peel. On success the community is in
+    /// [`Self::peeled`].
+    pub fn verify_idxs(&mut self, idxs: &[usize]) -> bool {
+        self.intersect_into_acc(idxs);
+        self.peel_acc()
     }
 
-    /// Fallback answer when no keyword subset verifies: the plain
-    /// connected k-core containing q.
-    pub fn plain_core(&self) -> Vec<VertexId> {
-        self.core.clone()
+    /// Verifies an arbitrary candidate member list (sorted). On success
+    /// the community is in [`Self::peeled`].
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn verify_members(&mut self, members: &[VertexId]) -> bool {
+        self.vs.acc.clear();
+        self.vs.acc.extend_from_slice(members);
+        self.peel_acc()
+    }
+
+    /// Verifies the extension of a prefix core by keyword `i`: intersect
+    /// the prefix with `list(i)`, then peel. On success the extended
+    /// community is in [`Self::peeled`]. Inc-T's shared-prefix step.
+    pub fn verify_prefix_extend(&mut self, prefix: &[VertexId], i: usize) -> bool {
+        {
+            let vs = &mut *self.vs;
+            let list = &vs.lists_data[vs.lists_off[i]..vs.lists_off[i + 1]];
+            intersect_sorted_adaptive(prefix, list, &mut vs.acc);
+        }
+        self.peel_acc()
     }
 }
 
-/// Sorted-merge intersection of two vertex lists.
-pub fn intersect_sorted_vertices(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
+/// Size ratio beyond which intersection switches from a linear merge to
+/// binary-probing the longer list with elements of the shorter one.
+const GALLOP_RATIO: usize = 16;
+
+/// Sorted intersection into `out` (cleared first), picking the cheaper of
+/// a linear merge and a binary-search probe based on the length skew.
+/// Output is identical either way; only the traversal differs.
+fn intersect_sorted_adaptive(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.len().saturating_mul(GALLOP_RATIO) >= big.len() {
+        intersect_sorted_into(a, b, out);
+        return;
+    }
+    out.clear();
+    // Narrow the probe window as `small` advances: both lists are sorted,
+    // so matches for later elements can only sit further right.
+    let mut lo = 0usize;
+    for &x in small {
+        match big[lo..].binary_search(&x) {
+            Ok(p) => {
+                out.push(x);
+                lo += p + 1;
+            }
+            Err(p) => lo += p,
+        }
+        if lo >= big.len() {
+            break;
+        }
+    }
+}
+
+/// Sorted-merge intersection of two vertex lists into a caller-provided
+/// buffer (cleared first); allocation-free once the buffer has capacity.
+pub fn intersect_sorted_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    out.reserve(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -119,6 +224,12 @@ pub fn intersect_sorted_vertices(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId
             }
         }
     }
+}
+
+/// Sorted-merge intersection of two vertex lists.
+pub fn intersect_sorted_vertices(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    intersect_sorted_into(a, b, &mut out);
     out
 }
 
@@ -134,12 +245,13 @@ mod tests {
         let a = g.vertex_by_label("A").unwrap();
         let s: Vec<KeywordId> =
             ["w", "x", "y"].iter().map(|n| g.interner().get(n).unwrap()).collect();
-        let v = Verifier::new(&g, &tree, a, 2, &s).unwrap();
+        let mut vs = crate::QueryScratch::new();
+        let v = Verifier::new(&g, &tree, a, 2, &s, &mut vs.verify).unwrap();
         // w is only on A → its singleton core dies; x and y survive.
         let names: Vec<&str> =
-            v.alive.iter().map(|&w| g.interner().name(w).unwrap()).collect();
+            v.alive().iter().map(|&w| g.interner().name(w).unwrap()).collect();
         assert_eq!(names, vec!["x", "y"]);
-        assert_eq!(v.core.len(), 5); // {A,B,C,D,E}
+        assert_eq!(v.core().len(), 5); // {A,B,C,D,E}
     }
 
     #[test]
@@ -149,10 +261,11 @@ mod tests {
         let a = g.vertex_by_label("A").unwrap();
         let s: Vec<KeywordId> =
             ["w", "x", "y"].iter().map(|n| g.interner().get(n).unwrap()).collect();
-        let mut v = Verifier::new(&g, &tree, a, 2, &s).unwrap();
+        let mut vs = crate::QueryScratch::new();
+        let mut v = Verifier::new(&g, &tree, a, 2, &s, &mut vs.verify).unwrap();
         // {x, y} (both surviving keywords): A, C, D carry both.
-        let got = v.verify(&[0, 1]).unwrap();
-        let labels: Vec<&str> = got.iter().map(|&u| g.label(u)).collect();
+        assert!(v.verify_idxs(&[0, 1]));
+        let labels: Vec<&str> = v.peeled().iter().map(|&u| g.label(u)).collect();
         assert_eq!(labels, vec!["A", "C", "D"]);
     }
 
@@ -161,7 +274,8 @@ mod tests {
         let g = figure5_graph();
         let tree = ClTree::build(&g);
         let a = g.vertex_by_label("A").unwrap();
-        assert!(Verifier::new(&g, &tree, a, 4, &[]).is_none());
+        let mut vs = crate::QueryScratch::new();
+        assert!(Verifier::new(&g, &tree, a, 4, &[], &mut vs.verify).is_none());
     }
 
     #[test]
@@ -169,8 +283,42 @@ mod tests {
         let g = figure5_graph();
         let tree = ClTree::build(&g);
         let a = g.vertex_by_label("A").unwrap();
-        let mut v = Verifier::new(&g, &tree, a, 2, &[]).unwrap();
-        assert!(v.peel(&[]).is_none());
+        let mut vs = crate::QueryScratch::new();
+        let mut v = Verifier::new(&g, &tree, a, 2, &[], &mut vs.verify).unwrap();
+        assert!(!v.verify_members(&[]));
         assert!(v.verified >= 1);
+    }
+
+    /// A reused verifier scratch must give identical answers to a fresh
+    /// one, across queries and graphs.
+    #[test]
+    fn scratch_reuse_is_transparent() {
+        let g = figure5_graph();
+        let tree = ClTree::build(&g);
+        let mut pooled = crate::QueryScratch::new();
+        for q in g.vertices() {
+            for k in 1..=3 {
+                let s = g.keywords(q).to_vec();
+                let mut fresh = crate::QueryScratch::new();
+                let a = Verifier::new(&g, &tree, q, k, &s, &mut pooled.verify);
+                let b = Verifier::new(&g, &tree, q, k, &s, &mut fresh.verify);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(mut a), Some(mut b)) => {
+                        assert_eq!(a.core(), b.core(), "q={q} k={k}");
+                        assert_eq!(a.alive(), b.alive(), "q={q} k={k}");
+                        for i in 0..a.alive_count() {
+                            let ra = a.verify_idxs(&[i]);
+                            let rb = b.verify_idxs(&[i]);
+                            assert_eq!(ra, rb, "q={q} k={k} i={i}");
+                            if ra {
+                                assert_eq!(a.peeled(), b.peeled(), "q={q} k={k} i={i}");
+                            }
+                        }
+                    }
+                    _ => panic!("fresh/pooled verifier existence diverged at q={q} k={k}"),
+                }
+            }
+        }
     }
 }

@@ -2,26 +2,41 @@
 //! decomposition, CL-tree build, triangle counting, and end-to-end query
 //! latency at 1/2/4/8 threads on one seeded workload.
 //!
-//! Emits one JSON line per `(threads, phase)` measurement so runs are
+//! Emits one JSON line per `(threads, phase)` measurement — median
+//! latency plus an allocation census (a counting global allocator
+//! records allocs/bytes for one run of each phase) — so runs are
 //! machine-comparable (see `BENCH_par_scaling.json` for a committed
-//! run), then a summary block with the speedups versus one thread and a
-//! determinism check: core numbers, tree vertex sets, and triangle
-//! counts must be identical at every thread count.
+//! run), then a summary block with the speedups versus one thread, the
+//! process peak RSS, and a determinism check: core numbers, tree vertex
+//! sets, and triangle counts must be identical at every thread count.
+//!
+//! Scaling is enforced softly: on a multi-core host, if the best phase
+//! speedup at the highest thread count falls below [`SPEEDUP_FLOOR`] the
+//! run prints a loud warning (but still exits 0 — CI boxes vary too much
+//! for a hard gate). Determinism stays a hard assert.
 //!
 //! Usage: `par_scaling [vertices] [samples]` (defaults 100000, 3).
 
 use std::time::Instant;
 
-use cx_bench::{hub_vertex, workload};
+use cx_bench::{alloc_counter, hub_vertex, peak_rss_kb, workload};
 use cx_cltree::ClTree;
 use cx_explorer::{Engine, QuerySpec};
 use cx_kcore::truss::triangle_count;
 use cx_kcore::CoreDecomposition;
 
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+
 const PHASES: [&str; 4] = ["core_decomposition", "cltree_build", "triangle_count", "query"];
 
-/// Median of `samples` timed runs of `f`, in milliseconds.
-fn median_ms<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+/// Minimum acceptable best-phase speedup at the highest thread count on
+/// a host that actually has more than one CPU. Warn-only.
+const SPEEDUP_FLOOR: f64 = 1.2;
+
+/// Median of `samples` timed runs of `f` plus an allocation census of
+/// one additional run: `(median ms, allocs, bytes)`.
+fn measure<R>(samples: usize, mut f: impl FnMut() -> R) -> (f64, u64, u64) {
     std::hint::black_box(f());
     let mut times: Vec<f64> = (0..samples)
         .map(|_| {
@@ -31,7 +46,8 @@ fn median_ms<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
         })
         .collect();
     times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+    let (_, allocs, bytes) = alloc_counter::counted(|| std::hint::black_box(f()));
+    (times[times.len() / 2], allocs, bytes)
 }
 
 /// A stable fingerprint of a vertex-set family (FNV-1a over sorted data).
@@ -64,11 +80,12 @@ struct Run {
 
 fn run_at(threads: usize, n: usize, samples: usize) -> Run {
     std::env::set_var("CX_THREADS", threads.to_string());
+    cx_par::refresh_threads();
     let (g, _) = workload(n, 7);
 
-    let core_ms = median_ms(samples, || CoreDecomposition::compute_par(&g));
-    let tree_ms = median_ms(samples, || ClTree::build(&g));
-    let tri_ms = median_ms(samples, || triangle_count(&g));
+    let core = measure(samples, || CoreDecomposition::compute_par(&g));
+    let tree_m = measure(samples, || ClTree::build(&g));
+    let tri = measure(samples, || triangle_count(&g));
 
     let hub = hub_vertex(&g);
     let label = g.label(hub).to_owned();
@@ -82,18 +99,28 @@ fn run_at(threads: usize, n: usize, samples: usize) -> Run {
     let engine = Engine::with_graph("dblp", g);
     engine.set_cache_capacity(0); // measure the algorithm, not the cache
     let spec = QuerySpec::by_label(label).k(4);
-    let query_ms = median_ms(samples, || engine.search("acq", &spec).expect("search failed"));
+    let query = measure(samples, || engine.search("acq", &spec).expect("search failed"));
 
-    let ms = vec![core_ms, tree_ms, tri_ms, query_ms];
-    for (phase, m) in PHASES.iter().zip(&ms) {
+    let phases = [core, tree_m, tri, query];
+    for (phase, &(m, allocs, bytes)) in PHASES.iter().zip(&phases) {
         println!(
-            "{{\"threads\":{threads},\"phase\":\"{phase}\",\"vertices\":{n},\"median_ms\":{m:.2},\"samples\":{samples}}}"
+            "{{\"threads\":{threads},\"phase\":\"{phase}\",\"vertices\":{n},\"median_ms\":{m:.2},\"allocs\":{allocs},\"bytes\":{bytes},\"samples\":{samples}}}"
         );
     }
-    Run { threads, ms, cores, tree_print, triangles }
+    Run {
+        threads,
+        ms: phases.iter().map(|&(m, _, _)| m).collect(),
+        cores,
+        tree_print,
+        triangles,
+    }
 }
 
 fn main() {
+    // Tracing spans allocate; keep the census about the algorithms.
+    if std::env::var_os("CX_OBS").is_none() {
+        std::env::set_var("CX_OBS", "off");
+    }
     let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
     let samples: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(3);
 
@@ -116,8 +143,21 @@ fn main() {
     // host every thread count time-slices one CPU and speedups sit at
     // ~1.0 — record the host so readers can interpret the numbers.
     let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let widest = runs.last().expect("at least one run");
+    let best_speedup = (0..PHASES.len())
+        .map(|i| base.ms[i] / widest.ms[i].max(1e-9))
+        .fold(0.0f64, f64::max);
+    if cpus > 1 && best_speedup < SPEEDUP_FLOOR {
+        eprintln!(
+            "WARN: best phase speedup at {} threads is {best_speedup:.2}x on a {cpus}-cpu \
+             host (soft floor {SPEEDUP_FLOOR}x)",
+            widest.threads
+        );
+    }
+    let rss = peak_rss_kb().unwrap_or(0);
     println!(
-        "{{\"vertices\":{n},\"host_cpus\":{cpus},\"results_identical_across_threads\":{identical}}}"
+        "{{\"vertices\":{n},\"host_cpus\":{cpus},\"peak_rss_kb\":{rss},\"best_speedup_at_{}\":{best_speedup:.2},\"results_identical_across_threads\":{identical}}}",
+        widest.threads
     );
     assert!(identical, "parallel results diverged from single-threaded");
 }

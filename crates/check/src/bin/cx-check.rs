@@ -17,7 +17,10 @@
 //!    graph, maintained core numbers, repaired CL-tree and a live query
 //!    must all match a from-scratch rebuild of the same edge set.
 //! 7. **Thread differential** — fingerprints at CX_THREADS=1 vs. N.
-//! 8. **API fuzz** — mutated requests must never panic or break the
+//! 8. **Scratch-reuse differential** — the pooled zero-alloc query path
+//!    vs. a deliberately dirtied caller-managed scratch, at 1 and 8
+//!    threads: reuse must leave no residue between queries.
+//! 9. **API fuzz** — mutated requests must never panic or break the
 //!    JSON error contract.
 //!
 //! Exit status 0 = clean; 1 = violations found; 2 = bad usage.
@@ -28,7 +31,7 @@ use cx_check::oracle::thread_differential;
 use cx_check::{
     acq_strategy_differential, cached_vs_uncached, check_acq_result, edit_script, fingerprint,
     fuzz_server, graph_matrix, incremental_vs_scratch, query_workload,
-    snapshot_pinning_differential, FuzzParams,
+    scratch_reuse_differential, snapshot_pinning_differential, FuzzParams,
 };
 use cx_cltree::ClTree;
 use cx_datagen::dblp_like;
@@ -200,6 +203,18 @@ fn main() {
                 let r = acq(g, &t, q, k);
                 format!("max_core={};{}", d.max_core(), fingerprint(&r))
             }) {
+                problems.push(format!("{} {}", case.name, m));
+            }
+        }
+        // Scratch-reuse differential: the pooled path, a reused
+        // caller-managed scratch, and the 8-thread gate must all agree
+        // on every workload query.
+        for qc in &workload {
+            let mut opts = AcqOptions::with_k(qc.k).max_candidates(2000);
+            if !qc.keywords.is_empty() {
+                opts = opts.keywords(qc.keywords.clone());
+            }
+            for m in scratch_reuse_differential(g, &tree, qc.q, &opts) {
                 problems.push(format!("{} {}", case.name, m));
             }
         }

@@ -46,6 +46,6 @@ pub use invariants::{
 };
 pub use oracle::{
     acq_strategy_differential, cached_vs_uncached, incremental_vs_scratch,
-    snapshot_pinning_differential, with_threads, Mismatch,
+    scratch_reuse_differential, snapshot_pinning_differential, with_threads, Mismatch,
 };
 pub use workload::{edit_script, graph_matrix, query_workload, EditStep, GraphCase, QueryCase};

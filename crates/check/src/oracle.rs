@@ -313,6 +313,76 @@ pub fn incremental_vs_scratch(
     mismatches
 }
 
+/// Scratch-reuse oracle for the zero-alloc query path: a reused
+/// [`QueryScratch`]/[`QueryAnswer`] pair must leave no residue between
+/// queries, and the thread-pool gate must not change answers.
+///
+/// For each strategy, four executions of the same query must agree:
+///
+/// 1. the public [`acq`] entry (per-thread pooled scratch) at
+///    `CX_THREADS=1` — the reference,
+/// 2. an immediate pooled repeat (the pool is now warm and dirty),
+/// 3. a caller-managed pair driven through [`acq_with_scratch`] twice —
+///    the *second* answer is compared, so stale hits, counters or
+///    candidate buffers left by the first run would surface,
+/// 4. the same reused pair again at `CX_THREADS=8`, crossing the
+///    parallel-expansion threshold gate.
+pub fn scratch_reuse_differential(
+    g: &AttributedGraph,
+    tree: &ClTree,
+    q: VertexId,
+    opts: &AcqOptions,
+) -> Vec<Mismatch> {
+    use cx_acq::{acq_with_scratch, QueryAnswer, QueryScratch};
+
+    let mut mismatches = Vec::new();
+    for strat in [AcqStrategy::Dec, AcqStrategy::IncS, AcqStrategy::IncT] {
+        let context = format!("{} q={} ({:?}) k={}", strat.name(), g.label(q), q, opts.k);
+        let mismatch = |detail: String| Mismatch {
+            oracle: "scratch",
+            context: context.clone(),
+            detail,
+        };
+
+        let reference = with_threads(1, || acq(g, tree, q, opts, strat));
+        let repeat = with_threads(1, || acq(g, tree, q, opts, strat));
+
+        let mut scratch = QueryScratch::new();
+        let mut answer = QueryAnswer::new();
+        let reused = with_threads(1, || {
+            // First run dirties every buffer; the second answer is the
+            // one under test.
+            acq_with_scratch(g, tree, q, opts, strat, &mut scratch, &mut answer);
+            acq_with_scratch(g, tree, q, opts, strat, &mut scratch, &mut answer);
+            answer.to_result()
+        });
+        let reused_mt = with_threads(8, || {
+            acq_with_scratch(g, tree, q, opts, strat, &mut scratch, &mut answer);
+            answer.to_result()
+        });
+
+        let mut rivals = [
+            ("pooled-repeat", &repeat),
+            ("reused-scratch", &reused),
+            ("reused-scratch-8t", &reused_mt),
+        ];
+        for (name, res) in &mut rivals {
+            if res.shared_keyword_count != reference.shared_keyword_count {
+                mismatches.push(mismatch(format!(
+                    "{name} found |L|={}, pooled reference found |L|={}",
+                    res.shared_keyword_count, reference.shared_keyword_count
+                )));
+            }
+            if let Some(d) =
+                diff_results(name, &res.communities, "pooled", &reference.communities)
+            {
+                mismatches.push(mismatch(d));
+            }
+        }
+    }
+    mismatches
+}
+
 /// Rebuilds `g` from scratch with a replacement edge set (same vertices,
 /// labels and keywords, interned in the same order so ids line up).
 fn rebuild_with_edges(g: &AttributedGraph, edges: &[(VertexId, VertexId)]) -> AttributedGraph {
@@ -339,11 +409,13 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     let _guard = THREAD_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let old = std::env::var("CX_THREADS").ok();
     std::env::set_var("CX_THREADS", n.to_string());
+    cx_par::refresh_threads();
     let out = f();
     match old {
         Some(v) => std::env::set_var("CX_THREADS", v),
         None => std::env::remove_var("CX_THREADS"),
     }
+    cx_par::refresh_threads();
     out
 }
 
@@ -461,6 +533,18 @@ mod tests {
         let mm = incremental_vs_scratch(&g, &script, "acq", &QuerySpec::by_label("A").k(2));
         assert_eq!(mm.len(), 1);
         assert!(mm[0].detail.contains("edit failed"), "{}", mm[0]);
+    }
+
+    #[test]
+    fn scratch_reuse_oracle_is_clean_on_figure5() {
+        let g = figure5_graph();
+        let tree = ClTree::build(&g);
+        for q in g.vertices() {
+            for k in 1..=3 {
+                let mm = scratch_reuse_differential(&g, &tree, q, &AcqOptions::with_k(k));
+                assert!(mm.is_empty(), "q={q:?} k={k}: {mm:?}");
+            }
+        }
     }
 
     #[test]

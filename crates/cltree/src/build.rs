@@ -209,14 +209,28 @@ impl ClTree {
     /// All vertices in the subtree rooted at `id`, sorted.
     pub fn subtree_vertices(&self, id: NodeId) -> Vec<VertexId> {
         let mut out = Vec::new();
-        let mut stack = vec![id];
+        self.subtree_vertices_into(id, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`ClTree::subtree_vertices`]: the DFS
+    /// `stack` and the sorted output are written into caller-provided
+    /// buffers (cleared first), so the query hot path can reuse them.
+    pub fn subtree_vertices_into(
+        &self,
+        id: NodeId,
+        stack: &mut Vec<NodeId>,
+        out: &mut Vec<VertexId>,
+    ) {
+        out.clear();
+        stack.clear();
+        stack.push(id);
         while let Some(nid) = stack.pop() {
             let node = &self.nodes[nid.index()];
             out.extend_from_slice(&node.vertices);
             stack.extend_from_slice(&node.children);
         }
         out.sort_unstable();
-        out
     }
 
     /// The connected k-core containing `q` (sorted vertices), via the index.
@@ -229,14 +243,28 @@ impl ClTree {
     /// the graph.
     pub fn keyword_vertices_in_subtree(&self, id: NodeId, w: KeywordId) -> Vec<VertexId> {
         let mut out = Vec::new();
-        let mut stack = vec![id];
+        self.keyword_vertices_in_subtree_into(id, w, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`ClTree::keyword_vertices_in_subtree`]
+    /// over caller-provided buffers (cleared first).
+    pub fn keyword_vertices_in_subtree_into(
+        &self,
+        id: NodeId,
+        w: KeywordId,
+        stack: &mut Vec<NodeId>,
+        out: &mut Vec<VertexId>,
+    ) {
+        out.clear();
+        stack.clear();
+        stack.push(id);
         while let Some(nid) = stack.pop() {
             let node = &self.nodes[nid.index()];
             out.extend_from_slice(node.vertices_with(w));
             stack.extend_from_slice(&node.children);
         }
         out.sort_unstable();
-        out
     }
 
     /// Convenience: vertices carrying `w` within the connected k-core of `q`.

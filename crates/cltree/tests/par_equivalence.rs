@@ -26,17 +26,20 @@ fn shape(tree: &ClTree, g: &AttributedGraph) -> Vec<(u32, Option<u32>, Vec<u32>)
 
 fn at_thread_counts(g: &AttributedGraph) {
     std::env::set_var("CX_THREADS", "1");
+    cx_par::refresh_threads();
     let base_tree = ClTree::build(g);
     let base = shape(&base_tree, g);
     let base_cores: Vec<u32> = g.vertices().map(|v| base_tree.core(v)).collect();
     for threads in ["2", "8"] {
         std::env::set_var("CX_THREADS", threads);
+        cx_par::refresh_threads();
         let tree = ClTree::build(g);
         assert_eq!(shape(&tree, g), base, "tree shape diverged at CX_THREADS={threads}");
         let cores: Vec<u32> = g.vertices().map(|v| tree.core(v)).collect();
         assert_eq!(cores, base_cores, "cores diverged at CX_THREADS={threads}");
     }
     std::env::remove_var("CX_THREADS");
+    cx_par::refresh_threads();
 }
 
 #[test]
@@ -73,9 +76,11 @@ fn keyword_queries_identical_across_thread_counts() {
             .collect()
     };
     std::env::set_var("CX_THREADS", "1");
+    cx_par::refresh_threads();
     let base = probe(&ClTree::build(&g));
     for threads in ["2", "8"] {
         std::env::set_var("CX_THREADS", threads);
+        cx_par::refresh_threads();
         assert_eq!(
             probe(&ClTree::build(&g)),
             base,
@@ -83,4 +88,5 @@ fn keyword_queries_identical_across_thread_counts() {
         );
     }
     std::env::remove_var("CX_THREADS");
+    cx_par::refresh_threads();
 }

@@ -96,6 +96,15 @@ impl KeywordInterner {
 /// [`crate::GraphBuilder`]); the output is then strictly sorted too.
 pub fn intersect_sorted(a: &[KeywordId], b: &[KeywordId]) -> Vec<KeywordId> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
+    intersect_sorted_into(a, b, &mut out);
+    out
+}
+
+/// Intersects two sorted keyword slices into a caller-provided buffer
+/// (cleared first) — the reusable-scratch variant of
+/// [`intersect_sorted`], allocation-free once the buffer has capacity.
+pub fn intersect_sorted_into(a: &[KeywordId], b: &[KeywordId], out: &mut Vec<KeywordId>) {
+    out.clear();
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -108,7 +117,6 @@ pub fn intersect_sorted(a: &[KeywordId], b: &[KeywordId]) -> Vec<KeywordId> {
             }
         }
     }
-    out
 }
 
 /// Size of the intersection of two sorted keyword slices, without allocating.

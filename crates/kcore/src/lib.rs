@@ -13,16 +13,22 @@
 //!   of an induced subgraph, and the connected k-core containing a query
 //!   vertex. This is the verification step ACQ runs per candidate keyword
 //!   set, and the local check used by the `Local` algorithm.
+//! * [`scratch`] — the same subset peeling against reusable epoch-cleared
+//!   buffers ([`PeelScratch`]): zero heap allocations per steady-state
+//!   verification, with a level-synchronous frontier-parallel path for
+//!   large member sets. The ACQ query hot path runs on this.
 //! * [`truss`] — triangle counting, truss decomposition and the
 //!   triangle-connected k-truss community search of Huang et al.
 //!   (SIGMOD'14), the alternative cohesiveness measure the paper cites.
 
 pub mod decomposition;
 pub mod dynamic;
+pub mod scratch;
 pub mod subset;
 pub mod truss;
 
 pub use decomposition::CoreDecomposition;
 pub use dynamic::DynamicCore;
+pub use scratch::PeelScratch;
 pub use subset::{connected_k_core_containing, k_core_of_subset};
 pub use truss::{truss_communities, TrussDecomposition};

@@ -19,12 +19,15 @@ fn graphs() -> Vec<AttributedGraph> {
 /// Runs `f` once per thread count and asserts all outputs are equal.
 fn at_thread_counts<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
     std::env::set_var("CX_THREADS", "1");
+    cx_par::refresh_threads();
     let base = f();
     for threads in ["2", "8"] {
         std::env::set_var("CX_THREADS", threads);
+        cx_par::refresh_threads();
         assert_eq!(f(), base, "diverged at CX_THREADS={threads}");
     }
     std::env::remove_var("CX_THREADS");
+    cx_par::refresh_threads();
 }
 
 #[test]

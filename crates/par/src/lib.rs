@@ -41,8 +41,32 @@ pub mod rng;
 /// environment variable when set to an integer ≥ 1, otherwise
 /// [`std::thread::available_parallelism`] (1 if that fails).
 ///
-/// Read on every call, so tests can switch thread counts at runtime.
+/// The resolved value is cached (reading an env var allocates, and this
+/// is called on query hot paths that must be allocation-free). Code that
+/// changes `CX_THREADS` at runtime — tests, benchmarks, differential
+/// oracles — must call [`refresh_threads`] afterwards for the change to
+/// take effect.
 pub fn num_threads() -> usize {
+    match THREADS_CACHE.load(Ordering::Relaxed) {
+        0 => {
+            let n = read_env_threads();
+            THREADS_CACHE.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Invalidates the [`num_threads`] cache so the next call re-reads
+/// `CX_THREADS`. Call after setting or removing the variable in-process.
+pub fn refresh_threads() {
+    THREADS_CACHE.store(0, Ordering::Relaxed);
+}
+
+/// Cached worker count; 0 means "not yet resolved".
+static THREADS_CACHE: AtomicUsize = AtomicUsize::new(0);
+
+fn read_env_threads() -> usize {
     match std::env::var("CX_THREADS") {
         Ok(s) => match s.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
@@ -138,6 +162,22 @@ pub fn par_map_slice<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) 
     par_map_indexed(items.len(), |i| f(&items[i]))
 }
 
+/// Maps `0..n` to a `Vec<R>` in index order with **one task per index**.
+///
+/// [`par_map_indexed`] batches indices into ≥1024-element chunks, which
+/// deliberately serialises small inputs — the right call when each item
+/// is cheap. This is the complement for *coarse-grained* items (e.g. one
+/// community query each, as in the server's `search_batch`): every index
+/// is its own unit of work, pulled dynamically by up to [`num_threads`]
+/// scoped workers. Output is assembled in index order, so results are
+/// independent of the thread count like every other helper here.
+pub fn par_map_tasks<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if n <= 1 || num_threads() == 1 {
+        return (0..n).map(f).collect();
+    }
+    run_chunked(n, &f).into_iter().map(|(_, r)| r).collect()
+}
+
 /// Runs `f(start_offset, chunk)` over disjoint mutable chunks of `data`
 /// (each `chunk_len` long except possibly the last) on parallel workers.
 ///
@@ -212,11 +252,13 @@ mod tests {
     fn with_threads<R>(n: &str, f: impl FnOnce() -> R) -> R {
         let old = std::env::var("CX_THREADS").ok();
         std::env::set_var("CX_THREADS", n);
+        refresh_threads();
         let out = f();
         match old {
             Some(v) => std::env::set_var("CX_THREADS", v),
             None => std::env::remove_var("CX_THREADS"),
         }
+        refresh_threads();
         out
     }
 
@@ -284,6 +326,18 @@ mod tests {
     #[test]
     fn reduce_empty_is_none() {
         assert!(par_reduce(0, |r| r.len(), |a, b| a + b).is_none());
+    }
+
+    #[test]
+    fn map_tasks_orders_results_at_any_thread_count() {
+        // Small n (below the chunking threshold) must still come back in
+        // index order, and identically at every thread count.
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for t in ["1", "2", "8"] {
+            let got = with_threads(t, || par_map_tasks(37, |i| i * i));
+            assert_eq!(got, expect, "threads={t}");
+        }
+        assert!(par_map_tasks(0, |i| i).is_empty());
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub enum Json {
     Array(Vec<Json>),
     /// An object with sorted keys.
     Object(BTreeMap<String, Json>),
+    /// A pre-serialized JSON fragment, written verbatim by the writer.
+    ///
+    /// This is the zero-copy escape hatch for hot responses: a handler can
+    /// stream graph-resident slices (labels, interned keyword names)
+    /// straight into one buffer with [`escape_into`] instead of cloning
+    /// each into an owned [`Json::String`] node. The parser never produces
+    /// this variant, and the caller is responsible for the fragment being
+    /// well-formed JSON.
+    Raw(String),
 }
 
 impl Json {
@@ -155,11 +164,38 @@ impl fmt::Display for Json {
                 }
                 write!(f, "}}")
             }
+            Json::Raw(s) => write!(f, "{s}"),
         }
     }
 }
 
 fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    escape_to(f, s)
+}
+
+/// Appends `s` to `out` as a quoted, RFC 8259-escaped JSON string —
+/// the streaming counterpart of [`Json::String`] serialisation, for
+/// building [`Json::Raw`] fragments without intermediate allocations.
+pub fn escape_into(out: &mut String, s: &str) {
+    // Writing to a String is infallible.
+    let _ = escape_to(out, s);
+}
+
+/// Appends a JSON number to `out`, matching [`Json::Number`]'s rules:
+/// non-finite values become `null`, integral values print without a
+/// fractional part.
+pub fn number_into(out: &mut String, n: f64) {
+    use fmt::Write;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn escape_to<W: fmt::Write>(f: &mut W, s: &str) -> fmt::Result {
     write!(f, "\"")?;
     for ch in s.chars() {
         match ch {
@@ -466,6 +502,38 @@ mod tests {
     fn whitespace_everywhere() {
         let v = Json::parse("  { \"a\" : [ 1 , 2 ] , \"b\" : null }  ").unwrap();
         assert_eq!(v.get("a").and_then(Json::as_array).map(|a| a.len()), Some(2));
+    }
+
+    #[test]
+    fn raw_fragments_write_verbatim_and_compose() {
+        let mut buf = String::from("[");
+        escape_into(&mut buf, "line\n\"q\"");
+        buf.push(',');
+        number_into(&mut buf, 42.0);
+        buf.push(',');
+        number_into(&mut buf, 1.5);
+        buf.push(',');
+        number_into(&mut buf, f64::NAN);
+        buf.push(']');
+        let v = Json::obj([("items", Json::Raw(buf))]);
+        let text = v.to_string();
+        // The composed document is valid JSON and matches the tree the
+        // non-streaming builders would have produced.
+        let parsed = Json::parse(&text).unwrap();
+        let items = parsed.get("items").and_then(Json::as_array).unwrap();
+        assert_eq!(items[0].as_str(), Some("line\n\"q\""));
+        assert_eq!(items[1].as_f64(), Some(42.0));
+        assert_eq!(items[2].as_f64(), Some(1.5));
+        assert_eq!(items[3], Json::Null);
+    }
+
+    #[test]
+    fn escape_into_matches_string_serialisation() {
+        for s in ["plain", "uni: café", "ctl\u{1}\t\\", ""] {
+            let mut buf = String::new();
+            escape_into(&mut buf, s);
+            assert_eq!(buf, Json::str(s).to_string());
+        }
     }
 
     #[test]

@@ -36,11 +36,11 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use cx_explorer::{Engine, ExplorerError, GraphSnapshot, QuerySpec};
-use cx_graph::{Community, VertexId};
+use cx_graph::{AttributedGraph, Community, VertexId};
 use cx_layout::LayoutAlgorithm;
 
 use crate::http::{Request, Response};
-use crate::json::Json;
+use crate::json::{escape_into, number_into, Json};
 
 /// Typed, stable error codes for the JSON API. The HTTP status of every
 /// error is derived from its code in exactly one place ([`ErrorCode::status`]),
@@ -220,6 +220,14 @@ fn dispatch(engine: &Engine, req: &Request, request_id: &str, t0: Instant) -> Re
         ("GET", "profile") => timed("profile", || profile(engine, req)),
         ("POST", "upload") => timed("upload", || upload(engine, req)),
         ("POST", "edit") => timed("edit", || edit(engine, req)),
+        ("POST", "search_batch") if v1 => timed("search_batch", || search_batch(engine, req)),
+        // The batch endpoint is v1-only by design (its per-item envelopes
+        // presuppose the v1 error model); the legacy namespace answers
+        // with a typed 404, not a 405, so clients learn it never existed
+        // there rather than retrying with another method.
+        ("POST", "search_batch") => {
+            Err(ApiError::not_found("search_batch is only available under /api/v1"))
+        }
         ("GET", "trace") if v1 => timed("trace", || trace_endpoint(req)),
         ("GET", _) => Err(ApiError::not_found("no such endpoint")),
         _ => Err(ApiError::new(ErrorCode::MethodNotAllowed, "method not allowed")),
@@ -470,11 +478,17 @@ fn edit(engine: &Engine, req: &Request) -> Handler {
     ])))
 }
 
+/// How many best matches one suggest computation considers, regardless of
+/// the requested page. The engine fetch depends only on the query string —
+/// never on `limit`/`offset` — so the computation (and any cache keyed on
+/// it) is page-independent; pagination is a slice on read, like `search`.
+const SUGGEST_SCAN_CAP: usize = 256;
+
 fn suggest(engine: &Engine, req: &Request) -> Handler {
     let q = req.param("q").unwrap_or("");
     let (limit, offset) = page_params(req, 8, 100);
-    let hits = engine.suggest(req.param("graph"), q, offset.saturating_add(limit))?;
-    Ok(Payload::Data(Json::arr(hits.into_iter().skip(offset).map(
+    let hits = engine.suggest(req.param("graph"), q, SUGGEST_SCAN_CAP)?;
+    Ok(Payload::Data(Json::arr(hits.into_iter().skip(offset).take(limit).map(
         |(v, label, degree)| {
             Json::obj([
                 ("id", Json::num(v.0 as f64)),
@@ -520,6 +534,59 @@ fn layout_from(req: &Request) -> LayoutAlgorithm {
     }
 }
 
+/// Appends the community's `theme` array straight from the keyword
+/// interner: each shared-keyword name is escaped from its interned `&str`
+/// slice into `buf` — no `Vec<String>` materialisation.
+fn write_theme(buf: &mut String, g: &AttributedGraph, c: &Community) {
+    buf.push('[');
+    let interner = g.interner();
+    let mut first = true;
+    for &w in c.shared_keywords() {
+        if let Some(name) = interner.name(w) {
+            if !first {
+                buf.push(',');
+            }
+            first = false;
+            escape_into(buf, name);
+        }
+    }
+    buf.push(']');
+}
+
+/// Appends the community's `members` array straight from the CSR label
+/// column: each label is escaped from the graph-resident `&str` into
+/// `buf` — no per-member `String` clone.
+fn write_members(buf: &mut String, g: &AttributedGraph, c: &Community) {
+    for (i, &v) in c.vertices().iter().enumerate() {
+        buf.push_str(if i == 0 { "[{\"id\":" } else { ",{\"id\":" });
+        number_into(buf, v.0 as f64);
+        buf.push_str(",\"label\":");
+        escape_into(buf, g.label(v));
+        buf.push('}');
+    }
+    if c.vertices().is_empty() {
+        buf.push('[');
+    }
+    buf.push(']');
+}
+
+/// Appends one full community object (everything but the scene) to `buf`,
+/// serialised zero-copy from graph slices — what `search_batch` streams
+/// per community.
+fn write_community(buf: &mut String, g: &AttributedGraph, c: &Community) {
+    buf.push_str("{\"avg_degree\":");
+    number_into(buf, c.average_internal_degree(g));
+    buf.push_str(",\"edges\":");
+    number_into(buf, c.internal_edge_count(g) as f64);
+    buf.push_str(",\"members\":");
+    write_members(buf, g, c);
+    buf.push_str(",\"size\":");
+    number_into(buf, c.len() as f64);
+    buf.push_str(",\"theme\":");
+    write_theme(buf, g, c);
+    buf.push('}');
+}
+
 fn community_json(
     e: &Engine,
     snap: &GraphSnapshot,
@@ -534,18 +601,19 @@ fn community_json(
     let scene = Json::parse(&e.display_snapshot(snap, c, layout, highlight).to_json())
         .ok()
         .unwrap_or(Json::Null);
-    let members = Json::arr(c.vertices().iter().map(|&v| {
-        Json::obj([
-            ("id", Json::num(v.0 as f64)),
-            ("label", Json::str(g.label(v))),
-        ])
-    }));
+    // Members and theme are streamed zero-copy from graph slices into
+    // raw fragments instead of cloning every label/keyword into owned
+    // Json::String nodes.
+    let mut members = String::new();
+    write_members(&mut members, g, c);
+    let mut theme = String::new();
+    write_theme(&mut theme, g, c);
     Json::obj([
         ("size", Json::num(c.len() as f64)),
         ("edges", Json::num(c.internal_edge_count(g) as f64)),
         ("avg_degree", Json::num(c.average_internal_degree(g))),
-        ("theme", Json::arr(c.theme(g).into_iter().map(Json::str))),
-        ("members", members),
+        ("theme", Json::Raw(theme)),
+        ("members", Json::Raw(members)),
         ("scene", scene),
     ])
 }
@@ -590,6 +658,184 @@ fn search(engine: &Engine, req: &Request) -> Handler {
         ("cmf", Json::num(analysis.cmf)),
         // The query author's keywords, so the UI can render the chips.
         ("query_keywords", Json::arr(g.keyword_names(g.keywords(q)).into_iter().map(Json::str))),
+    ])))
+}
+
+/// Maximum number of query specs one `search_batch` request may carry.
+const BATCH_MAX: usize = 64;
+
+/// One parsed member of a `search_batch` request.
+struct BatchItem {
+    spec: QuerySpec,
+    algo: String,
+    limit: usize,
+    offset: usize,
+}
+
+/// Reads an optional non-negative integer field with the API's historical
+/// pagination leniency: wrong type / negative / fractional falls back to
+/// the default (mirroring `page_params` on the GET routes).
+fn usize_field(v: &Json, key: &str, default: usize) -> usize {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .filter(|x| x.fract() == 0.0 && *x >= 0.0 && *x < 9e15)
+        .map(|x| x as usize)
+        .unwrap_or(default)
+}
+
+/// Parses one batch entry. Shapes mirror the GET `search` parameters:
+/// `name` | `names` (array) | `id`, plus `k`, `keywords` (array), `algo`,
+/// and `limit`/`offset` under exactly the GET routes' clamp rules
+/// (limit default 20, clamped to 1..=100; offset default 0).
+fn batch_item(v: &Json) -> Result<BatchItem, ApiError> {
+    if !matches!(v, Json::Object(_)) {
+        return Err(ApiError::bad_json("each batch entry must be an object"));
+    }
+    let mut spec = if let Some(names) = v.get("names").and_then(Json::as_array) {
+        let labels: Vec<&str> = names.iter().filter_map(Json::as_str).collect();
+        if labels.len() != names.len() {
+            return Err(ApiError::bad_query("names entries must be strings"));
+        }
+        if labels.is_empty() {
+            return Err(ApiError::bad_query("names is empty"));
+        }
+        QuerySpec::by_labels(labels)
+    } else if let Some(name) = v.get("name").and_then(Json::as_str) {
+        QuerySpec::by_label(name)
+    } else if let Some(id) = v.get("id") {
+        match id.as_f64().filter(|x| x.fract() == 0.0 && *x >= 0.0 && *x <= u32::MAX as f64) {
+            Some(i) => QuerySpec::by_id(VertexId(i as u32)),
+            None => return Err(ApiError::bad_query("id must be a non-negative integer")),
+        }
+    } else {
+        return Err(ApiError::bad_query("missing name/names/id field"));
+    };
+    match v.get("k") {
+        None => {}
+        Some(k) => match k.as_f64().filter(|x| x.fract() == 0.0 && *x >= 0.0 && *x <= u32::MAX as f64) {
+            Some(k) => spec = spec.k(k as u32),
+            None => return Err(ApiError::bad_query("k must be a non-negative integer")),
+        },
+    }
+    if let Some(kws) = v.get("keywords").and_then(Json::as_array) {
+        let words: Vec<&str> = kws.iter().filter_map(Json::as_str).collect();
+        if words.len() != kws.len() {
+            return Err(ApiError::bad_query("keywords entries must be strings"));
+        }
+        spec = spec.with_keywords(words);
+    }
+    let algo = v.get("algo").and_then(Json::as_str).unwrap_or("acq").to_owned();
+    let limit = usize_field(v, "limit", 20).clamp(1, 100);
+    let offset = usize_field(v, "offset", 0);
+    Ok(BatchItem { spec, algo, limit, offset })
+}
+
+/// Executes one parsed batch member against the shared pinned snapshot:
+/// one cache pass (get-or-compute) in `search_snapshot`, then zero-copy
+/// community serialisation. The payload mirrors GET `search` minus the
+/// decorative scene (batch clients wanting a drawing fetch `/api/v1/svg`
+/// per community).
+fn run_batch_item(engine: &Engine, snap: &GraphSnapshot, item: &BatchItem) -> Result<Json, ApiError> {
+    let communities = engine.search_snapshot(snap, &item.algo, &item.spec)?;
+    let g = &*snap.graph;
+    let q = match item.spec.resolve(g) {
+        Ok(qs) if !qs.is_empty() => qs[0],
+        Ok(_) => return Err(ApiError::bad_query("query resolved to no vertices")),
+        Err(err) => return Err(err.into()),
+    };
+    let analysis = engine.analyze_snapshot(snap, &communities, q)?;
+    let total = communities.len();
+    let mut list = String::from("[");
+    for (i, c) in communities.iter().skip(item.offset).take(item.limit).enumerate() {
+        if i > 0 {
+            list.push(',');
+        }
+        write_community(&mut list, g, c);
+    }
+    list.push(']');
+    Ok(Json::obj([
+        ("query", Json::obj([
+            ("vertex", Json::num(q.0 as f64)),
+            ("label", Json::str(g.label(q))),
+            ("k", Json::num(item.spec.k as f64)),
+            ("algo", Json::str(item.algo.clone())),
+        ])),
+        ("communities", Json::Raw(list)),
+        ("total_communities", Json::num(total as f64)),
+        ("limit", Json::num(item.limit as f64)),
+        ("offset", Json::num(item.offset as f64)),
+        ("cpj", Json::num(analysis.cpj)),
+        ("cmf", Json::num(analysis.cmf)),
+    ]))
+}
+
+/// The per-item envelope: success wraps the item payload, failure carries
+/// the same typed `{code, message}` object the top-level envelope uses,
+/// so one bad spec degrades exactly one slot of the batch.
+fn batch_envelope(result: Result<Json, ApiError>) -> Json {
+    match result {
+        Ok(data) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("data", data),
+            ("error", Json::Null),
+        ]),
+        Err(e) => Json::obj([
+            ("ok", Json::Bool(false)),
+            ("data", Json::Null),
+            ("error", Json::obj([
+                ("code", Json::str(e.code.as_str())),
+                ("message", Json::str(e.message)),
+            ])),
+        ]),
+    }
+}
+
+/// POST /api/v1/search_batch — body:
+/// `{"graph": "name"?, "queries": [{...}, ...]}` with at most
+/// [`BATCH_MAX`] entries (see [`batch_item`] for the entry shape).
+///
+/// The whole batch pins **one** snapshot, so every member (results,
+/// labels, quality metrics, the reported generation) describes the same
+/// graph version even while edits land concurrently. Members execute in
+/// parallel over the `cx-par` pool, each doing a single query-cache pass;
+/// per-member failures come back as typed per-item envelopes while the
+/// batch itself stays a 200.
+fn search_batch(engine: &Engine, req: &Request) -> Handler {
+    let body = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::bad_json("body must be UTF-8 JSON"))?;
+    let v = Json::parse(body).map_err(|e| ApiError::bad_json(format!("bad JSON: {e}")))?;
+    let Some(items) = v.get("queries").and_then(Json::as_array) else {
+        return Err(ApiError::bad_json("body must carry a \"queries\" array"));
+    };
+    if items.is_empty() {
+        return Err(ApiError::bad_query("queries is empty"));
+    }
+    if items.len() > BATCH_MAX {
+        return Err(ApiError::bad_query(format!(
+            "batch of {} queries exceeds the limit of {BATCH_MAX}",
+            items.len()
+        )));
+    }
+    let graph = v.get("graph").and_then(Json::as_str).or_else(|| req.param("graph"));
+    // One snapshot pin for the whole batch.
+    let snap = engine.snapshot(graph)?;
+    let parsed: Vec<Result<BatchItem, ApiError>> = items.iter().map(batch_item).collect();
+    let results: Vec<Json> = cx_par::par_map_tasks(parsed.len(), |i| {
+        batch_envelope(match &parsed[i] {
+            Ok(item) => run_batch_item(engine, &snap, item),
+            Err(e) => Err(e.clone()),
+        })
+    });
+    let succeeded = results
+        .iter()
+        .filter(|r| r.get("ok").and_then(Json::as_bool) == Some(true))
+        .count();
+    Ok(Payload::Data(Json::obj([
+        ("graph", Json::str(snap.name())),
+        ("generation", Json::num(snap.generation as f64)),
+        ("count", Json::num(results.len() as f64)),
+        ("succeeded", Json::num(succeeded as f64)),
+        ("results", Json::arr(results)),
     ])))
 }
 
@@ -828,6 +1074,106 @@ mod tests {
         let page = page.as_array().unwrap();
         assert_eq!(page.len(), 2);
         assert_eq!(page[0], all[1], "offset=1 must skip the first suggestion");
+    }
+
+    /// Unwraps the v1 envelope, asserting it succeeded.
+    fn v1_data(r: &crate::Response) -> Json {
+        let v = Json::parse(&r.text()).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{}", r.text());
+        v.get("data").unwrap().clone()
+    }
+
+    #[test]
+    fn search_batch_mixes_success_and_typed_failure() {
+        let s = server();
+        let body = r#"{"queries":[
+            {"name":"A","k":2},
+            {"name":"ZZZ","k":2},
+            {"k":2}
+        ]}"#;
+        let r = s.handle(&Request::post("/api/v1/search_batch", body));
+        assert_eq!(r.status, 200, "{}", r.text());
+        let data = v1_data(&r);
+        assert_eq!(data.get("graph").and_then(Json::as_str), Some("fig5"));
+        assert_eq!(data.get("generation").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(data.get("count").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(data.get("succeeded").and_then(Json::as_f64), Some(1.0));
+        let results = data.get("results").and_then(Json::as_array).unwrap();
+        // Item 0: the paper's example query, same shape as GET search
+        // minus the scene.
+        let ok = &results[0];
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        let item = ok.get("data").unwrap();
+        let comms = item.get("communities").and_then(Json::as_array).unwrap();
+        assert_eq!(comms.len(), 1);
+        assert_eq!(comms[0].get("size").and_then(Json::as_f64), Some(3.0));
+        assert!(comms[0].get("scene").is_none());
+        assert!(item.get("cpj").and_then(Json::as_f64).unwrap() > 0.0);
+        // Item 1: unknown vertex fails just that slot, with a typed code.
+        let missing = &results[1];
+        assert_eq!(missing.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(matches!(missing.get("data"), Some(Json::Null)));
+        let err = missing.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("unknown_vertex"));
+        // Item 2: no vertex selector at all.
+        let bad = &results[2];
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            bad.get("error").unwrap().get("code").and_then(Json::as_str),
+            Some("bad_query")
+        );
+    }
+
+    #[test]
+    fn search_batch_rejects_oversize_empty_and_malformed() {
+        let s = server();
+        // Empty batch.
+        let r = s.handle(&Request::post("/api/v1/search_batch", r#"{"queries":[]}"#));
+        assert_eq!(r.status, 400);
+        // Over the BATCH_MAX cap.
+        let items: Vec<String> = (0..65).map(|_| r#"{"name":"A"}"#.to_owned()).collect();
+        let body = format!("{{\"queries\":[{}]}}", items.join(","));
+        let r = s.handle(&Request::post("/api/v1/search_batch", body));
+        assert_eq!(r.status, 400, "{}", r.text());
+        // Malformed JSON and a body without the queries array.
+        for body in ["{not json", r#"{"graph":"fig5"}"#, r#"{"queries":42}"#] {
+            let r = s.handle(&Request::post("/api/v1/search_batch", body));
+            assert_eq!(r.status, 400, "{}", r.text());
+            let v = Json::parse(&r.text()).unwrap();
+            assert_eq!(
+                v.get("error").unwrap().get("code").and_then(Json::as_str),
+                Some("bad_json")
+            );
+        }
+    }
+
+    #[test]
+    fn search_batch_items_clamp_pagination_like_get_search() {
+        let s = server();
+        let body = r#"{"queries":[
+            {"name":"A","k":2,"limit":999999,"offset":0},
+            {"name":"A","k":2,"limit":-3},
+            {"name":"A","k":2,"limit":1,"offset":1}
+        ]}"#;
+        let r = s.handle(&Request::post("/api/v1/search_batch", body));
+        assert_eq!(r.status, 200, "{}", r.text());
+        let results = v1_data(&r);
+        let results = results.get("results").and_then(Json::as_array).unwrap();
+        let item = |i: usize| results[i].get("data").unwrap().clone();
+        assert_eq!(item(0).get("limit").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(item(1).get("limit").and_then(Json::as_f64), Some(20.0));
+        // Offset past the single result: empty page, total intact.
+        assert_eq!(item(2).get("total_communities").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(item(2).get("communities").and_then(Json::as_array).map(|a| a.len()), Some(0));
+    }
+
+    #[test]
+    fn search_batch_never_existed_on_the_legacy_namespace() {
+        let s = server();
+        let r = s.handle(&Request::post("/api/search_batch", r#"{"queries":[{"name":"A"}]}"#));
+        assert_eq!(r.status, 404, "{}", r.text());
+        let v = Json::parse(&r.text()).unwrap();
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("not_found"));
     }
 
     #[test]

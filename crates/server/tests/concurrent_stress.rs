@@ -148,6 +148,75 @@ fn readers_see_single_published_snapshots_while_writer_edits() {
     assert_eq!(d.get("edges").and_then(Json::as_f64), Some(11.0), "EDITS is even: edge restored");
 }
 
+/// Batched search under a concurrent writer: every item of a
+/// `search_batch` response must describe the *same* snapshot — the one
+/// whose generation the response header reports — even though the writer
+/// keeps publishing new generations while the batch executes its members
+/// in parallel.
+///
+/// Same fig5 invariant as above: odd generations have the K4 intact (one
+/// k=3 community of size 4), even generations have none. A batch whose
+/// items straddled two snapshots would mix the two worlds and trip the
+/// per-item asserts.
+#[test]
+fn batch_items_all_describe_the_reported_generation() {
+    const BATCH_READERS: usize = 4;
+    const BATCHES_PER_READER: usize = 25;
+
+    let server = Server::new(Engine::with_graph("fig5", cx_datagen::figure5_graph()));
+    let port = server.serve_background().unwrap();
+
+    let readers: Vec<_> = (0..BATCH_READERS)
+        .map(|r| {
+            std::thread::spawn(move || {
+                let body = r#"{"queries":[
+                    {"name":"A","k":3},{"name":"B","k":3},
+                    {"name":"A","k":3,"limit":1},{"name":"A","k":3}
+                ]}"#;
+                let mut last_gen = 0u64;
+                for _ in 0..BATCHES_PER_READER {
+                    let (status, resp) = http_post(port, "/api/v1/search_batch", body);
+                    let d = data_of(status, &resp);
+                    let gen = d.get("generation").and_then(Json::as_f64).unwrap() as u64;
+                    assert!(gen >= last_gen, "reader {r}: generation went backwards");
+                    last_gen = gen;
+                    let results = d.get("results").and_then(Json::as_array).unwrap();
+                    assert_eq!(results.len(), 4);
+                    for item in results {
+                        assert_eq!(item.get("ok").and_then(Json::as_bool), Some(true));
+                        let comms = item
+                            .get("data")
+                            .and_then(|d| d.get("communities"))
+                            .and_then(Json::as_array)
+                            .unwrap();
+                        if gen % 2 == 1 {
+                            assert_eq!(comms.len(), 1, "gen {gen}: K4 intact for every item");
+                            assert_eq!(comms[0].get("size").and_then(Json::as_f64), Some(4.0));
+                        } else {
+                            assert!(comms.is_empty(), "gen {gen}: K4 edge gone for every item");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let writer = std::thread::spawn(move || {
+        for i in 0..EDITS {
+            let body =
+                if i % 2 == 0 { r#"{"remove":[[0,1]]}"# } else { r#"{"add":[[0,1]]}"# };
+            let (status, resp) = http_post(port, "/api/v1/edit", body);
+            data_of(status, &resp);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    });
+
+    for r in readers {
+        r.join().unwrap();
+    }
+    writer.join().unwrap();
+}
+
 /// Engine-level (no HTTP) pinned-reader test against the incremental
 /// write path: a writer applies 16-edge bursts to a ~2000-vertex
 /// DBLP-like graph while readers pin snapshots mid-stream.

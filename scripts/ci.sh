@@ -2,10 +2,12 @@
 # Tier-1 verification wrapper: release build, full test suite (at two
 # thread counts, since every parallel helper promises thread-count
 # independence), the snapshot-concurrency stress test, par_scaling,
-# concurrent_reads and edit_latency smoke runs, and the cx-check
-# correctness sweep at both thread counts (invariants + differential
-# oracles incl. snapshot pinning and incremental-vs-scratch + API fuzz
-# over a seeded graph/query matrix). Run from anywhere inside the repo.
+# query_hotpath (asserting the zero-alloc steady-state contract at both
+# thread counts), concurrent_reads and edit_latency smoke runs, and the
+# cx-check correctness sweep at both thread counts (invariants +
+# differential oracles incl. snapshot pinning, incremental-vs-scratch
+# and scratch-reuse + API fuzz over a seeded graph/query matrix). Run
+# from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +28,12 @@ CX_THREADS=8 cargo test -q -p cx-server --test concurrent_stress
 
 echo "== par_scaling smoke (5k vertices, 2 samples) =="
 cargo run -q --release -p cx-bench --bin par_scaling -- 5000 2
+
+echo "== query_hotpath smoke (0 allocs/query steady state, CX_THREADS=1) =="
+CX_THREADS=1 cargo run -q --release -p cx-bench --bin query_hotpath -- 20000 2 --smoke
+
+echo "== query_hotpath smoke (0 allocs/query steady state, CX_THREADS=8) =="
+CX_THREADS=8 cargo run -q --release -p cx-bench --bin query_hotpath -- 20000 2 --smoke
 
 echo "== concurrent_reads smoke (reader p99 under writer ≤ 2x, CX_THREADS=1) =="
 CX_THREADS=1 cargo run -q --release -p cx-bench --bin concurrent_reads -- 5000 20
