@@ -1,0 +1,144 @@
+//! Store recovery: the payoff benchmark for the durable write path.
+//!
+//! Builds a DBLP-like graph, runs it through a store-backed engine with
+//! a toggle-edit workload, then measures the durability costs that
+//! matter operationally:
+//!
+//! * **append latency** — `cx_store_append_us` p50/p99 over the WAL
+//!   appends of the run (the write-path tax per mutation);
+//! * **replay-on-boot** — wall time of `Engine::open_durable` against
+//!   the full WAL (worst case: no checkpoint, every edit replayed);
+//! * **checkpoint recovery** — the same boot after a compaction folded
+//!   the WAL into snapshots (best case: load checkpoints, empty WAL).
+//!
+//! Every boot is also a correctness check: the recovered generation and
+//! edge count must match the pre-crash engine exactly.
+//!
+//! Emits one JSON line per size; writes `BENCH_store_recovery.json`
+//! unless `--smoke` is given (CI smoke-runs a small size and must not
+//! overwrite the committed 100k-vertex report).
+//!
+//! Usage: `store_recovery [sizes] [edits] [--smoke]`
+//! (defaults `100000`, 200).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use cx_bench::{hub_vertex, workload};
+use cx_explorer::Engine;
+
+/// Bucket snapshot of a histogram: `(upper_bound_us, cumulative_count)`.
+type Buckets = Vec<(Option<u64>, u64)>;
+
+/// Estimates the `q`-quantile of the samples recorded *between* two
+/// cumulative-bucket snapshots (the global histogram has no reset, so
+/// per-phase quantiles come from deltas). Returns the upper bound of the
+/// bucket the quantile falls in — the same estimate Prometheus makes.
+fn quantile_between(before: &Buckets, after: &Buckets, q: f64) -> f64 {
+    let total: u64 = after.last().map(|&(_, c)| c).unwrap_or(0)
+        - before.last().map(|&(_, c)| c).unwrap_or(0);
+    if total == 0 {
+        return 0.0;
+    }
+    let target = ((total as f64) * q).ceil() as u64;
+    let mut last_finite = 0.0;
+    for (i, &(bound, after_c)) in after.iter().enumerate() {
+        let before_c = before.get(i).map(|&(_, c)| c).unwrap_or(0);
+        if let Some(b) = bound {
+            last_finite = b as f64;
+        }
+        if after_c - before_c >= target {
+            return last_finite;
+        }
+    }
+    last_finite
+}
+
+fn fresh_dir(n: usize) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cx-bench-store-{n}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = argv.iter().filter(|a| !a.starts_with("--")).collect();
+    let sizes: Vec<usize> = positional
+        .first()
+        .map(|a| a.split(',').filter_map(|p| p.parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![100_000]);
+    let edits: usize = positional.get(1).and_then(|a| a.parse().ok()).unwrap_or(200);
+
+    let append_hist = cx_obs::metrics::global().histogram("cx_store_append_us");
+    let mut report = String::new();
+    for &n in &sizes {
+        let (g, _) = workload(n, 7);
+        let edges = g.edge_count();
+        let hub = hub_vertex(&g);
+        let toggle = [(hub, g.neighbors(hub)[0])];
+        let dir = fresh_dir(n);
+
+        // Write phase: one AddGraph frame plus `edits` Edit frames. The
+        // append histogram is bracketed after the add, so the quantiles
+        // cover this size's steady-state edit appends only (the global
+        // histogram has no reset).
+        let engine = Engine::open_durable(&dir).expect("open store");
+        let t0 = Instant::now();
+        engine.try_add_graph("g", g).expect("durable add");
+        let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let before = append_hist.cumulative_buckets();
+        for i in 0..edits {
+            let (add, remove) =
+                if i % 2 == 0 { (&[][..], &toggle[..]) } else { (&toggle[..], &[][..]) };
+            engine.apply_edits(Some("g"), add, remove).expect("durable edit");
+        }
+        let after = append_hist.cumulative_buckets();
+        let generation = engine.snapshot(Some("g")).unwrap().generation;
+        assert_eq!(generation, edits as u64 + 1);
+        let wal_bytes = std::fs::metadata(dir.join(cx_store::WAL_FILE)).unwrap().len();
+        drop(engine);
+
+        // Worst-case boot: the whole history replays from the WAL.
+        let t0 = Instant::now();
+        let engine = Engine::open_durable(&dir).expect("replay-on-boot");
+        let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let snap = engine.snapshot(Some("g")).expect("recovered graph");
+        assert_eq!(snap.generation, generation, "replay must land on the last generation");
+        assert_eq!(snap.graph.edge_count(), edges, "toggled graph must end unchanged");
+
+        // Fold the WAL into checkpoints, then boot again: best case.
+        let t0 = Instant::now();
+        engine.compact_store().expect("compaction").expect("store attached");
+        let compact_ms = t0.elapsed().as_secs_f64() * 1e3;
+        drop(engine);
+        let t0 = Instant::now();
+        let engine = Engine::open_durable(&dir).expect("checkpoint boot");
+        let checkpoint_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let snap = engine.snapshot(Some("g")).expect("recovered graph");
+        assert_eq!(snap.generation, generation);
+        assert_eq!(snap.graph.edge_count(), edges);
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let line = format!(
+            "{{\"vertices\":{n},\"edges\":{edges},\"edits\":{edits},\"wal_bytes\":{wal_bytes},\
+             \"append_p50_us\":{:.1},\"append_p99_us\":{:.1},\"load_ms\":{load_ms:.1},\
+             \"replay_on_boot_ms\":{replay_ms:.1},\"compaction_ms\":{compact_ms:.1},\
+             \"checkpoint_boot_ms\":{checkpoint_ms:.1},\"generation\":{generation}}}",
+            quantile_between(&before, &after, 0.50),
+            quantile_between(&before, &after, 0.99),
+        );
+        println!("{line}");
+        report.push_str(&line);
+        report.push('\n');
+    }
+
+    if smoke {
+        println!("(smoke run: BENCH_store_recovery.json not written)");
+    } else {
+        std::fs::write("BENCH_store_recovery.json", &report).expect("write report");
+    }
+}

@@ -22,6 +22,10 @@
 //!    threads: reuse must leave no residue between queries.
 //! 9. **API fuzz** — mutated requests must never panic or break the
 //!    JSON error contract.
+//! 10. **Kill-replay** — a durable engine crashed at seeded WAL byte
+//!     offsets (truncations and bit flips) must recover to a committed
+//!     generation with byte-identical fingerprints (`--kill-replay N`
+//!     crash cases; 0 skips the sweep).
 //!
 //! Exit status 0 = clean; 1 = violations found; 2 = bad usage.
 
@@ -30,8 +34,8 @@ use cx_check::invariants::check_core_numbers;
 use cx_check::oracle::thread_differential;
 use cx_check::{
     acq_strategy_differential, cached_vs_uncached, check_acq_result, edit_script, fingerprint,
-    fuzz_server, graph_matrix, incremental_vs_scratch, query_workload,
-    scratch_reuse_differential, snapshot_pinning_differential, FuzzParams,
+    fuzz_server, graph_matrix, incremental_vs_scratch, kill_replay, query_workload,
+    scratch_reuse_differential, snapshot_pinning_differential, FuzzParams, KillReplayParams,
 };
 use cx_cltree::ClTree;
 use cx_datagen::dblp_like;
@@ -46,6 +50,7 @@ struct Args {
     fuzz: usize,
     threads: Vec<usize>,
     basic_limit: usize,
+    kill_replay: usize,
 }
 
 impl Default for Args {
@@ -57,6 +62,7 @@ impl Default for Args {
             fuzz: 600,
             threads: vec![1, 2, 8],
             basic_limit: 10,
+            kill_replay: 15,
         }
     }
 }
@@ -87,10 +93,13 @@ fn parse_args() -> Result<Args, String> {
             "--basic-limit" => {
                 args.basic_limit = value()?.parse().map_err(|_| format!("bad {flag}"))?
             }
+            "--kill-replay" => {
+                args.kill_replay = value()?.parse().map_err(|_| format!("bad {flag}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: cx-check [--sizes N,N,..] [--seeds S,S,..] [--queries N] \
-                     [--fuzz N] [--threads N,N,..] [--basic-limit N]"
+                     [--fuzz N] [--threads N,N,..] [--basic-limit N] [--kill-replay N]"
                 );
                 std::process::exit(0);
             }
@@ -231,12 +240,29 @@ fn main() {
     println!("  fuzz: {}", report.summary());
     problems.extend(report.failures.iter().map(|f| format!("fuzz {f}")));
 
+    // Kill-replay: crash the durable store at seeded byte offsets and
+    // require recovery to land on an exact committed state.
+    let mut crashes = 0;
+    if args.kill_replay > 0 {
+        let kr = kill_replay(&KillReplayParams {
+            cases: args.kill_replay,
+            ..KillReplayParams::default()
+        });
+        crashes = kr.cases;
+        println!(
+            "  kill-replay: {} cases ({} truncations, {} bitflips), {} committed generations",
+            kr.cases, kr.truncations, kr.bitflips, kr.committed_generations
+        );
+        problems.extend(kr.failures.iter().map(|f| format!("kill-replay {f}")));
+    }
+
     if problems.is_empty() {
         println!(
-            "cx-check PASS: {} graphs, {} queries, {} fuzz requests — no violations",
+            "cx-check PASS: {} graphs, {} queries, {} fuzz requests, {} crash cases — no violations",
             matrix.len(),
             queries_run,
-            report.total
+            report.total,
+            crashes
         );
     } else {
         eprintln!("cx-check FAIL: {} violations", problems.len());

@@ -28,6 +28,11 @@
 //!   (truncation, type swaps, huge/negative k, unknown vertices/keywords)
 //!   and asserts the server always answers with well-formed JSON errors —
 //!   never a panic, never a 500, never an empty body.
+//! * [`killreplay`] — the durability oracle: runs a seeded history on a
+//!   store-backed engine, then crashes the store at arbitrary WAL byte
+//!   offsets (truncations and bit flips) and requires recovery to land on
+//!   a committed generation with byte-identical graph and CL-tree
+//!   fingerprints — never a panic, never an invented state.
 //!
 //! The crate doubles as a test-support library (dev-dependency of the
 //! algorithm, engine and server crates) and a CI gate: the `cx-check`
@@ -36,11 +41,13 @@
 pub mod canonical;
 pub mod fuzz;
 pub mod invariants;
+pub mod killreplay;
 pub mod oracle;
 pub mod workload;
 
 pub use canonical::{canonicalize, diff_results, fingerprint, graph_fingerprint, tree_canonical};
 pub use fuzz::{fuzz_server, FuzzParams, FuzzReport};
+pub use killreplay::{kill_replay, KillReplayParams, KillReplayReport};
 pub use invariants::{
     check_acq_result, check_community, check_ktruss_community, Violation,
 };

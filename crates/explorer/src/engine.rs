@@ -250,6 +250,13 @@ pub struct Engine {
     cs: Vec<Box<dyn CsAlgorithm>>,
     cd: Vec<Box<dyn CdAlgorithm>>,
     cache: ShardedCache,
+    /// Durable backing store, if this engine was opened with
+    /// [`Engine::open_durable`]. Every write path appends its record
+    /// *before* publishing, so a crash can lose the tail of the log but
+    /// never admit an unlogged state.
+    store: Option<Arc<cx_store::Store>>,
+    /// Set while a background compaction is in flight (at most one).
+    compacting: std::sync::atomic::AtomicBool,
 }
 
 impl Default for Engine {
@@ -271,6 +278,8 @@ impl Engine {
             cs: Vec::new(),
             cd: Vec::new(),
             cache: ShardedCache::new(DEFAULT_CAPACITY),
+            store: None,
+            compacting: std::sync::atomic::AtomicBool::new(false),
         };
         e.register_cs(Box::new(AcqAlgorithm::dec()));
         e.register_cs(Box::new(AcqAlgorithm::with_strategy(cx_acq::AcqStrategy::IncS)));
@@ -293,6 +302,66 @@ impl Engine {
         let e = Self::new();
         e.add_graph(name, graph);
         e
+    }
+
+    /// An engine backed by the durable store at `dir`: recovers every
+    /// graph to its exact pre-crash generation (manifest checkpoints plus
+    /// WAL replay, see `cx-store`), rebuilds each CL-tree index, and
+    /// attaches the store so every subsequent write is logged before it
+    /// is published.
+    pub fn open_durable(dir: &Path) -> Result<Self, ExplorerError> {
+        let (store, state) = cx_store::Store::open(dir)?;
+        let e = Self::new();
+        for (name, rg) in &state.graphs {
+            let tree = ClTree::build(&rg.graph);
+            let profiles: HashMap<VertexId, Profile> = rg
+                .profiles
+                .iter()
+                .map(|p| {
+                    (
+                        p.vertex,
+                        Profile {
+                            name: p.name.clone(),
+                            areas: p.areas.clone(),
+                            institutes: p.institutes.clone(),
+                            interests: p.interests.clone(),
+                        },
+                    )
+                })
+                .collect();
+            // Publishing with the store still unattached appends nothing
+            // to the WAL; the recovered generation is installed as-is.
+            e.publish(GraphSnapshot::new(
+                name.clone(),
+                Arc::clone(&rg.graph),
+                Arc::new(tree),
+                Arc::new(profiles),
+                rg.coords.clone().map(Arc::new),
+                rg.generation,
+            ));
+        }
+        {
+            let mut r = e.registry();
+            r.generations = state.generations.iter().map(|(n, g)| (n.clone(), *g)).collect();
+            r.default_graph = state.default_graph.clone();
+        }
+        let mut e = e;
+        e.store = Some(Arc::new(store));
+        Ok(e)
+    }
+
+    /// The durable store backing this engine, if any.
+    pub fn store(&self) -> Option<&Arc<cx_store::Store>> {
+        self.store.as_ref()
+    }
+
+    /// Appends `record` to the WAL when a store is attached. Called by
+    /// every write path *before* its publish.
+    fn log(&self, record: &cx_store::Record) -> Result<(), ExplorerError> {
+        if let Some(store) = &self.store {
+            store.append(record)?;
+        }
+        Ok(())
     }
 
     /// Locks the registry, timing the hold.
@@ -340,20 +409,40 @@ impl Engine {
 
     /// Adds (or replaces) a graph, building its CL-tree index — the paper's
     /// offline Indexing module. The first graph added becomes the default.
+    ///
+    /// Panics if the durable store fails to log the addition; use
+    /// [`Engine::try_add_graph`] to handle that error.
     pub fn add_graph(&self, name: impl Into<String>, graph: AttributedGraph) {
+        self.try_add_graph(name, graph).expect("durable store rejected add_graph");
+    }
+
+    /// [`Engine::add_graph`], surfacing store errors instead of panicking.
+    /// On a non-durable engine this never fails.
+    pub fn try_add_graph(
+        &self,
+        name: impl Into<String>,
+        graph: AttributedGraph,
+    ) -> Result<(), ExplorerError> {
         let name = name.into();
         let gate = self.write_gate(&name);
         let _writing = gate.lock().unwrap_or_else(|p| p.into_inner());
         let tree = ClTree::build(&graph);
+        let graph = Arc::new(graph);
         let generation = self.reserve_generation(&name);
+        self.log(&cx_store::Record::AddGraph {
+            name: name.clone(),
+            generation,
+            graph: Arc::clone(&graph),
+        })?;
         self.publish(GraphSnapshot::new(
             name,
-            Arc::new(graph),
+            graph,
             Arc::new(tree),
             Arc::new(HashMap::new()),
             None,
             generation,
         ));
+        Ok(())
     }
 
     /// Removes a graph from the registry. Readers already pinned to its
@@ -362,11 +451,18 @@ impl Engine {
     pub fn remove_graph(&self, name: &str) -> Result<(), ExplorerError> {
         let gate = self.write_gate(name);
         let _writing = gate.lock().unwrap_or_else(|p| p.into_inner());
+        if !self.registry().snapshots.contains_key(name) {
+            return Err(ExplorerError::UnknownGraph(name.to_owned()));
+        }
+        // Removal claims a generation of its own so the durable log can
+        // order it against checkpoints: a snapshot taken before the
+        // removal has a strictly older generation and can never
+        // resurrect the graph on recovery.
+        let generation = self.reserve_generation(name);
+        self.log(&cx_store::Record::Remove { name: name.to_owned(), generation })?;
         {
             let mut r = self.registry();
-            if r.snapshots.remove(name).is_none() {
-                return Err(ExplorerError::UnknownGraph(name.to_owned()));
-            }
+            r.snapshots.remove(name);
             if r.default_graph.as_deref() == Some(name) {
                 let mut names: Vec<String> = r.snapshots.keys().cloned().collect();
                 names.sort_unstable();
@@ -388,8 +484,7 @@ impl Engine {
         } else {
             cx_graph::io::load_text_file(path)?
         };
-        self.add_graph(name, graph);
-        Ok(())
+        self.try_add_graph(name, graph)
     }
 
     /// Registers (or replaces, by name) a community-search algorithm.
@@ -436,11 +531,16 @@ impl Engine {
 
     /// Makes `name` the default graph.
     pub fn set_default_graph(&self, name: &str) -> Result<(), ExplorerError> {
-        let mut r = self.registry();
-        if !r.snapshots.contains_key(name) {
+        // The gate serializes against a concurrent remove/re-add of the
+        // same name, so the existence check stays valid across the log
+        // append below.
+        let gate = self.write_gate(name);
+        let _writing = gate.lock().unwrap_or_else(|p| p.into_inner());
+        if !self.registry().snapshots.contains_key(name) {
             return Err(ExplorerError::UnknownGraph(name.to_owned()));
         }
-        r.default_graph = Some(name.to_owned());
+        self.log(&cx_store::Record::SetDefault { default: Some(name.to_owned()) })?;
+        self.registry().default_graph = Some(name.to_owned());
         Ok(())
     }
 
@@ -676,9 +776,26 @@ impl Engine {
         let gate = self.write_gate(&name);
         let _writing = gate.lock().unwrap_or_else(|p| p.into_inner());
         let snap = self.snapshot(Some(&name))?;
+        let increment: Vec<(VertexId, Profile)> = profiles.into_iter().collect();
         let mut merged = (*snap.profiles).clone();
-        merged.extend(profiles);
+        merged.extend(increment.iter().cloned());
         let generation = self.reserve_generation(&name);
+        // The log carries the increment, not the merged map; replay
+        // re-merges it, mirroring this method.
+        self.log(&cx_store::Record::SetProfiles {
+            name: name.clone(),
+            generation,
+            profiles: increment
+                .iter()
+                .map(|(v, p)| cx_store::StoredProfile {
+                    vertex: *v,
+                    name: p.name.clone(),
+                    areas: p.areas.clone(),
+                    institutes: p.institutes.clone(),
+                    interests: p.interests.clone(),
+                })
+                .collect(),
+        })?;
         self.publish(GraphSnapshot::new(
             name,
             Arc::clone(&snap.graph),
@@ -711,6 +828,11 @@ impl Engine {
             )));
         }
         let generation = self.reserve_generation(&name);
+        self.log(&cx_store::Record::SetCoords {
+            name: name.clone(),
+            generation,
+            coords: coords.clone(),
+        })?;
         self.publish(GraphSnapshot::new(
             name,
             Arc::clone(&snap.graph),
@@ -784,6 +906,7 @@ impl Engine {
                 (new_graph, Arc::new(tree))
             };
             let generation = self.reserve_generation(&name);
+            self.log(&cx_store::Record::Edit { name: name.clone(), generation, delta })?;
             self.publish(GraphSnapshot::new(
                 name,
                 new_graph,
@@ -820,6 +943,12 @@ impl Engine {
         let new_graph = b.try_build()?;
         let tree = ClTree::build(&new_graph);
         let generation = self.reserve_generation(&name);
+        if self.store.is_some() {
+            // The durable log records the normalized delta either way, so
+            // replay is identical across CX_INCREMENTAL settings.
+            let delta = g.edge_delta(add, remove)?;
+            self.log(&cx_store::Record::Edit { name: name.clone(), generation, delta })?;
+        }
         // Edits touch edges only, so profiles and coordinates carry over.
         self.publish(GraphSnapshot::new(
             name,
@@ -855,6 +984,103 @@ impl Engine {
             .map(|v| (v, g.label(v).to_owned(), g.degree(v)))
             .collect())
     }
+
+    /// Folds the WAL into fresh snapshot checkpoints and truncates it.
+    /// No-op (returning `None`) on a non-durable engine.
+    ///
+    /// Writers are quiesced for the duration: the write-gate map lock is
+    /// held (blocking any writer from even looking up its gate) and every
+    /// existing gate is locked in sorted order (waiting out in-flight
+    /// writes). Readers are unaffected — they run off pinned snapshots
+    /// and never touch gates. The quiescence makes the (registry,
+    /// generation counters, default) cut handed to the store consistent
+    /// with the WAL truncation: no record can land between the cut and
+    /// the truncate and be lost.
+    pub fn compact_store(&self) -> Result<Option<cx_store::CompactionStats>, ExplorerError> {
+        let Some(store) = &self.store else { return Ok(None) };
+
+        // Quiesce: hold the gate map (blocks new writers incl. new graph
+        // names) and then every gate (waits out in-flight writers).
+        let gates_map = self.write_gates.lock().unwrap_or_else(|p| p.into_inner());
+        let mut gates: Vec<(&String, &Arc<Mutex<WriteState>>)> = gates_map.iter().collect();
+        gates.sort_unstable_by_key(|(name, _)| name.as_str());
+        let _held: Vec<_> = gates
+            .iter()
+            .map(|(_, gate)| gate.lock().unwrap_or_else(|p| p.into_inner()))
+            .collect();
+
+        // A consistent cut of the registry.
+        let (live, default_graph, counters) = {
+            let r = self.registry();
+            let mut live: Vec<cx_store::GraphCheckpoint> = r
+                .snapshots
+                .iter()
+                .map(|(name, s)| {
+                    let mut profiles: Vec<cx_store::StoredProfile> = s
+                        .profiles
+                        .iter()
+                        .map(|(v, p)| cx_store::StoredProfile {
+                            vertex: *v,
+                            name: p.name.clone(),
+                            areas: p.areas.clone(),
+                            institutes: p.institutes.clone(),
+                            interests: p.interests.clone(),
+                        })
+                        .collect();
+                    profiles.sort_unstable_by_key(|p| p.vertex.0);
+                    cx_store::GraphCheckpoint {
+                        name: name.clone(),
+                        generation: s.generation,
+                        graph: Arc::clone(&s.graph),
+                        profiles,
+                        coords: s.coords.as_ref().map(|c| (**c).clone()),
+                    }
+                })
+                .collect();
+            live.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+            let mut counters: Vec<(String, u64)> =
+                r.generations.iter().map(|(n, g)| (n.clone(), *g)).collect();
+            counters.sort_unstable();
+            (live, r.default_graph.clone(), counters)
+        };
+
+        let stats = store.compact(&live, default_graph, &counters)?;
+        Ok(Some(stats))
+    }
+
+    /// Kicks off [`Engine::compact_store`] on a background thread when
+    /// the WAL has outgrown the `CX_COMPACT_BYTES` threshold (default
+    /// 64 MiB) and no compaction is already running. Cheap enough to call
+    /// after every write request.
+    pub fn maybe_compact_in_background(self: &Arc<Self>) {
+        use std::sync::atomic::Ordering;
+        let Some(store) = &self.store else { return };
+        if store.wal_bytes() < compact_threshold_bytes() {
+            return;
+        }
+        if self.compacting.swap(true, Ordering::SeqCst) {
+            return; // One at a time.
+        }
+        let me = Arc::clone(self);
+        std::thread::spawn(move || {
+            if let Err(e) = me.compact_store() {
+                // Compaction failure is not fatal: the WAL keeps growing
+                // and recovery still works; surface it via metrics.
+                cx_obs::metrics::inc("cx_store_compaction_errors_total");
+                eprintln!("background compaction failed: {e}");
+            }
+            me.compacting.store(false, Ordering::SeqCst);
+        });
+    }
+}
+
+/// WAL size that triggers a background compaction (`CX_COMPACT_BYTES`,
+/// default 64 MiB).
+fn compact_threshold_bytes() -> u64 {
+    std::env::var("CX_COMPACT_BYTES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64 << 20)
 }
 
 #[cfg(test)]
@@ -1053,10 +1279,12 @@ mod snapshot_tests {
         assert_eq!(a_after.generation, 1);
 
         // Removal + re-add continues the counter — it never resets, so
-        // old cache keys can never be resurrected.
+        // old cache keys can never be resurrected. The removal claims a
+        // generation of its own (3) so the durable log can order it
+        // against checkpoints; the re-add lands on 4.
         e.remove_graph("b").unwrap();
         e.add_graph("b", figure5_graph());
-        assert_eq!(e.snapshot(Some("b")).unwrap().generation, 3);
+        assert_eq!(e.snapshot(Some("b")).unwrap().generation, 4);
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub enum ExplorerError {
     Graph(cx_graph::GraphError),
     /// The query was structurally invalid (e.g. empty multi-vertex set).
     BadQuery(String),
+    /// The durable store failed (WAL append, recovery, compaction). Only
+    /// possible on engines opened with [`crate::Engine::open_durable`].
+    Store(cx_store::StoreError),
 }
 
 impl fmt::Display for ExplorerError {
@@ -29,6 +32,7 @@ impl fmt::Display for ExplorerError {
             ExplorerError::UnknownVertex(v) => write!(f, "unknown vertex {v:?}"),
             ExplorerError::Graph(e) => write!(f, "graph error: {e}"),
             ExplorerError::BadQuery(m) => write!(f, "bad query: {m}"),
+            ExplorerError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -37,6 +41,7 @@ impl std::error::Error for ExplorerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExplorerError::Graph(e) => Some(e),
+            ExplorerError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -45,6 +50,12 @@ impl std::error::Error for ExplorerError {
 impl From<cx_graph::GraphError> for ExplorerError {
     fn from(e: cx_graph::GraphError) -> Self {
         ExplorerError::Graph(e)
+    }
+}
+
+impl From<cx_store::StoreError> for ExplorerError {
+    fn from(e: cx_store::StoreError) -> Self {
+        ExplorerError::Store(e)
     }
 }
 

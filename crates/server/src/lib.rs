@@ -54,6 +54,13 @@ impl Server {
         Self { engine: Arc::new(engine) }
     }
 
+    /// A server over a durable engine rooted at `dir`: recovers every
+    /// graph from the store (snapshots + WAL replay) and logs every write
+    /// request before publishing it. See `cx_explorer::Engine::open_durable`.
+    pub fn open_durable(dir: &std::path::Path) -> Result<Self, cx_explorer::ExplorerError> {
+        Ok(Self::new(cx_explorer::Engine::open_durable(dir)?))
+    }
+
     /// Shared handle to the engine (e.g. to add graphs while serving —
     /// all mutation goes through `&self` snapshot-publishing methods).
     pub fn engine(&self) -> Arc<cx_explorer::Engine> {
@@ -62,14 +69,26 @@ impl Server {
 
     /// Handles one parsed request — the unit tests drive this directly.
     pub fn handle(&self, req: &Request) -> Response {
-        routes::route(&self.engine, req)
+        let resp = routes::route(&self.engine, req);
+        // Writes grow the WAL; check the compaction trigger after, not
+        // during, the request (the check is two atomic loads when idle).
+        if req.method == "POST" {
+            self.engine.maybe_compact_in_background();
+        }
+        resp
     }
 
     /// Binds `addr` and serves forever (4 worker threads).
     pub fn serve(&self, addr: &str) -> std::io::Result<()> {
         http::serve(addr, 4, {
             let engine = Arc::clone(&self.engine);
-            move |req| routes::route(&engine, req)
+            move |req| {
+                let resp = routes::route(&engine, req);
+                if req.method == "POST" {
+                    engine.maybe_compact_in_background();
+                }
+                resp
+            }
         })
     }
 
@@ -78,7 +97,13 @@ impl Server {
     pub fn serve_background(&self) -> std::io::Result<u16> {
         http::serve_background("127.0.0.1:0", 2, {
             let engine = Arc::clone(&self.engine);
-            move |req| routes::route(&engine, req)
+            move |req| {
+                let resp = routes::route(&engine, req);
+                if req.method == "POST" {
+                    engine.maybe_compact_in_background();
+                }
+                resp
+            }
         })
     }
 }

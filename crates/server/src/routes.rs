@@ -65,6 +65,9 @@ pub enum ErrorCode {
     NotFound,
     /// The endpoint exists, but not for this HTTP method.
     MethodNotAllowed,
+    /// A server-side subsystem failed (durable store I/O). The request
+    /// was valid; retrying may succeed.
+    Internal,
 }
 
 impl ErrorCode {
@@ -80,6 +83,7 @@ impl ErrorCode {
             ErrorCode::UnknownAlgorithm => "unknown_algorithm",
             ErrorCode::NotFound => "not_found",
             ErrorCode::MethodNotAllowed => "method_not_allowed",
+            ErrorCode::Internal => "internal",
         }
     }
 
@@ -95,6 +99,7 @@ impl ErrorCode {
             | ErrorCode::UnknownAlgorithm
             | ErrorCode::NotFound => 404,
             ErrorCode::MethodNotAllowed => 405,
+            ErrorCode::Internal => 500,
         }
     }
 }
@@ -136,6 +141,10 @@ impl From<ExplorerError> for ApiError {
             ExplorerError::BadQuery(_) => ErrorCode::BadQuery,
             ExplorerError::NoGraph => ErrorCode::NoGraph,
             ExplorerError::Graph(_) => ErrorCode::GraphError,
+            // Store failures are the server's fault, not the client's.
+            // Fuzzed engines never attach a store, so the never-5xx fuzz
+            // contract is unaffected.
+            ExplorerError::Store(_) => ErrorCode::Internal,
         };
         ApiError::new(code, e.to_string())
     }

@@ -1,0 +1,244 @@
+//! The store manifest: the single source of truth for which snapshot
+//! files are live, how far the WAL has been folded into them, and every
+//! graph's generation counter.
+//!
+//! File layout (`<store>/MANIFEST`):
+//!
+//! ```text
+//! [magic "CXMF"] [version: u32 le] [payload_len: u64 le]
+//! [crc32(payload): u32 le] [payload]
+//! payload = [wal_lsn: u64] [default?] [counters] [entries]
+//! ```
+//!
+//! The manifest is replaced atomically (write to `MANIFEST.tmp`, fsync,
+//! rename), so a crash during compaction leaves either the old or the new
+//! manifest — never a torn one. An entry with `file: None` is a
+//! tombstone: the graph was removed at `generation` and must not be
+//! resurrected by older snapshot files or WAL records.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::codec::{ByteReader, ByteWriter, MAX_LEN};
+use crate::crc::crc32;
+use crate::error::StoreError;
+
+const MAGIC: &[u8; 4] = b"CXMF";
+
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// One graph's entry in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Registry name.
+    pub name: String,
+    /// Generation the entry describes (checkpoint generation, or the
+    /// generation the removal claimed for a tombstone).
+    pub generation: u64,
+    /// Snapshot filename under `snapshots/`, or `None` for a tombstone.
+    pub file: Option<String>,
+}
+
+/// The decoded manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Every WAL record with `lsn <= wal_lsn` is already reflected in the
+    /// snapshot set; replay ignores the log up to here.
+    pub wal_lsn: u64,
+    /// Default graph at checkpoint time.
+    pub default_graph: Option<String>,
+    /// Per-name generation counters for every name ever seen — counters
+    /// survive remove/re-add so generations never move backwards.
+    pub counters: Vec<(String, u64)>,
+    /// Live snapshots and tombstones.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Serializes to the on-disk byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = ByteWriter::new();
+        p.u64(self.wal_lsn);
+        match &self.default_graph {
+            Some(name) => {
+                p.u8(1);
+                p.str(name);
+            }
+            None => p.u8(0),
+        }
+        p.u32(self.counters.len() as u32);
+        for (name, counter) in &self.counters {
+            p.str(name);
+            p.u64(*counter);
+        }
+        p.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            p.str(&e.name);
+            p.u64(e.generation);
+            match &e.file {
+                Some(f) => {
+                    p.u8(1);
+                    p.str(f);
+                }
+                None => p.u8(0),
+            }
+        }
+        let payload = p.into_bytes();
+        let mut out = Vec::with_capacity(20 + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes and validates the on-disk byte form.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest, StoreError> {
+        if bytes.len() < 20 {
+            return Err(StoreError::Corrupt("manifest shorter than its header".into()));
+        }
+        if &bytes[0..4] != MAGIC {
+            return Err(StoreError::Corrupt("bad manifest magic".into()));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version > MANIFEST_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: MANIFEST_VERSION,
+            });
+        }
+        let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        if payload_len > MAX_LEN || bytes.len() - 20 != payload_len {
+            return Err(StoreError::Corrupt("manifest payload length mismatch".into()));
+        }
+        let want_crc = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+        let payload = &bytes[20..];
+        if crc32(payload) != want_crc {
+            return Err(StoreError::Corrupt("manifest checksum mismatch".into()));
+        }
+        let mut r = ByteReader::new(payload);
+        let wal_lsn = r.u64()?;
+        let default_graph = match r.u8()? {
+            0 => None,
+            1 => Some(r.str()?),
+            x => return Err(StoreError::Corrupt(format!("invalid default presence byte {x}"))),
+        };
+        let n_counters = r.u32()? as usize;
+        if n_counters > r.remaining() {
+            return Err(StoreError::Corrupt("counter list exceeds manifest".into()));
+        }
+        let mut counters = Vec::with_capacity(n_counters);
+        for _ in 0..n_counters {
+            let name = r.str()?;
+            let counter = r.u64()?;
+            counters.push((name, counter));
+        }
+        let n_entries = r.u32()? as usize;
+        if n_entries > r.remaining() {
+            return Err(StoreError::Corrupt("entry list exceeds manifest".into()));
+        }
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let name = r.str()?;
+            let generation = r.u64()?;
+            let file = match r.u8()? {
+                0 => None,
+                1 => Some(r.str()?),
+                x => {
+                    return Err(StoreError::Corrupt(format!("invalid file presence byte {x}")))
+                }
+            };
+            entries.push(ManifestEntry { name, generation, file });
+        }
+        r.finish("manifest payload")?;
+        Ok(Manifest { wal_lsn, default_graph, counters, entries })
+    }
+
+    /// Loads the manifest at `path`; a missing file yields the empty
+    /// manifest (fresh store).
+    pub fn load(path: &Path) -> Result<Manifest, StoreError> {
+        match std::fs::read(path) {
+            Ok(bytes) => Manifest::decode(&bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Manifest::default()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Atomically replaces the manifest at `path` (tmp + fsync + rename).
+    pub fn store(&self, path: &Path) -> Result<(), StoreError> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.encode())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            wal_lsn: 99,
+            default_graph: Some("main".into()),
+            counters: vec![("main".into(), 12), ("gone".into(), 4)],
+            entries: vec![
+                ManifestEntry {
+                    name: "main".into(),
+                    generation: 12,
+                    file: Some("6d61696e-12.cxs".into()),
+                },
+                ManifestEntry { name: "gone".into(), generation: 4, file: None },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        let empty = Manifest::default();
+        assert_eq!(Manifest::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn load_store_atomic_cycle() {
+        let dir = std::env::temp_dir().join(format!("cxmf-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("MANIFEST");
+        // Missing file is an empty manifest.
+        assert_eq!(Manifest::load(&path).unwrap(), Manifest::default());
+        let m = sample();
+        m.store(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), m);
+        // No stray tmp left behind.
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_and_future_version_rejected() {
+        let bytes = sample().encode();
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert!(Manifest::decode(&bad).is_err());
+        let mut future = bytes.clone();
+        future[4..8].copy_from_slice(&(MANIFEST_VERSION + 7).to_le_bytes());
+        match Manifest::decode(&future) {
+            Err(StoreError::UnsupportedVersion { found, .. }) => {
+                assert_eq!(found, MANIFEST_VERSION + 7)
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        for cut in 0..bytes.len() {
+            assert!(Manifest::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

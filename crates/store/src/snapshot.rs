@@ -1,0 +1,259 @@
+//! Snapshot checkpoint files: one graph generation frozen to disk.
+//!
+//! File layout:
+//!
+//! ```text
+//! [magic "CXSS"] [version: u32 le] [payload_len: u64 le]
+//! [crc32(payload): u32 le] [payload]
+//! payload = [name] [generation: u64] [graph: CXG1 bytes]
+//!           [profiles] [has_coords: u8] [coords?]
+//! ```
+//!
+//! Files live under `<store>/snapshots/` and are named
+//! `<hex(name)>-<generation>.cxs`; hex-encoding the graph name keeps
+//! arbitrary registry names (slashes, dots, unicode) filesystem-safe.
+//! Readers reject versions newer than [`SNAPSHOT_VERSION`] with a typed
+//! [`StoreError::UnsupportedVersion`] instead of decoding garbage.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use cx_graph::io::{read_snapshot, write_snapshot};
+use cx_graph::AttributedGraph;
+
+use crate::codec::{ByteReader, ByteWriter, MAX_LEN};
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::record::StoredProfile;
+
+const MAGIC: &[u8; 4] = b"CXSS";
+
+/// Current checkpoint format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One graph generation, fully materialized: contents plus decorations.
+#[derive(Debug, Clone)]
+pub struct GraphCheckpoint {
+    /// Registry name.
+    pub name: String,
+    /// Engine generation this checkpoint freezes.
+    pub generation: u64,
+    /// Graph contents.
+    pub graph: Arc<AttributedGraph>,
+    /// Merged vertex profiles at this generation.
+    pub profiles: Vec<StoredProfile>,
+    /// Precomputed layout coordinates, if attached.
+    pub coords: Option<Vec<(f64, f64)>>,
+}
+
+fn put_profiles(w: &mut ByteWriter, profiles: &[StoredProfile]) {
+    w.u32(profiles.len() as u32);
+    for p in profiles {
+        w.u32(p.vertex.0);
+        w.str(&p.name);
+        w.strs(&p.areas);
+        w.strs(&p.institutes);
+        w.strs(&p.interests);
+    }
+}
+
+fn get_profiles(r: &mut ByteReader<'_>) -> Result<Vec<StoredProfile>, StoreError> {
+    let len = r.u32()? as usize;
+    if len > r.remaining() {
+        return Err(StoreError::Corrupt("profile list length exceeds snapshot".into()));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(StoredProfile {
+            vertex: cx_graph::VertexId(r.u32()?),
+            name: r.str()?,
+            areas: r.strs()?,
+            institutes: r.strs()?,
+            interests: r.strs()?,
+        });
+    }
+    Ok(out)
+}
+
+impl GraphCheckpoint {
+    /// Serializes the checkpoint (header + checksummed payload) to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), StoreError> {
+        let mut p = ByteWriter::new();
+        p.str(&self.name);
+        p.u64(self.generation);
+        let mut graph_bytes = Vec::new();
+        write_snapshot(&self.graph, &mut graph_bytes)?;
+        p.bytes(&graph_bytes);
+        put_profiles(&mut p, &self.profiles);
+        match &self.coords {
+            Some(coords) => {
+                p.u8(1);
+                p.u32(coords.len() as u32);
+                for &(x, y) in coords {
+                    p.f64(x);
+                    p.f64(y);
+                }
+            }
+            None => p.u8(0),
+        }
+        let payload = p.into_bytes();
+        w.write_all(MAGIC)?;
+        w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        w.write_all(&(payload.len() as u64).to_le_bytes())?;
+        w.write_all(&crc32(&payload).to_le_bytes())?;
+        w.write_all(&payload)?;
+        Ok(())
+    }
+
+    /// Reads and validates a checkpoint: magic, version gate, length
+    /// bound, checksum, then structural decode with no trailing garbage.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<GraphCheckpoint, StoreError> {
+        let mut header = [0u8; 4 + 4 + 8 + 4];
+        r.read_exact(&mut header)?;
+        if &header[0..4] != MAGIC {
+            return Err(StoreError::Corrupt("bad snapshot magic".into()));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if version > SNAPSHOT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let payload_len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        if payload_len as usize > MAX_LEN {
+            return Err(StoreError::Corrupt("snapshot payload length too large".into()));
+        }
+        let want_crc = u32::from_le_bytes(header[16..20].try_into().unwrap());
+        let mut payload = vec![0u8; payload_len as usize];
+        r.read_exact(&mut payload)?;
+        if crc32(&payload) != want_crc {
+            return Err(StoreError::Corrupt("snapshot checksum mismatch".into()));
+        }
+        let mut p = ByteReader::new(&payload);
+        let name = p.str()?;
+        let generation = p.u64()?;
+        let graph_bytes = p.bytes()?;
+        let graph = read_snapshot(&mut std::io::Cursor::new(graph_bytes))?;
+        let profiles = get_profiles(&mut p)?;
+        let coords = match p.u8()? {
+            0 => None,
+            1 => {
+                let len = p.u32()? as usize;
+                if len.checked_mul(16).is_none_or(|b| b > p.remaining()) {
+                    return Err(StoreError::Corrupt("coord list exceeds snapshot".into()));
+                }
+                let mut cs = Vec::with_capacity(len);
+                for _ in 0..len {
+                    cs.push((p.f64()?, p.f64()?));
+                }
+                Some(cs)
+            }
+            x => return Err(StoreError::Corrupt(format!("invalid coords presence byte {x}"))),
+        };
+        p.finish("snapshot payload")?;
+        Ok(GraphCheckpoint { name, generation, graph: Arc::new(graph), profiles, coords })
+    }
+}
+
+/// Hex-encodes a registry name for use in a snapshot filename.
+pub fn hex_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() * 2);
+    for b in name.bytes() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// The snapshot filename for `(name, generation)`, relative to the
+/// snapshots directory.
+pub fn snapshot_file_name(name: &str, generation: u64) -> String {
+    format!("{}-{generation}.cxs", hex_name(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_graph::{GraphBuilder, VertexId};
+
+    fn checkpoint() -> GraphCheckpoint {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex("ada", &["db", "graphs"]);
+        let c = b.add_vertex("cai", &["ml"]);
+        let d = b.add_vertex("dan", &[]);
+        b.add_edge(a, c);
+        b.add_edge(a, d);
+        GraphCheckpoint {
+            name: "dblp/like graph".into(),
+            generation: 42,
+            graph: Arc::new(b.build()),
+            profiles: vec![StoredProfile {
+                vertex: VertexId(0),
+                name: "Ada".into(),
+                areas: vec!["CS".into()],
+                institutes: vec!["Analytical Engine Inst".into()],
+                interests: vec!["graphs".into()],
+            }],
+            coords: Some(vec![(0.0, 1.0), (-2.5, 3.5), (7.0, 7.0)]),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let cp = checkpoint();
+        let mut bytes = Vec::new();
+        cp.write_to(&mut bytes).unwrap();
+        let back = GraphCheckpoint::read_from(&mut std::io::Cursor::new(&bytes)).unwrap();
+        assert_eq!(back.name, cp.name);
+        assert_eq!(back.generation, 42);
+        assert_eq!(back.graph.vertex_count(), 3);
+        assert_eq!(back.graph.edge_count(), 2);
+        assert_eq!(back.profiles, cp.profiles);
+        assert_eq!(back.coords, cp.coords);
+    }
+
+    #[test]
+    fn future_version_rejected_with_typed_error() {
+        let cp = checkpoint();
+        let mut bytes = Vec::new();
+        cp.write_to(&mut bytes).unwrap();
+        bytes[4..8].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        match GraphCheckpoint::read_from(&mut std::io::Cursor::new(&bytes)) {
+            Err(StoreError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, SNAPSHOT_VERSION + 1);
+                assert_eq!(supported, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let cp = checkpoint();
+        let mut bytes = Vec::new();
+        cp.write_to(&mut bytes).unwrap();
+        // Flip a payload byte: checksum must catch it.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(GraphCheckpoint::read_from(&mut std::io::Cursor::new(&bad)).is_err());
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(GraphCheckpoint::read_from(&mut std::io::Cursor::new(&bad)).is_err());
+        // Truncation at every prefix errors, never panics.
+        for cut in 0..bytes.len() {
+            assert!(GraphCheckpoint::read_from(&mut std::io::Cursor::new(&bytes[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn filenames_are_hex_and_stable() {
+        assert_eq!(hex_name("ab"), "6162");
+        assert_eq!(snapshot_file_name("a/b", 9), "612f62-9.cxs");
+        // Unicode and spaces survive.
+        let f = snapshot_file_name("gráph name", 1);
+        assert!(f.ends_with("-1.cxs"));
+        assert!(!f.contains(' ') && !f.contains('/'));
+    }
+}

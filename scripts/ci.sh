@@ -3,11 +3,12 @@
 # thread counts, since every parallel helper promises thread-count
 # independence), the snapshot-concurrency stress test, par_scaling,
 # query_hotpath (asserting the zero-alloc steady-state contract at both
-# thread counts), concurrent_reads and edit_latency smoke runs, and the
-# cx-check correctness sweep at both thread counts (invariants +
-# differential oracles incl. snapshot pinning, incremental-vs-scratch
-# and scratch-reuse + API fuzz over a seeded graph/query matrix). Run
-# from anywhere inside the repo.
+# thread counts), concurrent_reads, edit_latency and store_recovery
+# smoke runs, and the cx-check correctness sweep at both thread counts
+# (invariants + differential oracles incl. snapshot pinning,
+# incremental-vs-scratch and scratch-reuse + API fuzz + the kill-replay
+# durability oracle over a seeded graph/query matrix). Run from
+# anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,12 +48,18 @@ cargo run -q --release -p cx-bench --bin obs_overhead -- 4000 100
 echo "== edit_latency smoke (incremental vs full rebuild ≥ 2x at 4k) =="
 cargo run -q --release -p cx-bench --bin edit_latency -- 4000 10 2
 
-echo "== cx-check seed matrix (3 sizes x 2 seeds x 4 queries + fuzz, CX_THREADS=1) =="
-CX_THREADS=1 cargo run -q --release -p cx-check --bin cx-check -- \
-  --sizes 60,200,800 --seeds 7,21 --queries 4 --fuzz 600
+echo "== store_recovery smoke (WAL append + replay-on-boot at 5k, CX_THREADS=1) =="
+CX_THREADS=1 cargo run -q --release -p cx-bench --bin store_recovery -- 5000 40 --smoke
 
-echo "== cx-check seed matrix (3 sizes x 2 seeds x 4 queries + fuzz, CX_THREADS=8) =="
+echo "== store_recovery smoke (WAL append + replay-on-boot at 5k, CX_THREADS=8) =="
+CX_THREADS=8 cargo run -q --release -p cx-bench --bin store_recovery -- 5000 40 --smoke
+
+echo "== cx-check seed matrix (3 sizes x 2 seeds x 4 queries + fuzz + kill-replay, CX_THREADS=1) =="
+CX_THREADS=1 cargo run -q --release -p cx-check --bin cx-check -- \
+  --sizes 60,200,800 --seeds 7,21 --queries 4 --fuzz 600 --kill-replay 25
+
+echo "== cx-check seed matrix (3 sizes x 2 seeds x 4 queries + fuzz + kill-replay, CX_THREADS=8) =="
 CX_THREADS=8 cargo run -q --release -p cx-check --bin cx-check -- \
-  --sizes 60,200,800 --seeds 7,21 --queries 4 --fuzz 600
+  --sizes 60,200,800 --seeds 7,21 --queries 4 --fuzz 600 --kill-replay 25
 
 echo "== ci.sh: all green =="

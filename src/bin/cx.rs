@@ -209,7 +209,27 @@ fn run(args: &[String]) -> Result<(), String> {
             let port: u16 = opts.get("port").map_or(Ok(7171), |s| {
                 s.parse().map_err(|_| "--port must be a port number".to_owned())
             })?;
-            let engine = Engine::with_graph("main", g);
+            // With CX_STORE_DIR set, the engine is durable: previously
+            // logged graphs are recovered, and every write (uploads,
+            // edits) survives a crash of this process.
+            let engine = match std::env::var("CX_STORE_DIR") {
+                Ok(dir) if !dir.is_empty() => {
+                    let e = Engine::open_durable(std::path::Path::new(&dir))
+                        .map_err(|e| e.to_string())?;
+                    println!(
+                        "durable store at {dir}: recovered graphs {:?}",
+                        e.graph_names()
+                    );
+                    // Seed "main" from the CLI graph only on first boot;
+                    // a recovered "main" already carries every logged
+                    // edit and must not be clobbered by the file copy.
+                    if !e.graph_names().iter().any(|n| n == "main") {
+                        e.try_add_graph("main", g).map_err(|e| e.to_string())?;
+                    }
+                    e
+                }
+                _ => Engine::with_graph("main", g),
+            };
             let server = cx_server::Server::new(engine);
             let addr = format!("127.0.0.1:{port}");
             println!("serving C-Explorer on http://{addr}/");

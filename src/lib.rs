@@ -41,6 +41,7 @@ pub use cx_kcore as kcore;
 pub use cx_layout as layout;
 pub use cx_metrics as metrics;
 pub use cx_server as server;
+pub use cx_store as store;
 
 /// One-stop imports for application code and the examples.
 pub mod prelude {

@@ -95,6 +95,63 @@ fn full_stack_over_tcp() {
     assert!(Json::parse(&body).unwrap().get("error").is_some());
 }
 
+/// Durability end to end: mutate a store-backed server over HTTP, then
+/// boot a second server on the same directory and require identical
+/// search results and generations — the restart is invisible on the wire.
+#[test]
+fn durable_server_survives_restart() {
+    let dir = std::env::temp_dir().join(format!("cx-e2e-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First life: upload a graph and edit it, all over TCP.
+    let upload_body = "v\tx\tdb\nv\ty\tdb\nv\tz\tdb\nv\tw\tdb\ne\t0\t1\ne\t1\t2\ne\t0\t2\n";
+    let (first_search, first_graphs) = {
+        let server = Server::open_durable(&dir).unwrap();
+        let port = server.serve_background().unwrap();
+        let (status, body) = http_post(port, "/api/upload?name=tiny", upload_body);
+        assert_eq!(status, 200, "{body}");
+        // Grow the triangle into a K4: generation 2.
+        let edit = r#"{"add":[[0,3],[1,3],[2,3]]}"#;
+        let (status, body) = http_post(port, "/api/edit?graph=tiny", edit);
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("generation").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(v.get("edges").and_then(Json::as_f64), Some(6.0));
+        let (status, search) = http_get(port, "/api/search?graph=tiny&name=x&k=3&algo=acq");
+        assert_eq!(status, 200, "{search}");
+        let (status, graphs) = http_get(port, "/api/graphs");
+        assert_eq!(status, 200);
+        (search, graphs)
+    };
+
+    // Second life: a fresh server on the same directory recovers the
+    // exact state — same generations, byte-identical search response.
+    let server = Server::open_durable(&dir).unwrap();
+    let port = server.serve_background().unwrap();
+    let (status, graphs) = http_get(port, "/api/graphs");
+    assert_eq!(status, 200);
+    assert_eq!(graphs, first_graphs, "recovered registry must match pre-restart registry");
+    let v = Json::parse(&graphs).unwrap();
+    assert_eq!(v.get("default_graph").and_then(Json::as_str), Some("tiny"));
+    assert_eq!(
+        v.get("generations").and_then(|g| g.get("tiny")).and_then(Json::as_f64),
+        Some(2.0),
+        "recovery must land on the edited generation"
+    );
+    let (status, search) = http_get(port, "/api/search?graph=tiny&name=x&k=3&algo=acq");
+    assert_eq!(status, 200, "{search}");
+    assert_eq!(search, first_search, "search results must be byte-identical after restart");
+
+    // The recovered server is still writable: the next edit continues
+    // the generation sequence instead of restarting it.
+    let (status, body) = http_post(port, "/api/edit?graph=tiny", r#"{"remove":[[0,3]]}"#);
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("generation").and_then(Json::as_f64), Some(3.0));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn concurrent_clients_are_served() {
     let port = start_server();
