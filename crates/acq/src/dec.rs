@@ -46,6 +46,14 @@ pub(crate) fn run_scratch(
                 truncated = true;
                 break;
             }
+            // Request-deadline checkpoint: each iteration runs a full subset
+            // peel, so one thread-local read per candidate is noise. Bailing
+            // reuses the budget-truncation path; the scope owner (the engine)
+            // discards the partial answer and reports `deadline_exceeded`.
+            if cx_par::task::cancelled() {
+                truncated = true;
+                break;
+            }
             if verifier.verify_idxs(&strat.idxs) {
                 let (hits_data, hits_off) = (&mut strat.hits_data, &mut strat.hits_off);
                 hits_data.extend_from_slice(verifier.peeled());

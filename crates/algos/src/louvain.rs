@@ -84,7 +84,13 @@ impl Louvain {
         let mut membership: Vec<usize> = (0..n).collect();
         let mut rng = Rng64::seed_from_u64(self.params.seed);
 
-        for _ in 0..self.params.max_levels {
+        for lvl in 0..self.params.max_levels {
+            // Deadline checkpoint + SSE progress (see cx_par::task): with no
+            // scope installed both are a thread-local read.
+            cx_par::task::progress("louvain.level", lvl as u64, self.params.max_levels as u64);
+            if cx_par::task::cancelled() {
+                break;
+            }
             let (assignment, improved) = self.local_moving(&level, &mut rng);
             if !improved {
                 break;
@@ -124,10 +130,17 @@ impl Louvain {
 
         let mut order: Vec<usize> = (0..n).collect();
         let mut improved_any = false;
-        for _ in 0..self.params.max_sweeps {
+        for sweep in 0..self.params.max_sweeps {
+            cx_par::task::progress("louvain.sweep", sweep as u64, self.params.max_sweeps as u64);
             order.shuffle(rng);
             let mut moved = false;
-            for &u in &order {
+            for (step, &u) in order.iter().enumerate() {
+                // In-sweep deadline checkpoint: one sweep over a million-vertex
+                // level is seconds of work, far longer than any deadline
+                // tolerance. The partial assignment is discarded by the caller.
+                if step & 0x1FFF == 0 && step != 0 && cx_par::task::cancelled() {
+                    return (compact(comm), improved_any);
+                }
                 let cu = comm[u];
                 // Weight from u to each neighbouring community.
                 let mut to_comm: HashMap<usize, f64> = HashMap::new();

@@ -7,7 +7,8 @@
 //! contract it enforces on every response:
 //!
 //! * the handler never panics;
-//! * the status is one of 200/400/404/405 — never a 5xx;
+//! * the status is one of 200/400/401/404/405/408/429/503 — the client
+//!   and operational-pushback codes; never a server-fault 5xx;
 //! * the body is non-empty;
 //! * JSON responses parse; on the legacy `/api/*` routes error responses
 //!   carry a non-empty `error` string, while `/api/v1/*` JSON responses
@@ -148,9 +149,12 @@ fn plausible_value(rng: &mut Rng64, pool: &ValuePool, param: &str) -> String {
         "k" => format!("{}", rng.next_u64() % 6),
         "limit" => format!("{}", rng.next_u64() % 30),
         "offset" => format!("{}", rng.next_u64() % 10),
-        // Plausible-looking ids in the format the server generates; the
-        // in-process fuzz run records real traces, so low ids often hit.
-        "request_id" => format!("r{:08x}", rng.next_u64() % 600),
+        // Plausible-looking ids in the format the server generates, but
+        // from a range the process-global counter never reaches: whether
+        // a low id hits depends on how many requests the whole test
+        // binary has handled so far, which would make same-seed runs
+        // disagree. The trace hit path has its own dedicated tests.
+        "request_id" => format!("r{:08x}", 0xffff_0000u64 + rng.next_u64() % 600),
         "algo" => pick(rng, &pool.algos).to_owned(),
         "algos" => {
             let a = pick(rng, &pool.algos);
@@ -164,6 +168,11 @@ fn plausible_value(rng: &mut Rng64, pool: &ValuePool, param: &str) -> String {
             format!("{a},{b}")
         }
         "layout" => ["force", "circular", "shell", "kk"][(rng.next_u64() as usize) % 4].to_owned(),
+        // Valid deadlines are kept comfortably above any in-process
+        // handler's runtime: a tiny-but-valid value would expire (or not)
+        // by wall clock, breaking the fuzz stream's determinism. Hostile
+        // mutations still cover zero/negative/junk.
+        "timeout_ms" => format!("{}", 60_000 + rng.next_u64() % 120_000),
         _ => hostile_value(rng),
     }
 }
@@ -175,22 +184,22 @@ const TEMPLATES: &[(&str, &str, &[&str], bool)] = &[
     ("GET", "/api/graphs", &[], false),
     ("GET", "/api/stats", &["graph"], false),
     ("GET", "/api/suggest", &["q", "limit", "offset", "graph"], false),
-    ("GET", "/api/search", &["name", "names", "id", "k", "algo", "graph", "keywords", "layout", "limit", "offset"], false),
-    ("GET", "/api/svg", &["name", "id", "k", "algo", "index", "layout", "graph"], false),
-    ("GET", "/api/compare", &["name", "id", "k", "algos", "graph", "keywords"], false),
-    ("GET", "/api/chart", &["name", "id", "k", "algos", "graph"], false),
-    ("GET", "/api/detect", &["algo", "limit", "graph"], false),
+    ("GET", "/api/search", &["timeout_ms", "name", "names", "id", "k", "algo", "graph", "keywords", "layout", "limit", "offset"], false),
+    ("GET", "/api/svg", &["timeout_ms", "name", "id", "k", "algo", "index", "layout", "graph"], false),
+    ("GET", "/api/compare", &["timeout_ms", "name", "id", "k", "algos", "graph", "keywords"], false),
+    ("GET", "/api/chart", &["timeout_ms", "name", "id", "k", "algos", "graph"], false),
+    ("GET", "/api/detect", &["timeout_ms", "algo", "limit", "graph"], false),
     ("GET", "/api/profile", &["id", "graph"], false),
     ("POST", "/api/edit", &["graph"], true),
     ("POST", "/api/upload", &["name"], true),
     ("GET", "/api/v1/graphs", &[], false),
     ("GET", "/api/v1/stats", &["graph"], false),
     ("GET", "/api/v1/suggest", &["q", "limit", "offset", "graph"], false),
-    ("GET", "/api/v1/search", &["name", "names", "id", "k", "algo", "graph", "keywords", "layout", "limit", "offset"], false),
-    ("GET", "/api/v1/svg", &["name", "id", "k", "algo", "index", "layout", "graph"], false),
-    ("GET", "/api/v1/compare", &["name", "id", "k", "algos", "graph", "keywords"], false),
-    ("GET", "/api/v1/chart", &["name", "id", "k", "algos", "graph"], false),
-    ("GET", "/api/v1/detect", &["algo", "limit", "graph"], false),
+    ("GET", "/api/v1/search", &["timeout_ms", "name", "names", "id", "k", "algo", "graph", "keywords", "layout", "limit", "offset"], false),
+    ("GET", "/api/v1/svg", &["timeout_ms", "name", "id", "k", "algo", "index", "layout", "graph"], false),
+    ("GET", "/api/v1/compare", &["timeout_ms", "name", "id", "k", "algos", "graph", "keywords"], false),
+    ("GET", "/api/v1/chart", &["timeout_ms", "name", "id", "k", "algos", "graph"], false),
+    ("GET", "/api/v1/detect", &["timeout_ms", "algo", "limit", "graph"], false),
     ("GET", "/api/v1/profile", &["id", "graph"], false),
     ("POST", "/api/v1/edit", &["graph"], true),
     ("POST", "/api/v1/upload", &["name"], true),
@@ -342,7 +351,7 @@ fn request_line(req: &Request) -> String {
 /// message or `None`.
 fn check_response(req: &Request, resp: &Response) -> Option<String> {
     let line = request_line(req);
-    if !matches!(resp.status, 200 | 400 | 404 | 405) {
+    if !matches!(resp.status, 200 | 400 | 401 | 404 | 405 | 408 | 429 | 503) {
         return Some(format!("{line} → unexpected status {}", resp.status));
     }
     if resp.body.is_empty() {

@@ -34,6 +34,7 @@ use std::time::Instant;
 use cx_cltree::ClTree;
 use cx_graph::{AttributedGraph, Community, VertexId};
 use cx_layout::{layout_community, LayoutAlgorithm, Scene};
+use cx_par::task::{CancelToken, ProgressFn};
 
 use crate::api::{
     AcqAlgorithm, CdAlgorithm, CodicilAlgorithm, CsAlgorithm, GlobalAlgorithm,
@@ -629,6 +630,23 @@ impl Engine {
         algo: &str,
         spec: &QuerySpec,
     ) -> Result<Vec<Community>, ExplorerError> {
+        self.search_snapshot_cancellable(snap, algo, spec, &CancelToken::none())
+    }
+
+    /// [`Engine::search_snapshot`] under a cooperative cancellation token
+    /// (the serving layer's `timeout_ms`). The algorithm runs inside a
+    /// [`cx_par::task::scope`], so checkpointed hot loops bail early; the
+    /// token is re-checked after the algorithm returns, and a cancelled run
+    /// yields [`ExplorerError::DeadlineExceeded`] without inserting the
+    /// (possibly partial) result into the query cache. An unarmed token
+    /// takes the exact zero-alloc path of the plain entry point.
+    pub fn search_snapshot_cancellable(
+        &self,
+        snap: &GraphSnapshot,
+        algo: &str,
+        spec: &QuerySpec,
+        token: &CancelToken,
+    ) -> Result<Vec<Community>, ExplorerError> {
         let _span = cx_obs::span("engine.search");
         let qs = spec.resolve(&snap.graph)?;
         let key = QueryKey {
@@ -644,17 +662,30 @@ impl Engine {
             return Ok(hit);
         }
         cx_obs::metrics::inc("cx_engine_cache_total{event=\"miss\"}");
+        if token.is_cancelled() {
+            cx_obs::metrics::inc("cx_engine_deadline_total{op=\"search\"}");
+            return Err(ExplorerError::DeadlineExceeded);
+        }
         let ctx = snap.context();
-        let out = {
+        let run = || {
             let _algo_span = cx_obs::span(&format!("algo.{algo}"));
             if let Some(a) = self.find_cs(algo) {
-                a.search(&ctx, &qs, spec)
+                Ok(a.search(&ctx, &qs, spec))
             } else if let Some(a) = self.find_cd(algo) {
-                a.community_of(&ctx, qs[0]).into_iter().collect()
+                Ok(a.community_of(&ctx, qs[0]).into_iter().collect())
             } else {
-                return Err(ExplorerError::UnknownAlgorithm(algo.to_owned()));
+                Err(ExplorerError::UnknownAlgorithm(algo.to_owned()))
             }
         };
+        let out: Vec<Community> = if token.is_armed() {
+            cx_par::task::scope(token, None, run)?
+        } else {
+            run()?
+        };
+        if token.is_cancelled() {
+            cx_obs::metrics::inc("cx_engine_deadline_total{op=\"search\"}");
+            return Err(ExplorerError::DeadlineExceeded);
+        }
         self.cache.insert(key, out.clone());
         Ok(out)
     }
@@ -682,6 +713,41 @@ impl Engine {
         snap: &GraphSnapshot,
         algo: &str,
     ) -> Result<Vec<Community>, ExplorerError> {
+        self.detect_snapshot_with(snap, algo, &CancelToken::none(), None)
+    }
+
+    /// [`Engine::detect_snapshot`] under a cooperative cancellation token —
+    /// the deadline semantics of [`Engine::search_snapshot_cancellable`].
+    pub fn detect_snapshot_cancellable(
+        &self,
+        snap: &GraphSnapshot,
+        algo: &str,
+        token: &CancelToken,
+    ) -> Result<Vec<Community>, ExplorerError> {
+        self.detect_snapshot_with(snap, algo, token, None)
+    }
+
+    /// Streaming `detect`: the algorithm's [`cx_par::task::progress`] calls
+    /// reach `progress` (the SSE layer frames them as events), and `token`
+    /// carries both the request deadline and client-disconnect abort. A
+    /// cache hit short-circuits with the result and no progress events.
+    pub fn detect_snapshot_streaming(
+        &self,
+        snap: &GraphSnapshot,
+        algo: &str,
+        token: &CancelToken,
+        progress: Arc<ProgressFn>,
+    ) -> Result<Vec<Community>, ExplorerError> {
+        self.detect_snapshot_with(snap, algo, token, Some(progress))
+    }
+
+    fn detect_snapshot_with(
+        &self,
+        snap: &GraphSnapshot,
+        algo: &str,
+        token: &CancelToken,
+        progress: Option<Arc<ProgressFn>>,
+    ) -> Result<Vec<Community>, ExplorerError> {
         let _span = cx_obs::span("engine.detect");
         let a = self
             .find_cd(algo)
@@ -699,11 +765,24 @@ impl Engine {
             return Ok(hit);
         }
         cx_obs::metrics::inc("cx_engine_cache_total{event=\"miss\"}");
+        if token.is_cancelled() {
+            cx_obs::metrics::inc("cx_engine_deadline_total{op=\"detect\"}");
+            return Err(ExplorerError::DeadlineExceeded);
+        }
         let ctx = snap.context();
-        let out = {
+        let run = || {
             let _algo_span = cx_obs::span(&format!("algo.{algo}"));
             a.detect(&ctx)
         };
+        let out = if token.is_armed() || progress.is_some() {
+            cx_par::task::scope(token, progress, run)
+        } else {
+            run()
+        };
+        if token.is_cancelled() {
+            cx_obs::metrics::inc("cx_engine_deadline_total{op=\"detect\"}");
+            return Err(ExplorerError::DeadlineExceeded);
+        }
         self.cache.insert(key, out.clone());
         Ok(out)
     }

@@ -21,6 +21,10 @@ pub enum ExplorerError {
     /// The durable store failed (WAL append, recovery, compaction). Only
     /// possible on engines opened with [`crate::Engine::open_durable`].
     Store(cx_store::StoreError),
+    /// The request's deadline (`timeout_ms`) expired, or the client went
+    /// away, before the algorithm finished; any partial result was
+    /// discarded. Only possible through the `*_cancellable` entry points.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ExplorerError {
@@ -33,6 +37,7 @@ impl fmt::Display for ExplorerError {
             ExplorerError::Graph(e) => write!(f, "graph error: {e}"),
             ExplorerError::BadQuery(m) => write!(f, "bad query: {m}"),
             ExplorerError::Store(e) => write!(f, "store error: {e}"),
+            ExplorerError::DeadlineExceeded => write!(f, "request deadline exceeded"),
         }
     }
 }

@@ -81,6 +81,12 @@ impl CoreDecomposition {
         let mut core = vec![0u32; n];
         let mut order = Vec::with_capacity(n);
         for i in 0..n {
+            // Request-deadline checkpoint (see cx_par::task): a cancelled
+            // run's partial core numbers never escape — the scope owner
+            // discards the result — so bailing mid-peel is safe.
+            if i & 0xFFF == 0 && i != 0 && cx_par::task::cancelled() {
+                break;
+            }
             let v = vert[i] as usize;
             core[v] = deg[v] as u32;
             order.push(VertexId(v as u32));

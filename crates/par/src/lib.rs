@@ -12,7 +12,9 @@
 //! * [`queue`] — an MPMC channel plus [`queue::WorkerPool`] for the
 //!   HTTP server's fixed worker pool;
 //! * [`rng`] — the workspace's seeded PRNG (xoshiro256++), replacing the
-//!   `rand` dependency.
+//!   `rand` dependency;
+//! * [`task`] — cooperative cancellation tokens (request deadlines) and
+//!   progress reporting for long-running algorithm runs.
 //!
 //! ## Determinism contract
 //!
@@ -36,6 +38,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod queue;
 pub mod rng;
+pub mod task;
 
 /// The number of worker threads parallel helpers use: the `CX_THREADS`
 /// environment variable when set to an integer ≥ 1, otherwise

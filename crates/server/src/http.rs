@@ -2,9 +2,9 @@
 //! response types so the routing layer is unit-testable.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+
+pub use crate::event_loop::{ServerConfig, ServerHandle, StreamHandler};
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -17,19 +17,36 @@ pub struct Request {
     pub query: HashMap<String, String>,
     /// Request body (for `POST /api/upload`).
     pub body: Vec<u8>,
+    /// Request headers as received (names kept verbatim; lookup is
+    /// case-insensitive via [`Request::header`]).
+    pub headers: Vec<(String, String)>,
 }
 
 impl Request {
     /// Builds a GET request for tests: `Request::get("/api/search?k=4")`.
     pub fn get(target: &str) -> Self {
         let (path, query) = split_target(target);
-        Self { method: "GET".into(), path, query, body: Vec::new() }
+        Self { method: "GET".into(), path, query, body: Vec::new(), headers: Vec::new() }
     }
 
     /// Builds a POST request with a body for tests.
     pub fn post(target: &str, body: impl Into<Vec<u8>>) -> Self {
         let (path, query) = split_target(target);
-        Self { method: "POST".into(), path, query, body: body.into() }
+        Self { method: "POST".into(), path, query, body: body.into(), headers: Vec::new() }
+    }
+
+    /// Appends a request header (builder style, for tests).
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// The first header with this name (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     /// A query parameter by name.
@@ -170,108 +187,75 @@ impl Response {
         match self.status {
             200 => "200 OK",
             400 => "400 Bad Request",
+            401 => "401 Unauthorized",
             404 => "404 Not Found",
             405 => "405 Method Not Allowed",
+            408 => "408 Request Timeout",
+            429 => "429 Too Many Requests",
+            503 => "503 Service Unavailable",
             _ => "500 Internal Server Error",
         }
     }
 
-    fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
-        write!(
-            stream,
-            "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
-            self.status_line(),
-            self.content_type,
-            self.body.len()
-        )?;
+    /// Serialises the full response (status line, headers, body) for the
+    /// wire. `keep_alive` selects the `Connection` header; the body is
+    /// always `Content-Length`-framed, so keep-alive is safe whenever the
+    /// client asked for it.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+                self.status_line(),
+                self.content_type,
+                self.body.len(),
+                if keep_alive { "keep-alive" } else { "close" }
+            )
+            .as_bytes(),
+        );
         for (name, value) in &self.headers {
-            write!(stream, "{name}: {value}\r\n")?;
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
         }
-        stream.write_all(b"\r\n")?;
-        stream.write_all(&self.body)
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
     }
 }
 
-/// Reads one request from a stream. Returns `None` on a malformed or
-/// empty request.
-fn read_request(stream: &mut TcpStream) -> Option<Request> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line).ok()?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next()?.to_owned();
-    let target = parts.next()?.to_owned();
-    let mut content_length = 0usize;
-    loop {
-        let mut header = String::new();
-        reader.read_line(&mut header).ok()?;
-        let header = header.trim();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
-            }
-        }
-    }
-    // Bound upload size to 64 MiB.
-    if content_length > 64 << 20 {
-        return None;
-    }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        reader.read_exact(&mut body).ok()?;
-    }
-    let (path, query) = split_target(&target);
-    Some(Request { method, path, query, body })
-}
-
-fn handle_connection(mut stream: TcpStream, handler: &dyn Fn(&Request) -> Response) {
-    let resp = match read_request(&mut stream) {
-        Some(req) => handler(&req),
-        None => Response::error(400, "malformed request"),
-    };
-    let _ = resp.write_to(&mut stream);
-    let _ = stream.flush();
-}
-
-/// Serves forever on `addr` with a fixed pool of `workers` threads (the
-/// accept loop runs on the calling thread).
+/// Serves forever on `addr` with a fixed pool of `workers` threads. The
+/// transport is the poll-based event loop in [`crate::event_loop`]; the
+/// calling thread blocks until the loop exits (i.e. effectively forever).
 pub fn serve<F>(addr: &str, workers: usize, handler: F) -> std::io::Result<()>
 where
     F: Fn(&Request) -> Response + Send + Sync + 'static,
 {
-    let listener = TcpListener::bind(addr)?;
-    run_accept_loop(listener, workers, handler);
+    let config = ServerConfig { workers: workers.max(1), ..ServerConfig::default() };
+    let mut handle = serve_stream(addr, config, Arc::new(move |req: &Request, _sink: &Arc<dyn crate::routes::StreamSink>| Some(handler(req))))?;
+    handle.wait();
     Ok(())
 }
 
-/// Binds `addr`, spawns the accept loop and workers in the background,
-/// and returns the bound port.
-pub fn serve_background<F>(addr: &str, workers: usize, handler: F) -> std::io::Result<u16>
+/// Binds `addr` with a plain (non-streaming) handler and runs the event
+/// loop in the background. The returned [`ServerHandle`] stops accepting,
+/// drains in-flight responses, and joins the workers on `shutdown()` (or
+/// drop) — hold on to it for as long as the server should live.
+pub fn serve_background<F>(addr: &str, workers: usize, handler: F) -> std::io::Result<ServerHandle>
 where
     F: Fn(&Request) -> Response + Send + Sync + 'static,
 {
-    let listener = TcpListener::bind(addr)?;
-    let port = listener.local_addr()?.port();
-    std::thread::spawn(move || run_accept_loop(listener, workers, handler));
-    Ok(port)
+    let config = ServerConfig { workers: workers.max(1), ..ServerConfig::default() };
+    serve_stream(addr, config, Arc::new(move |req: &Request, _sink: &Arc<dyn crate::routes::StreamSink>| Some(handler(req))))
 }
 
-fn run_accept_loop<F>(listener: TcpListener, workers: usize, handler: F)
-where
-    F: Fn(&Request) -> Response + Send + Sync + 'static,
-{
-    let handler: Arc<F> = Arc::new(handler);
-    // A fixed pool: each accepted connection becomes one queued job. The
-    // pool (and its queue) lives as long as the accept loop, i.e. forever.
-    let pool = cx_par::queue::WorkerPool::new("cx-http", workers.max(1));
-    for stream in listener.incoming().flatten() {
-        let handler = Arc::clone(&handler);
-        pool.execute(move || handle_connection(stream, &*handler));
-    }
-    drop(pool); // unreachable in practice; joins workers if accept ends
+/// Binds `addr` with a streaming-capable handler (see
+/// [`crate::routes::StreamSink`]) and runs the event loop in the
+/// background.
+pub fn serve_stream(
+    addr: &str,
+    config: ServerConfig,
+    handler: Arc<StreamHandler>,
+) -> std::io::Result<ServerHandle> {
+    crate::event_loop::spawn(addr, config, handler)
 }
 
 #[cfg(test)]
@@ -321,19 +305,43 @@ mod tests {
     #[test]
     fn status_lines() {
         assert_eq!(Response::error(400, "x").status_line(), "400 Bad Request");
+        assert_eq!(Response::error(401, "x").status_line(), "401 Unauthorized");
         assert_eq!(Response::error(405, "x").status_line(), "405 Method Not Allowed");
+        assert_eq!(Response::error(408, "x").status_line(), "408 Request Timeout");
+        assert_eq!(Response::error(429, "x").status_line(), "429 Too Many Requests");
+        assert_eq!(Response::error(503, "x").status_line(), "503 Service Unavailable");
         assert_eq!(Response::error(418, "x").status_line(), "500 Internal Server Error");
+    }
+
+    #[test]
+    fn to_bytes_marks_connection_intent() {
+        let r = Response::html("x");
+        let ka = String::from_utf8(r.to_bytes(true)).unwrap();
+        assert!(ka.contains("Connection: keep-alive"), "{ka}");
+        let cl = String::from_utf8(r.to_bytes(false)).unwrap();
+        assert!(cl.contains("Connection: close"), "{cl}");
+        assert!(cl.contains("Content-Length: 1"), "{cl}");
+    }
+
+    #[test]
+    fn request_header_lookup_is_case_insensitive() {
+        let r = Request::get("/x").with_header("Authorization", "Bearer t");
+        assert_eq!(r.header("authorization"), Some("Bearer t"));
+        assert_eq!(r.header("AUTHORIZATION"), Some("Bearer t"));
+        assert_eq!(r.header("nope"), None);
     }
 
     /// Full socket round-trip: serve_background, raw TCP client.
     #[test]
     fn end_to_end_socket_roundtrip() {
-        let port = serve_background("127.0.0.1:0", 1, |req| {
+        use std::io::{Read, Write};
+        let handle = serve_background("127.0.0.1:0", 1, |req| {
             Response::html(format!("echo:{}", req.path))
         })
         .unwrap();
-        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
-        write!(stream, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut stream =
+            std::net::TcpStream::connect(("127.0.0.1", handle.port())).unwrap();
+        write!(stream, "GET /hello HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
         let mut buf = String::new();
         stream.read_to_string(&mut buf).unwrap();
         assert!(buf.starts_with("HTTP/1.1 200 OK"), "{buf}");
@@ -342,14 +350,16 @@ mod tests {
 
     #[test]
     fn extra_headers_are_emitted_on_the_wire() {
-        let port = serve_background("127.0.0.1:0", 1, |_req| {
+        use std::io::{Read, Write};
+        let handle = serve_background("127.0.0.1:0", 1, |_req| {
             Response::html("x")
                 .with_header("X-Request-Id", "r0000002a")
                 .with_header("Deprecation", "true")
         })
         .unwrap();
-        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
-        write!(stream, "GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut stream =
+            std::net::TcpStream::connect(("127.0.0.1", handle.port())).unwrap();
+        write!(stream, "GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
         let mut buf = String::new();
         stream.read_to_string(&mut buf).unwrap();
         assert!(buf.contains("X-Request-Id: r0000002a"), "{buf}");
@@ -361,15 +371,17 @@ mod tests {
 
     #[test]
     fn post_body_is_delivered() {
-        let port = serve_background("127.0.0.1:0", 1, |req| {
+        use std::io::{Read, Write};
+        let handle = serve_background("127.0.0.1:0", 1, |req| {
             Response::html(format!("len:{}", req.body.len()))
         })
         .unwrap();
-        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        let mut stream =
+            std::net::TcpStream::connect(("127.0.0.1", handle.port())).unwrap();
         let body = "v\talice\t\n";
         write!(
             stream,
-            "POST /api/upload HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+            "POST /api/upload HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
             body.len(),
             body
         )

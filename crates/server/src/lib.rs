@@ -8,9 +8,12 @@
 //!
 //! * [`json`] — a small, strict JSON value model with a writer and parser
 //!   (no serde: the protocol is tiny and auditable);
-//! * [`http`] — an HTTP/1.1 server over `std::net::TcpListener` with a
-//!   fixed [`cx_par::queue::WorkerPool`] handling connections, plus
-//!   request/response types that are fully testable without sockets;
+//! * [`http`] — request/response types that are fully testable without
+//!   sockets, over the [`event_loop`] transport: a nonblocking
+//!   `poll(2)`-based event loop (keep-alive, pipelining, per-request
+//!   deadlines, admission control, SSE streaming) dispatching parsed
+//!   requests to a fixed [`cx_par::queue::WorkerPool`]
+//!   ([`conn`] holds the per-connection read/write state machines);
 //! * [`routes`] — the REST API (`/api/v1/search`, `/api/v1/compare`,
 //!   `/api/v1/detect`, `/api/v1/profile`, `/api/v1/suggest`,
 //!   `/api/v1/graphs`, `/api/v1/upload`, …) over a shared
@@ -33,11 +36,14 @@
 //! Server::new(engine).serve("127.0.0.1:7171").unwrap();
 //! ```
 
+pub mod conn;
+pub mod event_loop;
 pub mod http;
 pub mod json;
 pub mod routes;
 pub mod ui;
 
+pub use event_loop::{ServerConfig, ServerHandle};
 pub use http::{Request, Response};
 pub use json::Json;
 
@@ -78,32 +84,43 @@ impl Server {
         resp
     }
 
-    /// Binds `addr` and serves forever (4 worker threads).
-    pub fn serve(&self, addr: &str) -> std::io::Result<()> {
-        http::serve(addr, 4, {
-            let engine = Arc::clone(&self.engine);
-            move |req| {
-                let resp = routes::route(&engine, req);
-                if req.method == "POST" {
-                    engine.maybe_compact_in_background();
-                }
-                resp
+    /// The streaming-aware handler closure the event loop runs: the
+    /// instrumented route chokepoint plus SSE dispatch and the
+    /// post-request compaction check.
+    fn stream_handler(&self) -> Arc<http::StreamHandler> {
+        let engine = Arc::clone(&self.engine);
+        Arc::new(move |req: &Request, sink: &Arc<dyn routes::StreamSink>| {
+            let resp = routes::route_sink(&engine, req, sink);
+            // Writes grow the WAL; check the compaction trigger after, not
+            // during, the request (the check is two atomic loads when idle).
+            if req.method == "POST" {
+                engine.maybe_compact_in_background();
             }
+            resp
         })
     }
 
-    /// Binds an OS-assigned port, returns it, and serves in background
-    /// threads — used by the end-to-end tests and the `serve` example.
-    pub fn serve_background(&self) -> std::io::Result<u16> {
-        http::serve_background("127.0.0.1:0", 2, {
-            let engine = Arc::clone(&self.engine);
-            move |req| {
-                let resp = routes::route(&engine, req);
-                if req.method == "POST" {
-                    engine.maybe_compact_in_background();
-                }
-                resp
-            }
-        })
+    /// Binds `addr` and serves forever (default event-loop config,
+    /// 4 workers).
+    pub fn serve(&self, addr: &str) -> std::io::Result<()> {
+        let mut handle =
+            http::serve_stream(addr, ServerConfig::default(), self.stream_handler())?;
+        handle.wait();
+        Ok(())
+    }
+
+    /// Binds an OS-assigned port and serves on background threads — used
+    /// by the end-to-end tests and the `serve` example. Dropping (or
+    /// calling `shutdown()` on) the returned handle stops accepting,
+    /// drains in-flight responses, and joins the workers.
+    pub fn serve_background(&self) -> std::io::Result<ServerHandle> {
+        let config = ServerConfig { workers: 2, ..ServerConfig::default() };
+        self.serve_background_with(config)
+    }
+
+    /// [`Server::serve_background`] with an explicit transport config
+    /// (connection caps, in-flight budget, timeouts, heartbeat cadence).
+    pub fn serve_background_with(&self, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        http::serve_stream("127.0.0.1:0", config, self.stream_handler())
     }
 }

@@ -68,6 +68,16 @@ pub enum ErrorCode {
     /// A server-side subsystem failed (durable store I/O). The request
     /// was valid; retrying may succeed.
     Internal,
+    /// The request's `timeout_ms` deadline expired (or the client went
+    /// away) before the algorithm finished; the partial result was
+    /// discarded. Retrying with a larger `timeout_ms` may succeed.
+    DeadlineExceeded,
+    /// The server's in-flight budget is exhausted; the request was shed
+    /// without being executed. The response carries `Retry-After`.
+    Overloaded,
+    /// `CX_AUTH_TOKEN` is set and the request carried no (or the wrong)
+    /// `Authorization: Bearer …` header.
+    Unauthorized,
 }
 
 impl ErrorCode {
@@ -84,6 +94,9 @@ impl ErrorCode {
             ErrorCode::NotFound => "not_found",
             ErrorCode::MethodNotAllowed => "method_not_allowed",
             ErrorCode::Internal => "internal",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Unauthorized => "unauthorized",
         }
     }
 
@@ -100,6 +113,9 @@ impl ErrorCode {
             | ErrorCode::NotFound => 404,
             ErrorCode::MethodNotAllowed => 405,
             ErrorCode::Internal => 500,
+            ErrorCode::DeadlineExceeded => 408,
+            ErrorCode::Overloaded => 503,
+            ErrorCode::Unauthorized => 401,
         }
     }
 }
@@ -145,6 +161,7 @@ impl From<ExplorerError> for ApiError {
             // Fuzzed engines never attach a store, so the never-5xx fuzz
             // contract is unaffected.
             ExplorerError::Store(_) => ErrorCode::Internal,
+            ExplorerError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
         };
         ApiError::new(code, e.to_string())
     }
@@ -159,15 +176,81 @@ enum Payload {
 
 type Handler = Result<Payload, ApiError>;
 
+/// Default per-request deadline (ms) when the client sends no `timeout_ms`.
+pub const DEFAULT_TIMEOUT_MS: u64 = 30_000;
+
+/// Upper clamp for client-supplied `timeout_ms` values.
+pub const MAX_TIMEOUT_MS: u64 = 300_000;
+
+/// Resolves the request deadline from `timeout_ms`: absent → the default,
+/// present → a positive integer clamped to [`MAX_TIMEOUT_MS`]; anything
+/// else (zero, negative, non-integer) is a typed `bad_query`.
+fn timeout_from(req: &Request) -> Result<std::time::Duration, ApiError> {
+    match req.param("timeout_ms") {
+        None => Ok(std::time::Duration::from_millis(DEFAULT_TIMEOUT_MS)),
+        Some(s) => match s.parse::<u64>() {
+            Ok(ms) if ms >= 1 => {
+                Ok(std::time::Duration::from_millis(ms.min(MAX_TIMEOUT_MS)))
+            }
+            _ => Err(ApiError::bad_query("timeout_ms must be a positive integer (milliseconds)")),
+        },
+    }
+}
+
+/// The bearer token required for `/api/*` requests, from `CX_AUTH_TOKEN`.
+/// Read once: the deployment model is "set before start", and a per-request
+/// `env::var` would make the auth decision racy with concurrent `set_var`.
+fn env_auth_token() -> Option<&'static str> {
+    static TOKEN: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    TOKEN
+        .get_or_init(|| std::env::var("CX_AUTH_TOKEN").ok().filter(|t| !t.is_empty()))
+        .as_deref()
+}
+
+/// Enforces bearer auth when a token is required. Only `/api/*` paths are
+/// guarded — `/`, `/healthz` and `/metrics` stay open so probes and
+/// scrapers work without credentials.
+fn check_auth(req: &Request, required: Option<&str>) -> Result<(), ApiError> {
+    let Some(required) = required else { return Ok(()) };
+    if !req.path.starts_with("/api/") {
+        return Ok(());
+    }
+    let presented = req
+        .header("authorization")
+        .and_then(|v| v.strip_prefix("Bearer "))
+        .map(str::trim);
+    if presented == Some(required) {
+        Ok(())
+    } else {
+        Err(ApiError::new(ErrorCode::Unauthorized, "missing or invalid bearer token"))
+    }
+}
+
 /// Dispatches one request. This is the instrumented chokepoint described
-/// in the module docs.
+/// in the module docs. Auth comes from `CX_AUTH_TOKEN` (see
+/// [`route_with_auth`] for an injectable variant used by tests).
 pub fn route(engine: &Engine, req: &Request) -> Response {
+    route_with_auth(engine, req, env_auth_token())
+}
+
+/// [`route`] with the required bearer token passed explicitly.
+pub fn route_with_auth(engine: &Engine, req: &Request, auth: Option<&str>) -> Response {
     let t0 = Instant::now();
     let request_id = cx_obs::trace::next_request_id();
     let mut resp = {
         let _trace = cx_obs::trace::begin_request(&request_id);
         let _span = cx_obs::span("http.request");
-        dispatch(engine, req, &request_id, t0)
+        match check_auth(req, auth) {
+            Ok(()) => dispatch(engine, req, &request_id, t0),
+            Err(e) => {
+                cx_obs::metrics::inc("cx_http_unauthorized_total");
+                if req.path.starts_with("/api/v1/") {
+                    envelope(Err(e), &request_id, t0)
+                } else {
+                    plain_error(&e).with_header("Deprecation", "true")
+                }
+            }
+        }
     };
     // Bumped after dispatch: a /metrics response must not count itself.
     let class = match resp.status {
@@ -217,29 +300,43 @@ fn dispatch(engine: &Engine, req: &Request, request_id: &str, t0: Instant) -> Re
         out
     }
 
-    let result = match (req.method.as_str(), endpoint) {
-        ("GET", "graphs") => timed("graphs", || graphs(engine)),
-        ("GET", "stats") => timed("stats", || stats(engine, req)),
-        ("GET", "suggest") => timed("suggest", || suggest(engine, req)),
-        ("GET", "search") => timed("search", || search(engine, req)),
-        ("GET", "svg") => timed("svg", || svg(engine, req)),
-        ("GET", "compare") => timed("compare", || compare(engine, req)),
-        ("GET", "chart") => timed("chart", || chart(engine, req)),
-        ("GET", "detect") => timed("detect", || detect(engine, req)),
-        ("GET", "profile") => timed("profile", || profile(engine, req)),
-        ("POST", "upload") => timed("upload", || upload(engine, req)),
-        ("POST", "edit") => timed("edit", || edit(engine, req)),
-        ("POST", "search_batch") if v1 => timed("search_batch", || search_batch(engine, req)),
-        // The batch endpoint is v1-only by design (its per-item envelopes
-        // presuppose the v1 error model); the legacy namespace answers
-        // with a typed 404, not a 405, so clients learn it never existed
-        // there rather than retrying with another method.
-        ("POST", "search_batch") => {
-            Err(ApiError::not_found("search_batch is only available under /api/v1"))
-        }
-        ("GET", "trace") if v1 => timed("trace", || trace_endpoint(req)),
-        ("GET", _) => Err(ApiError::not_found("no such endpoint")),
-        _ => Err(ApiError::new(ErrorCode::MethodNotAllowed, "method not allowed")),
+    // `timeout_ms` is validated once for every endpoint (nonsense is a
+    // typed 400 everywhere); the long-running handlers additionally turn
+    // it into a cancel token threaded into the engine.
+    let result = match timeout_from(req) {
+        Err(e) => Err(e),
+        Ok(timeout) => match (req.method.as_str(), endpoint) {
+            ("GET", "graphs") => timed("graphs", || graphs(engine)),
+            ("GET", "stats") => timed("stats", || stats(engine, req)),
+            ("GET", "suggest") => timed("suggest", || suggest(engine, req)),
+            ("GET", "search") => timed("search", || search(engine, req, timeout)),
+            ("GET", "svg") => timed("svg", || svg(engine, req, timeout)),
+            ("GET", "compare") => timed("compare", || compare(engine, req)),
+            ("GET", "chart") => timed("chart", || chart(engine, req)),
+            ("GET", "detect") => timed("detect", || detect(engine, req, timeout)),
+            ("GET", "profile") => timed("profile", || profile(engine, req)),
+            ("POST", "upload") => timed("upload", || upload(engine, req)),
+            ("POST", "edit") => timed("edit", || edit(engine, req)),
+            ("POST", "search_batch") if v1 => {
+                timed("search_batch", || search_batch(engine, req, timeout))
+            }
+            // The batch endpoint is v1-only by design (its per-item envelopes
+            // presuppose the v1 error model); the legacy namespace answers
+            // with a typed 404, not a 405, so clients learn it never existed
+            // there rather than retrying with another method.
+            ("POST", "search_batch") => {
+                Err(ApiError::not_found("search_batch is only available under /api/v1"))
+            }
+            ("GET", "trace") if v1 => timed("trace", || trace_endpoint(req)),
+            // The SSE endpoint exists only on the event-loop transport
+            // (route_sink); through the plain chokepoint it answers with
+            // its buffered equivalent semantics: v1-only, GET-only.
+            ("GET", "detect_stream") if v1 => {
+                Err(ApiError::not_found("detect_stream requires an SSE-capable transport"))
+            }
+            ("GET", _) => Err(ApiError::not_found("no such endpoint")),
+            _ => Err(ApiError::new(ErrorCode::MethodNotAllowed, "method not allowed")),
+        },
     };
 
     match result {
@@ -285,14 +382,17 @@ fn plain_error(e: &ApiError) -> Response {
     ]);
     let mut r = Response::json(&v);
     r.status = e.code.status();
+    if e.code == ErrorCode::Overloaded {
+        r = r.with_header("Retry-After", "1");
+    }
     r
 }
 
 /// Wraps a handler result in the v1 response envelope.
 fn envelope(result: Result<Json, ApiError>, request_id: &str, t0: Instant) -> Response {
     let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let (status, ok, data, error) = match result {
-        Ok(d) => (200, true, d, Json::Null),
+    let (status, ok, data, error, overloaded) = match result {
+        Ok(d) => (200, true, d, Json::Null, false),
         Err(e) => (
             e.code.status(),
             false,
@@ -301,6 +401,7 @@ fn envelope(result: Result<Json, ApiError>, request_id: &str, t0: Instant) -> Re
                 ("code", Json::str(e.code.as_str())),
                 ("message", Json::str(e.message)),
             ]),
+            e.code == ErrorCode::Overloaded,
         ),
     };
     let mut r = Response::json(&Json::obj([
@@ -311,6 +412,9 @@ fn envelope(result: Result<Json, ApiError>, request_id: &str, t0: Instant) -> Re
         ("elapsed_ms", Json::num(elapsed_ms)),
     ]));
     r.status = status;
+    if overloaded {
+        r = r.with_header("Retry-After", "1");
+    }
     r
 }
 
@@ -627,7 +731,7 @@ fn community_json(
     ])
 }
 
-fn search(engine: &Engine, req: &Request) -> Handler {
+fn search(engine: &Engine, req: &Request, timeout: std::time::Duration) -> Handler {
     let spec = spec_from(req)?;
     let algo = req.param("algo").unwrap_or("acq");
     let layout = layout_from(req);
@@ -635,7 +739,8 @@ fn search(engine: &Engine, req: &Request) -> Handler {
     // One snapshot for the whole request: results, analysis, labels and
     // the reported generation all describe the same graph version.
     let snap = engine.snapshot(req.param("graph"))?;
-    let communities = engine.search_snapshot(&snap, algo, &spec)?;
+    let token = cx_par::task::CancelToken::with_timeout(timeout);
+    let communities = engine.search_snapshot_cancellable(&snap, algo, &spec, &token)?;
     let g = &*snap.graph;
     let q = match spec.resolve(g) {
         Ok(qs) if !qs.is_empty() => qs[0],
@@ -744,8 +849,13 @@ fn batch_item(v: &Json) -> Result<BatchItem, ApiError> {
 /// community serialisation. The payload mirrors GET `search` minus the
 /// decorative scene (batch clients wanting a drawing fetch `/api/v1/svg`
 /// per community).
-fn run_batch_item(engine: &Engine, snap: &GraphSnapshot, item: &BatchItem) -> Result<Json, ApiError> {
-    let communities = engine.search_snapshot(snap, &item.algo, &item.spec)?;
+fn run_batch_item(
+    engine: &Engine,
+    snap: &GraphSnapshot,
+    item: &BatchItem,
+    token: &cx_par::task::CancelToken,
+) -> Result<Json, ApiError> {
+    let communities = engine.search_snapshot_cancellable(snap, &item.algo, &item.spec, token)?;
     let g = &*snap.graph;
     let q = match item.spec.resolve(g) {
         Ok(qs) if !qs.is_empty() => qs[0],
@@ -809,10 +919,25 @@ fn batch_envelope(result: Result<Json, ApiError>) -> Json {
 /// parallel over the `cx-par` pool, each doing a single query-cache pass;
 /// per-member failures come back as typed per-item envelopes while the
 /// batch itself stays a 200.
-fn search_batch(engine: &Engine, req: &Request) -> Handler {
+fn search_batch(engine: &Engine, req: &Request, timeout: std::time::Duration) -> Handler {
     let body = std::str::from_utf8(&req.body)
         .map_err(|_| ApiError::bad_json("body must be UTF-8 JSON"))?;
     let v = Json::parse(body).map_err(|e| ApiError::bad_json(format!("bad JSON: {e}")))?;
+    // A body-level `timeout_ms` overrides the query parameter, under the
+    // same validation and clamp rules.
+    let timeout = match v.get("timeout_ms") {
+        None => timeout,
+        Some(t) => match t.as_f64().filter(|x| x.fract() == 0.0 && *x >= 1.0) {
+            Some(ms) => {
+                std::time::Duration::from_millis((ms as u64).min(MAX_TIMEOUT_MS))
+            }
+            None => {
+                return Err(ApiError::bad_query(
+                    "timeout_ms must be a positive integer (milliseconds)",
+                ))
+            }
+        },
+    };
     let Some(items) = v.get("queries").and_then(Json::as_array) else {
         return Err(ApiError::bad_json("body must carry a \"queries\" array"));
     };
@@ -828,10 +953,13 @@ fn search_batch(engine: &Engine, req: &Request) -> Handler {
     let graph = v.get("graph").and_then(Json::as_str).or_else(|| req.param("graph"));
     // One snapshot pin for the whole batch.
     let snap = engine.snapshot(graph)?;
+    // One shared deadline across the whole batch: the token is an Arc'd
+    // flag, so every member observes the same cutoff.
+    let token = cx_par::task::CancelToken::with_timeout(timeout);
     let parsed: Vec<Result<BatchItem, ApiError>> = items.iter().map(batch_item).collect();
     let results: Vec<Json> = cx_par::par_map_tasks(parsed.len(), |i| {
         batch_envelope(match &parsed[i] {
-            Ok(item) => run_batch_item(engine, &snap, item),
+            Ok(item) => run_batch_item(engine, &snap, item, &token),
             Err(e) => Err(e.clone()),
         })
     });
@@ -848,12 +976,13 @@ fn search_batch(engine: &Engine, req: &Request) -> Handler {
     ])))
 }
 
-fn svg(engine: &Engine, req: &Request) -> Handler {
+fn svg(engine: &Engine, req: &Request, timeout: std::time::Duration) -> Handler {
     let spec = spec_from(req)?;
     let algo = req.param("algo").unwrap_or("acq");
     let index = req.param_as::<usize>("index", 0);
     let snap = engine.snapshot(req.param("graph"))?;
-    let communities = engine.search_snapshot(&snap, algo, &spec)?;
+    let token = cx_par::task::CancelToken::with_timeout(timeout);
+    let communities = engine.search_snapshot_cancellable(&snap, algo, &spec, &token)?;
     let Some(c) = communities.get(index) else {
         return Err(ApiError::not_found("community index out of range"));
     };
@@ -903,11 +1032,12 @@ fn chart(engine: &Engine, req: &Request) -> Handler {
     Ok(Payload::Raw(Response::svg(report.quality_charts_svg())))
 }
 
-fn detect(engine: &Engine, req: &Request) -> Handler {
+fn detect(engine: &Engine, req: &Request, timeout: std::time::Duration) -> Handler {
     let algo = req.param("algo").unwrap_or("codicil");
     let limit = req.param_as::<usize>("limit", 20);
     let snap = engine.snapshot(req.param("graph"))?;
-    let communities = engine.detect_snapshot(&snap, algo)?;
+    let token = cx_par::task::CancelToken::with_timeout(timeout);
+    let communities = engine.detect_snapshot_cancellable(&snap, algo, &token)?;
     let g = &*snap.graph;
     let list = Json::arr(communities.iter().take(limit).map(|c| {
         Json::obj([
@@ -952,6 +1082,177 @@ fn upload(engine: &Engine, req: &Request) -> Handler {
         ("vertices", Json::num(v as f64)),
         ("edges", Json::num(m as f64)),
     ])))
+}
+
+// ---------------------------------------------------------------------------
+// Streaming (SSE) support
+
+/// How the event-loop transport lets a handler stream its response.
+///
+/// A handler that wants to stream calls [`StreamSink::start`] once (which
+/// commits the connection to an unframed `text/event-stream` response) and
+/// then [`StreamSink::emit`] per SSE frame; returning `None` from the
+/// handler tells the transport the slot is stream-terminated. A handler
+/// that never calls `start` can still return a normal [`Response`].
+pub trait StreamSink: Send + Sync {
+    /// Sends the SSE response head (status line + standard stream headers
+    /// + `extra_headers`). Call at most once.
+    fn start(&self, extra_headers: &[(String, String)]);
+    /// Appends one chunk of stream body. Returns `false` once the client
+    /// is known to be gone (the caller should stop producing).
+    fn emit(&self, chunk: &[u8]) -> bool;
+    /// Registers a token the transport cancels when the client
+    /// disconnects mid-stream.
+    fn register_cancel(&self, token: &cx_par::task::CancelToken);
+    /// Whether [`StreamSink::start`] has been called — after that point
+    /// errors must be delivered as `event: error` frames, not status
+    /// codes.
+    fn streaming(&self) -> bool;
+}
+
+/// One SSE frame: `event: <name>\ndata: <json>\n\n`.
+fn sse_frame(event: &str, data: &Json) -> Vec<u8> {
+    format!("event: {event}\ndata: {data}\n\n").into_bytes()
+}
+
+/// The streaming-aware chokepoint the event-loop transport calls.
+/// `Some(response)` means "send this framed response"; `None` means the
+/// handler streamed through `sink` and the slot is complete.
+pub fn route_sink(
+    engine: &Engine,
+    req: &Request,
+    sink: &std::sync::Arc<dyn StreamSink>,
+) -> Option<Response> {
+    route_sink_with_auth(engine, req, sink, env_auth_token())
+}
+
+/// [`route_sink`] with the required bearer token passed explicitly.
+pub fn route_sink_with_auth(
+    engine: &Engine,
+    req: &Request,
+    sink: &std::sync::Arc<dyn StreamSink>,
+    auth: Option<&str>,
+) -> Option<Response> {
+    if req.method == "GET" && req.path == "/api/v1/detect_stream" {
+        let t0 = Instant::now();
+        let request_id = cx_obs::trace::next_request_id();
+        let _trace = cx_obs::trace::begin_request(&request_id);
+        let _span = cx_obs::span("http.detect_stream");
+        if let Err(e) = check_auth(req, auth) {
+            cx_obs::metrics::inc("cx_http_unauthorized_total");
+            return Some(envelope(Err(e), &request_id, t0));
+        }
+        return detect_stream(engine, req, sink, &request_id, t0);
+    }
+    Some(route_with_auth(engine, req, auth))
+}
+
+/// GET /api/v1/detect_stream — whole-graph detection as Server-Sent
+/// Events: `progress` frames while the algorithm runs, then one terminal
+/// `result` (or `error`) frame. Parameters are exactly GET `detect`'s
+/// (`algo`, `limit`, `graph`, `timeout_ms`).
+///
+/// Error split: anything detected before the stream head is sent (bad
+/// params, unknown graph/algorithm, auth) comes back as a normal enveloped
+/// error response; once `start()` has committed the 200, failures become a
+/// terminal `event: error` frame.
+fn detect_stream(
+    engine: &Engine,
+    req: &Request,
+    sink: &std::sync::Arc<dyn StreamSink>,
+    request_id: &str,
+    t0: Instant,
+) -> Option<Response> {
+    let pre = (|| -> Result<_, ApiError> {
+        let timeout = timeout_from(req)?;
+        let algo = req.param("algo").unwrap_or("codicil").to_owned();
+        if !engine.cd_names().iter().any(|n| *n == algo) {
+            return Err(ApiError::new(
+                ErrorCode::UnknownAlgorithm,
+                format!("unknown algorithm {algo:?}"),
+            ));
+        }
+        let limit = req.param_as::<usize>("limit", 20);
+        let snap = engine.snapshot(req.param("graph"))?;
+        Ok((timeout, algo, limit, snap))
+    })();
+    let (timeout, algo, limit, snap) = match pre {
+        Ok(x) => x,
+        Err(e) => return Some(envelope(Err(e), request_id, t0)),
+    };
+
+    let token = cx_par::task::CancelToken::with_timeout(timeout);
+    sink.register_cancel(&token);
+    sink.start(&[("X-Request-Id".to_owned(), request_id.to_owned())]);
+    cx_obs::metrics::inc("cx_http_sse_streams_total");
+
+    // Progress frames ride the algorithm's own cx_par::task::progress
+    // checkpoints; a failed emit means the client hung up, which cancels
+    // the run at its next deadline checkpoint.
+    let psink = std::sync::Arc::clone(sink);
+    let ptoken = token.clone();
+    let progress: std::sync::Arc<cx_par::task::ProgressFn> =
+        std::sync::Arc::new(move |phase: &str, done: u64, total: u64| {
+            let frame = sse_frame(
+                "progress",
+                &Json::obj([
+                    ("phase", Json::str(phase)),
+                    ("done", Json::num(done as f64)),
+                    ("total", Json::num(total as f64)),
+                ]),
+            );
+            if !psink.emit(&frame) {
+                ptoken.cancel();
+            }
+        });
+
+    match engine.detect_snapshot_streaming(&snap, &algo, &token, progress) {
+        Ok(communities) => {
+            let g = &*snap.graph;
+            let list = Json::arr(communities.iter().take(limit).map(|c| {
+                Json::obj([
+                    ("size", Json::num(c.len() as f64)),
+                    ("edges", Json::num(c.internal_edge_count(g) as f64)),
+                    ("avg_degree", Json::num(c.average_internal_degree(g))),
+                ])
+            }));
+            let data = Json::obj([
+                ("algo", Json::str(algo)),
+                ("total", Json::num(communities.len() as f64)),
+                ("communities", list),
+                ("elapsed_ms", Json::num(t0.elapsed().as_secs_f64() * 1e3)),
+            ]);
+            sink.emit(&sse_frame("result", &data));
+        }
+        Err(e) => {
+            let e = ApiError::from(e);
+            sink.emit(&sse_frame(
+                "error",
+                &Json::obj([
+                    ("code", Json::str(e.code.as_str())),
+                    ("message", Json::str(e.message)),
+                ]),
+            ));
+        }
+    }
+    None
+}
+
+/// The load-shed response the event loop sends without dispatching: a
+/// typed `overloaded` 503 with `Retry-After`, shaped for whichever API
+/// family the request targeted.
+pub fn shed_response(req: &Request) -> Response {
+    let e = ApiError::new(
+        ErrorCode::Overloaded,
+        "server is at its in-flight request limit; retry shortly",
+    );
+    if req.path.starts_with("/api/v1/") {
+        envelope(Err(e), &cx_obs::trace::next_request_id(), Instant::now())
+    } else if req.path.starts_with("/api/") {
+        plain_error(&e).with_header("Deprecation", "true")
+    } else {
+        plain_error(&e)
+    }
 }
 
 #[cfg(test)]
@@ -1285,10 +1586,117 @@ mod tests {
             (ErrorCode::UnknownAlgorithm, 404, "unknown_algorithm"),
             (ErrorCode::NotFound, 404, "not_found"),
             (ErrorCode::MethodNotAllowed, 405, "method_not_allowed"),
+            (ErrorCode::DeadlineExceeded, 408, "deadline_exceeded"),
+            (ErrorCode::Overloaded, 503, "overloaded"),
+            (ErrorCode::Unauthorized, 401, "unauthorized"),
         ] {
             assert_eq!(code.status(), status);
             assert_eq!(code.as_str(), wire);
         }
+    }
+
+    #[test]
+    fn timeout_ms_validates_on_every_endpoint() {
+        let s = server();
+        // Nonsense values are a typed 400 even on cheap endpoints.
+        for target in [
+            "/api/v1/graphs?timeout_ms=banana",
+            "/api/v1/stats?timeout_ms=0",
+            "/api/v1/search?name=A&k=2&timeout_ms=-5",
+            "/api/v1/detect?timeout_ms=1.5",
+            "/api/v1/suggest?q=a&timeout_ms=",
+        ] {
+            let r = s.handle(&Request::get(target));
+            assert_eq!(r.status, 400, "{target}: {}", r.text());
+            let v = Json::parse(&r.text()).unwrap();
+            assert_eq!(
+                v.get("error").unwrap().get("code").and_then(Json::as_str),
+                Some("bad_query"),
+                "{target}"
+            );
+        }
+        // Valid values (including beyond the clamp) are accepted.
+        for target in [
+            "/api/v1/search?name=A&k=2&timeout_ms=5000",
+            "/api/v1/search?name=A&k=2&timeout_ms=999999999",
+            "/api/v1/detect?algo=codicil&timeout_ms=60000",
+        ] {
+            let r = s.handle(&Request::get(target));
+            assert_eq!(r.status, 200, "{target}: {}", r.text());
+        }
+        // Body-level timeout_ms on search_batch: valid accepted, junk 400.
+        let ok = s.handle(&Request::post(
+            "/api/v1/search_batch",
+            r#"{"timeout_ms":5000,"queries":[{"name":"A","k":2}]}"#,
+        ));
+        assert_eq!(ok.status, 200, "{}", ok.text());
+        let bad = s.handle(&Request::post(
+            "/api/v1/search_batch",
+            r#"{"timeout_ms":"fast","queries":[{"name":"A","k":2}]}"#,
+        ));
+        assert_eq!(bad.status, 400, "{}", bad.text());
+    }
+
+    #[test]
+    fn overloaded_errors_carry_retry_after_everywhere() {
+        let v1 = shed_response(&Request::get("/api/v1/search?name=A"));
+        assert_eq!(v1.status, 503);
+        assert_eq!(v1.header("Retry-After"), Some("1"));
+        let v = Json::parse(&v1.text()).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").and_then(Json::as_str),
+            Some("overloaded")
+        );
+        let legacy = shed_response(&Request::get("/api/search?name=A"));
+        assert_eq!(legacy.status, 503);
+        assert_eq!(legacy.header("Retry-After"), Some("1"));
+        assert_eq!(legacy.header("Deprecation"), Some("true"));
+        let v = Json::parse(&legacy.text()).unwrap();
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("overloaded"));
+    }
+
+    #[test]
+    fn bearer_auth_guards_api_but_not_operational_paths() {
+        let s = server();
+        let engine = s.engine();
+        let auth = Some("sekrit");
+        // No token → typed 401 in the right shape per family.
+        let r = route_with_auth(&engine, &Request::get("/api/v1/graphs"), auth);
+        assert_eq!(r.status, 401);
+        let v = Json::parse(&r.text()).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").and_then(Json::as_str),
+            Some("unauthorized")
+        );
+        let r = route_with_auth(&engine, &Request::get("/api/graphs"), auth);
+        assert_eq!(r.status, 401);
+        assert_eq!(r.header("Deprecation"), Some("true"));
+        let v = Json::parse(&r.text()).unwrap();
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("unauthorized"));
+        // Wrong token → 401; right token → through.
+        let wrong = Request::get("/api/v1/graphs").with_header("Authorization", "Bearer nope");
+        assert_eq!(route_with_auth(&engine, &wrong, auth).status, 401);
+        let right = Request::get("/api/v1/graphs").with_header("Authorization", "Bearer sekrit");
+        assert_eq!(route_with_auth(&engine, &right, auth).status, 200);
+        // Operational endpoints stay open.
+        for open in ["/", "/healthz", "/metrics"] {
+            let r = route_with_auth(&engine, &Request::get(open), auth);
+            assert_eq!(r.status, 200, "{open}");
+        }
+        // No token required → everything passes as before.
+        assert_eq!(route_with_auth(&engine, &Request::get("/api/v1/graphs"), None).status, 200);
+    }
+
+    #[test]
+    fn detect_stream_is_v1_only_and_needs_sse_transport() {
+        let s = server();
+        // Through the buffered chokepoint the endpoint is a typed 404 (it
+        // needs the event-loop transport), and it never existed on the
+        // legacy namespace.
+        let r = s.handle(&Request::get("/api/v1/detect_stream"));
+        assert_eq!(r.status, 404, "{}", r.text());
+        let r = s.handle(&Request::get("/api/detect_stream"));
+        assert_eq!(r.status, 404);
     }
 }
 

@@ -27,7 +27,7 @@ const EDITS: usize = 30;
 
 fn http_get(port: u16, target: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
-    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n").unwrap();
     read_response(stream)
 }
 
@@ -35,7 +35,7 @@ fn http_post(port: u16, target: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
     write!(
         stream,
-        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{}",
+        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
         body.len(),
         body
     )
@@ -62,7 +62,8 @@ fn data_of(status: u16, body: &str) -> Json {
 #[test]
 fn readers_see_single_published_snapshots_while_writer_edits() {
     let server = Server::new(Engine::with_graph("fig5", cx_datagen::figure5_graph()));
-    let port = server.serve_background().unwrap();
+    let handle = server.serve_background().unwrap();
+    let port = handle.port();
     let writer_done = Arc::new(AtomicBool::new(false));
 
     let readers: Vec<_> = (0..READERS)
@@ -164,7 +165,8 @@ fn batch_items_all_describe_the_reported_generation() {
     const BATCHES_PER_READER: usize = 25;
 
     let server = Server::new(Engine::with_graph("fig5", cx_datagen::figure5_graph()));
-    let port = server.serve_background().unwrap();
+    let handle = server.serve_background().unwrap();
+    let port = handle.port();
 
     let readers: Vec<_> = (0..BATCH_READERS)
         .map(|r| {

@@ -1,0 +1,383 @@
+//! Transport-level conformance tests for the poll(2) event loop: HTTP
+//! keep-alive and pipelining, slow-loris defense, SSE streaming (framing,
+//! heartbeats, client disconnect), per-request deadlines, admission
+//! control, bearer auth over the wire, and graceful shutdown drain.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cx_explorer::Engine;
+use cx_server::http::serve_stream;
+use cx_server::routes::StreamSink;
+use cx_server::{Json, Request, Response, Server, ServerConfig};
+
+fn fig5_server() -> Server {
+    Server::new(Engine::with_graph("fig5", cx_datagen::figure5_graph()))
+}
+
+/// Reads exactly one keep-alive response (headers + Content-Length body)
+/// off an open connection, leaving it usable for the next one.
+fn read_one_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => panic!("connection closed mid-headers: {:?}", String::from_utf8_lossy(&raw)),
+            Ok(_) => raw.push(byte[0]),
+            Err(e) => panic!("header read failed: {e}"),
+        }
+    }
+    let head = String::from_utf8_lossy(&raw).to_string();
+    let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_owned))
+        .map(|v| v.trim().parse().unwrap())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).unwrap();
+    (status, head, String::from_utf8_lossy(&body).to_string())
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = fig5_server();
+    let handle = server.serve_background().unwrap();
+    let mut stream = TcpStream::connect(("127.0.0.1", handle.port())).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    for i in 0..5 {
+        write!(stream, "GET /api/v1/stats HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let (status, head, body) = read_one_response(&mut stream);
+        assert_eq!(status, 200, "request {i}: {body}");
+        assert!(
+            head.to_ascii_lowercase().contains("connection: keep-alive"),
+            "request {i} must keep the connection open:\n{head}"
+        );
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    }
+}
+
+#[test]
+fn pipelined_requests_come_back_in_order() {
+    let server = fig5_server();
+    let handle = server.serve_background().unwrap();
+    let mut stream = TcpStream::connect(("127.0.0.1", handle.port())).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Three requests written back-to-back before reading anything. The
+    // first is the most expensive, so out-of-order completion is likely —
+    // responses must still come back in request order.
+    let burst = concat!(
+        "GET /api/v1/search?name=A&k=3&algo=acq HTTP/1.1\r\nHost: x\r\n\r\n",
+        "GET /api/v1/graphs HTTP/1.1\r\nHost: x\r\n\r\n",
+        "GET /api/v1/stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    stream.write_all(burst.as_bytes()).unwrap();
+    let (s1, _, b1) = read_one_response(&mut stream);
+    let (s2, _, b2) = read_one_response(&mut stream);
+    let (s3, _, b3) = read_one_response(&mut stream);
+    assert_eq!((s1, s2, s3), (200, 200, 200));
+    assert!(b1.contains("communities"), "first response is the search: {b1}");
+    assert!(b2.contains("graphs"), "second response lists graphs: {b2}");
+    assert!(b3.contains("generation"), "third response is stats: {b3}");
+    // The third carried Connection: close — the server hangs up after it.
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0, "connection must close");
+}
+
+#[test]
+fn slow_loris_is_cut_off_by_the_header_deadline() {
+    let server = fig5_server();
+    let config = ServerConfig {
+        workers: 1,
+        header_timeout: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let handle = server.serve_background_with(config).unwrap();
+    let mut stream = TcpStream::connect(("127.0.0.1", handle.port())).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // Drip a request one byte at a time, never completing the headers.
+    let t0 = Instant::now();
+    let mut closed = false;
+    for b in "GET /api/v1/stats HTTP/1.1\r\n".bytes() {
+        if stream.write_all(&[b]).is_err() {
+            closed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        if t0.elapsed() > Duration::from_secs(4) {
+            break;
+        }
+    }
+    if !closed {
+        // The write side may not notice the RST; the read side must see EOF.
+        let mut buf = Vec::new();
+        closed = matches!(stream.read_to_end(&mut buf), Ok(0) | Err(_)) && buf.is_empty();
+    }
+    assert!(closed, "loop must hang up on a connection that drips headers forever");
+    assert!(
+        t0.elapsed() < Duration::from_secs(4),
+        "cutoff must come from the 150ms header deadline, not the client giving up"
+    );
+}
+
+#[test]
+fn detect_stream_emits_progress_then_result_frames() {
+    let server = fig5_server();
+    let handle = server.serve_background().unwrap();
+    let mut stream = TcpStream::connect(("127.0.0.1", handle.port())).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(
+        stream,
+        "GET /api/v1/detect_stream?algo=louvain&graph=fig5 HTTP/1.1\r\nHost: x\r\n\r\n"
+    )
+    .unwrap();
+    // The stream is delimited by connection close, not Content-Length.
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let head_lower = head.to_ascii_lowercase();
+    assert!(head_lower.contains("content-type: text/event-stream"), "{head}");
+    assert!(head_lower.contains("connection: close"), "SSE pins the connection:\n{head}");
+    assert!(head_lower.contains("x-request-id:"), "{head}");
+
+    let frames: Vec<&str> = body.split("\n\n").filter(|f| !f.trim().is_empty()).collect();
+    assert!(
+        frames.iter().any(|f| f.starts_with("event: progress")),
+        "at least one progress frame:\n{body}"
+    );
+    let last = frames.last().unwrap();
+    assert!(last.starts_with("event: result"), "terminal frame is the result:\n{body}");
+    let data = last.lines().find_map(|l| l.strip_prefix("data: ")).unwrap();
+    let v = Json::parse(data).unwrap();
+    assert_eq!(v.get("algo").and_then(Json::as_str), Some("louvain"));
+    assert!(v.get("communities").and_then(Json::as_array).is_some(), "{data}");
+    assert!(v.get("elapsed_ms").and_then(Json::as_f64).is_some(), "{data}");
+    // Every progress frame is well-formed {phase, done, total}.
+    for f in frames.iter().filter(|f| f.starts_with("event: progress")) {
+        let d = f.lines().find_map(|l| l.strip_prefix("data: ")).unwrap();
+        let p = Json::parse(d).unwrap();
+        assert!(p.get("phase").and_then(Json::as_str).is_some(), "{d}");
+        assert!(p.get("done").and_then(Json::as_f64).is_some(), "{d}");
+    }
+}
+
+/// A transport config + handler where the stream stays quiet long enough
+/// for heartbeats to be the only traffic.
+#[test]
+fn quiet_streams_carry_comment_heartbeats() {
+    let handler: Arc<cx_server::http::StreamHandler> =
+        Arc::new(move |_req: &Request, sink: &Arc<dyn StreamSink>| {
+            sink.start(&[]);
+            std::thread::sleep(Duration::from_millis(400));
+            sink.emit(b"event: result\ndata: {}\n\n");
+            None
+        });
+    let config = ServerConfig {
+        workers: 1,
+        sse_heartbeat: Duration::from_millis(60),
+        ..ServerConfig::default()
+    };
+    let handle = serve_stream("127.0.0.1:0", config, handler).unwrap();
+    let mut stream = TcpStream::connect(("127.0.0.1", handle.port())).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(stream, "GET /quiet HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (_, body) = raw.split_once("\r\n\r\n").unwrap();
+    let heartbeats = body.matches(": heartbeat\n\n").count();
+    assert!(heartbeats >= 2, "400ms of silence at 60ms cadence → heartbeats, got:\n{body}");
+    assert!(body.trim_end().ends_with("data: {}"), "the real frame still arrives:\n{body}");
+}
+
+#[test]
+fn client_disconnect_mid_stream_cancels_the_producer() {
+    let observed_gone = Arc::new(AtomicBool::new(false));
+    let handler: Arc<cx_server::http::StreamHandler> = {
+        let observed_gone = Arc::clone(&observed_gone);
+        Arc::new(move |_req: &Request, sink: &Arc<dyn StreamSink>| {
+            let token = cx_par::task::CancelToken::manual();
+            sink.register_cancel(&token);
+            sink.start(&[]);
+            for _ in 0..200 {
+                if token.is_cancelled() || !sink.emit(b"event: tick\ndata: 1\n\n") {
+                    observed_gone.store(true, Ordering::SeqCst);
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            None
+        })
+    };
+    let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+    let handle = serve_stream("127.0.0.1:0", config, handler).unwrap();
+    {
+        let mut stream = TcpStream::connect(("127.0.0.1", handle.port())).unwrap();
+        write!(stream, "GET /ticks HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = [0u8; 64];
+        let _ = stream.read(&mut buf); // at least the head has arrived
+    } // client hangs up mid-stream
+    let t0 = Instant::now();
+    while !observed_gone.load(Ordering::SeqCst) {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "producer must learn of the disconnect via emit()/cancel token"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn tight_deadline_returns_typed_408_over_the_wire() {
+    // Big enough that detection cannot finish inside 1ms.
+    let (g, _) = cx_datagen::dblp_like(&cx_datagen::DblpParams::scaled(4000, 11));
+    let server = Server::new(Engine::with_graph("dblp", g));
+    let handle = server.serve_background().unwrap();
+    let mut stream = TcpStream::connect(("127.0.0.1", handle.port())).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(
+        stream,
+        "GET /api/v1/detect?algo=louvain&timeout_ms=1 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 408"), "{raw}");
+    let (_, body) = raw.split_once("\r\n\r\n").unwrap();
+    let v = Json::parse(body).unwrap();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    let code = v.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
+    assert_eq!(code, Some("deadline_exceeded"), "{body}");
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let handler: Arc<cx_server::http::StreamHandler> = {
+        let inflight = Arc::clone(&inflight);
+        Arc::new(move |_req: &Request, _sink: &Arc<dyn StreamSink>| {
+            inflight.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(500));
+            Some(Response::json(&Json::str("slow but fine")))
+        })
+    };
+    let config = ServerConfig { workers: 2, max_inflight: 1, ..ServerConfig::default() };
+    let handle = serve_stream("127.0.0.1:0", config, handler).unwrap();
+    let port = handle.port();
+
+    // Occupy the single admission slot…
+    let mut busy = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    busy.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(busy, "GET /slow HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    let t0 = Instant::now();
+    while inflight.load(Ordering::SeqCst) == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "first request never dispatched");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // …then the next v1 request is shed on the loop thread.
+    let mut shed = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(shed, "GET /api/v1/stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    shed.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+    assert!(raw.to_ascii_lowercase().contains("retry-after: 1"), "{raw}");
+    let (_, body) = raw.split_once("\r\n\r\n").unwrap();
+    let v = Json::parse(body).unwrap();
+    let code = v.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
+    assert_eq!(code, Some("overloaded"), "{body}");
+
+    // The occupied slot still completes normally.
+    let mut raw = String::new();
+    busy.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+}
+
+#[test]
+fn bearer_auth_is_enforced_over_the_wire() {
+    let engine = Arc::new(Engine::with_graph("fig5", cx_datagen::figure5_graph()));
+    let handler: Arc<cx_server::http::StreamHandler> = {
+        let engine = Arc::clone(&engine);
+        Arc::new(move |req: &Request, sink: &Arc<dyn StreamSink>| {
+            cx_server::routes::route_sink_with_auth(&engine, req, sink, Some("sekrit"))
+        })
+    };
+    let handle = serve_stream("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+    let port = handle.port();
+
+    let get = |auth: Option<&str>| -> (u16, String) {
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let auth_line =
+            auth.map(|t| format!("Authorization: Bearer {t}\r\n")).unwrap_or_default();
+        write!(
+            stream,
+            "GET /api/v1/stats HTTP/1.1\r\nHost: x\r\n{auth_line}Connection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+        (status, body)
+    };
+
+    let (status, body) = get(None);
+    assert_eq!(status, 401, "{body}");
+    let v = Json::parse(&body).unwrap();
+    let code = v.get("error").and_then(|e| e.get("code")).and_then(Json::as_str);
+    assert_eq!(code, Some("unauthorized"), "{body}");
+
+    let (status, _) = get(Some("wrong"));
+    assert_eq!(status, 401);
+
+    let (status, body) = get(Some("sekrit"));
+    assert_eq!(status, 200, "{body}");
+}
+
+#[test]
+fn shutdown_drains_inflight_responses_then_refuses_connections() {
+    let handler: Arc<cx_server::http::StreamHandler> =
+        Arc::new(move |_req: &Request, _sink: &Arc<dyn StreamSink>| {
+            std::thread::sleep(Duration::from_millis(300));
+            Some(Response::json(&Json::str("drained")))
+        });
+    let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+    let mut handle = serve_stream("127.0.0.1:0", config, handler).unwrap();
+    let port = handle.port();
+
+    let client = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write!(stream, "GET /work HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        raw
+    });
+    // Let the request go in-flight, then shut down while it's running.
+    std::thread::sleep(Duration::from_millis(100));
+    handle.shutdown();
+
+    let raw = client.join().unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "in-flight response must drain:\n{raw}");
+    assert!(raw.contains("drained"), "{raw}");
+
+    match TcpStream::connect(("127.0.0.1", port)) {
+        Err(e) => assert!(
+            matches!(e.kind(), ErrorKind::ConnectionRefused | ErrorKind::ConnectionReset),
+            "unexpected connect error after shutdown: {e}"
+        ),
+        // A different process may have grabbed the port; reaching any
+        // listener that isn't ours is still proof ours is gone — but a
+        // fresh bind to the same port succeeding is the common case:
+        Ok(_) => {
+            // Tolerated: port reuse by another test. The drain assertion
+            // above is the load-bearing part.
+        }
+    }
+}

@@ -14,7 +14,7 @@ fn http_post(port: u16, target: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
     write!(
         stream,
-        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{}",
+        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
         body.len(),
         body
     )
@@ -26,7 +26,7 @@ fn http_post(port: u16, target: &str, body: &str) -> (u16, String) {
     (status, body)
 }
 
-fn serve_fig5() -> u16 {
+fn serve_fig5() -> cx_server::ServerHandle {
     Server::new(Engine::with_graph("fig5", cx_datagen::figure5_graph()))
         .serve_background()
         .unwrap()
@@ -34,7 +34,8 @@ fn serve_fig5() -> u16 {
 
 #[test]
 fn mixed_batch_degrades_per_slot() {
-    let port = serve_fig5();
+    let handle = serve_fig5();
+    let port = handle.port();
     let body = r#"{"queries":[
         {"name":"A","k":2,"keywords":["x"]},
         {"names":["A","D"],"k":2},
@@ -88,7 +89,8 @@ fn mixed_batch_degrades_per_slot() {
 
 #[test]
 fn item_pagination_clamps_like_get_search() {
-    let port = serve_fig5();
+    let handle = serve_fig5();
+    let port = handle.port();
     let body = r#"{"queries":[
         {"name":"A","k":2,"limit":999999},
         {"name":"A","k":2,"limit":-7,"offset":-1},
@@ -112,7 +114,8 @@ fn item_pagination_clamps_like_get_search() {
 
 #[test]
 fn batch_cap_and_malformed_bodies_are_rejected_whole() {
-    let port = serve_fig5();
+    let handle = serve_fig5();
+    let port = handle.port();
     let items: Vec<String> = (0..65).map(|_| r#"{"name":"A"}"#.to_owned()).collect();
     let oversize = format!("{{\"queries\":[{}]}}", items.join(","));
     for (body, want_code) in [
@@ -135,7 +138,8 @@ fn batch_cap_and_malformed_bodies_are_rejected_whole() {
 
 #[test]
 fn legacy_namespace_answers_typed_not_found() {
-    let port = serve_fig5();
+    let handle = serve_fig5();
+    let port = handle.port();
     let (status, resp) = http_post(port, "/api/search_batch", r#"{"queries":[{"name":"A"}]}"#);
     assert_eq!(status, 404, "{resp}");
     let v = Json::parse(&resp).unwrap();

@@ -3,8 +3,9 @@
 # thread counts, since every parallel helper promises thread-count
 # independence), the snapshot-concurrency stress test, par_scaling,
 # query_hotpath (asserting the zero-alloc steady-state contract at both
-# thread counts), concurrent_reads, edit_latency and store_recovery
-# smoke runs, and the cx-check correctness sweep at both thread counts
+# thread counts), concurrent_reads, http_throughput (keep-alive
+# fleet, shed at 2x overload, 50ms deadline probe), edit_latency and
+# store_recovery smoke runs, and the cx-check correctness sweep at both thread counts
 # (invariants + differential oracles incl. snapshot pinning,
 # incremental-vs-scratch and scratch-reuse + API fuzz + the kill-replay
 # durability oracle over a seeded graph/query matrix). Run from
@@ -41,6 +42,12 @@ CX_THREADS=1 cargo run -q --release -p cx-bench --bin concurrent_reads -- 5000 2
 
 echo "== concurrent_reads smoke (reader p99 under writer ≤ 2x, CX_THREADS=8) =="
 CX_THREADS=8 cargo run -q --release -p cx-bench --bin concurrent_reads -- 5000 20
+
+echo "== http_throughput smoke (keep-alive fleet, 2x-overload shed, 50ms deadline probe, CX_THREADS=1) =="
+CX_THREADS=1 cargo run -q --release -p cx-bench --bin http_throughput -- 2000 64 5 100000
+
+echo "== http_throughput smoke (keep-alive fleet, 2x-overload shed, 50ms deadline probe, CX_THREADS=8) =="
+CX_THREADS=8 cargo run -q --release -p cx-bench --bin http_throughput -- 2000 64 5 100000
 
 echo "== obs_overhead smoke (instrumented vs CX_OBS=off, 5% acceptance) =="
 cargo run -q --release -p cx-bench --bin obs_overhead -- 4000 100

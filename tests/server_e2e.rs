@@ -10,7 +10,7 @@ use cx_server::{Json, Server};
 
 fn http_get(port: u16, target: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
-    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n").unwrap();
     read_response(stream)
 }
 
@@ -18,7 +18,7 @@ fn http_post(port: u16, target: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
     write!(
         stream,
-        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{}",
+        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
         body.len(),
         body
     )
@@ -34,7 +34,7 @@ fn read_response(mut stream: TcpStream) -> (u16, String) {
     (status, body)
 }
 
-fn start_server() -> u16 {
+fn start_server() -> cx_server::ServerHandle {
     let engine = Engine::with_graph("fig5", cx_datagen::figure5_graph());
     let server = Server::new(engine);
     server.serve_background().unwrap()
@@ -42,7 +42,8 @@ fn start_server() -> u16 {
 
 #[test]
 fn full_stack_over_tcp() {
-    let port = start_server();
+    let handle = start_server();
+    let port = handle.port();
 
     // Landing page.
     let (status, html) = http_get(port, "/");
@@ -107,7 +108,8 @@ fn durable_server_survives_restart() {
     let upload_body = "v\tx\tdb\nv\ty\tdb\nv\tz\tdb\nv\tw\tdb\ne\t0\t1\ne\t1\t2\ne\t0\t2\n";
     let (first_search, first_graphs) = {
         let server = Server::open_durable(&dir).unwrap();
-        let port = server.serve_background().unwrap();
+        let handle = server.serve_background().unwrap();
+        let port = handle.port();
         let (status, body) = http_post(port, "/api/upload?name=tiny", upload_body);
         assert_eq!(status, 200, "{body}");
         // Grow the triangle into a K4: generation 2.
@@ -127,7 +129,8 @@ fn durable_server_survives_restart() {
     // Second life: a fresh server on the same directory recovers the
     // exact state — same generations, byte-identical search response.
     let server = Server::open_durable(&dir).unwrap();
-    let port = server.serve_background().unwrap();
+    let handle = server.serve_background().unwrap();
+    let port = handle.port();
     let (status, graphs) = http_get(port, "/api/graphs");
     assert_eq!(status, 200);
     assert_eq!(graphs, first_graphs, "recovered registry must match pre-restart registry");
@@ -154,7 +157,8 @@ fn durable_server_survives_restart() {
 
 #[test]
 fn concurrent_clients_are_served() {
-    let port = start_server();
+    let handle = start_server();
+    let port = handle.port();
     let handles: Vec<_> = (0..8)
         .map(|i| {
             std::thread::spawn(move || {
