@@ -1,0 +1,136 @@
+//! Paper-scale serving smoke: a 1M-vertex DBLP-like graph loaded into
+//! the engine and served over real HTTP — search and the
+//! multi-resolution hierarchy — with every response bounded.
+//!
+//! The flow mirrors a first browse session at the paper's demo scale:
+//!
+//! 1. generate the committed paper-scale graph (`DblpParams::
+//!    paper_scale`, scaled to the requested size);
+//! 2. boot the engine (CL-tree build) and the event-loop server;
+//! 3. `GET /api/v1/suggest` + `/api/v1/search` — the entry query path;
+//! 4. `GET /api/v1/hierarchy` — the coarse level view, then a drill
+//!    -down expansion of the largest supernode, then the deepest level;
+//!    every hierarchy response must list at most 1000 nodes.
+//!
+//! Emits one JSON line with phase timings and response sizes; writes
+//! `BENCH_hierarchy_scale.json` unless `--smoke` is given.
+//!
+//! Usage: `hierarchy_scale [vertices] [--smoke]` (default 1000000).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use cx_bench::{dblp_like, DblpParams};
+use cx_explorer::Engine;
+use cx_server::Server;
+
+/// One GET over a fresh connection; returns (status, body).
+fn get(port: u16, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status: u16 =
+        raw.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status line");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    (status, body)
+}
+
+/// Crude but sufficient: counts occurrences of `needle` in `hay`.
+fn count(hay: &str, needle: &str) -> usize {
+    hay.matches(needle).count()
+}
+
+/// Extracts the first `"key":<number>` value.
+fn num_field(body: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat).unwrap_or_else(|| panic!("no {key} in {body:.120}"));
+    body[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect::<String>()
+        .parse()
+        .expect("numeric field")
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let n: usize = argv
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000);
+
+    let t0 = Instant::now();
+    let (g, _) = dblp_like(&DblpParams { authors: n, ..DblpParams::paper_scale(42) });
+    let generate_s = t0.elapsed().as_secs_f64();
+    let edges = g.edge_count();
+
+    let t0 = Instant::now();
+    let engine = Engine::with_graph("main", g);
+    let index_s = t0.elapsed().as_secs_f64();
+
+    let server = Server::new(engine);
+    let handle = server.serve_background().expect("serve");
+    let port = handle.port();
+
+    // Entry query path: suggest, then a bounded search on a real author.
+    let t0 = Instant::now();
+    let (status, body) = get(port, "/api/v1/suggest?q=author-1&limit=5");
+    assert_eq!(status, 200, "suggest: {body:.200}");
+    assert!(body.contains("author-1"), "suggest body: {body:.200}");
+    let suggest_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let (status, body) = get(port, "/api/v1/search?name=author-7&k=3&limit=2");
+    assert_eq!(status, 200, "search: {body:.200}");
+    let search_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Coarse level view: first hierarchy request pays the lazy build.
+    let t0 = Instant::now();
+    let (status, body) = get(port, "/api/v1/hierarchy?level=1&limit=300");
+    assert_eq!(status, 200, "hierarchy level: {body:.200}");
+    let hierarchy_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let level_nodes = count(&body, "\"residents\":");
+    assert!(level_nodes <= 1000, "level view lists {level_nodes} supernodes");
+    // At this density the 1-core is essentially one giant component;
+    // drill-down below splits it into communities.
+    assert!(level_nodes >= 1, "level-1 view is empty");
+    let top = num_field(&body, "id") as u32;
+    let max_level = num_field(&body, "max_level") as u32;
+
+    // Drill into the largest supernode, warm this time.
+    let t0 = Instant::now();
+    let (status, body) = get(port, &format!("/api/v1/hierarchy?node={top}&limit=400"));
+    assert_eq!(status, 200, "hierarchy expand: {body:.200}");
+    let expand_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let expand_nodes = count(&body, "\"label\":") + count(&body, "\"residents\":") - 1;
+    assert!(expand_nodes <= 1000, "expansion lists {expand_nodes} nodes");
+
+    // The deepest view exists and is bounded too.
+    let (status, body) = get(port, &format!("/api/v1/hierarchy?level={max_level}&limit=1000"));
+    assert_eq!(status, 200, "deepest level: {body:.200}");
+    let deep_nodes = count(&body, "\"residents\":");
+    assert!(deep_nodes <= 1000, "deepest view lists {deep_nodes} supernodes");
+
+    drop(handle);
+
+    let line = format!(
+        "{{\"vertices\":{n},\"edges\":{edges},\"generate_s\":{generate_s:.1},\
+         \"index_s\":{index_s:.1},\"suggest_ms\":{suggest_ms:.1},\"search_ms\":{search_ms:.1},\
+         \"hierarchy_first_ms\":{hierarchy_build_ms:.1},\"expand_ms\":{expand_ms:.1},\
+         \"level1_supernodes\":{level_nodes},\"max_level\":{max_level}}}"
+    );
+    println!("{line}");
+
+    if smoke {
+        println!("(smoke run: search + bounded hierarchy served at {n} vertices; BENCH_hierarchy_scale.json not written)");
+    } else {
+        std::fs::write("BENCH_hierarchy_scale.json", format!("{line}\n"))
+            .expect("write report");
+    }
+}

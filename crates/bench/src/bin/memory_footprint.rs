@@ -1,0 +1,127 @@
+//! Substrate memory footprint: the paper-scale layout (u32 CSR offsets +
+//! interned columnar profiles) against the layout it replaced (usize CSR
+//! offsets + one `HashMap<VertexId, Profile>` entry per vertex with
+//! owned strings).
+//!
+//! For each size the bench builds a DBLP-like graph at the committed
+//! paper-scale density, attaches a full profile set (every author gets a
+//! name, area, institute and three interests — the Figure 2 popup data),
+//! and reports bytes/vertex for both layouts:
+//!
+//! * **after** — `AttributedGraph::memory_bytes()` (the real, current
+//!   layout) plus `ProfileStore::memory_bytes()`;
+//! * **before** — the same logical content costed analytically: each of
+//!   the two CSR offset columns at 8 bytes per entry instead of 4, and
+//!   profiles as hash-map entries (SwissTable slot at 7/8 load) holding
+//!   owned `String`s/`Vec<String>`s.
+//!
+//! The "before" numbers are computed, not allocated, so the bench runs
+//! at 1M vertices without paying for the layout it is deprecating.
+//!
+//! Emits one JSON line per size; writes `BENCH_memory_footprint.json`
+//! unless `--smoke` is given. `--smoke` also asserts the headline
+//! claim: ≥ 30% bytes/vertex reduction.
+//!
+//! Usage: `memory_footprint [sizes] [--smoke]` (default size 1000000).
+
+use std::mem::size_of;
+
+use cx_bench::{dblp_like, DblpParams};
+use cx_explorer::{Engine, Profile, ProfileStore};
+use cx_graph::{AttributedGraph, VertexId};
+
+/// The synthetic profile of vertex `v` — same content for both layouts.
+fn profile_of(g: &AttributedGraph, areas: &[usize], v: VertexId) -> Profile {
+    let a = areas[v.index()];
+    let interests = g.keyword_names(&g.keywords(v)[..g.keywords(v).len().min(3)]);
+    Profile {
+        name: g.label(v).to_owned(),
+        areas: vec![format!("research-area-{a}")],
+        institutes: vec![format!("institute-{}", (a * 7 + v.index()) % 200)],
+        interests,
+    }
+}
+
+/// Analytic cost of one profile in the retired layout: a SwissTable
+/// entry (1 control byte + the `(VertexId, Profile)` slot, at 7/8 load)
+/// plus every owned string header and byte it pointed at.
+fn legacy_profile_bytes(p: &Profile) -> usize {
+    let slot = size_of::<(VertexId, Profile)>() + 1;
+    let map_entry = slot * 8 / 7;
+    let strings: usize = [&p.areas, &p.institutes, &p.interests]
+        .iter()
+        .flat_map(|l| l.iter())
+        .map(|s| s.len() + size_of::<String>())
+        .sum();
+    map_entry + p.name.len() + strings
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let sizes: Vec<usize> = argv
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|a| a.split(',').filter_map(|p| p.parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1_000_000]);
+
+    let mut report = String::new();
+    for &n in &sizes {
+        let params = DblpParams { authors: n, ..DblpParams::paper_scale(42) };
+        let (g, areas) = dblp_like(&params);
+        let edges = g.edge_count();
+
+        // After: the real substrate, measured.
+        let store =
+            ProfileStore::from_pairs(g.vertices().map(|v| (v, profile_of(&g, &areas, v))));
+        let graph_after = g.memory_bytes();
+        let profiles_after = store.memory_bytes();
+
+        // Before: the same content costed in the retired layout. The two
+        // CSR offset columns (adjacency + keywords) were usize: 4 extra
+        // bytes for each of the 2·(n+1) entries.
+        let graph_before = graph_after + 2 * (n + 1) * 4;
+        let profiles_before: usize =
+            g.vertices().map(|v| legacy_profile_bytes(&profile_of(&g, &areas, v))).sum();
+
+        let before = graph_before + profiles_before;
+        let after = graph_after + profiles_after;
+        let bpv_before = before as f64 / n as f64;
+        let bpv_after = after as f64 / n as f64;
+        let reduction = 100.0 * (1.0 - bpv_after / bpv_before);
+
+        // Sanity: the compact substrate still answers queries (engines
+        // build their index on it; a cheap end-to-end touch).
+        let sample = profile_of(&g, &areas, VertexId(0));
+        let engine = Engine::with_graph("g", g);
+        engine
+            .set_profiles(Some("g"), vec![(VertexId(0), sample)])
+            .expect("profile write on compact store");
+        assert!(engine.profile(Some("g"), VertexId(0)).expect("profile read").is_some());
+
+        let line = format!(
+            "{{\"vertices\":{n},\"edges\":{edges},\
+             \"graph_bytes_before\":{graph_before},\"graph_bytes_after\":{graph_after},\
+             \"profile_bytes_before\":{profiles_before},\"profile_bytes_after\":{profiles_after},\
+             \"bytes_per_vertex_before\":{bpv_before:.1},\"bytes_per_vertex_after\":{bpv_after:.1},\
+             \"reduction_pct\":{reduction:.1}}}"
+        );
+        println!("{line}");
+        report.push_str(&line);
+        report.push('\n');
+
+        if smoke {
+            assert!(
+                reduction >= 30.0,
+                "substrate reduction regressed: {reduction:.1}% < 30% at {n} vertices"
+            );
+        }
+    }
+
+    if smoke {
+        println!("(smoke run: ≥30% bytes/vertex reduction holds; BENCH_memory_footprint.json not written)");
+    } else {
+        std::fs::write("BENCH_memory_footprint.json", &report).expect("write report");
+    }
+}

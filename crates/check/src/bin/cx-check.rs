@@ -7,6 +7,9 @@
 //!    every ACQ result passes keyword-maximality.
 //! 2. **Core-number differential** — `CoreDecomposition` (sequential and
 //!    parallel) vs. a naive fixpoint peel.
+//! 2b. **Hierarchy reconstruction** — at every level, fully expanding the
+//!    multi-resolution summary's supernodes must reproduce the exact
+//!    k-core vertex set and edge multiset.
 //! 3. **Strategy differential** — Dec vs. Inc-S / Inc-T / Basic.
 //! 4. **Cache differential** — cold vs. warm vs. cache-disabled engines.
 //! 5. **Snapshot differential** — a reader pinned to a pre-edit snapshot
@@ -34,8 +37,9 @@ use cx_check::invariants::check_core_numbers;
 use cx_check::oracle::thread_differential;
 use cx_check::{
     acq_strategy_differential, cached_vs_uncached, check_acq_result, edit_script, fingerprint,
-    fuzz_server, graph_matrix, incremental_vs_scratch, kill_replay, query_workload,
-    scratch_reuse_differential, snapshot_pinning_differential, FuzzParams, KillReplayParams,
+    fuzz_server, graph_matrix, hierarchy_reconstruction, incremental_vs_scratch, kill_replay,
+    query_workload, scratch_reuse_differential, snapshot_pinning_differential, FuzzParams,
+    KillReplayParams,
 };
 use cx_cltree::ClTree;
 use cx_datagen::dblp_like;
@@ -142,6 +146,14 @@ fn main() {
             for v in check_core_numbers(g, &|v| d.core(v)) {
                 problems.push(format!("{} [core/{label}] {v}", case.name));
             }
+        }
+
+        // Hierarchy reconstruction: recursively expanding every level's
+        // supernodes must reproduce the exact k-core vertex set and edge
+        // multiset, with aggregates matching the expansions.
+        let hier = cx_cltree::Hierarchy::build(g, &tree);
+        for v in hierarchy_reconstruction(g, &tree, &hier) {
+            problems.push(format!("{} {v}", case.name));
         }
 
         let workload = query_workload(g, args.queries, 0xC0DE ^ g.vertex_count() as u64);

@@ -21,6 +21,10 @@
 //!   the incremental write path must land on exactly the state a
 //!   from-scratch rebuild produces after every step of an edit script.
 //!   The oracle runs both sides and diffs canonicalized results.
+//! * [`hierarchy`] — the reconstruction oracle for the multi-resolution
+//!   summary: at every level, recursively expanding the level's
+//!   supernodes must reproduce the exact vertex set and edge multiset of
+//!   the k-core, with aggregates matching the explicit expansions.
 //! * [`canonical`] — the canonical form and fingerprint the diffs compare.
 //! * [`workload`] — a seeded graph/query matrix over [`cx_datagen`]
 //!   generators, so the oracles sweep thousands of cases reproducibly.
@@ -40,6 +44,7 @@
 
 pub mod canonical;
 pub mod fuzz;
+pub mod hierarchy;
 pub mod invariants;
 pub mod killreplay;
 pub mod oracle;
@@ -47,6 +52,7 @@ pub mod workload;
 
 pub use canonical::{canonicalize, diff_results, fingerprint, graph_fingerprint, tree_canonical};
 pub use fuzz::{fuzz_server, FuzzParams, FuzzReport};
+pub use hierarchy::hierarchy_reconstruction;
 pub use killreplay::{kill_replay, KillReplayParams, KillReplayReport};
 pub use invariants::{
     check_acq_result, check_community, check_ktruss_community, Violation,

@@ -1,0 +1,625 @@
+//! Multi-resolution hierarchy derived from the CL-tree.
+//!
+//! At paper scale (10⁶ vertices) no client can render the raw graph, and
+//! even a single community can be too large for a first look. This module
+//! turns the CL-tree into a browsable **summary hierarchy**: every tree
+//! node doubles as a *supernode* standing for its whole subtree, carrying
+//! aggregated statistics (subtree size, edge counts, degree stats, top
+//! keywords), and a *level-k view* of the graph shows the connected
+//! components of the k-core as at most one supernode each. Clients start
+//! coarse and drill down by expanding one supernode at a time.
+//!
+//! ## Edge ownership
+//!
+//! The crucial structural fact (a direct consequence of core laminarity):
+//! **two distinct supernodes of the same level never share an edge.** An
+//! edge `{u, v}` with `core(u) ≤ core(v)` lies inside the
+//! `core(u)`-core, so both endpoints sit in the *same* connected
+//! component of it — which is exactly the CL-tree node of `u`. Hence
+//! `node_of(u)` is an ancestor-or-self of `node_of(v)`, and we say the
+//! edge is **owned** by the shallower node `node_of(u)`. Every owned edge
+//! has at least one endpoint *resident* in its owner.
+//!
+//! This gives the hierarchy clean semantics with zero double counting:
+//!
+//! * a level-k view has no inter-supernode edges at all (components!);
+//! * expanding a supernode `P` reveals its resident vertices, its child
+//!   supernodes, the resident–resident edges owned by `P`, and weighted
+//!   links from each resident into the child subtrees — nothing else;
+//! * recursively expanding everything therefore reproduces the exact
+//!   vertex set and edge multiset, which `cx-check` verifies as an
+//!   oracle.
+
+use std::collections::HashMap;
+
+use cx_graph::{AttributedGraph, KeywordId, VertexId};
+
+use crate::build::ClTree;
+use crate::node::NodeId;
+
+/// How many top keywords each supernode keeps.
+pub const TOP_KEYWORDS: usize = 8;
+
+/// Aggregated statistics for one supernode (one CL-tree node standing for
+/// its whole subtree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupernodeStats {
+    /// The CL-tree level (k of the k-core component).
+    pub level: u32,
+    /// Parent supernode, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Vertices resident in this node (core number == level).
+    pub residents: u32,
+    /// Total vertices in the subtree (this supernode's "size").
+    pub subtree_vertices: u32,
+    /// Edges owned by this node (see module docs on ownership).
+    pub owned_edges: u64,
+    /// Total edges with both endpoints inside the subtree.
+    pub subtree_edges: u64,
+    /// Sum of graph degrees over subtree vertices.
+    pub sum_degree: u64,
+    /// Maximum graph degree over subtree vertices.
+    pub max_degree: u32,
+    /// Up to [`TOP_KEYWORDS`] most frequent keywords in the subtree,
+    /// `(keyword, occurrence count)`, count-descending then id-ascending.
+    pub top_keywords: Vec<(KeywordId, u32)>,
+}
+
+/// The expansion of one supernode: what a client sees after clicking it.
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    /// The expanded supernode.
+    pub node: NodeId,
+    /// Listed resident vertices, ascending by id. When the node has more
+    /// residents than the cap, the highest-degree ones are listed.
+    pub residents: Vec<VertexId>,
+    /// True when residents were dropped to meet the cap.
+    pub truncated: bool,
+    /// Child supernodes, in tree order.
+    pub children: Vec<NodeId>,
+    /// Resident–resident edges among *listed* residents.
+    pub internal_edges: Vec<(VertexId, VertexId)>,
+    /// Weighted links `(resident, child supernode, #edges)` from listed
+    /// residents into child subtrees, sorted by `(resident, child)`.
+    pub child_links: Vec<(VertexId, NodeId, u32)>,
+}
+
+/// The summary hierarchy: per-supernode aggregates over one `(graph,
+/// CL-tree)` pair. Node ids are the tree's [`NodeId`]s, so tree queries
+/// and hierarchy stats compose directly.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    stats: Vec<SupernodeStats>,
+    max_level: u32,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy for `g` and its CL-tree: one O(m) edge
+    ///-ownership scan plus one post-order aggregation sweep.
+    pub fn build(g: &AttributedGraph, tree: &ClTree) -> Self {
+        Self::build_reusing(g, tree, None)
+    }
+
+    /// Rebuilds aggregates after an incremental [`ClTree::update`],
+    /// reusing the expensive per-subtree keyword merge for every subtree
+    /// the update carried over unchanged (detected through the `Arc`
+    /// identity of the nodes' inverted lists — shared exactly when a
+    /// node's `(level, vertices)` survived). Degree and edge columns are
+    /// always recomputed: an edge edit changes degrees even where core
+    /// numbers, and hence the tree, did not move.
+    pub fn update(
+        g: &AttributedGraph,
+        tree: &ClTree,
+        prev_tree: &ClTree,
+        prev: &Hierarchy,
+    ) -> Self {
+        Self::build_reusing(g, tree, Some((prev_tree, prev)))
+    }
+
+    fn build_reusing(
+        g: &AttributedGraph,
+        tree: &ClTree,
+        prev: Option<(&ClTree, &Hierarchy)>,
+    ) -> Self {
+        let _span = cx_obs::span("cltree.hierarchy.build");
+        let nn = tree.node_count();
+        let mut stats: Vec<SupernodeStats> = tree
+            .iter_nodes()
+            .map(|(_, n)| SupernodeStats {
+                level: n.level,
+                parent: n.parent,
+                residents: n.vertices.len() as u32,
+                subtree_vertices: 0,
+                owned_edges: 0,
+                subtree_edges: 0,
+                sum_degree: 0,
+                max_degree: 0,
+                top_keywords: Vec::new(),
+            })
+            .collect();
+
+        // Edge-ownership scan: every undirected edge counted once at the
+        // node of its smaller-core endpoint (see module docs).
+        for v in g.vertices() {
+            let cv = tree.core(v);
+            for &u in g.neighbors(v) {
+                let cu = tree.core(u);
+                // Count once: strictly smaller core owns outright; on a
+                // core tie both endpoints share a node, so take v < u.
+                if cv < cu || (cv == cu && v < u) {
+                    stats[tree.node_of(v).index()].owned_edges += 1;
+                }
+            }
+        }
+
+        // Which old subtree, if any, is carried over verbatim — keyed by
+        // the Arc pointer of the node's inverted list.
+        let reuse = prev.map(|(pt, ph)| PreservedSubtrees::scan(tree, pt, ph));
+
+        // Post-order sweep: children before parents. An explicit stack
+        // keeps us safe on adversarially deep trees.
+        let order = post_order(tree);
+        let mut kw: Vec<HashMap<KeywordId, u32>> = vec![HashMap::new(); nn];
+        for &nid in &order {
+            let node = tree.node(nid);
+            let i = nid.index();
+
+            let mut sub_v = node.vertices.len() as u64;
+            let mut sub_e = stats[i].owned_edges;
+            let mut sum_d = 0u64;
+            let mut max_d = 0u32;
+            for &v in &node.vertices {
+                let d = g.degree(v) as u64;
+                sum_d += d;
+                max_d = max_d.max(d as u32);
+            }
+            for &c in &node.children {
+                let cs = &stats[c.index()];
+                sub_v += cs.subtree_vertices as u64;
+                sub_e += cs.subtree_edges;
+                sum_d += cs.sum_degree;
+                max_d = max_d.max(cs.max_degree);
+            }
+            stats[i].subtree_vertices = sub_v as u32;
+            stats[i].subtree_edges = sub_e;
+            stats[i].sum_degree = sum_d;
+            stats[i].max_degree = max_d;
+
+            if let Some(preserved) = reuse.as_ref().and_then(|r| r.old_of(nid)) {
+                // Whole subtree carried over: take the old top keywords
+                // and skip the merge below it entirely (children maps are
+                // empty because they were skipped the same way).
+                stats[i].top_keywords = preserved.clone();
+                continue;
+            }
+            // Merge children's subtree keyword counts into this node's,
+            // largest map first to bound rehashing.
+            let mut acc = std::mem::take(&mut kw[i]);
+            for (&w, vs) in node.inverted.iter() {
+                *acc.entry(w).or_insert(0) += vs.len() as u32;
+            }
+            for &c in &node.children {
+                let child = std::mem::take(&mut kw[c.index()]);
+                let (mut big, small) = if child.len() > acc.len() { (child, acc) } else { (acc, child) };
+                for (w, n) in small {
+                    *big.entry(w).or_insert(0) += n;
+                }
+                acc = big;
+            }
+            stats[i].top_keywords = top_k(&acc);
+            kw[i] = acc;
+        }
+
+        Self { stats, max_level: tree.max_core() }
+    }
+
+    /// The deepest level at which any supernode exists.
+    #[inline]
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Number of supernodes (== CL-tree nodes).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Aggregates of one supernode.
+    #[inline]
+    pub fn stats(&self, id: NodeId) -> &SupernodeStats {
+        &self.stats[id.index()]
+    }
+
+    /// The supernodes of the level-`k` view: the maximal subtrees of
+    /// level ≥ k, i.e. the connected components of the k-core (for k = 0,
+    /// the single root). Ordered by subtree size descending, then id —
+    /// so callers can take a prefix as "the N largest communities".
+    pub fn level_nodes(&self, k: u32) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .stats
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.level >= k
+                    && match s.parent {
+                        None => true,
+                        Some(p) => self.stats[p.index()].level < k,
+                    }
+            })
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        out.sort_unstable_by_key(|&id| {
+            (u32::MAX - self.stats[id.index()].subtree_vertices, id.0)
+        });
+        out
+    }
+
+    /// Expands supernode `id`: listed residents (all of them, or the
+    /// `max_residents` highest-degree ones), child supernodes, owned
+    /// resident–resident edges, and weighted resident→child links. See
+    /// the module docs for why this is the complete edge picture.
+    pub fn expand(
+        &self,
+        g: &AttributedGraph,
+        tree: &ClTree,
+        id: NodeId,
+        max_residents: usize,
+    ) -> Expansion {
+        let node = tree.node(id);
+        let level = node.level;
+
+        let truncated = node.vertices.len() > max_residents;
+        let mut residents: Vec<VertexId> = if truncated {
+            let mut by_degree: Vec<VertexId> = node.vertices.clone();
+            by_degree.sort_unstable_by_key(|&v| (usize::MAX - g.degree(v), v.0));
+            by_degree.truncate(max_residents);
+            by_degree.sort_unstable();
+            by_degree
+        } else {
+            node.vertices.clone()
+        };
+        residents.dedup();
+
+        let listed: std::collections::HashSet<VertexId> = residents.iter().copied().collect();
+        let mut internal_edges = Vec::new();
+        let mut links: HashMap<(VertexId, NodeId), u32> = HashMap::new();
+        for &u in &residents {
+            for &v in g.neighbors(u) {
+                let cv = tree.core(v);
+                if cv < level {
+                    continue; // owned by an ancestor's view
+                }
+                if tree.node_of(v) == id {
+                    if u < v && listed.contains(&v) {
+                        internal_edges.push((u, v));
+                    }
+                    continue;
+                }
+                // v lives strictly below: attribute the edge to the child
+                // subtree containing it.
+                let child = child_containing(tree, id, v);
+                *links.entry((u, child)).or_insert(0) += 1;
+            }
+        }
+        internal_edges.sort_unstable();
+        let mut child_links: Vec<(VertexId, NodeId, u32)> =
+            links.into_iter().map(|((u, c), w)| (u, c, w)).collect();
+        child_links.sort_unstable_by_key(|&(u, c, _)| (u, c));
+
+        Expansion {
+            node: id,
+            residents,
+            truncated,
+            children: node.children.clone(),
+            internal_edges,
+            child_links,
+        }
+    }
+
+    /// All edges owned by supernode `id`, as explicit vertex pairs. Each
+    /// graph edge is owned by exactly one node, so concatenating this
+    /// over all nodes reproduces the exact edge multiset — the
+    /// reconstruction oracle in `cx-check` relies on this.
+    pub fn owned_edge_list(
+        &self,
+        g: &AttributedGraph,
+        tree: &ClTree,
+        id: NodeId,
+    ) -> Vec<(VertexId, VertexId)> {
+        let node = tree.node(id);
+        let level = node.level;
+        let mut out = Vec::new();
+        for &u in &node.vertices {
+            for &v in g.neighbors(u) {
+                let cv = tree.core(v);
+                if cv > level || (cv == level && u < v) {
+                    out.push((u.min(v), u.max(v)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.stats.capacity() * size_of::<SupernodeStats>()
+            + self
+                .stats
+                .iter()
+                .map(|s| s.top_keywords.len() * size_of::<(KeywordId, u32)>())
+                .sum::<usize>()
+    }
+}
+
+/// The child of `p` whose subtree contains `v`. Panics if `p` is not a
+/// proper ancestor of `v`'s node — callers establish that via the edge
+/// -ownership argument.
+fn child_containing(tree: &ClTree, p: NodeId, v: VertexId) -> NodeId {
+    let mut cur = tree.node_of(v);
+    loop {
+        match tree.node(cur).parent {
+            Some(parent) if parent == p => return cur,
+            Some(parent) => cur = parent,
+            None => panic!("vertex {v:?} is not below supernode {p:?}"),
+        }
+    }
+}
+
+/// Children-before-parents ordering of all tree nodes, iteratively.
+fn post_order(tree: &ClTree) -> Vec<NodeId> {
+    let mut order = Vec::with_capacity(tree.node_count());
+    let mut stack = vec![tree.root()];
+    // Reverse-DFS trick: pre-order with children pushed left-to-right,
+    // then reversed, yields a valid post-order.
+    while let Some(nid) = stack.pop() {
+        order.push(nid);
+        stack.extend_from_slice(&tree.node(nid).children);
+    }
+    order.reverse();
+    order
+}
+
+/// The top-[`TOP_KEYWORDS`] entries by `(count desc, keyword id asc)`.
+fn top_k(counts: &HashMap<KeywordId, u32>) -> Vec<(KeywordId, u32)> {
+    let mut all: Vec<(KeywordId, u32)> = counts.iter().map(|(&w, &c)| (w, c)).collect();
+    all.sort_unstable_by_key(|&(w, c)| (u32::MAX - c, w));
+    all.truncate(TOP_KEYWORDS);
+    all
+}
+
+/// For [`Hierarchy::update`]: which new nodes root a subtree carried over
+/// verbatim from the previous tree, mapped to the old top-keyword lists.
+struct PreservedSubtrees {
+    /// New node id → old node's `top_keywords`, for fully preserved subtrees.
+    preserved: HashMap<NodeId, Vec<(KeywordId, u32)>>,
+}
+
+impl PreservedSubtrees {
+    fn scan(tree: &ClTree, prev_tree: &ClTree, prev: &Hierarchy) -> Self {
+        // Old inverted-list Arc pointer → old node id. Sharing happens
+        // exactly when ClTree::update carried the node.
+        let mut old_by_ptr: HashMap<*const (), NodeId> = HashMap::new();
+        for (oid, onode) in prev_tree.iter_nodes() {
+            old_by_ptr.insert(std::sync::Arc::as_ptr(&onode.inverted) as *const (), oid);
+        }
+        // Bottom-up: a subtree is preserved when its root shares its
+        // inverted Arc with old node `o` AND its children's subtrees are
+        // preserved AND they map exactly onto o's children.
+        let mut map_of: HashMap<NodeId, NodeId> = HashMap::new(); // new → old
+        let mut preserved = HashMap::new();
+        for nid in post_order(tree) {
+            let node = tree.node(nid);
+            let Some(&old) =
+                old_by_ptr.get(&(std::sync::Arc::as_ptr(&node.inverted) as *const ()))
+            else {
+                continue;
+            };
+            let mut kids_old: Vec<NodeId> = Vec::with_capacity(node.children.len());
+            if !node.children.iter().all(|c| {
+                map_of.get(c).map(|&o| kids_old.push(o)).is_some()
+            }) {
+                continue;
+            }
+            kids_old.sort_unstable();
+            let mut expect: Vec<NodeId> = prev_tree.node(old).children.clone();
+            expect.sort_unstable();
+            if kids_old != expect {
+                continue;
+            }
+            map_of.insert(nid, old);
+            preserved.insert(nid, prev.stats(old).top_keywords.clone());
+        }
+        Self { preserved }
+    }
+
+    fn old_of(&self, nid: NodeId) -> Option<&Vec<(KeywordId, u32)>> {
+        self.preserved.get(&nid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_datagen::figure5_graph;
+    use cx_graph::GraphBuilder;
+
+    fn edge_multiset(g: &AttributedGraph) -> Vec<(VertexId, VertexId)> {
+        let mut out = Vec::new();
+        for v in g.vertices() {
+            for &u in g.neighbors(v) {
+                if v < u {
+                    out.push((v, u));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn figure5_aggregates() {
+        let g = figure5_graph();
+        let t = ClTree::build(&g);
+        let h = Hierarchy::build(&g, &t);
+        assert_eq!(h.node_count(), t.node_count());
+        assert_eq!(h.max_level(), 3);
+
+        // Root covers everything.
+        let root = h.stats(t.root());
+        assert_eq!(root.subtree_vertices as usize, g.vertex_count());
+        assert_eq!(root.subtree_edges as usize, g.edge_count());
+
+        // The {A,B,C,D} node is a K4: 4 vertices, 6 owned edges.
+        let a = g.vertex_by_label("A").unwrap();
+        let abcd = t.node_of(a);
+        let s = h.stats(abcd);
+        assert_eq!(s.level, 3);
+        assert_eq!(s.residents, 4);
+        assert_eq!(s.subtree_vertices, 4);
+        assert_eq!(s.owned_edges, 6);
+        assert_eq!(s.subtree_edges, 6);
+        assert!(!s.top_keywords.is_empty());
+        // x is carried by A,B,C,D — the top keyword of that subtree.
+        let x = g.interner().get("x").unwrap();
+        assert_eq!(s.top_keywords[0], (x, 4));
+    }
+
+    #[test]
+    fn ownership_partitions_the_edge_multiset() {
+        let g = figure5_graph();
+        let t = ClTree::build(&g);
+        let h = Hierarchy::build(&g, &t);
+        let mut owned = Vec::new();
+        let mut owned_total = 0u64;
+        for (id, _) in t.iter_nodes() {
+            owned.extend(h.owned_edge_list(&g, &t, id));
+            owned_total += h.stats(id).owned_edges;
+        }
+        owned.sort_unstable();
+        assert_eq!(owned, edge_multiset(&g));
+        assert_eq!(owned_total as usize, g.edge_count());
+    }
+
+    #[test]
+    fn level_views_are_kcore_components() {
+        let g = figure5_graph();
+        let t = ClTree::build(&g);
+        let h = Hierarchy::build(&g, &t);
+
+        // Level 0: exactly the root.
+        assert_eq!(h.level_nodes(0), vec![t.root()]);
+        // Level 1: two components — ABCDEFG (7 vertices) and HI (2).
+        let l1 = h.level_nodes(1);
+        assert_eq!(l1.len(), 2);
+        let sizes: Vec<u32> = l1.iter().map(|&n| h.stats(n).subtree_vertices).collect();
+        assert_eq!(sizes, vec![7, 2]); // size-descending order
+        // Level 3: the K4 alone.
+        let l3 = h.level_nodes(3);
+        assert_eq!(l3.len(), 1);
+        assert_eq!(h.stats(l3[0]).subtree_vertices, 4);
+        // Beyond max level: nothing.
+        assert!(h.level_nodes(4).is_empty());
+    }
+
+    #[test]
+    fn expansion_reveals_residents_children_and_links() {
+        let g = figure5_graph();
+        let t = ClTree::build(&g);
+        let h = Hierarchy::build(&g, &t);
+        let label = |l: &str| g.vertex_by_label(l).unwrap();
+
+        // Expand the level-2 node {E}: one resident, one child (K4), and
+        // E's two edges into the K4 (E–C, E–D per Figure 5) as one
+        // weighted link.
+        let e_node = t.node_of(label("E"));
+        let ex = h.expand(&g, &t, e_node, 100);
+        assert_eq!(ex.residents, vec![label("E")]);
+        assert!(!ex.truncated);
+        assert_eq!(ex.children.len(), 1);
+        assert!(ex.internal_edges.is_empty());
+        assert_eq!(ex.child_links.len(), 1);
+        let (u, c, w) = ex.child_links[0];
+        assert_eq!(u, label("E"));
+        assert_eq!(c, ex.children[0]);
+        assert_eq!(w as usize, {
+            // E's neighbours inside the K4.
+            g.neighbors(label("E")).iter().filter(|&&v| t.core(v) == 3).count()
+        });
+    }
+
+    #[test]
+    fn expansion_truncates_by_degree() {
+        let g = figure5_graph();
+        let t = ClTree::build(&g);
+        let h = Hierarchy::build(&g, &t);
+        let a = g.vertex_by_label("A").unwrap();
+        let abcd = t.node_of(a);
+        let ex = h.expand(&g, &t, abcd, 2);
+        assert!(ex.truncated);
+        assert_eq!(ex.residents.len(), 2);
+        // Internal edges only among listed residents.
+        assert!(ex.internal_edges.iter().all(|(u, v)| {
+            ex.residents.contains(u) && ex.residents.contains(v)
+        }));
+    }
+
+    #[test]
+    fn update_reuses_preserved_subtree_keywords() {
+        let g = figure5_graph();
+        let t = ClTree::build(&g);
+        let h = Hierarchy::build(&g, &t);
+        // Rebuild the tree via update with an empty delta → everything
+        // preserved; the hierarchy must come out identical.
+        let delta = cx_graph::EdgeDelta::default();
+        let g2 = g.apply_delta(&delta);
+        let cores = t.core_numbers().to_vec();
+        let t2 = t.update(&g2, &delta, &cores);
+        let h2 = Hierarchy::update(&g2, &t2, &t, &h);
+        assert_eq!(h2.node_count(), h.node_count());
+        for (id, _) in t2.iter_nodes() {
+            assert_eq!(h2.stats(id).subtree_vertices, h.stats(id).subtree_vertices);
+            assert_eq!(h2.stats(id).top_keywords, h.stats(id).top_keywords);
+        }
+    }
+
+    #[test]
+    fn update_after_real_edit_matches_fresh_build() {
+        let g = figure5_graph();
+        let t = ClTree::build(&g);
+        let h = Hierarchy::build(&g, &t);
+        // Connect H to E: changes components at level ≥ 1.
+        let e = g.vertex_by_label("E").unwrap();
+        let hv = g.vertex_by_label("H").unwrap();
+        let delta = g.edge_delta(&[(e, hv)], &[]).unwrap();
+        let g2 = g.apply_delta(&delta);
+        let cores2 = cx_kcore::CoreDecomposition::compute_par(&g2);
+        let t2 = ClTree::build_with(&g2, &cores2);
+        let h_inc = Hierarchy::update(&g2, &t2, &t, &h);
+        let h_fresh = Hierarchy::build(&g2, &t2);
+        for (id, _) in t2.iter_nodes() {
+            assert_eq!(h_inc.stats(id), h_fresh.stats(id), "stats diverge at {id:?}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_live_at_the_root() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_vertex(&format!("v{i}"), &["kw"]);
+        }
+        b.add_edge(VertexId(0), VertexId(1));
+        // v2, v3 isolated.
+        let g = b.build();
+        let t = ClTree::build(&g);
+        let h = Hierarchy::build(&g, &t);
+        let root = h.stats(t.root());
+        assert_eq!(root.subtree_vertices, 4);
+        assert_eq!(root.subtree_edges, 1);
+        let ex = h.expand(&g, &t, t.root(), 10);
+        assert_eq!(ex.residents.len(), 2); // v2, v3 resident at level 0
+        assert_eq!(h.max_level(), 1);
+    }
+}

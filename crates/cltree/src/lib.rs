@@ -24,11 +24,13 @@
 //!   carrying a given keyword, via the per-node inverted lists.
 
 pub mod build;
+pub mod hierarchy;
 pub mod node;
 pub mod snapshot;
 pub mod unionfind;
 pub mod update;
 
 pub use build::ClTree;
+pub use hierarchy::{Expansion, Hierarchy, SupernodeStats};
 pub use node::{ClTreeNode, NodeId};
 pub use unionfind::UnionFind;

@@ -83,6 +83,22 @@ impl DblpParams {
             ..Self::default()
         }
     }
+
+    /// The committed paper-scale configuration: one million authors at a
+    /// density of three intra-group edges per joining author, which lands
+    /// at roughly 3.4M edges — the scale of the DBLP snapshot the paper
+    /// demos against. The generator draws every value from one sequential
+    /// RNG stream, so the graph is bit-identical for a given seed
+    /// regardless of `CX_THREADS` or machine.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self {
+            authors: 1_000_000,
+            areas: 64,
+            edges_per_author: 3,
+            seed,
+            ..Self::default()
+        }
+    }
 }
 
 /// Generates a DBLP-like attributed co-authorship graph.
@@ -388,6 +404,47 @@ mod tests {
         let p = DblpParams::scaled(10_000, 1);
         assert_eq!(p.authors, 10_000);
         assert!(p.areas >= 4 && p.areas <= 64);
+    }
+
+    #[test]
+    fn paper_scale_preset_is_committed() {
+        let p = DblpParams::paper_scale(42);
+        assert_eq!(p.authors, 1_000_000);
+        assert_eq!(p.areas, 64);
+        assert_eq!(p.edges_per_author, 3);
+        assert_eq!(p.seed, 42);
+    }
+
+    /// FNV-1a over the full adjacency + keyword structure.
+    fn fingerprint(g: &AttributedGraph) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        mix(g.vertex_count() as u64);
+        mix(g.edge_count() as u64);
+        for v in g.vertices() {
+            for &u in g.neighbors(v) {
+                mix(u.0 as u64);
+            }
+            for w in g.keywords(v) {
+                mix(w.0 as u64 | 1 << 40);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn paper_scale_shape_is_machine_independent() {
+        // A scaled-down graph with the paper-scale density knobs, pinned to
+        // a golden fingerprint. The generator is one sequential RNG stream
+        // (no cx-par, no iteration over hash maps), so this must hold on
+        // any machine and at any CX_THREADS — CI runs the suite at both
+        // CX_THREADS=1 and CX_THREADS=8 to enforce exactly that.
+        let p = DblpParams { authors: 4_000, ..DblpParams::paper_scale(42) };
+        let (g, _) = dblp_like(&p);
+        assert_eq!(fingerprint(&g), 0x2069f68bca084635, "paper-scale graph drifted");
     }
 
     #[test]

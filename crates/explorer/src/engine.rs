@@ -31,9 +31,9 @@ use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
-use cx_cltree::ClTree;
+use cx_cltree::{ClTree, Hierarchy};
 use cx_graph::{AttributedGraph, Community, VertexId};
-use cx_layout::{layout_community, LayoutAlgorithm, Scene};
+use cx_layout::{layout_community, layout_summary, LayoutAlgorithm, Scene, SummaryItem};
 use cx_par::task::{CancelToken, ProgressFn};
 
 use crate::api::{
@@ -44,6 +44,7 @@ use crate::api::{
 };
 use crate::cache::{CacheStats, QueryKey, ShardedCache, DEFAULT_CAPACITY};
 use crate::error::ExplorerError;
+use crate::profile::ProfileStore;
 use crate::query::QuerySpec;
 use crate::report::AnalysisReport;
 
@@ -74,16 +75,22 @@ pub struct GraphSnapshot {
     pub graph: Arc<AttributedGraph>,
     /// The CL-tree index built for exactly this graph version.
     pub tree: Arc<ClTree>,
-    /// Vertex profiles (Figure 2 popups). `Arc`-shared across snapshots:
-    /// an edge edit republishes the same map, only `set_profiles` builds
-    /// a new one.
-    pub profiles: Arc<HashMap<VertexId, Profile>>,
+    /// Vertex profiles (Figure 2 popups), in the compact interned column
+    /// store. `Arc`-shared across snapshots: an edge edit republishes the
+    /// same store, only `set_profiles` builds a new one.
+    pub profiles: Arc<ProfileStore>,
     /// Vertex coordinates for spatial algorithms, if installed. Shared
     /// across snapshots like `profiles`.
     pub coords: Option<Arc<Vec<(f64, f64)>>>,
     /// Per-graph monotone version number; exactly one snapshot is ever
     /// published per (graph, generation) pair.
     pub generation: u64,
+    /// The multi-resolution summary hierarchy, built on first use and
+    /// cached for this snapshot's lifetime. Tree node ids change across
+    /// generations, so per-snapshot caching is exactly the right scope;
+    /// the edit path seeds the successor's cell incrementally when this
+    /// one was populated.
+    hierarchy: std::sync::OnceLock<Arc<Hierarchy>>,
     /// Whether this snapshot bumped the live-snapshot gauge when built
     /// (observability could be toggled between construction and drop).
     gauge_counted: bool,
@@ -94,7 +101,7 @@ impl GraphSnapshot {
         name: String,
         graph: Arc<AttributedGraph>,
         tree: Arc<ClTree>,
-        profiles: Arc<HashMap<VertexId, Profile>>,
+        profiles: Arc<ProfileStore>,
         coords: Option<Arc<Vec<(f64, f64)>>>,
         generation: u64,
     ) -> Self {
@@ -102,7 +109,37 @@ impl GraphSnapshot {
         if gauge_counted {
             cx_obs::global().gauge("cx_snapshots_live").add(1);
         }
-        Self { name, graph, tree, profiles, coords, generation, gauge_counted }
+        Self {
+            name,
+            graph,
+            tree,
+            profiles,
+            coords,
+            generation,
+            hierarchy: std::sync::OnceLock::new(),
+            gauge_counted,
+        }
+    }
+
+    /// The summary hierarchy over this snapshot's CL-tree (supernode
+    /// aggregates, level views, expansion) — built on first call, then
+    /// shared. Concurrent first calls may race to build; `OnceLock`
+    /// keeps exactly one winner and the losers' work is discarded.
+    pub fn hierarchy(&self) -> Arc<Hierarchy> {
+        Arc::clone(
+            self.hierarchy
+                .get_or_init(|| Arc::new(Hierarchy::build(&self.graph, &self.tree))),
+        )
+    }
+
+    /// The hierarchy if it was already built for this snapshot.
+    pub fn hierarchy_cached(&self) -> Option<Arc<Hierarchy>> {
+        self.hierarchy.get().map(Arc::clone)
+    }
+
+    /// Pre-populates the hierarchy cell (edit path). A no-op if built.
+    fn seed_hierarchy(&self, h: Arc<Hierarchy>) {
+        let _ = self.hierarchy.set(h);
     }
 
     /// The registry name this snapshot was published under.
@@ -315,21 +352,17 @@ impl Engine {
         let e = Self::new();
         for (name, rg) in &state.graphs {
             let tree = ClTree::build(&rg.graph);
-            let profiles: HashMap<VertexId, Profile> = rg
-                .profiles
-                .iter()
-                .map(|p| {
-                    (
-                        p.vertex,
-                        Profile {
-                            name: p.name.clone(),
-                            areas: p.areas.clone(),
-                            institutes: p.institutes.clone(),
-                            interests: p.interests.clone(),
-                        },
-                    )
-                })
-                .collect();
+            let profiles = ProfileStore::from_pairs(rg.profiles.iter().map(|p| {
+                (
+                    p.vertex,
+                    Profile {
+                        name: p.name.clone(),
+                        areas: p.areas.clone(),
+                        institutes: p.institutes.clone(),
+                        interests: p.interests.clone(),
+                    },
+                )
+            }));
             // Publishing with the store still unattached appends nothing
             // to the WAL; the recovered generation is installed as-is.
             e.publish(GraphSnapshot::new(
@@ -439,7 +472,7 @@ impl Engine {
             name,
             graph,
             Arc::new(tree),
-            Arc::new(HashMap::new()),
+            Arc::new(ProfileStore::default()),
             None,
             generation,
         ));
@@ -843,6 +876,97 @@ impl Engine {
         layout_community(&snap.graph, community, algo, highlight, 960.0, 600.0, 42)
     }
 
+    /// Scene for a multi-resolution level view: the level-`level`
+    /// supernodes as disjoint bubbles (largest first, at most
+    /// `max_nodes`). Level views have no inter-supernode edges by
+    /// construction — see the hierarchy module docs.
+    pub fn hierarchy_level_scene(
+        &self,
+        snap: &GraphSnapshot,
+        level: u32,
+        max_nodes: usize,
+    ) -> Scene {
+        let h = snap.hierarchy();
+        let nodes = h.level_nodes(level);
+        let shown = nodes.len().min(max_nodes.max(1));
+        let items: Vec<SummaryItem> = nodes[..shown]
+            .iter()
+            .map(|&id| supernode_item(&snap.graph, &h, id))
+            .collect();
+        layout_summary(&items, &[], 960.0, 600.0).titled(format!(
+            "Hierarchy level {level} — showing {shown} of {} supernodes",
+            nodes.len()
+        ))
+    }
+
+    /// Scene for one supernode's expansion: listed residents as plain
+    /// vertices, child supernodes as bubbles, resident–resident edges,
+    /// and weighted resident→child links. The response is bounded: at
+    /// most `max_nodes / 2` residents and the largest remaining budget of
+    /// children.
+    pub fn hierarchy_expand_scene(
+        &self,
+        snap: &GraphSnapshot,
+        node: u32,
+        max_nodes: usize,
+    ) -> Result<Scene, ExplorerError> {
+        let h = snap.hierarchy();
+        if node as usize >= h.node_count() {
+            return Err(ExplorerError::BadQuery(format!("no supernode {node}")));
+        }
+        let id = cx_cltree::NodeId(node);
+        let g = &snap.graph;
+        let budget = max_nodes.max(2);
+        let ex = h.expand(g, &snap.tree, id, budget / 2);
+
+        let mut items: Vec<SummaryItem> = ex
+            .residents
+            .iter()
+            .map(|&v| SummaryItem {
+                id: v.0,
+                label: g.label(v).to_owned(),
+                size: g.degree(v) as f64,
+                is_super: false,
+            })
+            .collect();
+        let vert_index: HashMap<VertexId, usize> =
+            ex.residents.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+        // Largest children first when the budget can't fit them all.
+        let mut children = ex.children.clone();
+        children.sort_by_key(|&c| {
+            (u32::MAX - h.stats(c).subtree_vertices, c.0)
+        });
+        children.truncate(budget.saturating_sub(items.len()).max(1));
+        let child_index: HashMap<cx_cltree::NodeId, usize> = children
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, items.len() + i))
+            .collect();
+        items.extend(children.iter().map(|&c| supernode_item(g, &h, c)));
+
+        let mut links: Vec<(usize, usize, f64)> = ex
+            .internal_edges
+            .iter()
+            .map(|&(u, v)| (vert_index[&u], vert_index[&v], 1.0))
+            .collect();
+        links.extend(ex.child_links.iter().filter_map(|&(u, c, w)| {
+            // Links to children dropped by the budget are omitted with
+            // the child itself; the `truncated` title warns the client.
+            Some((vert_index[&u], *child_index.get(&c)?, w as f64))
+        }));
+
+        let s = h.stats(id);
+        let truncated = ex.truncated || children.len() < ex.children.len();
+        Ok(layout_summary(&items, &links, 960.0, 600.0).titled(format!(
+            "Supernode {node} (level {}) — {} residents, {} children{}",
+            s.level,
+            ex.residents.len(),
+            children.len(),
+            if truncated { ", truncated" } else { "" }
+        )))
+    }
+
     /// Installs profile records for a graph's vertices. Publishes a new
     /// snapshot (graph and index are shared with the previous one — only
     /// the profile map is rebuilt).
@@ -856,8 +980,7 @@ impl Engine {
         let _writing = gate.lock().unwrap_or_else(|p| p.into_inner());
         let snap = self.snapshot(Some(&name))?;
         let increment: Vec<(VertexId, Profile)> = profiles.into_iter().collect();
-        let mut merged = (*snap.profiles).clone();
-        merged.extend(increment.iter().cloned());
+        let merged = snap.profiles.merged(&increment);
         let generation = self.reserve_generation(&name);
         // The log carries the increment, not the merged map; replay
         // re-merges it, mirroring this method.
@@ -925,7 +1048,7 @@ impl Engine {
 
     /// The profile of a vertex (the Figure 2 popup), if one is installed.
     pub fn profile(&self, graph: Option<&str>, v: VertexId) -> Result<Option<Profile>, ExplorerError> {
-        Ok(self.snapshot(graph)?.profiles.get(&v).cloned())
+        Ok(self.snapshot(graph)?.profiles.get(v))
     }
 
     /// Applies a batch of edge edits to a graph — the evolving-network
@@ -986,14 +1109,29 @@ impl Engine {
             };
             let generation = self.reserve_generation(&name);
             self.log(&cx_store::Record::Edit { name: name.clone(), generation, delta })?;
-            self.publish(GraphSnapshot::new(
+            let next = GraphSnapshot::new(
                 name,
                 new_graph,
                 new_tree,
                 Arc::clone(&snap.profiles),
                 snap.coords.clone(),
                 generation,
-            ));
+            );
+            // Carry the summary hierarchy forward incrementally so a
+            // browsing client doesn't pay a full rebuild after each edit.
+            if let Some(prev_h) = snap.hierarchy_cached() {
+                if Arc::ptr_eq(&next.tree, &snap.tree) {
+                    next.seed_hierarchy(prev_h);
+                } else {
+                    next.seed_hierarchy(Arc::new(Hierarchy::update(
+                        &next.graph,
+                        &next.tree,
+                        &snap.tree,
+                        &prev_h,
+                    )));
+                }
+            }
+            self.publish(next);
             cx_obs::metrics::observe_us("cx_edit_apply_us", start.elapsed().as_micros() as u64);
             return Ok(());
         }
@@ -1055,13 +1193,31 @@ impl Engine {
         query: &str,
         limit: usize,
     ) -> Result<Vec<(VertexId, String, usize)>, ExplorerError> {
+        Ok(self.suggest_page(graph, query, 0, limit)?.0)
+    }
+
+    /// Paged [`Engine::suggest`]: returns the `offset..offset+limit`
+    /// slice of the ranked match list plus the total match count. Only
+    /// the best `offset + limit` candidates are ever materialised
+    /// (bounded partial selection in the graph layer), so pagination
+    /// stays correct *and* cheap at paper scale — no fixed scan cap that
+    /// silently truncates pages.
+    pub fn suggest_page(
+        &self,
+        graph: Option<&str>,
+        query: &str,
+        offset: usize,
+        limit: usize,
+    ) -> Result<(Vec<(VertexId, String, usize)>, usize), ExplorerError> {
         let snap = self.snapshot(graph)?;
         let g = &snap.graph;
-        Ok(g.search_label(query)
+        let (hits, total) = g.search_label_top(query, offset.saturating_add(limit));
+        let page = hits
             .into_iter()
-            .take(limit)
+            .skip(offset)
             .map(|v| (v, g.label(v).to_owned(), g.degree(v)))
-            .collect())
+            .collect();
+        Ok((page, total))
     }
 
     /// Folds the WAL into fresh snapshot checkpoints and truncates it.
@@ -1095,18 +1251,20 @@ impl Engine {
                 .snapshots
                 .iter()
                 .map(|(name, s)| {
-                    let mut profiles: Vec<cx_store::StoredProfile> = s
+                    // The column store iterates in vertex order, so the
+                    // checkpoint's sorted-rows contract holds by
+                    // construction.
+                    let profiles: Vec<cx_store::StoredProfile> = s
                         .profiles
                         .iter()
                         .map(|(v, p)| cx_store::StoredProfile {
-                            vertex: *v,
-                            name: p.name.clone(),
-                            areas: p.areas.clone(),
-                            institutes: p.institutes.clone(),
-                            interests: p.interests.clone(),
+                            vertex: v,
+                            name: p.name,
+                            areas: p.areas,
+                            institutes: p.institutes,
+                            interests: p.interests,
                         })
                         .collect();
-                    profiles.sort_unstable_by_key(|p| p.vertex.0);
                     cx_store::GraphCheckpoint {
                         name: name.clone(),
                         generation: s.generation,
@@ -1151,6 +1309,19 @@ impl Engine {
             me.compacting.store(false, Ordering::SeqCst);
         });
     }
+}
+
+/// Summary-scene item for one supernode: labelled with level, subtree
+/// size, and the dominant keyword when it has one.
+fn supernode_item(g: &AttributedGraph, h: &Hierarchy, id: cx_cltree::NodeId) -> SummaryItem {
+    let s = h.stats(id);
+    let kw = s.top_keywords.first().and_then(|&(w, _)| g.interner().name(w)).unwrap_or("");
+    let label = if kw.is_empty() {
+        format!("k{} | {}v", s.level, s.subtree_vertices)
+    } else {
+        format!("k{} | {}v | {kw}", s.level, s.subtree_vertices)
+    };
+    SummaryItem { id: id.0, label, size: s.subtree_vertices as f64, is_super: true }
 }
 
 /// WAL size that triggers a background compaction (`CX_COMPACT_BYTES`,
@@ -1298,6 +1469,29 @@ mod tests {
         let hits = e.suggest(None, "a", 10).unwrap();
         assert!(!hits.is_empty());
         assert_eq!(hits[0].1, "A");
+    }
+
+    #[test]
+    fn suggest_pages_past_any_fixed_scan_cap() {
+        // 300 matches for the prefix: pages past the old 256-candidate
+        // scan window must still be populated and the total exact.
+        let mut b = cx_graph::GraphBuilder::new();
+        let hub = b.add_vertex("hub", &[]);
+        for i in 0..300 {
+            let v = b.add_vertex(&format!("author-{i:03}"), &[]);
+            if i % 2 == 0 {
+                b.add_edge(v, hub);
+            }
+        }
+        let e = Engine::with_graph("wide", b.build());
+        let (page, total) = e.suggest_page(None, "author", 260, 10).unwrap();
+        assert_eq!(total, 300);
+        assert_eq!(page.len(), 10);
+        // The tail page exists too, and ranking stays degree-major there.
+        let (tail, total) = e.suggest_page(None, "author", 290, 50).unwrap();
+        assert_eq!(total, 300);
+        assert_eq!(tail.len(), 10);
+        assert!(tail.windows(2).all(|w| w[0].2 >= w[1].2), "tail not degree-sorted");
     }
 
     #[test]
@@ -1895,7 +2089,7 @@ impl Engine {
                 name,
                 Arc::new(graph),
                 Arc::new(tree),
-                Arc::new(HashMap::new()),
+                Arc::new(ProfileStore::default()),
                 None,
                 generation,
             ));

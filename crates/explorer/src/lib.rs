@@ -28,12 +28,15 @@ pub mod cache;
 pub mod compare;
 pub mod engine;
 pub mod error;
+pub mod profile;
 pub mod query;
 pub mod report;
 
 pub use api::{CdAlgorithm, CsAlgorithm, GraphContext};
+pub use cx_cltree::{Expansion, Hierarchy, NodeId, SupernodeStats};
 pub use compare::{ComparisonReport, ComparisonRow};
 pub use engine::{Engine, GraphIndexEntry, GraphSnapshot, Profile, RegistryIndex};
+pub use profile::ProfileStore;
 pub use error::ExplorerError;
 pub use query::{QuerySpec, VertexRef};
 pub use report::{AnalysisReport, CommunityReport};

@@ -1,0 +1,282 @@
+//! Compact interned profile storage.
+//!
+//! The engine's original profile store was `HashMap<VertexId, Profile>`
+//! with four owned `String`/`Vec<String>` fields per vertex — roughly
+//! 200+ bytes of headers and hash-table slack per profile before any
+//! actual text. Fine for the few hundred "renowned researchers" of the
+//! paper's demo, ruinous at 1M vertices.
+//!
+//! [`ProfileStore`] keeps the same logical contents in column form:
+//!
+//! * every distinct string (names, areas, institutes, interests) is
+//!   interned once into a string table — areas/institutes/interests come
+//!   from small vocabularies, so this collapses the dominant duplication;
+//! * per-profile data is four CSR-style `u32` columns over the table ids
+//!   (one name id + three offset-delimited id lists);
+//! * profile rows are sorted by vertex id, so lookup is a binary search
+//!   and iteration is ordered for free (checkpoints want sorted rows).
+//!
+//! The store is immutable, matching the snapshot model: `set_profiles`
+//! builds a new store via [`ProfileStore::merged`], and edge edits share
+//! the old one by `Arc`.
+
+use std::collections::HashMap;
+
+use cx_graph::VertexId;
+
+use crate::engine::Profile;
+
+/// Interned, columnar, immutable profile table. See the module docs.
+#[derive(Debug, Default)]
+pub struct ProfileStore {
+    /// Vertices with a profile, strictly sorted.
+    vertex: Vec<VertexId>,
+    /// Per-profile interned name id (parallel to `vertex`).
+    name_id: Vec<u32>,
+    /// CSR offsets into `field_ids`: profile `i`'s areas, institutes and
+    /// interests are the three consecutive ranges delimited by
+    /// `field_off[3*i] ..= field_off[3*i + 3]`.
+    field_off: Vec<u32>,
+    /// Interned ids of all list fields, in profile order.
+    field_ids: Vec<u32>,
+    /// The string table; `lookup` is its inverse, used only while
+    /// building (kept so `merged` can extend without re-interning).
+    table: Vec<String>,
+    lookup: HashMap<String, u32>,
+}
+
+impl ProfileStore {
+    /// Builds a store from `(vertex, profile)` pairs. Later pairs win on
+    /// duplicate vertices, mirroring the map semantics `set_profiles`
+    /// always had.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (VertexId, Profile)>) -> Self {
+        let mut latest: HashMap<VertexId, Profile> = HashMap::new();
+        for (v, p) in pairs {
+            latest.insert(v, p);
+        }
+        let mut rows: Vec<(VertexId, Profile)> = latest.into_iter().collect();
+        rows.sort_unstable_by_key(|(v, _)| *v);
+
+        let mut store = Self::default();
+        store.vertex.reserve(rows.len());
+        store.name_id.reserve(rows.len());
+        store.field_off.reserve(3 * rows.len() + 1);
+        store.field_off.push(0);
+        for (v, p) in rows {
+            store.push_row(v, &p);
+        }
+        store
+    }
+
+    /// A new store equal to `self` overlaid with `increment` (new rows
+    /// inserted, existing vertices replaced) — the persistent-update
+    /// counterpart of `HashMap::extend`.
+    pub fn merged(&self, increment: &[(VertexId, Profile)]) -> Self {
+        let mut replaced: HashMap<VertexId, &Profile> = HashMap::new();
+        for (v, p) in increment {
+            replaced.insert(*v, p);
+        }
+        let mut extra: Vec<(VertexId, &Profile)> = replaced
+            .iter()
+            .filter(|(v, _)| self.vertex.binary_search(v).is_err())
+            .map(|(v, p)| (*v, *p))
+            .collect();
+        extra.sort_unstable_by_key(|(v, _)| *v);
+
+        let mut store = Self::default();
+        let total = self.len() + extra.len();
+        store.vertex.reserve(total);
+        store.name_id.reserve(total);
+        store.field_off.reserve(3 * total + 1);
+        store.field_off.push(0);
+        // Sorted merge of retained/replaced old rows with brand-new ones.
+        let mut extra = extra.into_iter().peekable();
+        for i in 0..self.len() {
+            let v = self.vertex[i];
+            while let Some(&(ev, ep)) = extra.peek() {
+                if ev < v {
+                    store.push_row(ev, ep);
+                    extra.next();
+                } else {
+                    break;
+                }
+            }
+            match replaced.get(&v) {
+                Some(p) => store.push_row(v, p),
+                None => store.push_row(v, &self.row(i)),
+            }
+        }
+        for (ev, ep) in extra {
+            store.push_row(ev, ep);
+        }
+        store
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.lookup.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.table.len()).expect("profile string table exceeds u32");
+        self.table.push(s.to_owned());
+        self.lookup.insert(s.to_owned(), id);
+        id
+    }
+
+    fn push_row(&mut self, v: VertexId, p: &Profile) {
+        debug_assert!(self.vertex.last().is_none_or(|&last| last < v), "rows must arrive sorted");
+        self.vertex.push(v);
+        let name = self.intern(&p.name);
+        self.name_id.push(name);
+        for list in [&p.areas, &p.institutes, &p.interests] {
+            for s in list {
+                let id = self.intern(s);
+                self.field_ids.push(id);
+            }
+            self.field_off.push(self.field_ids.len() as u32);
+        }
+    }
+
+    fn strings(&self, row: usize, field: usize) -> Vec<String> {
+        let lo = self.field_off[3 * row + field] as usize;
+        let hi = self.field_off[3 * row + field + 1] as usize;
+        self.field_ids[lo..hi].iter().map(|&id| self.table[id as usize].clone()).collect()
+    }
+
+    fn row(&self, i: usize) -> Profile {
+        Profile {
+            name: self.table[self.name_id[i] as usize].clone(),
+            areas: self.strings(i, 0),
+            institutes: self.strings(i, 1),
+            interests: self.strings(i, 2),
+        }
+    }
+
+    /// The profile of `v`, materialised, if one was stored.
+    pub fn get(&self, v: VertexId) -> Option<Profile> {
+        self.vertex.binary_search(&v).ok().map(|i| self.row(i))
+    }
+
+    /// Whether `v` has a profile (no materialisation).
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertex.binary_search(&v).is_ok()
+    }
+
+    /// Number of stored profiles.
+    pub fn len(&self) -> usize {
+        self.vertex.len()
+    }
+
+    /// True when no profiles are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vertex.is_empty()
+    }
+
+    /// Iterates `(vertex, profile)` in vertex order, materialising rows
+    /// lazily — the checkpoint writer's view.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, Profile)> + '_ {
+        (0..self.len()).map(|i| (self.vertex[i], self.row(i)))
+    }
+
+    /// Approximate heap footprint in bytes: the four columns plus the
+    /// string table (the build-time `lookup` map is counted too, since
+    /// the store keeps it for `merged`).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.vertex.len() * size_of::<VertexId>()
+            + self.name_id.len() * size_of::<u32>()
+            + self.field_off.len() * size_of::<u32>()
+            + self.field_ids.len() * size_of::<u32>()
+            + self
+                .table
+                .iter()
+                .map(|s| 2 * (s.len() + size_of::<String>()) + size_of::<u32>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn profile(name: &str, area: &str) -> Profile {
+        Profile {
+            name: name.to_owned(),
+            areas: vec![area.to_owned(), "databases".to_owned()],
+            institutes: vec!["UHK".to_owned()],
+            interests: vec![area.to_owned()],
+        }
+    }
+
+    #[test]
+    fn roundtrips_profiles_exactly() {
+        let p0 = profile("alice", "graphs");
+        let p2 = profile("carol", "ml");
+        let store = ProfileStore::from_pairs([(v(2), p2.clone()), (v(0), p0.clone())]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(v(0)), Some(p0));
+        assert_eq!(store.get(v(2)), Some(p2));
+        assert_eq!(store.get(v(1)), None);
+        assert!(store.contains(v(2)));
+        assert!(!store.contains(v(7)));
+        let order: Vec<VertexId> = store.iter().map(|(x, _)| x).collect();
+        assert_eq!(order, vec![v(0), v(2)]);
+    }
+
+    #[test]
+    fn later_pairs_win_and_empty_fields_survive() {
+        let mut p = profile("bob", "systems");
+        p.institutes.clear();
+        let store = ProfileStore::from_pairs([
+            (v(1), profile("old", "x")),
+            (v(1), p.clone()),
+        ]);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(v(1)), Some(p));
+    }
+
+    #[test]
+    fn merged_replaces_and_inserts() {
+        let base = ProfileStore::from_pairs([
+            (v(0), profile("alice", "graphs")),
+            (v(5), profile("eve", "crypto")),
+        ]);
+        let newer = profile("alice2", "graphs");
+        let inserted = profile("dan", "theory");
+        let merged = base.merged(&[(v(0), newer.clone()), (v(3), inserted.clone())]);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.get(v(0)), Some(newer));
+        assert_eq!(merged.get(v(3)), Some(inserted));
+        assert_eq!(merged.get(v(5)), Some(profile("eve", "crypto")));
+        // Base is untouched.
+        assert_eq!(base.len(), 2);
+        assert_eq!(base.get(v(0)).unwrap().name, "alice");
+    }
+
+    #[test]
+    fn interning_deduplicates_repeated_strings() {
+        // 100 profiles drawing from the same 3-string vocabulary: the
+        // table must stay tiny, so the footprint grows by the columns
+        // (16 bytes/row of ids+offsets), not by repeated text.
+        let shared = ProfileStore::from_pairs(
+            (0..100u32).map(|i| (v(i), profile("dup", "area"))),
+        );
+        let distinct = ProfileStore::from_pairs(
+            (0..100u32).map(|i| (v(i), profile(&format!("name{i}"), &format!("area{i}")))),
+        );
+        assert!(shared.memory_bytes() < distinct.memory_bytes() / 2);
+    }
+
+    #[test]
+    fn empty_store_behaves() {
+        let store = ProfileStore::default();
+        assert!(store.is_empty());
+        assert_eq!(store.get(v(0)), None);
+        assert_eq!(store.iter().count(), 0);
+        let merged = store.merged(&[(v(1), profile("a", "b"))]);
+        assert_eq!(merged.len(), 1);
+    }
+}

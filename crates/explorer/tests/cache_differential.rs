@@ -58,7 +58,7 @@ fn cache_hits_stay_identical_through_interleaved_edits() {
         // for "the cache did not leak a stale answer".
         let post = engine.search_on(None, "acq", &spec).unwrap();
         let reference_engine = {
-            let mut e = Engine::with_graph("fig5", figure5_graph());
+            let e = Engine::with_graph("fig5", figure5_graph());
             // Replay the whole edit history from scratch.
             for (a, r) in edit_script.iter().take(step + 1) {
                 e.apply_edits(None, a, r).unwrap();

@@ -134,38 +134,49 @@ impl GraphBuilder {
         norm.sort_unstable();
         norm.dedup();
 
-        // Degree counting then CSR fill (both directions).
-        let mut deg = vec![0usize; n];
+        // Degree counting then CSR fill (both directions). Offsets are
+        // u32 (see [`crate::CsrOffset`]): reject graphs whose directed
+        // slot count would overflow instead of silently wrapping.
+        if norm.len() > (u32::MAX / 2) as usize {
+            return Err(GraphError::Capacity(format!(
+                "{} edges exceed the u32 CSR offset space",
+                norm.len()
+            )));
+        }
+        let mut deg = vec![0u32; n];
         for &(u, v) in &norm {
             deg[u.index()] += 1;
             deg[v.index()] += 1;
         }
-        let mut adj_off = Vec::with_capacity(n + 1);
-        adj_off.push(0usize);
+        let mut adj_off: Vec<u32> = Vec::with_capacity(n + 1);
+        adj_off.push(0);
         for d in &deg {
             adj_off.push(adj_off.last().unwrap() + d);
         }
         let mut cursor = adj_off[..n].to_vec();
-        let mut adj = vec![VertexId(0); adj_off[n]];
+        let mut adj = vec![VertexId(0); adj_off[n] as usize];
         for &(u, v) in &norm {
-            adj[cursor[u.index()]] = v;
+            adj[cursor[u.index()] as usize] = v;
             cursor[u.index()] += 1;
-            adj[cursor[v.index()]] = u;
+            adj[cursor[v.index()] as usize] = u;
             cursor[v.index()] += 1;
         }
         // Per-vertex adjacency sort (norm order already gives sorted lists for
         // the "forward" fills but not the reverse ones).
         for v in 0..n {
-            adj[adj_off[v]..adj_off[v + 1]].sort_unstable();
+            adj[adj_off[v] as usize..adj_off[v + 1] as usize].sort_unstable();
         }
 
         // Keyword CSR.
-        let mut kw_off = Vec::with_capacity(n + 1);
-        kw_off.push(0usize);
+        let mut kw_off: Vec<u32> = Vec::with_capacity(n + 1);
+        kw_off.push(0);
         let mut kws = Vec::new();
         for set in &self.keyword_sets {
             kws.extend_from_slice(set);
-            kw_off.push(kws.len());
+            let end = u32::try_from(kws.len()).map_err(|_| {
+                GraphError::Capacity("keyword slots exceed the u32 CSR offset space".into())
+            })?;
+            kw_off.push(end);
         }
 
         Ok(AttributedGraph {

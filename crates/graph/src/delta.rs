@@ -123,8 +123,8 @@ impl AttributedGraph {
 
         let new_len = self.adj.len() + 2 * delta.added.len() - 2 * delta.removed.len();
         let mut adj = Vec::with_capacity(new_len);
-        let mut adj_off = Vec::with_capacity(n + 1);
-        adj_off.push(0usize);
+        let mut adj_off: Vec<u32> = Vec::with_capacity(n + 1);
+        adj_off.push(0);
         for vi in 0..n {
             let v = VertexId(vi as u32);
             let old = self.neighbors(v);
@@ -151,7 +151,7 @@ impl AttributedGraph {
                     adj.extend_from_slice(&ins[i..]);
                 }
             }
-            adj_off.push(adj.len());
+            adj_off.push(adj.len() as u32);
         }
         debug_assert_eq!(adj.len(), new_len);
 
@@ -193,7 +193,7 @@ mod tests {
     /// Full invariant sweep: sorted symmetric adjacency, consistent offsets.
     fn assert_csr_invariants(g: &AttributedGraph) {
         assert_eq!(g.adj_off.len(), g.vertex_count() + 1);
-        assert_eq!(*g.adj_off.last().unwrap(), g.adj.len());
+        assert_eq!(*g.adj_off.last().unwrap() as usize, g.adj.len());
         for u in g.vertices() {
             let ns = g.neighbors(u);
             assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicate adjacency at {u}");

@@ -25,6 +25,9 @@ pub enum GraphError {
     },
     /// The binary snapshot was malformed or from an unknown version.
     Snapshot(String),
+    /// The graph exceeds a substrate capacity bound (e.g. the u32 CSR
+    /// offset space).
+    Capacity(String),
     /// An underlying I/O failure.
     Io(std::io::Error),
 }
@@ -39,6 +42,7 @@ impl fmt::Display for GraphError {
             GraphError::DuplicateLabel(l) => write!(f, "duplicate vertex label {l:?}"),
             GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             GraphError::Snapshot(m) => write!(f, "invalid graph snapshot: {m}"),
+            GraphError::Capacity(m) => write!(f, "graph capacity exceeded: {m}"),
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

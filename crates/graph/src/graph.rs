@@ -6,6 +6,13 @@ use std::sync::Arc;
 use crate::error::GraphError;
 use crate::keywords::{KeywordId, KeywordInterner};
 
+/// The integer type of CSR offsets: `u32` rather than `usize`, halving
+/// the per-vertex offset columns on 64-bit hosts. A graph is limited to
+/// `u32::MAX` directed adjacency slots (~2.1B undirected edges) and
+/// `u32::MAX` keyword slots — far beyond the paper-scale workload (1M
+/// vertices / 3.4M edges) this substrate is sized for.
+pub type CsrOffset = u32;
+
 /// A dense vertex identifier, valid for the graph that produced it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VertexId(pub u32);
@@ -39,10 +46,10 @@ pub struct AttributedGraph {
     // plain vectors; everything below is `Arc`-shared so that
     // [`Self::apply_delta`] can produce a patched graph without copying
     // keywords, labels, or the interner.
-    pub(crate) adj_off: Vec<usize>,
+    pub(crate) adj_off: Vec<CsrOffset>,
     pub(crate) adj: Vec<VertexId>,
     // CSR keyword sets: W(v) = kws[kw_off[v] .. kw_off[v+1]].
-    pub(crate) kw_off: Arc<Vec<usize>>,
+    pub(crate) kw_off: Arc<Vec<CsrOffset>>,
     pub(crate) kws: Arc<Vec<KeywordId>>,
     pub(crate) labels: Arc<Vec<String>>,
     pub(crate) label_index: Arc<HashMap<String, VertexId>>,
@@ -85,13 +92,13 @@ impl AttributedGraph {
     /// The sorted neighbour list of `v`.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adj[self.adj_off[v.index()]..self.adj_off[v.index() + 1]]
+        &self.adj[self.adj_off[v.index()] as usize..self.adj_off[v.index() + 1] as usize]
     }
 
     /// Degree of `v` in the full graph (`deg_G(v)` in the paper).
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adj_off[v.index() + 1] - self.adj_off[v.index()]
+        (self.adj_off[v.index() + 1] - self.adj_off[v.index()]) as usize
     }
 
     /// Whether the undirected edge `{u, v}` exists (binary search, O(log d)).
@@ -114,7 +121,7 @@ impl AttributedGraph {
     /// The keyword set `W(v)`, strictly sorted.
     #[inline]
     pub fn keywords(&self, v: VertexId) -> &[KeywordId] {
-        &self.kws[self.kw_off[v.index()]..self.kw_off[v.index() + 1]]
+        &self.kws[self.kw_off[v.index()] as usize..self.kw_off[v.index() + 1] as usize]
     }
 
     /// Whether `W(v)` contains keyword `w` (binary search).
@@ -152,6 +159,39 @@ impl AttributedGraph {
             (self.label(v).to_lowercase() != q, usize::MAX - self.degree(v), v.0)
         });
         hits
+    }
+
+    /// Like [`Self::search_label`] but keeps only the `top` best-ranked
+    /// matches (same total order) and reports the total match count — a
+    /// bounded partial selection, O(n log top), so paging the name box at
+    /// a million vertices never materialises a million-entry hit list.
+    pub fn search_label_top(&self, query: &str, top: usize) -> (Vec<VertexId>, usize) {
+        let q = query.to_lowercase();
+        let mut total = 0usize;
+        // Max-heap keeps the *worst* retained rank on top, so each new
+        // candidate compares against the cutoff in O(1).
+        let mut heap: std::collections::BinaryHeap<(bool, usize, u32)> =
+            std::collections::BinaryHeap::with_capacity(top + 1);
+        for v in self.vertices() {
+            let label = self.label(v).to_lowercase();
+            if !label.contains(&q) {
+                continue;
+            }
+            total += 1;
+            if top == 0 {
+                continue;
+            }
+            let rank = (label != q, usize::MAX - self.degree(v), v.0);
+            if heap.len() < top {
+                heap.push(rank);
+            } else if let Some(mut worst) = heap.peek_mut() {
+                if rank < *worst {
+                    *worst = rank;
+                }
+            }
+        }
+        let best = heap.into_sorted_vec().into_iter().map(|(_, _, id)| VertexId(id)).collect();
+        (best, total)
     }
 
     /// The keyword interner mapping ids to strings.
@@ -195,9 +235,9 @@ impl AttributedGraph {
     /// Approximate heap footprint in bytes (CSR arrays + labels), used by the
     /// index-size experiments.
     pub fn memory_bytes(&self) -> usize {
-        self.adj_off.len() * std::mem::size_of::<usize>()
+        self.adj_off.len() * std::mem::size_of::<CsrOffset>()
             + self.adj.len() * std::mem::size_of::<VertexId>()
-            + self.kw_off.len() * std::mem::size_of::<usize>()
+            + self.kw_off.len() * std::mem::size_of::<CsrOffset>()
             + self.kws.len() * std::mem::size_of::<KeywordId>()
             + self.labels.iter().map(|l| l.len() + std::mem::size_of::<String>()).sum::<usize>()
     }
@@ -300,6 +340,29 @@ mod tests {
         let g = b.build();
         let hits = g.search_label("jim gray");
         assert_eq!(hits, vec![gray, grayson]);
+    }
+
+    #[test]
+    fn search_label_top_matches_full_sort() {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_vertex("hub", &[]);
+        for i in 0..40 {
+            let v = b.add_vertex(&format!("author-{i}"), &[]);
+            // Varying degrees so the rank order is nontrivial.
+            if i % 3 == 0 {
+                b.add_edge(v, hub);
+            }
+        }
+        let g = b.build();
+        let full = g.search_label("author-1");
+        for top in [0, 1, 3, full.len(), full.len() + 5] {
+            let (best, total) = g.search_label_top("author-1", top);
+            assert_eq!(total, full.len(), "total at top={top}");
+            assert_eq!(best, full[..top.min(full.len())], "prefix at top={top}");
+        }
+        // Exact match outranks higher-degree prefix matches.
+        let (best, _) = g.search_label_top("author-1", 1);
+        assert_eq!(g.label(best[0]), "author-1");
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub use builder::GraphBuilder;
 pub use community::Community;
 pub use delta::EdgeDelta;
 pub use error::GraphError;
-pub use graph::{AttributedGraph, VertexId};
+pub use graph::{AttributedGraph, CsrOffset, VertexId};
 pub use inverted::InvertedIndex;
 pub use keywords::{KeywordId, KeywordInterner};
 pub use stats::{DegreeStats, GraphStats};

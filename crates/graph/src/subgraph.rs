@@ -16,7 +16,7 @@ pub struct Subgraph {
     /// `local_to_global[i]` is the parent vertex of local vertex `i`.
     local_to_global: Vec<VertexId>,
     global_to_local: HashMap<VertexId, u32>,
-    adj_off: Vec<usize>,
+    adj_off: Vec<u32>,
     adj: Vec<u32>,
 }
 
@@ -31,8 +31,8 @@ impl Subgraph {
             sorted.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
 
         let n = sorted.len();
-        let mut adj_off = Vec::with_capacity(n + 1);
-        adj_off.push(0usize);
+        let mut adj_off: Vec<u32> = Vec::with_capacity(n + 1);
+        adj_off.push(0);
         let mut adj = Vec::new();
         for &v in &sorted {
             for &u in g.neighbors(v) {
@@ -40,7 +40,7 @@ impl Subgraph {
                     adj.push(lu);
                 }
             }
-            adj_off.push(adj.len());
+            adj_off.push(adj.len() as u32);
         }
         Self { local_to_global: sorted, global_to_local, adj_off, adj }
     }
@@ -60,13 +60,13 @@ impl Subgraph {
     /// Local neighbours of local vertex `i`.
     #[inline]
     pub fn neighbors(&self, i: u32) -> &[u32] {
-        &self.adj[self.adj_off[i as usize]..self.adj_off[i as usize + 1]]
+        &self.adj[self.adj_off[i as usize] as usize..self.adj_off[i as usize + 1] as usize]
     }
 
     /// Degree of local vertex `i` inside the subgraph.
     #[inline]
     pub fn degree(&self, i: u32) -> usize {
-        self.adj_off[i as usize + 1] - self.adj_off[i as usize]
+        (self.adj_off[i as usize + 1] - self.adj_off[i as usize]) as usize
     }
 
     /// The parent vertex of local vertex `i`.

@@ -24,4 +24,4 @@ pub mod render;
 pub mod scene;
 
 pub use force::LayoutAlgorithm;
-pub use scene::{layout_community, Point, Scene};
+pub use scene::{layout_community, layout_summary, Point, Scene, SummaryItem};

@@ -51,18 +51,33 @@ impl Scene {
                 xml_escape(&self.theme.join(", "))
             ));
         }
-        for &(i, j) in &self.edges {
+        for (eidx, &(i, j)) in self.edges.iter().enumerate() {
             let (a, b) = (self.vertices[i].1, self.vertices[j].1);
+            // Weighted edges (summary scenes) thicken with log of weight.
+            let sw = match self.weights.get(eidx) {
+                Some(&w) if w > 0.0 => 1.0 + w.ln().max(0.0),
+                _ => 1.0,
+            };
             svg.push_str(&format!(
-                "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#999\" stroke-width=\"1\"/>\n",
+                "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#999\" stroke-width=\"{sw:.1}\"/>\n",
                 a.x, a.y, b.x, b.y
             ));
         }
         for (idx, &(_, p)) in self.vertices.iter().enumerate() {
             let is_hi = self.highlight == Some(idx);
-            let (r, fill) = if is_hi { (8.0, "#d9534f") } else { (5.0, "#337ab7") };
+            let is_super = self.supers.get(idx).copied().unwrap_or(false);
+            let (mut r, fill) = if is_hi {
+                (8.0, "#d9534f")
+            } else if is_super {
+                (5.0, "#5cb85c")
+            } else {
+                (5.0, "#337ab7")
+            };
+            if let Some(&rr) = self.radii.get(idx) {
+                r = rr;
+            }
             svg.push_str(&format!(
-                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{r}\" fill=\"{fill}\" stroke=\"#222\" stroke-width=\"0.8\"/>\n",
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{r:.1}\" fill=\"{fill}\" stroke=\"#222\" stroke-width=\"0.8\"/>\n",
                 p.x, p.y
             ));
             svg.push_str(&format!(
@@ -97,20 +112,31 @@ impl Scene {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"id\":{},\"label\":\"{}\",\"x\":{:.1},\"y\":{:.1},\"highlight\":{}}}",
+                "{{\"id\":{},\"label\":\"{}\",\"x\":{:.1},\"y\":{:.1},\"highlight\":{}",
                 v.0,
                 json_escape(&self.labels[i]),
                 p.x,
                 p.y,
                 self.highlight == Some(i)
             ));
+            // Summary-scene extras, only when the scene carries them.
+            if let Some(&r) = self.radii.get(i) {
+                out.push_str(&format!(",\"r\":{r:.1}"));
+            }
+            if let Some(&s) = self.supers.get(i) {
+                out.push_str(&format!(",\"super\":{s}"));
+            }
+            out.push('}');
         }
         out.push_str("],\"edges\":[");
         for (i, &(a, b)) in self.edges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("[{a},{b}]"));
+            match self.weights.get(i) {
+                Some(&w) => out.push_str(&format!("[{a},{b},{w:.0}]")),
+                None => out.push_str(&format!("[{a},{b}]")),
+            }
         }
         out.push_str("]}");
         out

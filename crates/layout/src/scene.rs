@@ -32,6 +32,17 @@ pub struct Scene {
     pub title: String,
     /// Theme keywords shown under the title.
     pub theme: Vec<String>,
+    /// Per-vertex dot radius in pixels, parallel to `vertices`. Empty for
+    /// classic community scenes (renderers fall back to a uniform dot);
+    /// summary scenes size bubbles by supernode weight.
+    pub radii: Vec<f64>,
+    /// Per-edge weights parallel to `edges`; empty means unweighted.
+    /// Summary scenes carry the number of underlying graph edges a link
+    /// aggregates, and renderers thicken strokes accordingly.
+    pub weights: Vec<f64>,
+    /// Which vertices are supernodes (parallel to `vertices`); empty for
+    /// classic scenes where everything is a plain vertex.
+    pub supers: Vec<bool>,
 }
 
 /// Lays out the members of `community` within `g`.
@@ -100,6 +111,92 @@ pub fn layout_community(
         highlight: highlight_idx,
         title: String::new(),
         theme: community.theme(g),
+        radii: Vec::new(),
+        weights: Vec::new(),
+        supers: Vec::new(),
+    }
+}
+
+/// One item of a summary scene: a supernode bubble (standing for a whole
+/// subtree of the hierarchy) or a plain resident vertex.
+#[derive(Debug, Clone)]
+pub struct SummaryItem {
+    /// Opaque id carried into the scene: a supernode id for bubbles, a
+    /// vertex id for residents — the endpoint that built the scene says
+    /// which (via the `supers` column).
+    pub id: u32,
+    /// Display label.
+    pub label: String,
+    /// Visual weight, e.g. subtree vertex count; bubbles are scaled by
+    /// `sqrt(size)` so area tracks population.
+    pub size: f64,
+    /// True for supernodes.
+    pub is_super: bool,
+}
+
+/// Lays out summary items deterministically on a sunflower spiral —
+/// size-descending with the largest bubble at the centre — and threads
+/// the given weighted links between them. No force iterations, no seed:
+/// the multi-resolution views at paper scale must render identically
+/// across runs and thread counts, and spiral packing behaves well for
+/// the "few hundred disjoint bubbles" shape a level view has.
+pub fn layout_summary(
+    items: &[SummaryItem],
+    links: &[(usize, usize, f64)],
+    width: f64,
+    height: f64,
+) -> Scene {
+    let n = items.len();
+    // Rank by size descending (stable by index) to place big bubbles first.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        items[b].size.partial_cmp(&items[a].size).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut rank = vec![0usize; n];
+    for (r, &i) in order.iter().enumerate() {
+        rank[i] = r;
+    }
+
+    let margin = 0.08;
+    let cx = width / 2.0;
+    let cy = height / 2.0;
+    let rmax = (width.min(height) / 2.0) * (1.0 - 2.0 * margin);
+    const GOLDEN_ANGLE: f64 = 2.399_963_229_728_653;
+    let pos = |r: usize| -> Point {
+        if n == 1 {
+            return Point { x: cx, y: cy };
+        }
+        let t = (r as f64 + 0.5) / n as f64;
+        let radius = rmax * t.sqrt();
+        let angle = r as f64 * GOLDEN_ANGLE;
+        Point { x: cx + radius * angle.cos(), y: cy + radius * angle.sin() }
+    };
+
+    let max_size = items.iter().map(|i| i.size).fold(1.0_f64, f64::max);
+    let radii: Vec<f64> = items
+        .iter()
+        .map(|i| {
+            let scaled = (i.size.max(1.0) / max_size).sqrt();
+            if i.is_super { 6.0 + 22.0 * scaled } else { 4.0 }
+        })
+        .collect();
+
+    Scene {
+        width,
+        height,
+        vertices: items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| (VertexId(it.id), pos(rank[i])))
+            .collect(),
+        labels: items.iter().map(|i| i.label.clone()).collect(),
+        edges: links.iter().map(|&(a, b, _)| (a, b)).collect(),
+        highlight: None,
+        title: String::new(),
+        theme: Vec::new(),
+        radii,
+        weights: links.iter().map(|&(_, _, w)| w).collect(),
+        supers: items.iter().map(|i| i.is_super).collect(),
     }
 }
 
@@ -211,6 +308,34 @@ mod tests {
     fn titled_builder() {
         let s = scene_for_k4().titled("Method: ACQ");
         assert_eq!(s.title, "Method: ACQ");
+    }
+
+    #[test]
+    fn summary_layout_is_deterministic_and_in_bounds() {
+        let items: Vec<SummaryItem> = (0..50)
+            .map(|i| SummaryItem {
+                id: i,
+                label: format!("s{i}"),
+                size: (i + 1) as f64,
+                is_super: i % 2 == 0,
+            })
+            .collect();
+        let links = vec![(0usize, 1usize, 3.0), (1, 2, 1.0)];
+        let a = layout_summary(&items, &links, 800.0, 600.0);
+        let b = layout_summary(&items, &links, 800.0, 600.0);
+        assert_eq!(a.vertex_count(), 50);
+        assert!(a.in_bounds());
+        assert_eq!(a.edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(a.weights, vec![3.0, 1.0]);
+        assert_eq!(a.radii.len(), 50);
+        // Determinism: identical positions across runs.
+        for (pa, pb) in a.vertices.iter().zip(&b.vertices) {
+            assert_eq!(pa.1, pb.1);
+        }
+        // The largest supernode (id 48) outranks smaller supernodes...
+        assert!(a.radii[48] > a.radii[46]);
+        // ...and plain vertices keep small dots.
+        assert_eq!(a.radii[1], 4.0);
     }
 
     #[test]

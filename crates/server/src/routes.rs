@@ -35,7 +35,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use cx_explorer::{Engine, ExplorerError, GraphSnapshot, QuerySpec};
+use cx_explorer::{Engine, ExplorerError, GraphSnapshot, Hierarchy, NodeId, QuerySpec};
 use cx_graph::{AttributedGraph, Community, VertexId};
 use cx_layout::LayoutAlgorithm;
 
@@ -327,6 +327,10 @@ fn dispatch(engine: &Engine, req: &Request, request_id: &str, t0: Instant) -> Re
             ("POST", "search_batch") => {
                 Err(ApiError::not_found("search_batch is only available under /api/v1"))
             }
+            ("GET", "hierarchy") if v1 => timed("hierarchy", || hierarchy(engine, req)),
+            ("GET", "hierarchy") => {
+                Err(ApiError::not_found("hierarchy is only available under /api/v1"))
+            }
             ("GET", "trace") if v1 => timed("trace", || trace_endpoint(req)),
             // The SSE endpoint exists only on the event-loop transport
             // (route_sink); through the plain chokepoint it answers with
@@ -591,25 +595,27 @@ fn edit(engine: &Engine, req: &Request) -> Handler {
     ])))
 }
 
-/// How many best matches one suggest computation considers, regardless of
-/// the requested page. The engine fetch depends only on the query string —
-/// never on `limit`/`offset` — so the computation (and any cache keyed on
-/// it) is page-independent; pagination is a slice on read, like `search`.
-const SUGGEST_SCAN_CAP: usize = 256;
+/// Hard ceiling on suggest pagination depth. The engine materialises the
+/// best `offset + limit` candidates per request (bounded partial
+/// selection), so an unbounded offset would let one request force a
+/// near-full sort of a million-vertex hit list. Past this depth the
+/// client should narrow the query instead.
+const SUGGEST_MAX_OFFSET: usize = 10_000;
 
 fn suggest(engine: &Engine, req: &Request) -> Handler {
     let q = req.param("q").unwrap_or("");
     let (limit, offset) = page_params(req, 8, 100);
-    let hits = engine.suggest(req.param("graph"), q, SUGGEST_SCAN_CAP)?;
-    Ok(Payload::Data(Json::arr(hits.into_iter().skip(offset).take(limit).map(
-        |(v, label, degree)| {
-            Json::obj([
-                ("id", Json::num(v.0 as f64)),
-                ("label", Json::str(label)),
-                ("degree", Json::num(degree as f64)),
-            ])
-        },
-    ))))
+    if offset > SUGGEST_MAX_OFFSET {
+        return Err(ApiError::bad_query("suggest offset is capped at 10000; narrow the query"));
+    }
+    let (hits, _total) = engine.suggest_page(req.param("graph"), q, offset, limit)?;
+    Ok(Payload::Data(Json::arr(hits.into_iter().map(|(v, label, degree)| {
+        Json::obj([
+            ("id", Json::num(v.0 as f64)),
+            ("label", Json::str(label)),
+            ("degree", Json::num(degree as f64)),
+        ])
+    }))))
 }
 
 /// Builds the query spec shared by `search` and `compare`:
@@ -976,7 +982,150 @@ fn search_batch(engine: &Engine, req: &Request, timeout: std::time::Duration) ->
     ])))
 }
 
+/// Hard ceiling on nodes per hierarchy response — the multi-resolution
+/// API's contract is that a client never receives more than this many
+/// supernodes/vertices in one payload, at any graph scale.
+const HIERARCHY_MAX_NODES: usize = 1_000;
+/// Default nodes per hierarchy response ("a few hundred supernodes").
+const HIERARCHY_DEFAULT_NODES: usize = 200;
+
+/// One supernode as JSON: identity, aggregates, top keywords.
+fn supernode_json(g: &AttributedGraph, h: &Hierarchy, id: NodeId) -> Json {
+    let s = h.stats(id);
+    let avg_degree = if s.subtree_vertices > 0 {
+        s.sum_degree as f64 / s.subtree_vertices as f64
+    } else {
+        0.0
+    };
+    Json::obj([
+        ("id", Json::num(id.0 as f64)),
+        ("level", Json::num(s.level as f64)),
+        ("residents", Json::num(s.residents as f64)),
+        ("vertices", Json::num(s.subtree_vertices as f64)),
+        ("edges", Json::num(s.subtree_edges as f64)),
+        ("avg_degree", Json::num(avg_degree)),
+        ("max_degree", Json::num(s.max_degree as f64)),
+        (
+            "keywords",
+            Json::arr(s.top_keywords.iter().filter_map(|&(w, c)| {
+                let name = g.interner().name(w)?;
+                Some(Json::obj([
+                    ("keyword", Json::str(name.to_owned())),
+                    ("count", Json::num(c as f64)),
+                ]))
+            })),
+        ),
+    ])
+}
+
+/// GET /api/v1/hierarchy — the multi-resolution summary (v1-only).
+///
+/// Without `node`: the level view. `level` (default 0) picks the
+/// resolution; the response lists the connected components of the
+/// k-core as supernodes, largest first, capped at `limit`
+/// (default 200, max 1000) with `total`/`truncated` for paging-by
+/// -drill-down.
+///
+/// With `node=<id>`: expands that supernode into its resident vertices,
+/// child supernodes, resident–resident edges, and weighted
+/// resident→child links. Residents and children split the `limit`
+/// budget, so the response stays bounded no matter how large the
+/// supernode is.
+fn hierarchy(engine: &Engine, req: &Request) -> Handler {
+    let snap = engine.snapshot(req.param("graph"))?;
+    let h = snap.hierarchy();
+    let g = &snap.graph;
+    let limit = req
+        .param_as::<usize>("limit", HIERARCHY_DEFAULT_NODES)
+        .clamp(2, HIERARCHY_MAX_NODES);
+
+    if let Some(node) = req.param("node") {
+        let Ok(n) = node.parse::<u32>() else {
+            return Err(ApiError::bad_query("node must be an integer supernode id"));
+        };
+        if n as usize >= h.node_count() {
+            return Err(ApiError::not_found("no such supernode"));
+        }
+        let id = NodeId(n);
+        let ex = h.expand(g, &snap.tree, id, limit / 2);
+        let mut children = ex.children.clone();
+        children.sort_unstable_by_key(|&c| (u32::MAX - h.stats(c).subtree_vertices, c.0));
+        let children_total = children.len();
+        children.truncate(limit.saturating_sub(ex.residents.len()).max(1));
+        let kept: std::collections::HashSet<NodeId> = children.iter().copied().collect();
+        let s = h.stats(id);
+        return Ok(Payload::Data(Json::obj([
+            ("node", Json::num(n as f64)),
+            ("level", Json::num(s.level as f64)),
+            (
+                "residents",
+                Json::arr(ex.residents.iter().map(|&v| {
+                    Json::obj([
+                        ("id", Json::num(v.0 as f64)),
+                        ("label", Json::str(g.label(v).to_owned())),
+                        ("degree", Json::num(g.degree(v) as f64)),
+                    ])
+                })),
+            ),
+            ("residents_truncated", Json::Bool(ex.truncated)),
+            ("children", Json::arr(children.iter().map(|&c| supernode_json(g, &h, c)))),
+            ("children_total", Json::num(children_total as f64)),
+            ("children_truncated", Json::Bool(children.len() < children_total)),
+            (
+                "edges",
+                Json::arr(ex.internal_edges.iter().map(|&(u, v)| {
+                    Json::arr([Json::num(u.0 as f64), Json::num(v.0 as f64)])
+                })),
+            ),
+            (
+                "links",
+                // Links to children dropped by the budget are dropped
+                // with them; `children_truncated` flags the cut.
+                Json::arr(ex.child_links.iter().filter(|(_, c, _)| kept.contains(c)).map(
+                    |&(u, c, w)| {
+                        Json::obj([
+                            ("from", Json::num(u.0 as f64)),
+                            ("to", Json::num(c.0 as f64)),
+                            ("weight", Json::num(w as f64)),
+                        ])
+                    },
+                )),
+            ),
+        ])));
+    }
+
+    let level = req.param_as::<u32>("level", 0);
+    let nodes = h.level_nodes(level);
+    let total = nodes.len();
+    let shown: Vec<NodeId> = nodes.into_iter().take(limit).collect();
+    Ok(Payload::Data(Json::obj([
+        ("level", Json::num(level as f64)),
+        ("max_level", Json::num(h.max_level() as f64)),
+        ("total", Json::num(total as f64)),
+        ("truncated", Json::Bool(shown.len() < total)),
+        ("nodes", Json::arr(shown.iter().map(|&id| supernode_json(g, &h, id)))),
+    ])))
+}
+
 fn svg(engine: &Engine, req: &Request, timeout: std::time::Duration) -> Handler {
+    // Hierarchy viewport mode: `?level=K` or `?supernode=ID` renders the
+    // multi-resolution summary instead of a community. `max_nodes`
+    // bounds the viewport exactly like `limit` bounds the JSON API.
+    if req.param("level").is_some() || req.param("supernode").is_some() {
+        let snap = engine.snapshot(req.param("graph"))?;
+        let max_nodes = req
+            .param_as::<usize>("max_nodes", 400)
+            .clamp(2, HIERARCHY_MAX_NODES);
+        let scene = if let Some(node) = req.param("supernode") {
+            let Ok(n) = node.parse::<u32>() else {
+                return Err(ApiError::bad_query("supernode must be an integer id"));
+            };
+            engine.hierarchy_expand_scene(&snap, n, max_nodes)?
+        } else {
+            engine.hierarchy_level_scene(&snap, req.param_as::<u32>("level", 0), max_nodes)
+        };
+        return Ok(Payload::Raw(Response::svg(scene.to_svg())));
+    }
     let spec = spec_from(req)?;
     let algo = req.param("algo").unwrap_or("acq");
     let index = req.param_as::<usize>("index", 0);
@@ -1391,6 +1540,103 @@ mod tests {
         let v = Json::parse(&r.text()).unwrap();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{}", r.text());
         v.get("data").unwrap().clone()
+    }
+
+    #[test]
+    fn suggest_deep_offset_is_rejected() {
+        let s = server();
+        let r = s.handle(&Request::get("/api/suggest?q=&offset=10001"));
+        assert_eq!(r.status, 400);
+        assert!(r.text().contains("offset"));
+    }
+
+    #[test]
+    fn hierarchy_level_view_lists_kcore_components() {
+        let s = server();
+        // Level 0: the root alone covers the whole graph.
+        let d = v1_data(&s.handle(&Request::get("/api/v1/hierarchy")));
+        assert_eq!(d.get("level").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(d.get("max_level").and_then(Json::as_f64), Some(3.0));
+        let nodes = d.get("nodes").and_then(Json::as_array).unwrap();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].get("vertices").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(nodes[0].get("edges").and_then(Json::as_f64), Some(11.0));
+        // Level 1: the two components, largest first.
+        let d1 = v1_data(&s.handle(&Request::get("/api/v1/hierarchy?level=1")));
+        let n1 = d1.get("nodes").and_then(Json::as_array).unwrap();
+        assert_eq!(n1.len(), 2);
+        assert_eq!(n1[0].get("vertices").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(n1[1].get("vertices").and_then(Json::as_f64), Some(2.0));
+        assert!(!n1[0].get("keywords").and_then(Json::as_array).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hierarchy_limit_caps_and_flags_truncation() {
+        let s = server();
+        let d = v1_data(&s.handle(&Request::get("/api/v1/hierarchy?level=1&limit=2")));
+        // limit is clamped to ≥ 2; with exactly 2 components nothing is cut.
+        assert_eq!(d.get("truncated").and_then(Json::as_bool), Some(false));
+        let d = v1_data(&s.handle(&Request::get("/api/v1/hierarchy?level=1&limit=9999")));
+        assert_eq!(d.get("total").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(d.get("nodes").and_then(Json::as_array).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn hierarchy_expansion_drills_down() {
+        let s = server();
+        // Find the level-0 root id, expand it, then walk one level down.
+        let d = v1_data(&s.handle(&Request::get("/api/v1/hierarchy")));
+        let root = d.get("nodes").and_then(Json::as_array).unwrap()[0]
+            .get("id")
+            .and_then(Json::as_f64)
+            .unwrap() as u32;
+        let ex = v1_data(&s.handle(&Request::get(&format!("/api/v1/hierarchy?node={root}"))));
+        // Root residents: J alone; children: the two level-1 components.
+        let residents = ex.get("residents").and_then(Json::as_array).unwrap();
+        assert_eq!(residents.len(), 1);
+        assert_eq!(residents[0].get("label").and_then(Json::as_str), Some("J"));
+        let children = ex.get("children").and_then(Json::as_array).unwrap();
+        assert_eq!(children.len(), 2);
+        assert_eq!(ex.get("children_truncated").and_then(Json::as_bool), Some(false));
+        // J is isolated: no internal edges, no links into the children.
+        assert!(ex.get("edges").and_then(Json::as_array).unwrap().is_empty());
+        assert!(ex.get("links").and_then(Json::as_array).unwrap().is_empty());
+        // Drill into the larger child (the ABCDEFG component).
+        let big = children[0].get("id").and_then(Json::as_f64).unwrap() as u32;
+        let ex2 = v1_data(&s.handle(&Request::get(&format!("/api/v1/hierarchy?node={big}"))));
+        let links = ex2.get("links").and_then(Json::as_array).unwrap();
+        assert!(!links.is_empty(), "F/G connect into the 2-core");
+        let weight_sum: f64 =
+            links.iter().filter_map(|l| l.get("weight").and_then(Json::as_f64)).sum();
+        assert!(weight_sum >= 1.0);
+    }
+
+    #[test]
+    fn hierarchy_rejects_bad_node_and_legacy_namespace() {
+        let s = server();
+        assert_eq!(s.handle(&Request::get("/api/v1/hierarchy?node=abc")).status, 400);
+        assert_eq!(s.handle(&Request::get("/api/v1/hierarchy?node=9999")).status, 404);
+        assert_eq!(s.handle(&Request::get("/api/hierarchy")).status, 404);
+    }
+
+    #[test]
+    fn svg_hierarchy_viewport_renders() {
+        let s = server();
+        let r = s.handle(&Request::get("/api/v1/svg?level=1"));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "image/svg+xml");
+        assert!(r.text().contains("Hierarchy level 1"));
+        // Expansion viewport for the root supernode.
+        let d = v1_data(&s.handle(&Request::get("/api/v1/hierarchy")));
+        let root = d.get("nodes").and_then(Json::as_array).unwrap()[0]
+            .get("id")
+            .and_then(Json::as_f64)
+            .unwrap() as u32;
+        let r2 = s.handle(&Request::get(&format!("/api/v1/svg?supernode={root}")));
+        assert_eq!(r2.status, 200);
+        assert!(r2.text().contains("residents"));
+        // Nonsense supernode id is a typed error, not a panic.
+        assert_eq!(s.handle(&Request::get("/api/v1/svg?supernode=xyz")).status, 400);
     }
 
     #[test]

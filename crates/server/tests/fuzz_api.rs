@@ -8,7 +8,7 @@ use cx_explorer::Engine;
 use cx_server::{Json, Request, Server};
 
 fn server() -> Server {
-    let mut engine = Engine::with_graph("fig5", cx_datagen::figure5_graph());
+    let engine = Engine::with_graph("fig5", cx_datagen::figure5_graph());
     let (dblp, _) = cx_datagen::dblp_like(&cx_check::workload::check_params(90, 13));
     engine.add_graph("dblp", dblp);
     Server::new(engine)

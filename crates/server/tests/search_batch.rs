@@ -100,7 +100,7 @@ fn item_pagination_clamps_like_get_search() {
     let (status, resp) = http_post(port, "/api/v1/search_batch", body);
     assert_eq!(status, 200, "{resp}");
     let v = Json::parse(&resp).unwrap();
-    let results = v.get("data").unwrap().get("results").and_then(Json::as_array).unwrap().clone();
+    let results = v.get("data").unwrap().get("results").and_then(Json::as_array).unwrap();
     let data = |i: usize| results[i].get("data").unwrap().clone();
     // Oversize clamps to the max, hostile values fall back to defaults.
     assert_eq!(data(0).get("limit").and_then(Json::as_f64), Some(100.0));

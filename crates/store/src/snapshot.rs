@@ -9,6 +9,15 @@
 //!           [profiles] [has_coords: u8] [coords?]
 //! ```
 //!
+//! Version 2 (current) stores profiles against a deduplicated string
+//! pool: `[pool: strs] [count: u32]` then per profile
+//! `[vertex: u32] [name: u32 pool id] [areas/institutes/interests: u32
+//! pool-id lists]`. Profile vocabularies (areas, institute names,
+//! interests) repeat heavily across vertices, so the pool shrinks
+//! checkpoints roughly in proportion to that repetition. Version-1
+//! files (inline strings per profile) are still read and upconverted
+//! transparently; writers always emit version 2.
+//!
 //! Files live under `<store>/snapshots/` and are named
 //! `<hex(name)>-<generation>.cxs`; hex-encoding the graph name keeps
 //! arbitrary registry names (slashes, dots, unicode) filesystem-safe.
@@ -28,8 +37,8 @@ use crate::record::StoredProfile;
 
 const MAGIC: &[u8; 4] = b"CXSS";
 
-/// Current checkpoint format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current checkpoint format version (2 = interned profile strings).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// One graph generation, fully materialized: contents plus decorations.
 #[derive(Debug, Clone)]
@@ -46,18 +55,90 @@ pub struct GraphCheckpoint {
     pub coords: Option<Vec<(f64, f64)>>,
 }
 
-fn put_profiles(w: &mut ByteWriter, profiles: &[StoredProfile]) {
-    w.u32(profiles.len() as u32);
+fn intern<'a>(
+    s: &'a str,
+    ids: &mut std::collections::HashMap<&'a str, u32>,
+    pool: &mut Vec<&'a str>,
+) -> u32 {
+    if let Some(&id) = ids.get(s) {
+        return id;
+    }
+    let id = pool.len() as u32;
+    pool.push(s);
+    ids.insert(s, id);
+    id
+}
+
+/// Version-2 profile section: a deduplicated string pool, then profiles
+/// referring into it by `u32` id.
+fn put_profiles_v2(w: &mut ByteWriter, profiles: &[StoredProfile]) {
+    let mut ids = std::collections::HashMap::new();
+    let mut pool: Vec<&str> = Vec::new();
+    let mut encoded: Vec<(u32, u32, Vec<u32>, Vec<u32>, Vec<u32>)> =
+        Vec::with_capacity(profiles.len());
     for p in profiles {
-        w.u32(p.vertex.0);
-        w.str(&p.name);
-        w.strs(&p.areas);
-        w.strs(&p.institutes);
-        w.strs(&p.interests);
+        let name = intern(&p.name, &mut ids, &mut pool);
+        let areas = p.areas.iter().map(|s| intern(s, &mut ids, &mut pool)).collect();
+        let insts = p.institutes.iter().map(|s| intern(s, &mut ids, &mut pool)).collect();
+        let ints = p.interests.iter().map(|s| intern(s, &mut ids, &mut pool)).collect();
+        encoded.push((p.vertex.0, name, areas, insts, ints));
+    }
+    w.u32(pool.len() as u32);
+    for s in &pool {
+        w.str(s);
+    }
+    w.u32(profiles.len() as u32);
+    let put_ids = |w: &mut ByteWriter, ids: &[u32]| {
+        w.u32(ids.len() as u32);
+        for &id in ids {
+            w.u32(id);
+        }
+    };
+    for (vertex, name, areas, insts, ints) in &encoded {
+        w.u32(*vertex);
+        w.u32(*name);
+        put_ids(w, areas);
+        put_ids(w, insts);
+        put_ids(w, ints);
     }
 }
 
-fn get_profiles(r: &mut ByteReader<'_>) -> Result<Vec<StoredProfile>, StoreError> {
+fn pooled(pool: &[String], id: u32) -> Result<String, StoreError> {
+    pool.get(id as usize)
+        .cloned()
+        .ok_or_else(|| StoreError::Corrupt(format!("profile string id {id} out of pool range")))
+}
+
+fn get_id_list(r: &mut ByteReader<'_>, pool: &[String]) -> Result<Vec<String>, StoreError> {
+    let len = r.u32()? as usize;
+    if len.checked_mul(4).is_none_or(|b| b > r.remaining()) {
+        return Err(StoreError::Corrupt("profile id list exceeds snapshot".into()));
+    }
+    (0..len).map(|_| r.u32().and_then(|id| pooled(pool, id))).collect()
+}
+
+fn get_profiles_v2(r: &mut ByteReader<'_>) -> Result<Vec<StoredProfile>, StoreError> {
+    let pool = r.strs()?;
+    let len = r.u32()? as usize;
+    if len > r.remaining() {
+        return Err(StoreError::Corrupt("profile list length exceeds snapshot".into()));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(StoredProfile {
+            vertex: cx_graph::VertexId(r.u32()?),
+            name: r.u32().and_then(|id| pooled(&pool, id))?,
+            areas: get_id_list(r, &pool)?,
+            institutes: get_id_list(r, &pool)?,
+            interests: get_id_list(r, &pool)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Version-1 profile section: inline strings per profile. Kept so old
+/// checkpoints recover transparently (they upconvert on next write).
+fn get_profiles_v1(r: &mut ByteReader<'_>) -> Result<Vec<StoredProfile>, StoreError> {
     let len = r.u32()? as usize;
     if len > r.remaining() {
         return Err(StoreError::Corrupt("profile list length exceeds snapshot".into()));
@@ -84,7 +165,7 @@ impl GraphCheckpoint {
         let mut graph_bytes = Vec::new();
         write_snapshot(&self.graph, &mut graph_bytes)?;
         p.bytes(&graph_bytes);
-        put_profiles(&mut p, &self.profiles);
+        put_profiles_v2(&mut p, &self.profiles);
         match &self.coords {
             Some(coords) => {
                 p.u8(1);
@@ -135,7 +216,8 @@ impl GraphCheckpoint {
         let generation = p.u64()?;
         let graph_bytes = p.bytes()?;
         let graph = read_snapshot(&mut std::io::Cursor::new(graph_bytes))?;
-        let profiles = get_profiles(&mut p)?;
+        let profiles =
+            if version >= 2 { get_profiles_v2(&mut p)? } else { get_profiles_v1(&mut p)? };
         let coords = match p.u8()? {
             0 => None,
             1 => {
@@ -244,6 +326,122 @@ mod tests {
         // Truncation at every prefix errors, never panics.
         for cut in 0..bytes.len() {
             assert!(GraphCheckpoint::read_from(&mut std::io::Cursor::new(&bytes[..cut])).is_err());
+        }
+    }
+
+    /// Serializes a checkpoint in the retired version-1 layout (inline
+    /// profile strings) so the compatibility path stays covered.
+    fn write_v1(cp: &GraphCheckpoint) -> Vec<u8> {
+        let mut p = ByteWriter::new();
+        p.str(&cp.name);
+        p.u64(cp.generation);
+        let mut graph_bytes = Vec::new();
+        write_snapshot(&cp.graph, &mut graph_bytes).unwrap();
+        p.bytes(&graph_bytes);
+        p.u32(cp.profiles.len() as u32);
+        for pr in &cp.profiles {
+            p.u32(pr.vertex.0);
+            p.str(&pr.name);
+            p.strs(&pr.areas);
+            p.strs(&pr.institutes);
+            p.strs(&pr.interests);
+        }
+        match &cp.coords {
+            Some(coords) => {
+                p.u8(1);
+                p.u32(coords.len() as u32);
+                for &(x, y) in coords {
+                    p.f64(x);
+                    p.f64(y);
+                }
+            }
+            None => p.u8(0),
+        }
+        let payload = p.into_bytes();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    #[test]
+    fn version1_checkpoints_still_decode() {
+        let cp = checkpoint();
+        let bytes = write_v1(&cp);
+        let back = GraphCheckpoint::read_from(&mut std::io::Cursor::new(&bytes)).unwrap();
+        assert_eq!(back.name, cp.name);
+        assert_eq!(back.generation, cp.generation);
+        assert_eq!(back.profiles, cp.profiles);
+        assert_eq!(back.coords, cp.coords);
+    }
+
+    #[test]
+    fn interned_pool_shrinks_repetitive_profiles() {
+        // 200 profiles over a vocabulary of 4 strings: v2 must be much
+        // smaller than the inline-string v1 encoding of the same data.
+        let mut b = GraphBuilder::new();
+        for i in 0..200 {
+            b.add_vertex(&format!("v{i}"), &[]);
+        }
+        let profiles: Vec<StoredProfile> = (0..200)
+            .map(|i| StoredProfile {
+                vertex: VertexId(i),
+                name: "A. Researcher".into(),
+                areas: vec!["database management systems".into()],
+                institutes: vec!["The University of Somewhere".into()],
+                interests: vec!["community search in large graphs".into()],
+            })
+            .collect();
+        let cp = GraphCheckpoint {
+            name: "dedup".into(),
+            generation: 1,
+            graph: Arc::new(b.build()),
+            profiles,
+            coords: None,
+        };
+        let mut v2 = Vec::new();
+        cp.write_to(&mut v2).unwrap();
+        let v1 = write_v1(&cp);
+        assert!(
+            v2.len() * 2 < v1.len(),
+            "v2 ({}) should be well under half of v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+        let back = GraphCheckpoint::read_from(&mut std::io::Cursor::new(&v2)).unwrap();
+        assert_eq!(back.profiles, cp.profiles);
+    }
+
+    #[test]
+    fn hostile_pool_id_rejected() {
+        let cp = checkpoint();
+        let mut bytes = Vec::new();
+        cp.write_to(&mut bytes).unwrap();
+        // Find the name-id field of the first profile and point it past
+        // the pool; the reader must error, not panic. Rebuild the crc so
+        // only the structural check can reject it.
+        let payload_start = 20;
+        let mut payload = bytes[payload_start..].to_vec();
+        // The profile section sits after the graph block; scan for the
+        // profile count (1) followed by vertex id 0, then bump the next
+        // u32 (the name id) to something out of range.
+        let needle = [1u8, 0, 0, 0, 0, 0, 0, 0];
+        let at = payload
+            .windows(needle.len())
+            .rposition(|w| w == needle)
+            .expect("profile header bytes present");
+        let name_at = at + needle.len();
+        payload[name_at..name_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let crc = crc32(&payload);
+        bytes[16..20].copy_from_slice(&crc.to_le_bytes());
+        bytes.truncate(payload_start);
+        bytes.extend_from_slice(&payload);
+        match GraphCheckpoint::read_from(&mut std::io::Cursor::new(&bytes)) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("out of pool range"), "{msg}"),
+            other => panic!("expected corrupt pool id, got {other:?}"),
         }
     }
 

@@ -4,7 +4,10 @@
 # independence), the snapshot-concurrency stress test, par_scaling,
 # query_hotpath (asserting the zero-alloc steady-state contract at both
 # thread counts), concurrent_reads, http_throughput (keep-alive
-# fleet, shed at 2x overload, 50ms deadline probe), edit_latency and
+# fleet, shed at 2x overload, 50ms deadline probe), edit_latency,
+# memory_footprint (compact substrate ≥ 30% under the legacy layout),
+# hierarchy_scale (a 1M-vertex graph served over HTTP with every
+# hierarchy response bounded) and
 # store_recovery smoke runs, and the cx-check correctness sweep at both thread counts
 # (invariants + differential oracles incl. snapshot pinning,
 # incremental-vs-scratch and scratch-reuse + API fuzz + the kill-replay
@@ -54,6 +57,18 @@ cargo run -q --release -p cx-bench --bin obs_overhead -- 4000 100
 
 echo "== edit_latency smoke (incremental vs full rebuild ≥ 2x at 4k) =="
 cargo run -q --release -p cx-bench --bin edit_latency -- 4000 10 2
+
+echo "== memory_footprint smoke (u32 CSR + interned profiles ≥ 30% under legacy, CX_THREADS=1) =="
+CX_THREADS=1 cargo run -q --release -p cx-bench --bin memory_footprint -- 100000 --smoke
+
+echo "== memory_footprint smoke (u32 CSR + interned profiles ≥ 30% under legacy, CX_THREADS=8) =="
+CX_THREADS=8 cargo run -q --release -p cx-bench --bin memory_footprint -- 100000 --smoke
+
+echo "== hierarchy_scale smoke (1M vertices served: search + bounded hierarchy, CX_THREADS=1) =="
+CX_THREADS=1 cargo run -q --release -p cx-bench --bin hierarchy_scale -- 1000000 --smoke
+
+echo "== hierarchy_scale smoke (1M vertices served: search + bounded hierarchy, CX_THREADS=8) =="
+CX_THREADS=8 cargo run -q --release -p cx-bench --bin hierarchy_scale -- 1000000 --smoke
 
 echo "== store_recovery smoke (WAL append + replay-on-boot at 5k, CX_THREADS=1) =="
 CX_THREADS=1 cargo run -q --release -p cx-bench --bin store_recovery -- 5000 40 --smoke

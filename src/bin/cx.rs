@@ -13,9 +13,11 @@
 //! cx load <dir> [--port P]                          serve a persisted deployment
 //! ```
 //!
-//! `<graph>` is a `.bin` snapshot, a text-format graph file, or the
-//! literal `demo` (the generated 8k-author DBLP-like graph) / `fig5`
-//! (the paper's example).
+//! `<graph>` is a `.bin` snapshot, a text-format graph file, or one of
+//! the literals `demo` (the generated 8k-author DBLP-like graph),
+//! `paper` (the committed 1M-author paper-scale configuration), or
+//! `fig5` (the paper's example). Generated datasets honour `--scale N`
+//! to override the author count, e.g. `cx stats paper --scale 100000`.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -37,7 +39,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  cx generate <out.bin> [--authors N] [--seed S]
+  cx generate <out.bin> [--authors N] [--seed S] [--paper]
   cx stats <graph>
   cx search <graph> <name> [--k K] [--algo A] [--keywords a,b] [--svg out.svg]
   cx compare <graph> <name> [--k K] [--algos a,b,c]
@@ -45,7 +47,8 @@ const USAGE: &str = "usage:
   cx serve <graph> [--port P]
   cx save <graph> <dir>
   cx load <dir> [--port P]
-  (<graph> may be a file path, 'demo', or 'fig5')";
+  (<graph> may be a file path, 'demo', 'paper', or 'fig5';
+   generated datasets accept --scale N to override the author count)";
 
 /// Splits positional arguments from `--flag value` options.
 fn parse(args: &[String]) -> (Vec<&str>, HashMap<&str, &str>) {
@@ -69,10 +72,24 @@ fn parse(args: &[String]) -> (Vec<&str>, HashMap<&str, &str>) {
     (pos, opts)
 }
 
-fn load_graph(spec: &str) -> Result<AttributedGraph, String> {
+fn load_graph(spec: &str, opts: &HashMap<&str, &str>) -> Result<AttributedGraph, String> {
+    let scale: Option<usize> = match opts.get("scale") {
+        Some(s) => Some(s.parse().map_err(|_| "--scale must be an integer".to_owned())?),
+        None => None,
+    };
     match spec {
-        "demo" => Ok(dblp_like(&DblpParams::scaled(8_000, 42)).0),
+        "demo" => Ok(dblp_like(&DblpParams::scaled(scale.unwrap_or(8_000), 42)).0),
+        "paper" => {
+            let mut p = DblpParams::paper_scale(42);
+            if let Some(n) = scale {
+                p.authors = n;
+            }
+            Ok(dblp_like(&p).0)
+        }
         "fig5" => Ok(cx_datagen::figure5_graph()),
+        _ if scale.is_some() => {
+            Err("--scale only applies to the generated 'demo'/'paper' datasets".to_owned())
+        }
         path if path.ends_with(".bin") => {
             cx_graph::io::load_snapshot_file(path).map_err(|e| e.to_string())
         }
@@ -92,7 +109,16 @@ fn run(args: &[String]) -> Result<(), String> {
             let seed: u64 = opts.get("seed").map_or(Ok(42), |s| {
                 s.parse().map_err(|_| "--seed must be an integer".to_owned())
             })?;
-            let (g, _) = dblp_like(&DblpParams::scaled(authors, seed));
+            let params = if opts.contains_key("paper") {
+                let mut p = DblpParams::paper_scale(seed);
+                if opts.contains_key("authors") {
+                    p.authors = authors;
+                }
+                p
+            } else {
+                DblpParams::scaled(authors, seed)
+            };
+            let (g, _) = dblp_like(&params);
             if out.ends_with(".bin") {
                 cx_graph::io::save_snapshot_file(&g, out).map_err(|e| e.to_string())?;
             } else {
@@ -102,7 +128,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "stats" => {
-            let g = load_graph(pos.get(1).copied().ok_or("stats needs a graph")?)?;
+            let g = load_graph(pos.get(1).copied().ok_or("stats needs a graph")?, &opts)?;
             println!("{}", cx_graph::GraphStats::compute(&g));
             let cd = CoreDecomposition::compute(&g);
             println!("degeneracy (max core): {}", cd.max_core());
@@ -115,7 +141,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "search" => {
-            let g = load_graph(pos.get(1).copied().ok_or("search needs a graph")?)?;
+            let g = load_graph(pos.get(1).copied().ok_or("search needs a graph")?, &opts)?;
             let name = pos.get(2).copied().ok_or("search needs a vertex name")?;
             let k: u32 = opts.get("k").map_or(Ok(4), |s| {
                 s.parse().map_err(|_| "--k must be an integer".to_owned())
@@ -168,7 +194,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "compare" => {
-            let g = load_graph(pos.get(1).copied().ok_or("compare needs a graph")?)?;
+            let g = load_graph(pos.get(1).copied().ok_or("compare needs a graph")?, &opts)?;
             let name = pos.get(2).copied().ok_or("compare needs a vertex name")?;
             let k: u32 = opts.get("k").map_or(Ok(4), |s| {
                 s.parse().map_err(|_| "--k must be an integer".to_owned())
@@ -183,7 +209,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "detect" => {
-            let g = load_graph(pos.get(1).copied().ok_or("detect needs a graph")?)?;
+            let g = load_graph(pos.get(1).copied().ok_or("detect needs a graph")?, &opts)?;
             let algo = opts.get("algo").copied().unwrap_or("codicil");
             let engine = Engine::with_graph("g", g);
             let communities = engine.detect(algo).map_err(|e| e.to_string())?;
@@ -205,7 +231,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "serve" => {
-            let g = load_graph(pos.get(1).copied().ok_or("serve needs a graph")?)?;
+            let g = load_graph(pos.get(1).copied().ok_or("serve needs a graph")?, &opts)?;
             let port: u16 = opts.get("port").map_or(Ok(7171), |s| {
                 s.parse().map_err(|_| "--port must be a port number".to_owned())
             })?;
@@ -236,7 +262,7 @@ fn run(args: &[String]) -> Result<(), String> {
             server.serve(&addr).map_err(|e| e.to_string())
         }
         "save" => {
-            let g = load_graph(pos.get(1).copied().ok_or("save needs a graph")?)?;
+            let g = load_graph(pos.get(1).copied().ok_or("save needs a graph")?, &opts)?;
             let dir = pos.get(2).copied().ok_or("save needs a target directory")?;
             let engine = Engine::with_graph("main", g);
             engine.save_dir(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
