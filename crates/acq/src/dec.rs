@@ -34,15 +34,25 @@ pub(crate) fn run_scratch(
         return;
     };
     let n = verifier.alive_count();
+    // With pruning on, sizes above the neighbour-mask popcount bound are
+    // provably hitless — start the downward sweep below them. On the
+    // legacy path the cap equals `n` and the sweep is unchanged.
+    let top = verifier.max_candidate_size();
     let budget = opts.max_candidates;
-    let mut truncated = false;
+    // The deadline may already have fired inside the verifier's pruned
+    // keyword walks; treat it like budget truncation (the engine discards
+    // cancelled answers).
+    let mut truncated = verifier.cancelled;
 
-    for size in (1..=n).rev() {
+    for size in (1..=top).rev() {
+        if truncated {
+            break;
+        }
         strat.clear_hits();
         strat.idxs.clear();
         strat.idxs.extend(0..size);
         loop {
-            if budget > 0 && verifier.verified >= budget {
+            if budget > 0 && verifier.examined >= budget {
                 truncated = true;
                 break;
             }
@@ -67,7 +77,9 @@ pub(crate) fn run_scratch(
             out.shared_keyword_count = size;
             out.candidates_verified = verifier.verified;
             out.truncated = truncated;
+            let t = crate::profile::timer();
             finalize_into(g, strat, true, out);
+            crate::profile::add_expand(t);
             return;
         }
         if truncated {
@@ -82,7 +94,9 @@ pub(crate) fn run_scratch(
     out.shared_keyword_count = 0;
     out.candidates_verified = verifier.verified;
     out.truncated = truncated;
+    let t = crate::profile::timer();
     finalize_into(g, strat, false, out);
+    crate::profile::add_expand(t);
 }
 
 /// Runs `Dec` with a one-off scratch, returning an owned result.

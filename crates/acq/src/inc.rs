@@ -39,13 +39,15 @@ pub(crate) fn run_inc_s_scratch(
     };
     let n = verifier.alive_count();
     let budget = opts.max_candidates;
-    let mut truncated = false;
+    // A deadline that fired inside the verifier's pruned walks truncates
+    // immediately, same as budget exhaustion.
+    let mut truncated = verifier.cancelled;
 
     // Level 1: every surviving singleton, re-verified to capture its core.
     let mut level_sets: Vec<Vec<usize>> = Vec::new();
     strat.clear_hits();
     for i in 0..n {
-        if budget > 0 && verifier.verified >= budget {
+        if truncated || (budget > 0 && verifier.examined >= budget) {
             truncated = true;
             break;
         }
@@ -73,7 +75,7 @@ pub(crate) fn run_inc_s_scratch(
         let mut next_hits: Vec<Vec<VertexId>> = Vec::new();
         'outer: for a in 0..level_sets.len() {
             for b in (a + 1)..level_sets.len() {
-                if budget > 0 && verifier.verified >= budget {
+                if budget > 0 && verifier.examined >= budget {
                     truncated = true;
                     break 'outer;
                 }
@@ -147,7 +149,7 @@ fn dfs(
     state: &mut Dfs,
 ) {
     for i in start..n {
-        if state.budget > 0 && verifier.verified >= state.budget {
+        if state.budget > 0 && verifier.examined >= state.budget {
             state.truncated = true;
             return;
         }
@@ -193,7 +195,8 @@ pub(crate) fn run_inc_t_scratch(
         return;
     };
     let n = verifier.alive_count();
-    let mut state = Dfs { best_size: 0, truncated: false, budget: opts.max_candidates };
+    let mut state =
+        Dfs { best_size: 0, truncated: verifier.cancelled, budget: opts.max_candidates };
 
     strat.clear_hits();
     // The DFS root: the plain connected k-core, at the bottom of the
@@ -201,7 +204,9 @@ pub(crate) fn run_inc_t_scratch(
     strat.prefix_data.clear();
     strat.prefix_data.extend_from_slice(verifier.core());
     let root_hi = strat.prefix_data.len();
-    dfs(&mut verifier, strat, 0, root_hi, 0, 0, n, &mut state);
+    if !state.truncated {
+        dfs(&mut verifier, strat, 0, root_hi, 0, 0, n, &mut state);
+    }
 
     if state.best_size == 0 {
         strat.clear_hits();

@@ -46,6 +46,20 @@ pub(crate) struct VerifyScratch {
     pub kw_list: Vec<VertexId>,
     /// Output of the most recent peel.
     pub peeled: Vec<VertexId>,
+    /// Per-neighbour-of-q keyword bitmasks over the query set S (bit `j`
+    /// set iff `s[j] ∈ W(u)`), powering the exact-count candidate
+    /// short-circuit: a k-core community keeps deg(q) ≥ k inside, so a
+    /// candidate with fewer than k carrier neighbours can never verify.
+    pub nbr_mask: Vec<u64>,
+    /// For each surviving keyword `alive[i]`, its bit position in S (and
+    /// in `nbr_mask`).
+    pub alive_spos: Vec<u32>,
+    /// Subtrees skipped by signature pruning during this query, flushed
+    /// to `cx_acq_subtrees_pruned_total` once per query.
+    pub stat_subtrees_pruned: u64,
+    /// Signature tests that passed (subtree descended), flushed to
+    /// `cx_acq_signature_hits_total` once per query.
+    pub stat_signature_hits: u64,
 }
 
 impl VerifyScratch {
@@ -61,6 +75,10 @@ impl VerifyScratch {
             tmp: Vec::new(),
             kw_list: Vec::new(),
             peeled: Vec::new(),
+            nbr_mask: Vec::new(),
+            alive_spos: Vec::new(),
+            stat_subtrees_pruned: 0,
+            stat_signature_hits: 0,
         }
     }
 }
@@ -151,7 +169,8 @@ pub struct QueryAnswer {
     s_off: Vec<usize>,
     /// Size of the maximal shared keyword set (0 on plain-core fallback).
     pub shared_keyword_count: usize,
-    /// Number of candidate keyword sets verified (peeling runs).
+    /// Number of candidate keyword sets verified (keyword walks plus
+    /// intersect/peel runs; near-free neighbour-mask rejects excluded).
     pub candidates_verified: usize,
     /// True when the candidate budget was exhausted before completion.
     pub truncated: bool,

@@ -12,9 +12,10 @@
 //! across queries, so steady-state verification performs no heap
 //! allocation.
 
-use cx_cltree::ClTree;
+use cx_cltree::{ClTree, KeywordSignature, NodeId};
 use cx_graph::{AttributedGraph, KeywordId, VertexId};
 
+use crate::profile;
 use crate::scratch::VerifyScratch;
 
 /// Per-query verification context: q's k-core subtree and cached
@@ -22,64 +23,296 @@ use crate::scratch::VerifyScratch;
 /// [`VerifyScratch`].
 pub(crate) struct Verifier<'a> {
     g: &'a AttributedGraph,
+    tree: &'a ClTree,
     q: VertexId,
     k: u32,
+    /// Root of q's connected k-core subtree in the CL-tree.
+    subtree: NodeId,
+    /// Whether `vs.core` has been materialized — the Dec fast path never
+    /// walks the full subtree when signature pruning is enabled.
+    core_ready: bool,
+    /// Whether the neighbour-mask exact-count filter is armed (pruning on,
+    /// k ≥ 1, |S| ≤ 64).
+    filter_ready: bool,
+    /// Upper bound on the size of any verifiable candidate keyword set —
+    /// `alive_count()` when the filter is unarmed, else the largest `s`
+    /// such that at least k core-resident neighbours of q carry `s` alive
+    /// keywords (no community can share more; see
+    /// [`Self::max_candidate_size`]).
+    max_size: usize,
     vs: &'a mut VerifyScratch,
-    /// Verification counter (peeling runs), reported in [`crate::AcqResult`].
+    /// Verification counter (keyword walks + intersect/peel runs),
+    /// reported in [`crate::AcqResult`]. Candidates rejected by the
+    /// neighbour-mask filter are *not* counted here — the reject is a
+    /// handful of ANDs, not verification work.
     pub verified: usize,
+    /// Budget meter: everything `verified` counts *plus* filter rejects,
+    /// so strategies sweeping a filtered lattice still terminate under
+    /// `max_candidates` even when almost nothing reaches a peel.
+    pub examined: usize,
+    /// Set when the cooperative cancel token fired during construction;
+    /// the strategy must stop and mark the answer truncated (the engine
+    /// discards cancelled answers anyway).
+    pub cancelled: bool,
 }
 
 impl<'a> Verifier<'a> {
     /// Builds the context, or `None` when q has no connected k-core.
     ///
-    /// `s` is the effective query keyword set; keywords whose singleton
-    /// keyword-core fails are pruned immediately (anti-monotonicity: any
-    /// superset would fail too).
+    /// `s` is the effective query keyword set; keywords that provably
+    /// cannot appear in any answer are pruned immediately
+    /// (anti-monotonicity: any superset would fail too).
+    ///
+    /// With signature pruning enabled (the default; `CX_PRUNE=off`
+    /// disables), each keyword's carrier walk skips subtrees whose
+    /// signature excludes the keyword, and the per-keyword singleton
+    /// *peels* are skipped entirely: the verifier caches the raw carrier
+    /// lists and defers all peeling to the per-candidate step. That is
+    /// sound because every answer community is contained in each of its
+    /// keywords' carrier lists, so intersecting raw lists and peeling the
+    /// (tiny) intersection yields the identical community the legacy
+    /// peeled-singleton path finds. `alive` then over-approximates the
+    /// exact singleton-core test — the neighbour-mask filter and the
+    /// [`Self::max_candidate_size`] cap keep the candidate lattice as
+    /// small as the exact test would. Answers are bit-identical either
+    /// way — enforced by the `bitset_prune_differential` oracle (work
+    /// *counters* legitimately differ between the two paths).
     pub fn new(
         g: &'a AttributedGraph,
-        tree: &ClTree,
+        tree: &'a ClTree,
         q: VertexId,
         k: u32,
         s: &[KeywordId],
         vs: &'a mut VerifyScratch,
     ) -> Option<Self> {
         let subtree = tree.subtree_root_for(q, k)?;
-        tree.subtree_vertices_into(subtree, &mut vs.stack, &mut vs.core);
+        let prune = cx_cltree::prune_enabled();
+        vs.core.clear();
         vs.alive.clear();
+        vs.alive_spos.clear();
         vs.lists_data.clear();
         vs.lists_off.clear();
         vs.lists_off.push(0);
-        let mut v = Self { g, q, k, vs, verified: 0 };
-        for &w in s {
-            tree.keyword_vertices_in_subtree_into(subtree, w, &mut v.vs.stack, &mut v.vs.kw_list);
+        vs.nbr_mask.clear();
+        vs.stat_subtrees_pruned = 0;
+        vs.stat_signature_hits = 0;
+        // Exact-count neighbour filter: any verifying community keeps
+        // deg(q) ≥ k inside itself, and every member carries the whole
+        // candidate set and sits in a k-core — so q needs at least k
+        // neighbours of core number ≥ k carrying it. One bitmask per such
+        // neighbour over S (bit j ⇔ s[j] ∈ W(u)) turns that necessary
+        // condition into a popcount-free AND per candidate.
+        let filter_ready = prune && k > 0 && s.len() <= 64;
+        if filter_ready {
+            for &u in g.neighbors(q) {
+                if tree.core(u) < k {
+                    continue;
+                }
+                let wu = g.keywords(u);
+                let mut m = 0u64;
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < s.len() && j < wu.len() {
+                    match s[i].cmp(&wu[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            m |= 1 << i;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                vs.nbr_mask.push(m);
+            }
+        }
+        let mut v = Self {
+            g,
+            tree,
+            q,
+            k,
+            subtree,
+            core_ready: false,
+            filter_ready,
+            max_size: 0,
+            vs,
+            verified: 0,
+            examined: 0,
+            cancelled: false,
+        };
+        if !prune {
+            v.materialize_core();
+        }
+        // Deferred-peel mode: cache raw carrier lists and let the
+        // per-candidate peel do all the work. Requires the neighbour
+        // filter (or k = 0, where "q is a carrier" is already the exact
+        // singleton test) to keep the candidate lattice in check.
+        let defer = prune && (k == 0 || filter_ready);
+        for (spos, &w) in s.iter().enumerate() {
             v.verified += 1;
-            if v.vs.peel.connected_k_core_containing_into(
-                g,
-                &v.vs.kw_list,
-                q,
-                k,
-                &mut v.vs.peeled,
-            ) {
-                // Cache the *peeled* singleton core, not the raw carrier
-                // list: every candidate community is contained in each of
-                // its keywords' singleton cores, so intersecting cores
-                // (typically orders of magnitude smaller than carrier
-                // lists) peels to the identical answer.
+            v.examined += 1;
+            // Fewer than k carrier neighbours → the singleton core cannot
+            // exist; skip its subtree walk and peel outright.
+            if v.filter_ready {
+                let bit = 1u64 << spos;
+                let carriers = v.vs.nbr_mask.iter().filter(|&&m| m & bit != 0).count();
+                if carriers < k as usize {
+                    continue;
+                }
+            }
+            let ok = if prune {
+                let t = profile::timer();
+                let stats = tree.keyword_vertices_in_subtree_pruned_into(
+                    subtree,
+                    w,
+                    &KeywordSignature::mask_of(w),
+                    &mut v.vs.stack,
+                    &mut v.vs.kw_list,
+                );
+                profile::add_walk(t);
+                v.vs.stat_subtrees_pruned += stats.subtrees_pruned as u64;
+                v.vs.stat_signature_hits += stats.signature_hits as u64;
+                if stats.cancelled {
+                    v.cancelled = true;
+                    break;
+                }
+                // Exact-count short-circuit: the walk's carrier count is
+                // exact (per-node inverted lists), and a k-core needs at
+                // least k+1 vertices — too few carriers can never verify,
+                // so skip the peel entirely.
+                if k > 0 && v.vs.kw_list.len() <= k as usize {
+                    false
+                } else if defer {
+                    // Keep the keyword iff q itself is a carrier (every
+                    // answer contains q); the peel is deferred to the
+                    // candidate step, which works on intersections.
+                    v.vs.kw_list.binary_search(&q).is_ok()
+                } else {
+                    let t = profile::timer();
+                    let ok = v.vs.peel.connected_k_core_containing_into(
+                        g,
+                        &v.vs.kw_list,
+                        q,
+                        k,
+                        &mut v.vs.peeled,
+                    );
+                    profile::add_verify(t);
+                    ok
+                }
+            } else {
+                let t = profile::timer();
+                tree.keyword_vertices_in_subtree_into(
+                    subtree,
+                    w,
+                    &mut v.vs.stack,
+                    &mut v.vs.kw_list,
+                );
+                profile::add_walk(t);
+                let t = profile::timer();
+                let ok = v.vs.peel.connected_k_core_containing_into(
+                    g,
+                    &v.vs.kw_list,
+                    q,
+                    k,
+                    &mut v.vs.peeled,
+                );
+                profile::add_verify(t);
+                ok
+            };
+            if ok {
+                // Every candidate community is contained in each of its
+                // keywords' cached lists, so intersecting them and peeling
+                // the intersection yields the exact answer — whether the
+                // cache holds raw carrier lists (deferred-peel mode) or
+                // peeled singleton cores (legacy path).
                 v.vs.alive.push(w);
-                v.vs.lists_data.extend_from_slice(&v.vs.peeled);
+                v.vs.alive_spos.push(spos as u32);
+                if defer {
+                    v.vs.lists_data.extend_from_slice(&v.vs.kw_list);
+                } else {
+                    v.vs.lists_data.extend_from_slice(&v.vs.peeled);
+                }
                 v.vs.lists_off.push(v.vs.lists_data.len());
             }
+        }
+        // Candidate-size cap: a verifying S' of size s needs at least k
+        // core-resident neighbours of q whose masks cover S' — so at
+        // least k masks with popcount ≥ s over the alive bits. The k-th
+        // largest such popcount bounds every candidate this query can
+        // ever verify, which keeps the deferred-peel lattice as small as
+        // the exact singleton test would (usually smaller).
+        v.max_size = v.vs.alive.len();
+        if v.filter_ready {
+            let alive_mask: u64 = v.vs.alive_spos.iter().fold(0, |a, &p| a | (1 << p));
+            let mut hist = [0u32; 65];
+            for &m in &v.vs.nbr_mask {
+                hist[(m & alive_mask).count_ones() as usize] += 1;
+            }
+            let mut cum = 0u64;
+            let mut s_max = 0usize;
+            for p in (1..=64usize).rev() {
+                cum += u64::from(hist[p]);
+                if cum >= u64::from(k) {
+                    s_max = p;
+                    break;
+                }
+            }
+            v.max_size = v.max_size.min(s_max);
         }
         Some(v)
     }
 
-    /// Vertices of the connected k-core containing q (sorted).
-    pub fn core(&self) -> &[VertexId] {
+    /// Largest candidate keyword-set size this query can possibly verify:
+    /// `alive_count()` on the legacy path, tightened by the neighbour-mask
+    /// popcount bound when the filter is armed. Dec starts its downward
+    /// sweep here — sizes above the cap are provably hitless.
+    pub fn max_candidate_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// The exact-count necessary condition for a candidate (indices into
+    /// [`Self::alive`]): at least k neighbours of q must carry every
+    /// candidate keyword, or no qualifying community can exist. Returns
+    /// `true` when the candidate survives (or the filter is unarmed).
+    fn neighbor_filter_passes(&self, idxs: &[usize]) -> bool {
+        if !self.filter_ready {
+            return true;
+        }
+        let m: u64 = idxs.iter().fold(0, |acc, &i| acc | (1 << self.vs.alive_spos[i]));
+        let mut carriers = 0u32;
+        for &b in &self.vs.nbr_mask {
+            if b & m == m {
+                carriers += 1;
+                if carriers >= self.k {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Walks the full subtree into `vs.core` (sorted).
+    fn materialize_core(&mut self) {
+        let t = profile::timer();
+        self.tree.subtree_vertices_into(self.subtree, &mut self.vs.stack, &mut self.vs.core);
+        profile::add_walk(t);
+        self.core_ready = true;
+    }
+
+    /// Vertices of the connected k-core containing q (sorted),
+    /// materialized lazily on first use — the Dec fast path (top-size
+    /// candidate verifies) never needs it.
+    pub fn core(&mut self) -> &[VertexId] {
+        if !self.core_ready {
+            self.materialize_core();
+        }
         &self.vs.core
     }
 
-    /// Surviving keywords of S (those whose singleton keyword-core
-    /// exists), sorted by id.
+    /// Surviving keywords of S, sorted by id. On the legacy path these
+    /// are exactly the keywords whose singleton keyword-core exists; in
+    /// deferred-peel mode they are the keywords not refuted by the cheap
+    /// necessary conditions (a sound over-approximation — candidates over
+    /// dead keywords simply fail their peel).
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn alive(&self) -> &[KeywordId] {
         &self.vs.alive
@@ -102,12 +335,15 @@ impl<'a> Verifier<'a> {
     /// only shrink, so starting small keeps every later merge near the
     /// size of the final answer rather than of the inputs.
     fn intersect_into_acc(&mut self, idxs: &[usize]) {
-        let vs = &mut *self.vs;
-        vs.acc.clear();
         let Some(&first) = idxs.first() else {
+            self.core();
+            let vs = &mut *self.vs;
+            vs.acc.clear();
             vs.acc.extend_from_slice(&vs.core);
             return;
         };
+        let vs = &mut *self.vs;
+        vs.acc.clear();
         let len_of = |off: &[usize], i: usize| off[i + 1] - off[i];
         let mut smallest = first;
         for &i in &idxs[1..] {
@@ -134,6 +370,7 @@ impl<'a> Verifier<'a> {
     /// result lands in [`Self::peeled`]. Increments the work counter.
     fn peel_acc(&mut self) -> bool {
         self.verified += 1;
+        self.examined += 1;
         let vs = &mut *self.vs;
         // Fast rejections: q must be present and at least k+1 vertices must
         // remain for a k-core to exist at all.
@@ -150,8 +387,19 @@ impl<'a> Verifier<'a> {
     /// intersect the lists, then peel. On success the community is in
     /// [`Self::peeled`].
     pub fn verify_idxs(&mut self, idxs: &[usize]) -> bool {
+        let t = profile::timer();
+        // The exact-count reject still counts as one examined candidate,
+        // so the budget meters work uniformly across filtered and peeled
+        // candidates.
+        if !self.neighbor_filter_passes(idxs) {
+            self.examined += 1;
+            profile::add_verify(t);
+            return false;
+        }
         self.intersect_into_acc(idxs);
-        self.peel_acc()
+        let ok = self.peel_acc();
+        profile::add_verify(t);
+        ok
     }
 
     /// Verifies an arbitrary candidate member list (sorted). On success
@@ -167,12 +415,15 @@ impl<'a> Verifier<'a> {
     /// the prefix with `list(i)`, then peel. On success the extended
     /// community is in [`Self::peeled`]. Inc-T's shared-prefix step.
     pub fn verify_prefix_extend(&mut self, prefix: &[VertexId], i: usize) -> bool {
+        let t = profile::timer();
         {
             let vs = &mut *self.vs;
             let list = &vs.lists_data[vs.lists_off[i]..vs.lists_off[i + 1]];
             intersect_sorted_adaptive(prefix, list, &mut vs.acc);
         }
-        self.peel_acc()
+        let ok = self.peel_acc();
+        profile::add_verify(t);
+        ok
     }
 }
 
@@ -246,7 +497,7 @@ mod tests {
         let s: Vec<KeywordId> =
             ["w", "x", "y"].iter().map(|n| g.interner().get(n).unwrap()).collect();
         let mut vs = crate::QueryScratch::new();
-        let v = Verifier::new(&g, &tree, a, 2, &s, &mut vs.verify).unwrap();
+        let mut v = Verifier::new(&g, &tree, a, 2, &s, &mut vs.verify).unwrap();
         // w is only on A → its singleton core dies; x and y survive.
         let names: Vec<&str> =
             v.alive().iter().map(|&w| g.interner().name(w).unwrap()).collect();

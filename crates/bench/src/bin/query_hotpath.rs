@@ -14,11 +14,25 @@
 //!   pin + spec resolution + cache-key construction + algorithm).
 //!
 //! Queries target the `top_hubs` of the seeded workload with `k = 4`,
-//! matching the `query` phase of `par_scaling`.
+//! matching the `query` phase of `par_scaling`. At 1M vertices and above
+//! the committed paper-scale dataset (`DblpParams::paper_scale`, seed 42
+//! — the same graph `hierarchy_scale` serves) replaces the scaled
+//! workload, so the 1M row is measured on the graph the paper's numbers
+//! anchor to.
 //!
-//! Usage: `query_hotpath [vertices] [samples] [--smoke]`
-//! (defaults 100000, 5). `--smoke` additionally asserts the steady-state
-//! zero-alloc contract and exits non-zero on violation.
+//! Usage: `query_hotpath [vertices] [samples] [--smoke] [--profile]
+//! [--max-engine-ms MS]` (defaults 100000, 5).
+//!
+//! * `--smoke` additionally asserts the steady-state zero-alloc contract
+//!   and exits non-zero on violation.
+//! * `--profile` runs an extra profiled pass over the scratch path and
+//!   emits a per-phase row (CL-tree walk / verify / member expansion).
+//! * `--max-engine-ms MS` exits non-zero when the engine median exceeds
+//!   the bound — the CI regression gate for the pruned path.
+//!
+//! Signature pruning honours `CX_PRUNE`: run with `CX_PRUNE=off` for the
+//! exact legacy path (full subtree walks, no count short-circuit) on the
+//! same dataset — the "before" side of the committed bench rows.
 
 use std::time::Instant;
 
@@ -80,10 +94,25 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
+    let profile = args.iter().any(|a| a == "--profile");
+    args.retain(|a| a != "--profile");
+    let max_engine_ms: Option<f64> = args
+        .iter()
+        .position(|a| a == "--max-engine-ms")
+        .map(|i| args[i + 1].parse().expect("--max-engine-ms needs a number"));
+    if let Some(i) = args.iter().position(|a| a == "--max-engine-ms") {
+        args.drain(i..i + 2);
+    }
     let n: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(100_000);
     let samples: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(5);
 
-    let (g, _) = workload(n, 7);
+    // At paper scale, measure on the committed paper-scale graph (the one
+    // hierarchy_scale serves) rather than the small-workload generator.
+    let (g, _) = if n >= 1_000_000 {
+        cx_bench::dblp_like(&cx_bench::DblpParams { authors: n, ..cx_bench::DblpParams::paper_scale(42) })
+    } else {
+        workload(n, 7)
+    };
     let tree = ClTree::build(&g);
     let queries = top_hubs(&g, QUERY_COUNT);
     let opts = AcqOptions::with_k(K);
@@ -103,6 +132,34 @@ fn main() {
         std::hint::black_box(cx_acq::acq(&g, &tree, q, &opts, AcqStrategy::Dec));
     });
     report("acq_public", n, samples, public_stats);
+
+    // Optional profiled pass: where does a scratch-path query spend its
+    // time? (walk = CL-tree traversals, verify = peels + intersections,
+    // expand = finalize/member expansion; the remainder is driver logic.)
+    if profile {
+        cx_acq::profile::set_enabled(true);
+        cx_acq::profile::reset();
+        let rounds = samples.max(1);
+        for _ in 0..rounds {
+            for &q in &queries {
+                cx_acq::acq_with_scratch(
+                    &g, &tree, q, &opts, AcqStrategy::Dec, &mut scratch, &mut answer,
+                );
+                std::hint::black_box(answer.community_count());
+            }
+        }
+        cx_acq::profile::set_enabled(false);
+        let t = cx_acq::profile::totals();
+        let per = (rounds * queries.len()) as f64;
+        println!(
+            "{{\"phase\":\"profile\",\"vertices\":{n},\
+             \"walk_ms_per_query\":{:.3},\"verify_ms_per_query\":{:.3},\
+             \"expand_ms_per_query\":{:.3},\"samples\":{rounds}}}",
+            t.walk_ns as f64 / per / 1e6,
+            t.verify_ns as f64 / per / 1e6,
+            t.expand_ns as f64 / per / 1e6,
+        );
+    }
 
     // Engine end to end, cache disabled so the algorithm is measured.
     let labels: Vec<String> = queries.iter().map(|&q| g.label(q).to_owned()).collect();
@@ -128,6 +185,13 @@ fn main() {
             scratch_stats.1, 0,
             "steady-state zero-alloc contract violated: {} allocs/query on the scratch path",
             scratch_stats.1
+        );
+    }
+    if let Some(bound) = max_engine_ms {
+        assert!(
+            engine_stats.0 <= bound,
+            "engine median {:.3}ms exceeds the --max-engine-ms bound {bound}ms",
+            engine_stats.0
         );
     }
 }

@@ -23,6 +23,9 @@
 //! 8. **Scratch-reuse differential** — the pooled zero-alloc query path
 //!    vs. a deliberately dirtied caller-managed scratch, at 1 and 8
 //!    threads: reuse must leave no residue between queries.
+//! 8b. **Bitset-prune differential** — signature-pruned CL-tree walks vs.
+//!    the exact `CX_PRUNE=off` path: canonically identical answers on
+//!    every workload query (pruning is sound, not approximate).
 //! 9. **API fuzz** — mutated requests must never panic or break the
 //!    JSON error contract.
 //! 10. **Kill-replay** — a durable engine crashed at seeded WAL byte
@@ -36,10 +39,10 @@ use cx_acq::AcqOptions;
 use cx_check::invariants::check_core_numbers;
 use cx_check::oracle::thread_differential;
 use cx_check::{
-    acq_strategy_differential, cached_vs_uncached, check_acq_result, edit_script, fingerprint,
-    fuzz_server, graph_matrix, hierarchy_reconstruction, incremental_vs_scratch, kill_replay,
-    query_workload, scratch_reuse_differential, snapshot_pinning_differential, FuzzParams,
-    KillReplayParams,
+    acq_strategy_differential, bitset_prune_differential, cached_vs_uncached, check_acq_result,
+    edit_script, fingerprint, fuzz_server, graph_matrix, hierarchy_reconstruction,
+    incremental_vs_scratch, kill_replay, query_workload, scratch_reuse_differential,
+    snapshot_pinning_differential, FuzzParams, KillReplayParams,
 };
 use cx_cltree::ClTree;
 use cx_datagen::dblp_like;
@@ -236,6 +239,19 @@ fn main() {
                 opts = opts.keywords(qc.keywords.clone());
             }
             for m in scratch_reuse_differential(g, &tree, qc.q, &opts) {
+                problems.push(format!("{} {}", case.name, m));
+            }
+        }
+        // Bitset-pruning differential: signature-pruned walks vs. the
+        // exact CX_PRUNE=off path must be canonically identical on every
+        // workload query — pruning is an optimisation, not an
+        // approximation.
+        for qc in &workload {
+            let mut opts = AcqOptions::with_k(qc.k).max_candidates(2000);
+            if !qc.keywords.is_empty() {
+                opts = opts.keywords(qc.keywords.clone());
+            }
+            for m in bitset_prune_differential(g, &tree, qc.q, &opts) {
                 problems.push(format!("{} {}", case.name, m));
             }
         }

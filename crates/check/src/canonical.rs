@@ -101,6 +101,13 @@ pub fn tree_canonical(tree: &ClTree) -> String {
             }
         }
         s.push(']');
+        // Subtree keyword signature bytes: incremental repair must land on
+        // exactly the bloom a fresh build computes, or pruning would skip
+        // different subtrees after an update than after a rebuild.
+        s.push('s');
+        for b in node.signature.to_bytes() {
+            s.push_str(&format!("{b:02x}"));
+        }
         let mut kids: Vec<String> =
             node.children.iter().map(|&c| node_canon(tree, c)).collect();
         kids.sort();

@@ -18,6 +18,7 @@ use cx_graph::{AttributedGraph, KeywordId, VertexId};
 use cx_kcore::CoreDecomposition;
 
 use crate::node::{ClTreeNode, NodeId};
+use crate::signature::{compute_signatures, KeywordSignature};
 use crate::unionfind::UnionFind;
 
 /// The CL-tree index over one attributed graph. See the crate docs for the
@@ -115,6 +116,7 @@ impl ClTree {
                 children: tops,
                 vertices: isolated,
                 inverted: Default::default(),
+                signature: KeywordSignature::EMPTY,
             });
             nid
         };
@@ -134,6 +136,9 @@ impl ClTree {
                 node.index_keywords(|v| g.keywords(v));
             }
         });
+
+        // Subtree keyword signatures, bottom-up over the finished arena.
+        compute_signatures(&mut nodes, u32::MAX);
 
         Self { nodes, root, node_of, core, max_core }
     }
@@ -267,6 +272,54 @@ impl ClTree {
         out.sort_unstable();
     }
 
+    /// Signature-pruned variant of
+    /// [`ClTree::keyword_vertices_in_subtree_into`]: child subtrees whose
+    /// keyword signature is missing either bit of `mask` provably contain
+    /// no carrier of `w` and are skipped wholesale. Output is identical to
+    /// the unpruned walk (signatures have no false negatives); only the
+    /// traversal differs. Checks the cooperative cancel token every
+    /// [`CANCEL_CHECK_INTERVAL`] visited nodes so `timeout_ms` deadlines
+    /// fire mid-walk on large subtrees; on cancellation the partially
+    /// collected (unsorted) output must be discarded by the caller.
+    pub fn keyword_vertices_in_subtree_pruned_into(
+        &self,
+        id: NodeId,
+        w: KeywordId,
+        mask: &KeywordSignature,
+        stack: &mut Vec<NodeId>,
+        out: &mut Vec<VertexId>,
+    ) -> KeywordWalkStats {
+        out.clear();
+        stack.clear();
+        let mut stats = KeywordWalkStats::default();
+        if !self.nodes[id.index()].signature.contains_all(mask) {
+            stats.subtrees_pruned = 1;
+            return stats;
+        }
+        stats.signature_hits = 1;
+        stack.push(id);
+        while let Some(nid) = stack.pop() {
+            stats.nodes_visited += 1;
+            if stats.nodes_visited & (CANCEL_CHECK_INTERVAL - 1) == 0 && cx_par::task::cancelled()
+            {
+                stats.cancelled = true;
+                return stats;
+            }
+            let node = &self.nodes[nid.index()];
+            out.extend_from_slice(node.vertices_with(w));
+            for &c in &node.children {
+                if self.nodes[c.index()].signature.contains_all(mask) {
+                    stats.signature_hits += 1;
+                    stack.push(c);
+                } else {
+                    stats.subtrees_pruned += 1;
+                }
+            }
+        }
+        out.sort_unstable();
+        stats
+    }
+
     /// Convenience: vertices carrying `w` within the connected k-core of `q`.
     pub fn keyword_vertices_in_k_core(
         &self,
@@ -330,6 +383,27 @@ impl ClTree {
     pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &ClTreeNode)> + '_ {
         self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
     }
+}
+
+/// How many visited nodes a pruned keyword walk processes between
+/// cooperative-cancellation checks (power of two; the check is a
+/// thread-local read, this just keeps it off the per-node fast path).
+pub const CANCEL_CHECK_INTERVAL: u32 = 64;
+
+/// Traversal statistics of one signature-pruned keyword walk, fed into
+/// the `cx_acq_subtrees_pruned_total` / `cx_acq_signature_hits_total`
+/// metric families by the ACQ verifier.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KeywordWalkStats {
+    /// Nodes actually visited (vertices collected from).
+    pub nodes_visited: u32,
+    /// Subtrees skipped because their signature excluded the keyword.
+    pub subtrees_pruned: u32,
+    /// Signature tests that passed (the subtree was descended into).
+    pub signature_hits: u32,
+    /// The cooperative cancel token fired mid-walk; `out` is partial and
+    /// unsorted and must be discarded.
+    pub cancelled: bool,
 }
 
 /// One component's bottom-up subtree: a local node arena (ids local to the
@@ -421,6 +495,7 @@ fn build_component_subtree(
                 children: kids,
                 vertices: verts,
                 inverted: Default::default(),
+                signature: KeywordSignature::EMPTY,
             });
             next_anchors.insert(root, nid);
         }
@@ -624,5 +699,74 @@ mod tests {
         let g = figure5_graph();
         let t = ClTree::build(&g);
         assert!(t.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn signatures_cover_exactly_the_subtree_keywords() {
+        let g = figure5_graph();
+        let t = ClTree::build(&g);
+        for (id, node) in t.iter_nodes() {
+            let counts = t.keyword_counts_in_subtree(id);
+            // Soundness: every keyword present in the subtree tests positive.
+            for &w in counts.keys() {
+                assert!(
+                    node.signature.contains_all(&KeywordSignature::mask_of(w)),
+                    "keyword {w:?} missing from signature of node {id:?}"
+                );
+            }
+            // A leaf with no keywords has an empty signature.
+            if counts.is_empty() {
+                assert!(node.signature.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_walk_matches_plain_walk_and_prunes() {
+        // Two K4s joined through a degree-2 middle vertex: the 3-core has
+        // two components (the K4s), children of the level-2 {m} node.
+        // Keyword "a" lives only in the left K4, so its walk must prune
+        // the right subtree and still return the identical carrier list.
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_vertex(&format!("l{i}"), &["a", "common"]);
+        }
+        for i in 0..4 {
+            b.add_vertex(&format!("r{i}"), &["b", "common"]);
+        }
+        b.add_vertex("m", &["common"]);
+        for base in [0u32, 4] {
+            for x in 0..4u32 {
+                for y in (x + 1)..4 {
+                    b.add_edge(VertexId(base + x), VertexId(base + y));
+                }
+            }
+        }
+        b.add_edge(VertexId(0), VertexId(8));
+        b.add_edge(VertexId(4), VertexId(8));
+        let g = b.build();
+        let t = ClTree::build(&g);
+        assert_eq!(t.core(VertexId(8)), 2);
+        assert_eq!(t.node(t.subtree_root_for(VertexId(0), 1).unwrap()).children.len(), 2);
+        let root1 = t.subtree_root_for(VertexId(0), 1).unwrap();
+        let (mut stack, mut plain, mut pruned) = (Vec::new(), Vec::new(), Vec::new());
+        let mut total_pruned = 0;
+        for name in ["a", "b", "common", "absent-everywhere"] {
+            let Some(w) = g.interner().get(name) else {
+                continue;
+            };
+            t.keyword_vertices_in_subtree_into(root1, w, &mut stack, &mut plain);
+            let stats = t.keyword_vertices_in_subtree_pruned_into(
+                root1,
+                w,
+                &KeywordSignature::mask_of(w),
+                &mut stack,
+                &mut pruned,
+            );
+            assert_eq!(plain, pruned, "pruned walk diverged for {name}");
+            assert!(!stats.cancelled);
+            total_pruned += stats.subtrees_pruned;
+        }
+        assert!(total_pruned >= 2, "expected the opposite triangle to be pruned");
     }
 }

@@ -26,11 +26,13 @@
 pub mod build;
 pub mod hierarchy;
 pub mod node;
+pub mod signature;
 pub mod snapshot;
 pub mod unionfind;
 pub mod update;
 
-pub use build::ClTree;
+pub use build::{ClTree, KeywordWalkStats};
 pub use hierarchy::{Expansion, Hierarchy, SupernodeStats};
 pub use node::{ClTreeNode, NodeId};
+pub use signature::{prune_enabled, refresh_prune, set_prune_enabled, KeywordSignature};
 pub use unionfind::UnionFind;

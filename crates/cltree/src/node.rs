@@ -5,6 +5,8 @@ use std::sync::Arc;
 
 use cx_graph::{KeywordId, VertexId};
 
+use crate::signature::KeywordSignature;
+
 /// Index of a node within its [`crate::ClTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
@@ -36,6 +38,12 @@ pub struct ClTreeNode {
     /// sets are immutable under edge edits, so the map is determined by
     /// the vertex list).
     pub inverted: Arc<HashMap<KeywordId, Vec<VertexId>>>,
+    /// Bloom-style signature of every keyword in this node's *subtree*
+    /// (own inverted lists ∪ all descendants). No false negatives, so a
+    /// missing bit proves a keyword's absence and lets query walks skip
+    /// the subtree. Maintained by [`crate::signature::compute_signatures`]
+    /// at build/update/snapshot-load time; carried nodes keep it by clone.
+    pub signature: KeywordSignature,
 }
 
 impl ClTreeNode {
@@ -62,5 +70,12 @@ impl ClTreeNode {
     /// Number of distinct keywords appearing in this node.
     pub fn keyword_count(&self) -> usize {
         self.inverted.len()
+    }
+
+    /// Exact number of this node's own vertices carrying `w` — the
+    /// per-node keyword-count summary the verifier's short-circuit sums
+    /// during a pruned walk.
+    pub fn keyword_support(&self, w: KeywordId) -> usize {
+        self.vertices_with(w).len()
     }
 }

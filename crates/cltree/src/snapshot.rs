@@ -18,6 +18,7 @@ use cx_graph::{AttributedGraph, GraphError, VertexId};
 
 use crate::build::ClTree;
 use crate::node::{ClTreeNode, NodeId};
+use crate::signature::{compute_signatures, KeywordSignature};
 
 const MAGIC: &[u8; 4] = b"CXT1";
 
@@ -139,6 +140,7 @@ impl ClTree {
                 children,
                 vertices,
                 inverted: Default::default(),
+                signature: KeywordSignature::EMPTY,
             };
             node.index_keywords(|v| g.keywords(v));
             nodes.push(node);
@@ -146,15 +148,23 @@ impl ClTree {
         if node_of.contains(&NodeId(u32::MAX)) {
             return Err(GraphError::Snapshot("some vertex belongs to no node".into()));
         }
-        // Parent/child links must agree.
+        // Parent/child links must agree, and children must sit at strictly
+        // higher levels — the nesting invariant the bottom-up signature
+        // pass (and every subtree walk) relies on.
         for (i, node) in nodes.iter().enumerate() {
             for &c in &node.children {
                 if nodes[c.index()].parent != Some(NodeId(i as u32)) {
                     return Err(GraphError::Snapshot("parent/child mismatch".into()));
                 }
+                if nodes[c.index()].level <= node.level {
+                    return Err(GraphError::Snapshot("child level not above parent".into()));
+                }
             }
         }
         let max_core = core.iter().copied().max().unwrap_or(0);
+        // Subtree keyword signatures are derived data, rebuilt bottom-up
+        // from the freshly re-indexed inverted lists.
+        compute_signatures(&mut nodes, u32::MAX);
         Ok(ClTree::from_parts(nodes, root, node_of, core, max_core))
     }
 
@@ -196,7 +206,7 @@ mod tests {
                 );
             }
         }
-        // Inverted lists rebuilt identically.
+        // Inverted lists and subtree signatures rebuilt identically.
         for (id, node) in tree.iter_nodes() {
             for (w, _) in g.interner().iter() {
                 assert_eq!(
@@ -204,6 +214,7 @@ mod tests {
                     node.vertices_with(w)
                 );
             }
+            assert_eq!(loaded.node(id).signature, node.signature);
         }
     }
 

@@ -40,6 +40,7 @@ use cx_graph::delta::EdgeDelta;
 use cx_graph::{AttributedGraph, VertexId};
 
 use crate::node::{ClTreeNode, NodeId};
+use crate::signature::{compute_signatures, KeywordSignature};
 use crate::unionfind::UnionFind;
 use crate::ClTree;
 
@@ -190,6 +191,7 @@ impl ClTree {
                     children: kids,
                     vertices: verts,
                     inverted: Default::default(),
+                    signature: KeywordSignature::EMPTY,
                 };
                 self.fill_inverted(&mut node, g);
                 nodes.push(node);
@@ -217,6 +219,7 @@ impl ClTree {
                 children: top_ids,
                 vertices: isolated,
                 inverted: Default::default(),
+                signature: KeywordSignature::EMPTY,
             };
             self.fill_inverted(&mut node, g);
             nodes.push(node);
@@ -230,6 +233,14 @@ impl ClTree {
             }
         }
         let max_core = new_cores.iter().copied().max().unwrap_or(0);
+
+        // Repair subtree signatures under the same threshold rule: carried
+        // nodes (level > L) keep their signature — a preserved subtree's
+        // keyword set is immutable under edge edits, so the clone above is
+        // already exact — and only the rebuilt levels L..=0 recompute
+        // bottom-up, reading the carried children's signatures.
+        compute_signatures(&mut nodes, level);
+
         Self::from_parts(nodes, root, node_of, new_cores.to_vec(), max_core)
     }
 
@@ -286,10 +297,11 @@ mod tests {
         let mut inv: Vec<_> = node.inverted.iter().map(|(w, vs)| (w.0, vs.clone())).collect();
         inv.sort();
         format!(
-            "(l{} v{:?} i{:?} [{}])",
+            "(l{} v{:?} i{:?} s{:02x?} [{}])",
             node.level,
             node.vertices.iter().map(|x| x.0).collect::<Vec<_>>(),
             inv,
+            node.signature.to_bytes(),
             kids.join(",")
         )
     }
@@ -351,6 +363,11 @@ mod tests {
         let e_old = tree.node(tree.node_of(v(4)));
         let e_new = updated.node(updated.node_of(v(4)));
         assert!(std::sync::Arc::ptr_eq(&e_old.inverted, &e_new.inverted));
+        // Carried nodes keep their subtree signature verbatim (repair only
+        // re-derives the rebuilt levels).
+        assert_eq!(abcd_old.signature, abcd_new.signature);
+        assert_eq!(e_old.signature, e_new.signature);
+        assert!(!abcd_new.signature.is_empty());
     }
 
     #[test]

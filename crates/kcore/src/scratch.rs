@@ -130,6 +130,11 @@ impl PeelScratch {
         if q.index() >= n {
             return false;
         }
+        // A k-core needs at least k+1 vertices (every member has k
+        // neighbours inside), so undersized member sets cannot contain one.
+        if k > 0 && members.len() <= k as usize {
+            return false;
+        }
         self.begin(n);
         let parallel = members.len() >= self.par_threshold && cx_par::num_threads() > 1;
         let epoch = self.epoch;

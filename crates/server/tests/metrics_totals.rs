@@ -100,4 +100,53 @@ fn metrics_totals_match_requests_issued_under_concurrency() {
         scrape.contains("cx_incremental_fallback_total"),
         "fallback counter missing from /metrics"
     );
+
+    // The ACQ signature-pruning metrics share the same registry. Two K4s
+    // joined through a degree-2 middle vertex give the CL-tree two sibling
+    // level-3 subtrees; querying from the left K4 with a keyword only it
+    // carries must skip the right subtree — observable as counter bumps
+    // plus one more sample in the verified-candidates histogram.
+    let pruned = cx_obs::global().counter("cx_acq_subtrees_pruned_total");
+    let sig_hits = cx_obs::global().counter("cx_acq_signature_hits_total");
+    let verified = cx_obs::global().histogram("cx_acq_candidates_verified");
+    let (p0, h0, v0) = (pruned.get(), sig_hits.get(), verified.count());
+    let mut b = cx_graph::GraphBuilder::with_capacity(9, 14);
+    for i in 0..4 {
+        b.add_vertex(&format!("l{i}"), &["a"]);
+    }
+    for i in 0..4 {
+        b.add_vertex(&format!("r{i}"), &["b"]);
+    }
+    b.add_vertex("m", &["a", "b"]);
+    for i in 0..4u32 {
+        for j in (i + 1)..4 {
+            b.add_edge(cx_graph::VertexId(i), cx_graph::VertexId(j));
+            b.add_edge(cx_graph::VertexId(4 + i), cx_graph::VertexId(4 + j));
+        }
+    }
+    b.add_edge(cx_graph::VertexId(0), cx_graph::VertexId(8));
+    b.add_edge(cx_graph::VertexId(4), cx_graph::VertexId(8));
+    let g2 = b.try_build().unwrap();
+    let tree = cx_cltree::ClTree::build(&g2);
+    let res = cx_acq::acq(
+        &g2,
+        &tree,
+        cx_graph::VertexId(0),
+        &cx_acq::AcqOptions::with_k(1),
+        cx_acq::AcqStrategy::Dec,
+    );
+    assert!(!res.communities.is_empty(), "left K4 query must find a community");
+    assert!(pruned.get() > p0, "the right-K4 subtree must be signature-pruned");
+    assert!(sig_hits.get() > h0, "descended subtrees must count signature hits");
+    assert_eq!(verified.count(), v0 + 1, "one query → one verified-candidates sample");
+
+    // All three new families are visible on the exposition endpoint.
+    let scrape = s.handle(&Request::get("/metrics")).text();
+    for family in [
+        "cx_acq_subtrees_pruned_total",
+        "cx_acq_signature_hits_total",
+        "cx_acq_candidates_verified_count",
+    ] {
+        assert!(scrape.contains(family), "{family} missing from /metrics:\n{scrape}");
+    }
 }

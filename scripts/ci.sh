@@ -3,7 +3,8 @@
 # thread counts, since every parallel helper promises thread-count
 # independence), the snapshot-concurrency stress test, par_scaling,
 # query_hotpath (asserting the zero-alloc steady-state contract at both
-# thread counts), concurrent_reads, http_throughput (keep-alive
+# thread counts plus the pruned-path engine-median regression gate:
+# <= 2x the measured signature-pruned 20k median), concurrent_reads, http_throughput (keep-alive
 # fleet, shed at 2x overload, 50ms deadline probe), edit_latency,
 # memory_footprint (compact substrate ≥ 30% under the legacy layout),
 # hierarchy_scale (a 1M-vertex graph served over HTTP with every
@@ -34,11 +35,11 @@ CX_THREADS=8 cargo test -q -p cx-server --test concurrent_stress
 echo "== par_scaling smoke (5k vertices, 2 samples) =="
 cargo run -q --release -p cx-bench --bin par_scaling -- 5000 2
 
-echo "== query_hotpath smoke (0 allocs/query steady state, CX_THREADS=1) =="
-CX_THREADS=1 cargo run -q --release -p cx-bench --bin query_hotpath -- 20000 2 --smoke
+echo "== query_hotpath smoke (0 allocs/query, engine median <= 0.4ms, CX_THREADS=1) =="
+CX_THREADS=1 cargo run -q --release -p cx-bench --bin query_hotpath -- 20000 2 --smoke --max-engine-ms 0.4
 
-echo "== query_hotpath smoke (0 allocs/query steady state, CX_THREADS=8) =="
-CX_THREADS=8 cargo run -q --release -p cx-bench --bin query_hotpath -- 20000 2 --smoke
+echo "== query_hotpath smoke (0 allocs/query, engine median <= 0.4ms, CX_THREADS=8) =="
+CX_THREADS=8 cargo run -q --release -p cx-bench --bin query_hotpath -- 20000 2 --smoke --max-engine-ms 0.4
 
 echo "== concurrent_reads smoke (reader p99 under writer ≤ 2x, CX_THREADS=1) =="
 CX_THREADS=1 cargo run -q --release -p cx-bench --bin concurrent_reads -- 5000 20
